@@ -1,0 +1,66 @@
+(* Shared plumbing for the experiment harness. *)
+
+open Bbng_core
+module Table = Bbng_analysis.Table
+module Growth = Bbng_analysis.Growth
+
+let section title =
+  let bar = String.make (String.length title + 8) '=' in
+  Printf.printf "\n%s\n=== %s ===\n%s\n" bar title bar
+
+let subsection title = Printf.printf "\n--- %s ---\n" title
+
+let note fmt = Printf.ksprintf (fun s -> Printf.printf "  %s\n" s) fmt
+
+let rng seed = Random.State.make [| 0xBB9; seed |]
+
+(* Scaled equilibrium certification.  Three tiers, by estimated work:
+   1. exact Nash (sum over players of C(n-1, b) BFS runs);
+   2. full swap-stability (sum of b*n single-swap evaluations);
+   3. sampled swap-stability (a spread of at most [sample] players).
+   The returned string names the tier that ran and its verdict. *)
+let certify_scaled ?(exact_limit = 400_000_000) ?(swap_limit = 300_000_000)
+    ?(sample = 40) version profile =
+  let budgets = Strategy.budgets profile in
+  let n = Strategy.n profile in
+  let game = Game.make version budgets in
+  let bfs_cost = 4 * n in
+  let sat_add a b = if a > max_int - b then max_int else a + b in
+  let exact_work =
+    Array.fold_left
+      (fun acc b ->
+        let c = Bbng_graph.Combinatorics.binomial (n - 1) b in
+        sat_add acc (if c > max_int / bfs_cost then max_int else c * bfs_cost))
+      0 (Budget.to_array budgets)
+  in
+  let swap_work = Budget.total budgets * n * bfs_cost in
+  if exact_work <= exact_limit then
+    if Equilibrium.is_nash game profile then "NE(exact)" else "NOT-NE"
+  else if swap_work <= swap_limit then
+    if Equilibrium.is_swap_stable game profile then "swap-stable"
+    else "NOT-swap-stable"
+  else begin
+    let step = max 1 (n / sample) in
+    let ok = ref true in
+    let player = ref 0 in
+    while !ok && !player < n do
+      if Best_response.first_improving_swap game profile !player <> None then
+        ok := false;
+      player := !player + step
+    done;
+    if !ok then "swap-stable(sampled)" else "NOT-swap-stable(sampled)"
+  end
+
+let diameter profile = Cost.social_cost (Strategy.underlying profile)
+
+let fit_line label points =
+  let fit = Growth.best_fit points in
+  Printf.printf "  fit[%s]: %s\n" label (Format.asprintf "%a" Growth.pp_fit fit);
+  fit
+
+let time_it f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+let verdict_cell ok = if ok then "ok" else "VIOLATED"

@@ -1,0 +1,129 @@
+(* Theorem 2.3: equilibria exist for every budget vector and the price
+   of stability is O(1).
+
+   Sweep random budget vectors across all three construction cases,
+   certify each constructed profile in both versions, and compare its
+   diameter against the OPT bounds (PoS evidence). *)
+
+open Bbng_core
+open Bbng_constructions
+open Exp_common
+module Table = Bbng_analysis.Table
+
+let sweep () =
+  subsection "E2.3a — constructed equilibria across random budget vectors";
+  let t =
+    Table.make
+      ~headers:
+        [ "n"; "sigma"; "case"; "diameter"; "OPT in"; "PoS <="; "MAX"; "SUM" ]
+  in
+  let st = rng 11 in
+  let cases_seen = Hashtbl.create 3 in
+  for trial = 1 to 18 do
+    let n = 4 + Random.State.int st 12 in
+    (* stratify totals so all three construction cases appear:
+       subcritical (case 3), barely-connectable with many zeros
+       (case 2 territory), and budget-rich (case 1) *)
+    let total =
+      match trial mod 3 with
+      | 0 -> Random.State.int st (max 1 (n - 1))
+      | 1 -> n - 1 + Random.State.int st 3
+      | _ -> n + Random.State.int st (n * (n - 1) - n + 1)
+    in
+    let b = Budget.random_partition st ~n ~total in
+    let p = Existence.construct b in
+    let d = diameter p in
+    let lo, hi = Poa.opt_diameter_bounds b in
+    let case = Existence.case_of b in
+    Hashtbl.replace cases_seen case ();
+    ignore trial;
+    Table.add_row t
+      [ string_of_int n; string_of_int total; Existence.case_name case;
+        string_of_int d; Printf.sprintf "[%d,%d]" lo hi;
+        Printf.sprintf "%.2f" (float_of_int d /. float_of_int lo);
+        certify_scaled Cost.Max p; certify_scaled Cost.Sum p ]
+  done;
+  Table.print t;
+  note "distinct construction cases exercised: %d of 3" (Hashtbl.length cases_seen)
+
+let per_case () =
+  subsection "E2.3b — one representative instance per case";
+  let t =
+    Table.make ~headers:[ "budgets"; "case"; "diameter"; "MAX"; "SUM" ]
+  in
+  List.iter
+    (fun l ->
+      let b = Budget.of_list l in
+      let p = Existence.construct b in
+      Table.add_row t
+        [ String.concat "," (List.map string_of_int l);
+          Existence.case_name (Existence.case_of b);
+          string_of_int (diameter p);
+          certify_scaled Cost.Max p; certify_scaled Cost.Sum p ])
+    [
+      [ 0; 0; 2; 3 ]            (* case 1 *);
+      [ 0; 0; 0; 1; 2; 2 ]      (* case 2 *);
+      [ 0; 0; 0; 1; 1 ]         (* case 3 *);
+      [ 0; 0; 0; 0; 0; 0; 0; 0; 0; 0; 0; 0; 0; 0; 0; 0; 2; 5; 5; 5; 5; 5 ]
+      (* the Figure 1 instance *);
+    ];
+  Table.print t
+
+let stability_scaling () =
+  subsection "E2.3c — price of stability stays O(1) as n grows";
+  let t = Table.make ~headers:[ "n"; "sigma"; "NE diameter"; "OPT lower"; "PoS <=" ] in
+  List.iter
+    (fun n ->
+      (* half zeros, moderate positives: lands in case 2 for larger n *)
+      let budgets =
+        Array.init n (fun i -> if i < n / 2 then 0 else 1 + (i mod 3))
+      in
+      let b = Budget.of_array budgets in
+      if Budget.connectable b then begin
+        let p = Existence.construct b in
+        let d = diameter p in
+        let lo, _ = Poa.opt_diameter_bounds b in
+        Table.add_row t
+          [ string_of_int n; string_of_int (Budget.total b); string_of_int d;
+            string_of_int lo;
+            Printf.sprintf "%.2f" (float_of_int d /. float_of_int lo) ]
+      end)
+    [ 8; 16; 32; 64; 128; 256 ];
+  Table.print t;
+  note "the PoS column is bounded by a constant (the paper proves <= 4)"
+
+let powerlaw_workload () =
+  subsection "E2.3d — power-law budget workloads (skewed, P2P-like)";
+  let t =
+    Table.make
+      ~headers:
+        [ "n"; "exponent"; "sigma"; "zeros"; "case"; "diameter"; "MAX"; "SUM" ]
+  in
+  List.iter
+    (fun (n, exponent, seed) ->
+      let b =
+        Budget.random_powerlaw (rng seed) ~n ~exponent ~max_budget:(min (n - 1) 6)
+      in
+      let zeros =
+        Array.fold_left (fun acc x -> if x = 0 then acc + 1 else acc) 0
+          (Budget.to_array b)
+      in
+      let p = Bbng_constructions.Existence.construct b in
+      Table.add_row t
+        [ string_of_int n; Printf.sprintf "%.1f" exponent;
+          string_of_int (Budget.total b); string_of_int zeros;
+          Bbng_constructions.Existence.case_name
+            (Bbng_constructions.Existence.case_of b);
+          string_of_int (diameter p);
+          certify_scaled Cost.Max p; certify_scaled Cost.Sum p ])
+    [ (12, 0.8, 21); (12, 1.5, 21); (12, 2.5, 22); (16, 1.0, 23); (20, 1.2, 24); (20, 3.0, 25) ];
+  Table.print t;
+  note
+    "skewed, realistic budget distributions still land in the three cases and always produce certified O(1)-diameter equilibria (or correctly subcritical ones)"
+
+let run () =
+  section "THEOREM 2.3 — existence of equilibria, price of stability O(1)";
+  sweep ();
+  per_case ();
+  stability_scaling ();
+  powerlaw_workload ()

@@ -1,0 +1,46 @@
+(* Experiment harness: regenerates every table and figure of the paper
+   (see DESIGN.md's per-experiment index and EXPERIMENTS.md for the
+   recorded output).
+
+   Usage:
+     dune exec bench/main.exe            # everything
+     dune exec bench/main.exe -- table1 figures   # a selection
+   Known experiment names: table1 figures hardness existence weighted
+   connectivity dynamics baselines expansion census extremal ablation perf. *)
+
+let experiments =
+  [
+    ("table1", Exp_table1.run);
+    ("figures", Exp_figures.run);
+    ("hardness", Exp_hardness.run);
+    ("existence", Exp_existence.run);
+    ("weighted", Exp_weighted.run);
+    ("connectivity", Exp_connectivity.run);
+    ("dynamics", Exp_dynamics.run);
+    ("baselines", Exp_baselines.run);
+    ("expansion", Exp_expansion.run);
+    ("census", Exp_census.run);
+    ("extremal", Exp_extremal.run);
+    ("ablation", Exp_ablation.run);
+    ("perf", Perf.run);
+  ]
+
+let () =
+  let requested =
+    match Array.to_list Sys.argv with
+    | _ :: (_ :: _ as names) -> names
+    | _ -> List.map fst experiments
+  in
+  let t0 = Unix.gettimeofday () in
+  Printf.printf
+    "bbng experiment harness — reproduction of \"On a Bounded Budget Network Creation Game\" (SPAA 2011)\n";
+  List.iter
+    (fun name ->
+      match List.assoc_opt name experiments with
+      | Some f -> f ()
+      | None ->
+          Printf.eprintf "unknown experiment %S; known: %s\n" name
+            (String.concat " " (List.map fst experiments));
+          exit 2)
+    requested;
+  Printf.printf "\nTotal harness time: %.1f s\n" (Unix.gettimeofday () -. t0)

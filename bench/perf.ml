@@ -1,0 +1,82 @@
+(* Bechamel micro-benchmarks for the substrate hot paths. *)
+
+open Bechamel
+open Toolkit
+open Bbng_core
+module Generators = Bbng_graph.Generators
+
+let rng = Random.State.make [| 0xBE5C |]
+
+let gnp200 = Generators.random_connected_gnp rng ~n:200 ~p:0.05
+let grid = Generators.grid_graph ~rows:8 ~cols:8
+let sun30 = Bbng_constructions.Unit_budget.concentrated_sun ~n:30
+let sun_game = Game.make Cost.Sum (Strategy.budgets sun30)
+let tripod8 = Bbng_constructions.Tripod.profile ~k:8
+let tripod_game = Game.make Cost.Max (Strategy.budgets tripod8)
+
+let tests =
+  Test.make_grouped ~name:"bbng" ~fmt:"%s/%s"
+    [
+      Test.make ~name:"bfs-gnp200"
+        (Staged.stage (fun () -> ignore (Bbng_graph.Bfs.distances gnp200 0)));
+      Test.make ~name:"diameter-gnp200"
+        (Staged.stage (fun () -> ignore (Bbng_graph.Distances.diameter gnp200)));
+      Test.make ~name:"sum-cost-gnp200"
+        (Staged.stage (fun () -> ignore (Cost.vertex_cost Cost.Sum gnp200 0)));
+      Test.make ~name:"connectivity-grid8x8"
+        (Staged.stage (fun () ->
+             ignore (Bbng_graph.Connectivity.vertex_connectivity grid)));
+      Test.make ~name:"swap-br-sun30"
+        (Staged.stage (fun () ->
+             ignore (Best_response.swap_best sun_game sun30 5)));
+      Test.make ~name:"certify-tripod-k8"
+        (Staged.stage (fun () -> ignore (Equilibrium.is_nash tripod_game tripod8)));
+      Test.make ~name:"realize-sun30"
+        (Staged.stage (fun () -> ignore (Strategy.underlying sun30)));
+      (* deviation-evaluation ablation: generic rebuild vs incremental *)
+      Test.make ~name:"deviation-generic-sun30"
+        (Staged.stage (fun () ->
+             ignore (Game.deviation_cost sun_game sun30 ~player:5 ~targets:[| 7 |])));
+      Test.make ~name:"deviation-incremental-sun30"
+        (let ctx = Deviation_eval.make Cost.Sum sun30 ~player:5 in
+         Staged.stage (fun () -> ignore (Deviation_eval.cost ctx [| 7 |])));
+    ]
+
+let run () =
+  Exp_common.section
+    "PERF — Bechamel micro-benchmarks (monotonic clock + minor allocations)";
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instances = Instance.[ monotonic_clock; minor_allocated ] in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.25) ~kde:None () in
+  let raw = Benchmark.all cfg instances tests in
+  let times = Analyze.all ols Instance.monotonic_clock raw in
+  let allocs = Analyze.all ols Instance.minor_allocated raw in
+  let estimate results name =
+    match Hashtbl.find_opt results name with
+    | Some r -> (
+        match Analyze.OLS.estimates r with
+        | Some (est :: _) -> Printf.sprintf "%.0f" est
+        | Some [] | None -> "?")
+    | None -> "?"
+  in
+  let r_square name =
+    match Hashtbl.find_opt times name with
+    | Some r -> (
+        match Analyze.OLS.r_square r with
+        | Some v -> Printf.sprintf "%.4f" v
+        | None -> "?")
+    | None -> "?"
+  in
+  let names = Hashtbl.fold (fun name _ acc -> name :: acc) times [] in
+  let table =
+    Bbng_analysis.Table.make
+      ~headers:[ "benchmark"; "ns/run"; "minor words/run"; "r2(time)" ]
+  in
+  List.iter
+    (fun name ->
+      Bbng_analysis.Table.add_row table
+        [ name; estimate times name; estimate allocs name; r_square name ])
+    (List.sort compare names);
+  Bbng_analysis.Table.print table

@@ -1,0 +1,348 @@
+(* bbng — command-line laboratory for bounded budget network creation
+   games.
+
+   Subcommands:
+     construct   build one of the paper's equilibrium families
+     verify      certify a serialized profile as a Nash equilibrium
+     dynamics    run best-response dynamics from a random start
+     opt         OPT diameter bounds (and exact value when feasible)
+     kcenter     solve k-center on a G(n,p) instance via Theorem 2.1
+
+   Profiles are serialized as semicolon-separated target lists, e.g.
+   "1,2;0;0" is the 3-player profile S_0={1,2}, S_1={0}, S_2={0}. *)
+
+open Cmdliner
+open Bbng_core
+
+(* --- shared term fragments --- *)
+
+let version_term =
+  let parse = function
+    | "max" | "MAX" -> Ok Cost.Max
+    | "sum" | "SUM" -> Ok Cost.Sum
+    | s -> Error (`Msg (Printf.sprintf "unknown version %S (max|sum)" s))
+  in
+  let print ppf v = Format.pp_print_string ppf (Cost.version_name v) in
+  Arg.(
+    value
+    & opt (conv (parse, print)) Cost.Sum
+    & info [ "cost"; "c" ] ~docv:"VERSION" ~doc:"Cost version: max or sum.")
+
+let seed_term =
+  Arg.(value & opt int 0 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed.")
+
+let budgets_term =
+  let parse s =
+    try
+      Ok
+        (Budget.of_list
+           (List.map int_of_string (String.split_on_char ',' (String.trim s))))
+    with _ -> Error (`Msg "budgets must look like 0,1,2,1")
+  in
+  let print ppf b = Budget.pp ppf b in
+  Arg.(
+    required
+    & opt (some (conv (parse, print))) None
+    & info [ "budgets"; "b" ] ~docv:"B1,B2,..." ~doc:"Budget vector.")
+
+let report_profile version profile =
+  let game = Game.make version (Strategy.budgets profile) in
+  Format.printf "profile:   %s@." (Strategy.to_string profile);
+  Format.printf "graph:     %a@." Bbng_graph.Digraph.pp (Strategy.realize profile);
+  Format.printf "diameter:  %d@." (Game.social_cost game profile);
+  Format.printf "welfare:   %d@." (Game.social_welfare game profile);
+  Format.printf "verdict:   %a@." Equilibrium.pp_verdict
+    (Equilibrium.certify game profile)
+
+(* --- construct --- *)
+
+let construct_cmd =
+  let family =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"FAMILY"
+          ~doc:
+            "One of: existence (needs --budgets), tripod (needs --k), binary \
+             (needs --depth), sun (needs --n), shift (needs --t and --k).")
+  in
+  let k = Arg.(value & opt int 2 & info [ "k" ] ~docv:"K" ~doc:"Family parameter k.") in
+  let t = Arg.(value & opt int 4 & info [ "t" ] ~docv:"T" ~doc:"Shift-graph digit count t.") in
+  let depth = Arg.(value & opt int 3 & info [ "depth" ] ~docv:"D" ~doc:"Binary tree depth.") in
+  let n = Arg.(value & opt int 8 & info [ "n" ] ~docv:"N" ~doc:"Player count.") in
+  let budgets =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "budgets"; "b" ] ~docv:"B1,B2,..." ~doc:"Budget vector (existence).")
+  in
+  let run family version k t depth n budgets =
+    let open Bbng_constructions in
+    match family with
+    | "existence" -> (
+        match budgets with
+        | None -> `Error (false, "existence requires --budgets")
+        | Some s ->
+            let b =
+              Budget.of_list (List.map int_of_string (String.split_on_char ',' s))
+            in
+            Format.printf "case: %s@." (Existence.case_name (Existence.case_of b));
+            report_profile version (Existence.construct b);
+            `Ok ())
+    | "tripod" ->
+        report_profile version (Tripod.profile ~k);
+        `Ok ()
+    | "binary" ->
+        report_profile version (Binary_tree.profile ~depth);
+        `Ok ()
+    | "sun" ->
+        report_profile version (Unit_budget.concentrated_sun ~n);
+        `Ok ()
+    | "shift" ->
+        if version = Cost.Sum then
+          Format.printf
+            "note: the shift construction is a MAX-version equilibrium; pass -c max@.";
+        let c = Shift_graph.certificate ~t ~k in
+        Format.printf "lemma 5.2 certificate: n=%d maxdeg=%d valid=%b@."
+          c.Shift_graph.n c.Shift_graph.max_degree c.Shift_graph.valid;
+        if c.Shift_graph.n <= 64 then report_profile version (Shift_graph.profile ~t ~k)
+        else
+          Format.printf
+            "(n too large to print/certify directly; the certificate stands)@.";
+        `Ok ()
+    | other -> `Error (false, Printf.sprintf "unknown family %S" other)
+  in
+  let info =
+    Cmd.info "construct" ~doc:"Build one of the paper's equilibrium families."
+  in
+  Cmd.v info
+    Term.(ret (const run $ family $ version_term $ k $ t $ depth $ n $ budgets))
+
+(* --- verify --- *)
+
+let verify_cmd =
+  let profile =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"PROFILE" ~doc:"Serialized profile, e.g. \"1,2;0;0\".")
+  in
+  let run version profile_str =
+    match Strategy.of_string profile_str with
+    | exception Invalid_argument msg -> `Error (false, msg)
+    | profile ->
+        report_profile version profile;
+        `Ok ()
+  in
+  let info = Cmd.info "verify" ~doc:"Certify a serialized profile." in
+  Cmd.v info Term.(ret (const run $ version_term $ profile))
+
+(* --- dynamics --- *)
+
+let dynamics_cmd =
+  let steps =
+    Arg.(value & opt int 10_000 & info [ "max-steps" ] ~docv:"STEPS" ~doc:"Step budget.")
+  in
+  let rule =
+    let parse = function
+      | "best" -> Ok Bbng_dynamics.Dynamics.Exact_best
+      | "first" -> Ok Bbng_dynamics.Dynamics.First_improving
+      | "swap" -> Ok Bbng_dynamics.Dynamics.Best_swap
+      | "first-swap" -> Ok Bbng_dynamics.Dynamics.First_swap
+      | s -> Error (`Msg (Printf.sprintf "unknown rule %S" s))
+    in
+    let print ppf r =
+      Format.pp_print_string ppf (Bbng_dynamics.Dynamics.rule_name r)
+    in
+    Arg.(
+      value
+      & opt (conv (parse, print)) Bbng_dynamics.Dynamics.Exact_best
+      & info [ "rule" ] ~docv:"RULE" ~doc:"Move rule: best|first|swap|first-swap.")
+  in
+  let trace =
+    Arg.(value & flag & info [ "trace" ] ~doc:"Print every improving move.")
+  in
+  let run version budgets seed steps rule trace =
+    let game = Game.make version budgets in
+    let start = Strategy.random (Random.State.make [| seed |]) budgets in
+    Format.printf "start: %s (diameter %d)@."
+      (Strategy.to_string start)
+      (Game.social_cost game start);
+    let on_step e =
+      if trace then
+        Format.printf "  step %d: player %d, %d -> %d (diameter %d)@."
+          e.Bbng_dynamics.Dynamics.step e.Bbng_dynamics.Dynamics.player
+          e.Bbng_dynamics.Dynamics.old_cost e.Bbng_dynamics.Dynamics.new_cost
+          e.Bbng_dynamics.Dynamics.social_cost
+    in
+    let outcome =
+      Bbng_dynamics.Dynamics.run ~max_steps:steps ~on_step game
+        ~schedule:Bbng_dynamics.Schedule.Round_robin ~rule start
+    in
+    Format.printf "outcome: %s after %d steps@."
+      (Bbng_dynamics.Dynamics.outcome_name outcome)
+      (Bbng_dynamics.Dynamics.steps outcome);
+    report_profile version (Bbng_dynamics.Dynamics.final_profile outcome)
+  in
+  let info = Cmd.info "dynamics" ~doc:"Run best-response dynamics from a random start." in
+  Cmd.v info
+    Term.(const run $ version_term $ budgets_term $ seed_term $ steps $ rule $ trace)
+
+(* --- opt --- *)
+
+let opt_cmd =
+  let run budgets =
+    let lo, hi = Poa.opt_diameter_bounds budgets in
+    Format.printf "instance: %a (%s)@." Budget.pp budgets
+      (Budget.class_name (Budget.classify budgets));
+    Format.printf "OPT diameter bounds: [%d, %d]@." lo hi;
+    (match Poa.opt_diameter_exact ~max_profiles:500_000 budgets with
+    | Some opt -> Format.printf "OPT diameter exact:  %d@." opt
+    | None -> Format.printf "OPT diameter exact:  (instance too large)@.");
+    let witness = Poa.canonical_low_diameter_realization budgets in
+    Format.printf "witness realization: %s@." (Strategy.to_string witness)
+  in
+  let info = Cmd.info "opt" ~doc:"Minimum diameter over realizations of an instance." in
+  Cmd.v info Term.(const run $ budgets_term)
+
+(* --- kcenter (Theorem 2.1 in action) --- *)
+
+let kcenter_cmd =
+  let n = Arg.(value & opt int 10 & info [ "n" ] ~docv:"N" ~doc:"Vertices.") in
+  let p = Arg.(value & opt float 0.3 & info [ "p" ] ~docv:"P" ~doc:"Edge probability.") in
+  let k = Arg.(value & opt int 2 & info [ "k" ] ~docv:"K" ~doc:"Centers.") in
+  let run n p k seed =
+    let g =
+      Bbng_graph.Generators.random_connected_gnp (Random.State.make [| seed |]) ~n ~p
+    in
+    Format.printf "graph: %a@." Bbng_graph.Undirected.pp g;
+    let direct = Bbng_solvers.K_center.exact g ~k in
+    let via = Bbng_solvers.Reduction.solve_center_via_game g ~k in
+    let show tag (s : Bbng_solvers.K_center.solution) =
+      Format.printf "%s: radius %d, centers {%s}@." tag s.Bbng_solvers.K_center.radius
+        (String.concat ","
+           (List.map string_of_int (Array.to_list s.Bbng_solvers.K_center.centers)))
+    in
+    show "direct solver     " direct;
+    show "via best response " via;
+    Format.printf "agreement (Theorem 2.1): %b@."
+      (direct.Bbng_solvers.K_center.radius = via.Bbng_solvers.K_center.radius)
+  in
+  let info =
+    Cmd.info "kcenter" ~doc:"Solve k-center through the Theorem 2.1 reduction."
+  in
+  Cmd.v info Term.(const run $ n $ p $ k $ seed_term)
+
+(* --- fip: improvement-graph analysis --- *)
+
+let fip_cmd =
+  let dot =
+    Arg.(value & flag & info [ "dot" ] ~doc:"Emit the improvement graph as Graphviz DOT.")
+  in
+  let run version budgets dot =
+    let module Ig = Bbng_dynamics.Improvement_graph in
+    let profiles = Equilibrium.count_profiles budgets in
+    if profiles > 100_000 then
+      Format.printf "instance has %d profiles; the exact improvement graph is for small instances@." profiles
+    else begin
+      let game = Game.make version budgets in
+      let t = Ig.build game in
+      if dot then print_string (Ig.to_dot t)
+      else begin
+        Format.printf "profiles: %d, improving arcs: %d@."
+          (Array.length t.Ig.profiles) (List.length t.Ig.arcs);
+        Format.printf "sinks (Nash equilibria): %d@." (List.length t.Ig.sinks);
+        if t.Ig.has_cycle then
+          Format.printf "improvement graph HAS A CYCLE: better-response dynamics can loop@."
+        else begin
+          Format.printf
+            "acyclic: the finite improvement property holds (worst improving path: %d steps)@."
+            t.Ig.longest_path_lower_bound;
+          match Ig.potential t with
+          | Some phi ->
+              let maxp = Array.fold_left max 0 phi in
+              Format.printf "ordinal potential extracted (range 0..%d)@." maxp
+          | None -> ()
+        end
+      end
+    end
+  in
+  let info =
+    Cmd.info "fip"
+      ~doc:"Build the exact improvement graph of a small instance (Section 8)."
+  in
+  Cmd.v info Term.(const run $ version_term $ budgets_term $ dot)
+
+(* --- census --- *)
+
+let census_cmd =
+  let run version budgets =
+    let game = Game.make version budgets in
+    let profiles = Equilibrium.count_profiles budgets in
+    if profiles > 200_000 then
+      Format.printf "instance has %d profiles; census is for small instances@." profiles
+    else begin
+      let c = Bbng_analysis.Census.run game in
+      Format.printf "%a@." Bbng_analysis.Census.pp_summary c;
+      (match Bbng_analysis.Census.price_of_anarchy c with
+      | Some r -> Format.printf "exact PoA: %a@." Poa.pp_ratio r
+      | None -> ());
+      List.iteri
+        (fun i p ->
+          Format.printf "class %d representative: %s (diameter %d)@." i
+            (Strategy.to_string p)
+            (Game.social_cost game p))
+        c.Bbng_analysis.Census.iso_classes
+    end
+  in
+  let info =
+    Cmd.info "census"
+      ~doc:"Enumerate and classify every Nash equilibrium of a small instance."
+  in
+  Cmd.v info Term.(const run $ version_term $ budgets_term)
+
+(* --- export --- *)
+
+let export_cmd =
+  let profile =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"PROFILE" ~doc:"Serialized profile, e.g. \"1,2;0;0\".")
+  in
+  let format =
+    Arg.(
+      value
+      & opt (enum [ ("dot", `Dot); ("text", `Text); ("undirected-dot", `Udot) ]) `Dot
+      & info [ "format"; "f" ] ~docv:"FMT" ~doc:"Output: dot, text, or undirected-dot.")
+  in
+  let run profile_str format =
+    match Strategy.of_string profile_str with
+    | exception Invalid_argument msg -> `Error (false, msg)
+    | profile ->
+        let g = Strategy.realize profile in
+        let out =
+          match format with
+          | `Dot -> Bbng_graph.Serialize.Digraph_io.to_dot g
+          | `Text -> Bbng_graph.Serialize.Digraph_io.to_text g
+          | `Udot ->
+              Bbng_graph.Serialize.Undirected_io.to_dot (Strategy.underlying profile)
+        in
+        print_string out;
+        `Ok ()
+  in
+  let info =
+    Cmd.info "export" ~doc:"Export a profile's realization as DOT or edge-list text."
+  in
+  Cmd.v info Term.(ret (const run $ profile $ format))
+
+let main_cmd =
+  let info =
+    Cmd.info "bbng" ~version:"1.0.0"
+      ~doc:"Bounded budget network creation games (SPAA 2011 reproduction)."
+  in
+  Cmd.group info
+    [ construct_cmd; verify_cmd; dynamics_cmd; opt_cmd; kcenter_cmd; census_cmd;
+      export_cmd; fip_cmd ]
+
+let () = exit (Cmd.eval main_cmd)

@@ -1,0 +1,78 @@
+(* The bounded-budget Braess paradox (Section 5).
+
+   Intuition says richer players build better networks.  The paper's
+   Theorem 5.3 refutes it for the MAX version: with unit budgets every
+   equilibrium has diameter O(1), yet there are instances where every
+   player has a strictly positive (often larger) budget and an
+   equilibrium has diameter ~ sqrt(log n).
+
+   This example makes the paradox concrete at n = 512:
+   - unit budgets: the concentrated sun, a certified equilibrium of
+     diameter 2;
+   - shift-graph budgets (everyone owns >= 1 arc, many own several):
+     a certified equilibrium of diameter 3 — and the gap grows with n.
+
+   Run with:  dune exec examples/braess_paradox.exe *)
+
+open Bbng_core
+open Bbng_constructions
+module Table = Bbng_analysis.Table
+
+let () =
+  Printf.printf "More budget, worse network: the MAX-version paradox\n";
+  Printf.printf "===================================================\n\n";
+  let t =
+    Table.make
+      ~headers:
+        [ "n"; "instance"; "total budget"; "min budget"; "NE diameter"; "certified by" ]
+  in
+  List.iter
+    (fun (tt, k) ->
+      let n = Shift_graph.n_of ~t:tt ~k in
+      (* the poor network: everyone gets exactly one link *)
+      let sun = Unit_budget.concentrated_sun ~n in
+      let sun_game = Game.make Cost.Max (Strategy.budgets sun) in
+      let sun_cert =
+        if n <= 64 then
+          if Equilibrium.is_nash sun_game sun then "exact Nash check" else "FAILED"
+        else "same family, certified exactly at n <= 64"
+      in
+      Table.add_row t
+        [ string_of_int n; "unit budgets (sun)"; string_of_int n; "1";
+          string_of_int (Game.social_cost sun_game sun); sun_cert ];
+      (* the rich network: the shift-graph orientation *)
+      let shift = Shift_graph.profile ~t:tt ~k in
+      let b = Strategy.budgets shift in
+      let cert = Shift_graph.certificate ~t:tt ~k in
+      let shift_cert =
+        if cert.Shift_graph.valid then "Lemma 5.2 counting certificate"
+        else "INVALID"
+      in
+      Table.add_row t
+        [ string_of_int n; Printf.sprintf "shift(t=%d,k=%d)" tt k;
+          string_of_int (Budget.total b);
+          string_of_int (Budget.min_budget b);
+          string_of_int k; shift_cert ])
+    [ (4, 2); (8, 3); (9, 4) ];
+  Table.print t;
+  Printf.printf
+    "At every size the all-positive-budget instance spends far more links\n\
+     in total, yet its (certified) equilibrium is strictly worse than the\n\
+     unit-budget one — and the gap is Omega(sqrt(log n)) by Theorem 5.3.\n\n";
+  (* Show the certificate contents once, so the reader can see what the
+     Lemma 5.2 argument actually checks. *)
+  let c = Shift_graph.certificate ~t:8 ~k:3 in
+  Printf.printf "Certificate for shift(8,3), n = %d:\n" c.Shift_graph.n;
+  Printf.printf "  every vertex has local diameter exactly %s\n"
+    (match c.Shift_graph.all_local_diameters_equal with
+    | Some d -> string_of_int d
+    | None -> "mixed (invalid)");
+  Printf.printf "  max degree %d; counting premise delta^d - 1 < n(delta-1): %b\n"
+    c.Shift_graph.max_degree c.Shift_graph.counting_ok;
+  Printf.printf "  all budgets positive: %b  =>  certificate valid: %b\n"
+    c.Shift_graph.budgets_positive c.Shift_graph.valid;
+  Printf.printf
+    "\nBy Lemma 5.1 (a Moore counting argument), no single player can lower\n\
+     its local diameter below %d no matter where it re-points its links, so\n\
+     EVERY orientation of this graph is a MAX Nash equilibrium.\n"
+    (match c.Shift_graph.all_local_diameters_equal with Some d -> d | None -> 0)

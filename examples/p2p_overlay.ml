@@ -1,0 +1,74 @@
+(* Peer-to-peer overlay formation — the motivating scenario of the
+   paper's introduction (and of Laoutaris et al.): each peer can afford
+   a fixed number of connections and selfishly rewires to sit close to
+   everyone else.
+
+   We simulate a swarm of peers with a uniform connection budget, start
+   from a random overlay, and let peers improve greedily (single-link
+   swaps — the cheap move a real client would make).  The run reports
+   how the overlay's diameter, average distance, and degree profile
+   evolve, and what stability notion the final overlay satisfies.
+
+   Run with:  dune exec examples/p2p_overlay.exe *)
+
+open Bbng_core
+module Dynamics = Bbng_dynamics.Dynamics
+module Schedule = Bbng_dynamics.Schedule
+module Table = Bbng_analysis.Table
+
+let describe profile =
+  let g = Strategy.underlying profile in
+  let n = Bbng_graph.Undirected.n g in
+  let diameter =
+    match Bbng_graph.Distances.diameter g with
+    | Some d -> string_of_int d
+    | None -> "disconnected"
+  in
+  let avg_dist =
+    match Bbng_graph.Distances.wiener_index g with
+    | Some w -> Printf.sprintf "%.2f" (2.0 *. float_of_int w /. float_of_int (n * (n - 1)))
+    | None -> "-"
+  in
+  (diameter, avg_dist, Bbng_graph.Undirected.max_degree g)
+
+let run_swarm ~peers ~budget ~seed =
+  let budgets = Budget.uniform ~n:peers ~budget in
+  let game = Game.make Cost.Sum budgets in
+  let start = Strategy.random (Random.State.make [| seed |]) budgets in
+  let d0, a0, m0 = describe start in
+  Printf.printf "\nSwarm: %d peers, budget %d (seed %d)\n" peers budget seed;
+  Printf.printf "  random overlay: diameter %s, avg distance %s, max degree %d\n" d0 a0 m0;
+  let improvements = ref 0 in
+  let outcome =
+    Dynamics.run ~max_steps:10_000 game ~schedule:Schedule.Round_robin
+      ~rule:Dynamics.Best_swap
+      ~on_step:(fun _ -> incr improvements)
+      start
+  in
+  let final = Dynamics.final_profile outcome in
+  let d1, a1, m1 = describe final in
+  Printf.printf "  after %d link swaps (%s): diameter %s, avg distance %s, max degree %d\n"
+    !improvements
+    (Dynamics.outcome_name outcome)
+    d1 a1 m1;
+  Printf.printf "  stability: swap-stable %b" (Equilibrium.is_swap_stable game final);
+  if peers <= 12 then
+    Printf.printf ", exact Nash %b" (Equilibrium.is_nash game final);
+  print_newline ();
+  (* Theorem 7.2's promise: enough budget buys fault tolerance. *)
+  let kappa =
+    Bbng_graph.Connectivity.vertex_connectivity (Strategy.underlying final)
+  in
+  Printf.printf "  fault tolerance: overlay is %d-connected (budget promise: %d-connected or diameter < 4)\n"
+    kappa budget
+
+let () =
+  Printf.printf "P2P overlay formation under bounded connection budgets\n";
+  Printf.printf "======================================================\n";
+  List.iter
+    (fun (peers, budget, seed) -> run_swarm ~peers ~budget ~seed)
+    [ (10, 2, 1); (20, 2, 2); (20, 3, 3); (40, 3, 4) ];
+  Printf.printf
+    "\nNote how selfish rewiring collapses the random overlay to diameter 2-3\n\
+     (the Theta(1) regime of Table 1) and how larger budgets yield higher\n\
+     vertex connectivity, as Theorem 7.2 predicts.\n"

@@ -1,0 +1,62 @@
+(* Quickstart: define a game, inspect costs, find a best response,
+   certify an equilibrium, and run best-response dynamics.
+
+   Run with:  dune exec examples/quickstart.exe *)
+
+open Bbng_core
+
+let () =
+  (* A bounded budget network creation game is a cost version (MAX or
+     SUM) plus a budget vector: player i must own exactly b_i links. *)
+  let budgets = Budget.of_list [ 2; 1; 1; 0; 0 ] in
+  let game = Game.make Cost.Sum budgets in
+  Format.printf "Game: %a@." Game.pp game;
+
+  (* A strategy profile assigns each player its owned targets. *)
+  let profile =
+    Strategy.make budgets [| [| 1; 3 |]; [| 2 |]; [| 0 |]; [||]; [||] |]
+  in
+  Format.printf "Profile: %a@." Strategy.pp profile;
+  Format.printf "Realization: %a@." Bbng_graph.Digraph.pp (Strategy.realize profile);
+
+  (* Costs are distances in the underlying undirected graph; vertex 4 is
+     unreachable here, so everyone pays Cinf = n^2 = 25 for it. *)
+  Array.iteri
+    (fun player cost -> Format.printf "  cost(%d) = %d@." player cost)
+    (Game.costs game profile);
+  Format.printf "Social cost (diameter): %d@." (Game.social_cost game profile);
+
+  (* Player 0's exact best response: it owns 2 arcs and should spend one
+     absorbing the isolated vertex 4. *)
+  let move = Best_response.exact game profile 0 in
+  Format.printf "Best response of player 0: targets {%s}, cost %d@."
+    (String.concat ","
+       (List.map string_of_int (Array.to_list move.Best_response.targets)))
+    move.Best_response.cost;
+
+  (* The certifier returns a profitable deviation as a witness. *)
+  (match Equilibrium.certify game profile with
+  | Equilibrium.Equilibrium -> Format.printf "Profile is a Nash equilibrium@."
+  | Equilibrium.Refuted _ as v ->
+      Format.printf "Certifier says: %a@." Equilibrium.pp_verdict v);
+
+  (* Iterated best responses converge to an equilibrium here. *)
+  let outcome =
+    Bbng_dynamics.Dynamics.run game ~schedule:Bbng_dynamics.Schedule.Round_robin
+      ~rule:Bbng_dynamics.Dynamics.Exact_best profile
+  in
+  let final = Bbng_dynamics.Dynamics.final_profile outcome in
+  Format.printf "Dynamics: %s after %d steps@."
+    (Bbng_dynamics.Dynamics.outcome_name outcome)
+    (Bbng_dynamics.Dynamics.steps outcome);
+  Format.printf "Final profile: %a@." Strategy.pp final;
+  Format.printf "Final diameter: %d; certified Nash: %b@."
+    (Game.social_cost game final)
+    (Equilibrium.is_nash game final);
+
+  (* Theorem 2.3's constructive existence result, on any budget vector: *)
+  let constructed = Bbng_constructions.Existence.construct budgets in
+  Format.printf "Existence construction: %a (diameter %d, Nash: %b)@."
+    Strategy.pp constructed
+    (Game.social_cost game constructed)
+    (Equilibrium.is_nash game constructed)

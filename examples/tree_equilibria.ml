@@ -1,0 +1,74 @@
+(* Tree equilibria: why the MAX and SUM objectives disagree by an
+   exponential factor (Section 3).
+
+   At the connectivity threshold (sum of budgets = n - 1) every
+   equilibrium is a tree.  The paper proves the worst tree equilibrium
+   has diameter Theta(n) under MAX but only Theta(log n) under SUM;
+   this example builds both witnesses, certifies them, and then shows
+   the mechanism: the SUM "doubling inequality" (proof of Theorem 3.3,
+   Figure 3) holds on the binary tree and fails on the tripod.
+
+   Run with:  dune exec examples/tree_equilibria.exe *)
+
+open Bbng_core
+open Bbng_constructions
+module Table = Bbng_analysis.Table
+module Bounds = Bbng_analysis.Bounds
+
+let () =
+  Printf.printf "Tree equilibria: MAX vs SUM\n";
+  Printf.printf "===========================\n\n";
+  let t =
+    Table.make
+      ~headers:[ "witness"; "n"; "version"; "diameter"; "Nash?"; "other version?" ]
+  in
+  List.iter
+    (fun k ->
+      let p = Tripod.profile ~k in
+      let n = Tripod.n_of_k k in
+      let max_ok = Equilibrium.is_nash (Game.make Cost.Max (Strategy.budgets p)) p in
+      let sum_ok = Equilibrium.is_nash (Game.make Cost.Sum (Strategy.budgets p)) p in
+      Table.add_row t
+        [ Printf.sprintf "tripod k=%d" k; string_of_int n; "MAX";
+          string_of_int (2 * k);
+          (if max_ok then "yes" else "NO");
+          (if sum_ok then "also SUM-stable" else "not SUM-stable") ])
+    [ 2; 4; 6 ];
+  List.iter
+    (fun depth ->
+      let p = Binary_tree.profile ~depth in
+      let n = Binary_tree.n_of_depth depth in
+      let sum_ok = Equilibrium.is_nash (Game.make Cost.Sum (Strategy.budgets p)) p in
+      let max_ok = Equilibrium.is_nash (Game.make Cost.Max (Strategy.budgets p)) p in
+      Table.add_row t
+        [ Printf.sprintf "binary depth=%d" depth; string_of_int n; "SUM";
+          string_of_int (2 * depth);
+          (if sum_ok then "yes" else "NO");
+          (if max_ok then "also MAX-stable" else "not MAX-stable") ])
+    [ 2; 3; 4 ];
+  Table.print t;
+
+  Printf.printf "The mechanism (Theorem 3.3's inequality (1)):\n\n";
+  let show name profile =
+    let r = Bounds.figure3_decomposition profile in
+    Printf.printf "  %s: longest path has %d edges, attachments a(i) = [%s]\n"
+      name r.Bounds.diameter
+      (String.concat ";" (List.map string_of_int (Array.to_list r.Bounds.attachment)));
+    Printf.printf "    a(i_j + 1) >= sum of later attachments at every owned forward arc: %b\n"
+      r.Bounds.inequality_holds
+  in
+  show "binary depth 4 (SUM equilibrium)" (Binary_tree.profile ~depth:4);
+  show "tripod k=5 (MAX equilibrium only)" (Tripod.profile ~k:5);
+  Printf.printf
+    "\nUnder SUM, each vertex on the long path could shortcut one step ahead,\n\
+     so the subtree hanging at each forward arc must outweigh everything\n\
+     beyond it — sizes double along the path and the diameter is O(log n).\n\
+     Under MAX only the single farthest vertex matters, shortcutting one\n\
+     step buys nothing, and linear-diameter trees survive as equilibria.\n\n";
+  Printf.printf "Explicit Theorem 3.3 bound check (SUM Tree-BG):\n";
+  List.iter
+    (fun depth ->
+      let n = Binary_tree.n_of_depth depth in
+      Printf.printf "  n = %4d: diameter %2d <= bound %2d\n" n (2 * depth)
+        (Bounds.tree_sum_diameter_bound ~n))
+    [ 2; 4; 6; 8; 10 ]

@@ -1,0 +1,180 @@
+open Bbng_core
+module Digraph = Bbng_graph.Digraph
+module Trees = Bbng_graph.Trees
+module Connectivity = Bbng_graph.Connectivity
+module Distances = Bbng_graph.Distances
+
+let log2 x = log x /. log 2.0
+
+let tree_sum_diameter_bound ~n =
+  if n < 1 then invalid_arg "Bounds.tree_sum_diameter_bound: n < 1";
+  int_of_float (floor (2.0 *. (log2 (float_of_int (n + 1)) +. 1.0)))
+
+let sum_diameter_bound ?(c = 4.0) n =
+  if n < 2 then 1
+  else
+    int_of_float (ceil (2.0 ** (c *. sqrt (log2 (float_of_int n)))))
+
+let sqrt_log_lower_bound ~n =
+  if n < 2 then 0 else int_of_float (floor (sqrt (log2 (float_of_int n))))
+
+type fig3_report = {
+  path : int list;
+  attachment : int array;
+  forward_arcs : int list;
+  inequality_holds : bool;
+  diameter : int;
+}
+
+let figure3_decomposition profile =
+  let g = Strategy.underlying profile in
+  let d = Strategy.realize profile in
+  if not (Trees.is_tree g) then
+    invalid_arg "Bounds.figure3_decomposition: realization is not a tree";
+  let path = Trees.tree_diameter_path g in
+  let arr = Array.of_list path in
+  let len = Array.length arr in
+  let count_dir forward =
+    let c = ref 0 in
+    for i = 0 to len - 2 do
+      let u, v = if forward then (arr.(i), arr.(i + 1)) else (arr.(i + 1), arr.(i)) in
+      if Digraph.mem_arc d u v then incr c
+    done;
+    !c
+  in
+  (* Orient the path so the majority of owned arcs points forward. *)
+  let path =
+    if count_dir true >= count_dir false then path else List.rev path
+  in
+  let arr = Array.of_list path in
+  let attachment = Trees.path_attachment_sizes g path in
+  let forward_arcs = ref [] in
+  for i = len - 2 downto 0 do
+    if Digraph.mem_arc d arr.(i) arr.(i + 1) then forward_arcs := i :: !forward_arcs
+  done;
+  let forward_arcs = !forward_arcs in
+  (* Inequality (1): a(i+1) >= sum_{k >= i+2} a(k) for each forward arc
+     v_i -> v_(i+1) whose swap target v_(i+2) exists. *)
+  let suffix = Array.make (len + 1) 0 in
+  for i = len - 1 downto 0 do
+    suffix.(i) <- suffix.(i + 1) + attachment.(i)
+  done;
+  let inequality_holds =
+    List.for_all
+      (fun i -> i + 2 > len - 1 || attachment.(i + 1) >= suffix.(i + 2))
+      forward_arcs
+  in
+  {
+    path;
+    attachment;
+    forward_arcs;
+    inequality_holds;
+    diameter = len - 1;
+  }
+
+let tree_ball_radius g u =
+  let n = Bbng_graph.Undirected.n g in
+  let dist = Bbng_graph.Bfs.distances g u in
+  let ecc =
+    Array.fold_left (fun acc d -> if d >= 0 then max acc d else acc) 0 dist
+  in
+  (* the induced ball of radius r is acyclic iff (edges within) <
+     (vertices within); count both incrementally *)
+  let verts = Array.make (ecc + 1) 0 in
+  Array.iter (fun d -> if d >= 0 then verts.(d) <- verts.(d) + 1) dist;
+  let edges = Array.make (ecc + 1) 0 in
+  Bbng_graph.Undirected.iter_edges
+    (fun a b ->
+      if dist.(a) >= 0 && dist.(b) >= 0 then begin
+        let r = max dist.(a) dist.(b) in
+        if r <= ecc then edges.(r) <- edges.(r) + 1
+      end)
+    g;
+  let rec scan r vcum ecum =
+    if r > ecc then ecc
+    else begin
+      let vcum = vcum + verts.(r) and ecum = ecum + edges.(r) in
+      if ecum >= vcum then max 0 (r - 1) else scan (r + 1) vcum ecum
+    end
+  in
+  ignore n;
+  scan 0 0 0
+
+let max_tree_ball_radius g =
+  let best = ref 0 in
+  for u = 0 to Bbng_graph.Undirected.n g - 1 do
+    best := max !best (tree_ball_radius g u)
+  done;
+  !best
+
+type connectivity_report = {
+  min_budget : int;
+  diameter_ : int;
+  connectivity : int;
+  theorem_7_2_ok : bool;
+}
+
+let check_theorem_7_2 profile =
+  let g = Strategy.underlying profile in
+  let min_budget = Budget.min_budget (Strategy.budgets profile) in
+  let diameter_ =
+    match Distances.diameter g with
+    | Some d -> d
+    | None -> Cost.cinf ~n:(Strategy.n profile)
+  in
+  let connectivity = Connectivity.vertex_connectivity g in
+  {
+    min_budget;
+    diameter_;
+    connectivity;
+    theorem_7_2_ok = diameter_ < 4 || connectivity >= min_budget;
+  }
+
+type lemma_7_1_report = {
+  cut : int list;
+  eligible : int list;
+  all_local_diameter_le_2 : bool;
+}
+
+let check_lemma_7_1 profile =
+  let g = Strategy.underlying profile in
+  match Connectivity.min_vertex_cut g with
+  | None -> None
+  | Some [] -> Some { cut = []; eligible = []; all_local_diameter_le_2 = true }
+  | Some cut ->
+      (* The lemma's hypothesis quantifies over a whole component A of
+         G - C: EVERY vertex of A must be at distance 1 from C and have
+         budget > |C|.  Only then does it conclude local diameter <= 2
+         for all of A. *)
+      let budgets = Strategy.budgets profile in
+      let dist = Bbng_graph.Bfs.distances_from_set g cut in
+      let without_cut = Bbng_graph.Undirected.remove_vertices g cut in
+      let labelling = Bbng_graph.Components.components without_cut in
+      let in_cut v = List.mem v cut in
+      let csize = List.length cut in
+      (* qualifying component ids: all members adjacent to C with
+         budget > |C| (cut vertices are isolated in [without_cut] and
+         form their own components; exclude them) *)
+      let qualifies = Array.make labelling.Bbng_graph.Components.count true in
+      Array.iteri
+        (fun v id ->
+          if id >= 0 then
+            if in_cut v then qualifies.(id) <- false
+            else if dist.(v) <> 1 || Budget.get budgets v <= csize then
+              qualifies.(id) <- false)
+        labelling.Bbng_graph.Components.label;
+      let eligible = ref [] in
+      for v = Strategy.n profile - 1 downto 0 do
+        let id = labelling.Bbng_graph.Components.label.(v) in
+        if (not (in_cut v)) && id >= 0 && qualifies.(id) then
+          eligible := v :: !eligible
+      done;
+      let ok =
+        List.for_all
+          (fun v ->
+            match Distances.eccentricity g v with
+            | Some e -> e <= 2
+            | None -> false)
+          !eligible
+      in
+      Some { cut; eligible = !eligible; all_local_diameter_le_2 = ok }

@@ -1,0 +1,88 @@
+open Bbng_core
+(** The paper's bounds, with explicit constants, as executable checks.
+
+    Asymptotic statements are reproduced as concrete inequalities whose
+    constants come from the proofs themselves, so the experiments can
+    assert "measured <= paper bound" rather than eyeball growth:
+
+    - Theorem 3.3: a SUM Tree-BG equilibrium on [n] vertices has
+      diameter [d <= 2 (log2 (n + 1) + 1)] (from [2^(t-1) - 1 <= n] and
+      [d <= 2t]).
+    - Theorem 6.9: SUM equilibria have diameter
+      [<= 2^(c * sqrt(log2 n))]; the proof's constant is not tracked
+      explicitly, so [sum_diameter_bound] exposes [c] as a parameter
+      with a practical default.
+    - Theorem 7.2: budget [>= k] implies k-connected or diameter [< 4].
+    - Inequality (1) of Theorem 3.3's proof, checkable on any tree
+      equilibrium via the Figure 3 decomposition. *)
+
+val tree_sum_diameter_bound : n:int -> int
+(** [floor(2 * (log2 (n + 1) + 1))], the explicit Theorem 3.3 bound. *)
+
+val sum_diameter_bound : ?c:float -> int -> int
+(** [2^(c * sqrt(log2 n))] rounded up; default [c = 4.0]. *)
+
+val sqrt_log_lower_bound : n:int -> int
+(** [floor(sqrt(log2 n))]: the Theorem 5.3 lower-bound curve. *)
+
+(** {1 Theorem 3.3 / Figure 3: the doubling inequality} *)
+
+type fig3_report = {
+  path : int list;            (** the longest path [v_0 ... v_d] *)
+  attachment : int array;     (** [a.(i) = |A_i|] *)
+  forward_arcs : int list;    (** indices [i] with the arc [v_i -> v_(i+1)]
+                                  owned forward along the majority direction *)
+  inequality_holds : bool;    (** inequality (1) of the proof at every [j] *)
+  diameter : int;
+}
+
+val figure3_decomposition : Strategy.t -> fig3_report
+(** Runs the Theorem 3.3 proof apparatus on a tree profile: extract a
+    longest path, compute the [A_i] decomposition, locate the majority
+    arc direction, and check inequality (1):
+    [a(i_j + 1) >= sum_{l > j} a(i_l + 1)] for each forward arc index.
+    @raise Invalid_argument if the realization is not a tree. *)
+
+(** {1 Theorem 6.1: tree-like balls are shallow} *)
+
+val tree_ball_radius : Bbng_graph.Undirected.t -> int -> int
+(** [tree_ball_radius g u]: the largest [r] such that the subgraph
+    induced by [B_r(u)] is a tree (the ball is always connected, so
+    acyclicity is the test).  Theorem 6.1 proves that in a SUM
+    equilibrium this radius is O(log n): an equilibrium cannot look
+    like a deep tree around any vertex.  [0] when already the radius-1
+    ball contains a cycle; the vertex's eccentricity when its whole
+    component is a tree. *)
+
+val max_tree_ball_radius : Bbng_graph.Undirected.t -> int
+(** Maximum of {!tree_ball_radius} over all vertices. *)
+
+(** {1 Theorem 7.2} *)
+
+type connectivity_report = {
+  min_budget : int;
+  diameter_ : int;
+  connectivity : int;
+  theorem_7_2_ok : bool;  (** diameter < 4, or connectivity >= min budget *)
+}
+
+val check_theorem_7_2 : Strategy.t -> connectivity_report
+(** Checks the conclusion on any profile (the theorem asserts it for
+    SUM equilibria). *)
+
+type lemma_7_1_report = {
+  cut : int list;                  (** the minimum vertex cut examined *)
+  eligible : int list;             (** members of components of [G - cut]
+                                       whose vertices ALL sit at distance
+                                       1 from the cut with budget >
+                                       |cut| (the lemma's hypothesis) *)
+  all_local_diameter_le_2 : bool;  (** Lemma 7.1's conclusion on them *)
+}
+
+val check_lemma_7_1 : Strategy.t -> lemma_7_1_report option
+(** Runs the Lemma 7.1 hypothesis/conclusion check against a minimum
+    vertex cut [C] of the profile's realization: for every component
+    [A] of [G - C] whose members are {e all} at distance 1 from [C]
+    with budgets exceeding [|C|], every member must have local diameter
+    at most 2 (the paper proves this for SUM equilibria).  [None] when
+    the graph has no vertex cut (complete or too small). *)

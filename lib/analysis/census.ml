@@ -1,0 +1,69 @@
+open Bbng_core
+module Isomorphism = Bbng_graph.Isomorphism
+
+type t = {
+  game : Game.t;
+  total_profiles : int;
+  equilibria : int;
+  iso_classes : Strategy.t list;
+  diameter_histogram : (int * int) list;
+  min_diameter : int option;
+  max_diameter : int option;
+}
+
+let run ?limit game =
+  let eqs = Equilibrium.enumerate_equilibria ?limit game in
+  let histogram = Hashtbl.create 8 in
+  List.iter
+    (fun p ->
+      let d = Game.social_cost game p in
+      Hashtbl.replace histogram d
+        (1 + Option.value ~default:0 (Hashtbl.find_opt histogram d)))
+    eqs;
+  let diameter_histogram =
+    List.sort compare (Hashtbl.fold (fun d c acc -> (d, c) :: acc) histogram [])
+  in
+  (* group by realization isomorphism; keep one profile per class *)
+  let iso_classes =
+    let rec go kept = function
+      | [] -> List.rev kept
+      | p :: rest ->
+          let g = Strategy.realize p in
+          if
+            List.exists
+              (fun q -> Isomorphism.digraph_isomorphic (Strategy.realize q) g)
+              kept
+          then go kept rest
+          else go (p :: kept) rest
+    in
+    go [] eqs
+  in
+  {
+    game;
+    total_profiles = Equilibrium.count_profiles (Game.budgets game);
+    equilibria = List.length eqs;
+    iso_classes;
+    diameter_histogram;
+    min_diameter = (match diameter_histogram with [] -> None | (d, _) :: _ -> Some d);
+    max_diameter =
+      (match List.rev diameter_histogram with [] -> None | (d, _) :: _ -> Some d);
+  }
+
+let price_of_anarchy census =
+  match census.max_diameter with
+  | None -> None
+  | Some worst -> (
+      match Poa.opt_diameter_exact (Game.budgets census.game) with
+      | Some opt when opt > 0 -> Some { Poa.num = worst; den = opt }
+      | Some _ -> Some { Poa.num = 1; den = 1 }
+      | None -> None)
+
+let pp_summary ppf c =
+  Format.fprintf ppf
+    "@[<v>%a: %d profiles, %d equilibria in %d isomorphism classes@,diameters:"
+    Game.pp c.game c.total_profiles c.equilibria
+    (List.length c.iso_classes);
+  List.iter
+    (fun (d, count) -> Format.fprintf ppf " %d(x%d)" d count)
+    c.diameter_histogram;
+  Format.fprintf ppf "@]"

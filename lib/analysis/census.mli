@@ -1,0 +1,32 @@
+open Bbng_core
+(** Equilibrium census for small instances.
+
+    Exhaustively enumerates the Nash equilibria of an instance and
+    aggregates them: how many, how many up to (arc-preserving)
+    isomorphism, the diameter histogram, and representative profiles.
+    This is the data behind the "all equilibria of small instances obey
+    the theorem" rows in the experiment tables, in a form that also
+    answers "what do the equilibria look like?". *)
+
+type t = {
+  game : Game.t;
+  total_profiles : int;       (** [prod C(n-1, b_i)] (saturating) *)
+  equilibria : int;           (** number of Nash profiles *)
+  iso_classes : Strategy.t list;
+      (** one representative per realization-isomorphism class *)
+  diameter_histogram : (int * int) list;
+      (** (diameter, #equilibria) sorted by diameter *)
+  min_diameter : int option;
+  max_diameter : int option;
+}
+
+val run : ?limit:int -> Game.t -> t
+(** Enumerates every profile (bounded by [limit] {e equilibria} if
+    given); intended for instances with at most a few hundred thousand
+    profiles. *)
+
+val price_of_anarchy : t -> Poa.ratio option
+(** Worst equilibrium diameter over the instance's exact OPT (computed
+    by enumeration as well); [None] if no equilibrium was found. *)
+
+val pp_summary : Format.formatter -> t -> unit

@@ -1,0 +1,84 @@
+open Bbng_core
+module Undirected = Bbng_graph.Undirected
+module Bfs = Bbng_graph.Bfs
+
+type profile = {
+  radii : int array;
+  min_ball : int array;
+  max_ball : int array;
+}
+
+let ball_profile g =
+  let n = Undirected.n g in
+  if n = 0 then { radii = [||]; min_ball = [||]; max_ball = [||] }
+  else begin
+    (* ecc_max = diameter when connected; for disconnected graphs balls
+       saturate at component size, still well defined. *)
+    let rows = Array.init n (Bfs.distances g) in
+    let ecc_max =
+      Array.fold_left
+        (fun acc row -> Array.fold_left (fun a d -> max a d) acc row)
+        0 rows
+    in
+    let radii = Array.init (ecc_max + 1) Fun.id in
+    let min_ball = Array.make (ecc_max + 1) max_int in
+    let max_ball = Array.make (ecc_max + 1) 0 in
+    Array.iter
+      (fun row ->
+        (* cumulative ball sizes for this center *)
+        let counts = Array.make (ecc_max + 1) 0 in
+        Array.iter
+          (fun d -> if d <> Bfs.unreachable then counts.(d) <- counts.(d) + 1)
+          row;
+        let ball = ref 0 in
+        for k = 0 to ecc_max do
+          ball := !ball + counts.(k);
+          if !ball < min_ball.(k) then min_ball.(k) <- !ball;
+          if !ball > max_ball.(k) then max_ball.(k) <- !ball
+        done)
+      rows;
+    { radii; min_ball; max_ball }
+  end
+
+let f p k =
+  let len = Array.length p.min_ball in
+  if len = 0 then 0
+  else if k >= len then p.min_ball.(len - 1)
+  else p.min_ball.(max k 0)
+
+let inequality_3 ?(c = 8.0) g =
+  let n = Undirected.n g in
+  if n < 2 then true
+  else begin
+    let p = ball_profile g in
+    let diameter = Array.length p.radii - 1 in
+    let log_n = log (float_of_int n) /. log 2.0 in
+    let ok = ref true in
+    let k = ref 1 in
+    while !ok && 4 * !k <= diameter do
+      let lhs = float_of_int (f p (4 * !k)) in
+      let growth = float_of_int !k *. float_of_int (f p !k) /. (c *. log_n) in
+      let rhs = Float.min (float_of_int (n + 1) /. 2.0) growth in
+      if lhs < rhs then ok := false;
+      incr k
+    done;
+    !ok
+  end
+
+let doubling_radius g =
+  let n = Undirected.n g in
+  if n <= 1 then 0
+  else begin
+    let p = ball_profile g in
+    let rec search k =
+      if k >= Array.length p.min_ball then Array.length p.min_ball - 1
+      else if 2 * f p k > n then k
+      else search (k + 1)
+    in
+    search 0
+  end
+
+let report profile_strat =
+  let g = Strategy.underlying profile_strat in
+  let p = ball_profile g in
+  Array.to_list (Array.map (fun k -> (k, p.min_ball.(k), p.max_ball.(k))) p.radii)

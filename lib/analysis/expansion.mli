@@ -1,0 +1,41 @@
+open Bbng_core
+(** The expansion machinery behind Theorem 6.9.
+
+    The proof of the [2^O(sqrt(log n))] SUM bound studies
+    [f(k) = min_u |B_k(u)|], the size of the smallest ball of radius
+    [k], and derives inequality (3):
+
+      [f(4k) >= min ((n+1)/2, k * f(k) / (4 (p+q+1) log n))]
+
+    for SUM equilibria, from which balls grow so fast that the diameter
+    collapses to [2^O(sqrt(log n))].  This module computes the full
+    ball-growth profile of any graph and checks a parameterized form of
+    the inequality, so the experiments can watch the expansion argument
+    hold on actual equilibria (and fail on non-equilibrium long paths,
+    which is the whole point of the proof). *)
+
+type profile = {
+  radii : int array;       (** 0, 1, ..., ecc_max *)
+  min_ball : int array;    (** [f(k)] = min over u of |B_k(u)| *)
+  max_ball : int array;    (** max over u of |B_k(u)| — for context *)
+}
+
+val ball_profile : Bbng_graph.Undirected.t -> profile
+(** [O(n (n + m))]: one BFS per vertex. *)
+
+val f : profile -> int -> int
+(** [f p k]: [min_ball] clamped to [n] beyond the last radius. *)
+
+val inequality_3 : ?c:float -> Bbng_graph.Undirected.t -> bool
+(** Checks [f(4k) >= min ((n+1)/2, k * f(k) / (c * log2 n))] for every
+    [k >= 1] with [4k] at most the diameter.  [c] packages the proof's
+    [4 (p + q + 1)] constant; default [8.0].  Vacuously true for graphs
+    of diameter < 4. *)
+
+val doubling_radius : Bbng_graph.Undirected.t -> int
+(** Smallest [k] with [f(k) > n/2] (so any two balls of radius [k]
+    intersect and the diameter is at most [2k]) — the quantity the
+    last step of Theorem 6.9 bounds by [2^O(sqrt(log n))]. *)
+
+val report : Strategy.t -> (int * int * int) list
+(** [(k, f(k), max ball)] rows for the experiment tables. *)

@@ -1,0 +1,75 @@
+type model = Constant | Sqrt_log | Logarithmic | Exp_sqrt_log | Sqrt | Linear
+
+let model_name = function
+  | Constant -> "Theta(1)"
+  | Sqrt_log -> "sqrt(log n)"
+  | Logarithmic -> "log n"
+  | Exp_sqrt_log -> "2^sqrt(log n)"
+  | Sqrt -> "sqrt(n)"
+  | Linear -> "n"
+
+let all_models = [ Constant; Sqrt_log; Logarithmic; Exp_sqrt_log; Sqrt; Linear ]
+
+let log2 x = log x /. log 2.0
+
+let transform model nf =
+  match model with
+  | Constant -> 0.0
+  | Sqrt_log -> sqrt (log2 (max nf 2.0))
+  | Logarithmic -> log2 (max nf 1.0)
+  | Exp_sqrt_log -> 2.0 ** sqrt (log2 (max nf 2.0))
+  | Sqrt -> sqrt nf
+  | Linear -> nf
+
+type fit = {
+  model : model;
+  slope : float;
+  intercept : float;
+  rss : float;
+  r2 : float;
+}
+
+let fit_model model points =
+  let m = List.length points in
+  if m < 2 then invalid_arg "Growth.fit_model: need at least 2 points";
+  let xs = List.map (fun (n, _) -> transform model (float_of_int n)) points in
+  let ys = List.map (fun (_, d) -> float_of_int d) points in
+  let mf = float_of_int m in
+  let sum = List.fold_left ( +. ) 0.0 in
+  let sx = sum xs and sy = sum ys in
+  let sxx = sum (List.map (fun x -> x *. x) xs) in
+  let sxy = sum (List.map2 ( *. ) xs ys) in
+  let denom = (mf *. sxx) -. (sx *. sx) in
+  let slope, intercept =
+    if abs_float denom < 1e-12 then (0.0, sy /. mf)
+    else
+      let a = ((mf *. sxy) -. (sx *. sy)) /. denom in
+      (a, (sy -. (a *. sx)) /. mf)
+  in
+  let rss =
+    sum
+      (List.map2
+         (fun x y ->
+           let e = y -. ((slope *. x) +. intercept) in
+           e *. e)
+         xs ys)
+  in
+  let mean_y = sy /. mf in
+  let tss = sum (List.map (fun y -> (y -. mean_y) ** 2.0) ys) in
+  let r2 = if tss < 1e-12 then 1.0 else 1.0 -. (rss /. tss) in
+  { model; slope; intercept; rss; r2 }
+
+let best_fit points =
+  let fits = List.map (fun m -> fit_model m points) all_models in
+  (* Smallest RSS wins; a slower-growing model within 2% (relative,
+     with an absolute epsilon for near-perfect fits) takes precedence
+     because all_models is ordered slowest first. *)
+  let best_rss =
+    List.fold_left (fun acc f -> min acc f.rss) infinity fits
+  in
+  let tolerance = (best_rss *. 1.02) +. 1e-9 in
+  List.find (fun f -> f.rss <= tolerance) fits
+
+let pp_fit ppf f =
+  Format.fprintf ppf "%s (slope=%.3f, intercept=%.3f, R2=%.4f)"
+    (model_name f.model) f.slope f.intercept f.r2

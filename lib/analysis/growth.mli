@@ -1,0 +1,39 @@
+(** Growth-shape fitting.
+
+    Table 1 states growth classes — [Theta(1)], [Theta(log n)],
+    [Omega(sqrt(log n))], [Theta(n)], [2^O(sqrt(log n))] — so the
+    benches need a way to say which shape a measured series follows.
+    Each candidate model [d ~ a * f(n) + b] is fitted by least squares
+    on the transformed axis [f(n)]; the winner is the model with the
+    smallest residual sum of squares, with a tie-break toward the
+    slower-growing model when fits are indistinguishable (within 2%),
+    so constants aren't misclassified as logarithms on noisy data. *)
+
+type model =
+  | Constant        (** d ~ b *)
+  | Sqrt_log        (** d ~ a sqrt(log2 n) + b *)
+  | Logarithmic     (** d ~ a log2 n + b *)
+  | Exp_sqrt_log    (** d ~ a 2^(sqrt(log2 n)) + b *)
+  | Sqrt            (** d ~ a sqrt n + b *)
+  | Linear          (** d ~ a n + b *)
+
+val model_name : model -> string
+val all_models : model list
+(** In slowest-to-fastest growth order (the tie-break order). *)
+
+type fit = {
+  model : model;
+  slope : float;
+  intercept : float;
+  rss : float;       (** residual sum of squares *)
+  r2 : float;        (** coefficient of determination (1 = perfect) *)
+}
+
+val fit_model : model -> (int * int) list -> fit
+(** Least-squares fit of one model to [(n, d)] points.
+    @raise Invalid_argument with fewer than 2 points. *)
+
+val best_fit : (int * int) list -> fit
+(** The winning model over {!all_models}. *)
+
+val pp_fit : Format.formatter -> fit -> unit

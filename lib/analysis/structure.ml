@@ -1,0 +1,72 @@
+open Bbng_core
+module Digraph = Bbng_graph.Digraph
+module Undirected = Bbng_graph.Undirected
+module Components = Bbng_graph.Components
+module Cycles = Bbng_graph.Cycles
+module Bfs = Bbng_graph.Bfs
+
+type anatomy = {
+  connected : bool;
+  cycles : int list list;
+  cycle_len : int;
+  has_brace : bool;
+  max_dist_to_cycle : int;
+  diameter : int;
+}
+
+let analyze profile =
+  if not (Budget.is_unit (Strategy.budgets profile)) then
+    invalid_arg "Structure.analyze: budgets are not all 1";
+  let g = Strategy.realize profile in
+  let u = Strategy.underlying profile in
+  let connected = Components.is_connected u in
+  let cycles = Cycles.functional_cycles g in
+  let cycle_len, max_dist_to_cycle =
+    match cycles with
+    | [ c ] ->
+        let dist = Cycles.distance_to_set u c in
+        let far =
+          Array.fold_left
+            (fun acc d -> if d = Bfs.unreachable then acc else max acc d)
+            0 dist
+        in
+        (List.length c, far)
+    | _ -> (0, -1)
+  in
+  {
+    connected;
+    cycles;
+    cycle_len;
+    has_brace = Digraph.braces g <> [];
+    max_dist_to_cycle;
+    diameter = Cost.social_cost u;
+  }
+
+type violation = { clause : string }
+
+let fail clause = Some { clause }
+
+let check_sum_structure profile =
+  let a = analyze profile in
+  let n = Strategy.n profile in
+  if n = 2 then None (* the brace is the unique (and stable) realization *)
+  else if not a.connected then fail "connected"
+  else if a.has_brace then fail "no brace"
+  else if List.length a.cycles <> 1 then fail "unique cycle"
+  else if a.cycle_len > 5 then fail "cycle length <= 5"
+  else if a.max_dist_to_cycle > 1 then fail "every vertex within distance 1 of the cycle"
+  else None
+
+let check_max_structure profile =
+  let a = analyze profile in
+  if not a.connected then fail "connected"
+  else if List.length a.cycles <> 1 then fail "unique cycle"
+  else if a.cycle_len > 7 then fail "cycle length <= 7"
+  else if a.max_dist_to_cycle > 2 then fail "every vertex within distance 2 of the cycle"
+  else None
+
+let pp_anatomy ppf a =
+  Format.fprintf ppf
+    "@[connected=%b cycles=%d cycle_len=%d brace=%b fringe_depth=%d diameter=%d@]"
+    a.connected (List.length a.cycles) a.cycle_len a.has_brace
+    a.max_dist_to_cycle a.diameter

@@ -1,0 +1,38 @@
+open Bbng_core
+(** Structural validators for unit-budget equilibria (Section 4).
+
+    Theorem 4.1: every SUM equilibrium of [(1,...,1)]-BG is connected,
+    brace-free, has a unique cycle of length at most 5, and every vertex
+    is on the cycle or adjacent to it.
+    Theorem 4.2: every MAX equilibrium is connected, has a unique
+    directed cycle (possibly a brace) of length at most 7, and every
+    vertex is within distance 2 of it.
+
+    [analyze] extracts the cycle/fringe anatomy of any out-degree-1
+    realization; [check_*] test the corresponding theorem's conclusion
+    and return the first violated clause. *)
+
+type anatomy = {
+  connected : bool;
+  cycles : int list list;   (** directed cycles, one per weak component *)
+  cycle_len : int;          (** length of the unique cycle (0 if none or
+                                several) *)
+  has_brace : bool;
+  max_dist_to_cycle : int;  (** over all vertices, [-1] if no unique cycle *)
+  diameter : int;           (** [n^2] when disconnected *)
+}
+
+val analyze : Strategy.t -> anatomy
+(** @raise Invalid_argument if some player's budget is not 1. *)
+
+type violation = {
+  clause : string;   (** human-readable clause that failed *)
+}
+
+val check_sum_structure : Strategy.t -> violation option
+(** [None] iff the profile satisfies Theorem 4.1's conclusion. *)
+
+val check_max_structure : Strategy.t -> violation option
+(** [None] iff the profile satisfies Theorem 4.2's conclusion. *)
+
+val pp_anatomy : Format.formatter -> anatomy -> unit

@@ -1,0 +1,41 @@
+type t = {
+  headers : string list;
+  width : int;
+  mutable rows : string list list;  (* reversed *)
+}
+
+let make ~headers = { headers; width = List.length headers; rows = [] }
+
+let add_row t row =
+  if List.length row <> t.width then
+    invalid_arg
+      (Printf.sprintf "Table.add_row: %d cells, expected %d" (List.length row)
+         t.width);
+  t.rows <- row :: t.rows
+
+let cell_int = string_of_int
+let cell_float ?(decimals = 2) f = Printf.sprintf "%.*f" decimals f
+let cell_bool b = if b then "yes" else "no"
+
+let add_int_row t label ints = add_row t (label :: List.map cell_int ints)
+
+let render t =
+  let rows = List.rev t.rows in
+  let all = t.headers :: rows in
+  let widths = Array.make t.width 0 in
+  List.iter
+    (List.iteri (fun i cell -> widths.(i) <- max widths.(i) (String.length cell)))
+    all;
+  let pad i cell = cell ^ String.make (widths.(i) - String.length cell) ' ' in
+  let line cells = String.concat "  " (List.mapi pad cells) in
+  let rule =
+    String.concat "  "
+      (Array.to_list (Array.map (fun w -> String.make w '-') widths))
+  in
+  String.concat "\n" ((line t.headers :: rule :: List.map line rows) @ [ "" ])
+
+let to_string = render
+
+let print ?out t =
+  let ppf = match out with Some f -> f | None -> Format.std_formatter in
+  Format.fprintf ppf "%s@." (render t)

@@ -1,0 +1,26 @@
+(** Aligned ASCII tables for the experiment harness.
+
+    Kept deliberately dumb: rows of strings, automatic column widths,
+    printed to a formatter.  All benches and examples render through
+    this so the output of [bench/main.exe] lines up and can be diffed
+    against EXPERIMENTS.md. *)
+
+type t
+
+val make : headers:string list -> t
+
+val add_row : t -> string list -> unit
+(** @raise Invalid_argument if the row width differs from the header. *)
+
+val add_int_row : t -> string -> int list -> unit
+(** Label in the first column, integers after. *)
+
+val print : ?out:Format.formatter -> t -> unit
+(** Render with a separator under the header.  Defaults to stdout. *)
+
+val to_string : t -> string
+
+val cell_int : int -> string
+val cell_float : ?decimals:int -> float -> string
+val cell_bool : bool -> string
+(** ["yes"] / ["no"]. *)

@@ -1,0 +1,45 @@
+open Bbng_core
+(** Basic network creation games of Alon, Demaine, Hajiaghayi and
+    Leighton (SPAA 2010) — the second comparison model of Section 1.1.
+
+    In the basic game there is no ownership: the state is just an
+    undirected graph, and a move lets {e either} endpoint of an edge
+    swap that edge for an edge to any other vertex.  A graph is a
+    {e swap equilibrium} if no such single-edge swap strictly decreases
+    the mover's cost (MAX or SUM).
+
+    The paper's Section 1.1 makes a sharp comparative claim: in the
+    basic game, {e tree} swap equilibria have diameter at most 3 in the
+    MAX version, whereas the bounded-budget game has MAX tree equilibria
+    of diameter Theta(n) (the tripod).  The difference is exactly
+    ownership: in the tripod, leg vertex [x_2] suffers distance ~2k but
+    does not own the far-side edges it would need to swap; in Alon's
+    model it may swap {e any} incident edge, and the tripod collapses.
+    [tripod_is_swap_eq] lets the harness demonstrate this. *)
+
+val swap_moves : Bbng_graph.Undirected.t -> int -> (int * int) list
+(** All legal moves of vertex [v]: pairs [(drop, add)] meaning "replace
+    edge [v-drop] by edge [v-add]" ([add] not already adjacent,
+    [add <> v]). *)
+
+val apply_swap : Bbng_graph.Undirected.t -> int -> drop:int -> add:int ->
+  Bbng_graph.Undirected.t
+
+val improving_swap :
+  Cost.version -> Bbng_graph.Undirected.t -> int -> (int * int * int) option
+(** [(drop, add, new_cost)] for the first strictly improving swap of a
+    vertex, [None] if it has none. *)
+
+val is_swap_equilibrium : Cost.version -> Bbng_graph.Undirected.t -> bool
+(** No vertex has an improving swap. *)
+
+val certify : Cost.version -> Bbng_graph.Undirected.t ->
+  (int * int * int * int) option
+(** [None] at equilibrium; otherwise [(vertex, drop, add, new_cost)]
+    witnessing instability. *)
+
+val bbg_nash_implies_basic_instability_witness :
+  Cost.version -> Strategy.t -> (int * int * int * int) option
+(** Runs {!certify} on a bounded-budget profile's underlying graph:
+    a [Some] result exhibits a profile that is Nash-stable under
+    ownership yet swap-unstable once ownership is erased. *)

@@ -1,0 +1,81 @@
+open Bbng_core
+module Digraph = Bbng_graph.Digraph
+module Bfs = Bbng_graph.Bfs
+
+let directed_distances g src =
+  let n = Digraph.n g in
+  let dist = Array.make n Bfs.unreachable in
+  let queue = Queue.create () in
+  dist.(src) <- 0;
+  Queue.add src queue;
+  while not (Queue.is_empty queue) do
+    let u = Queue.pop queue in
+    Array.iter
+      (fun v ->
+        if dist.(v) = Bfs.unreachable then begin
+          dist.(v) <- dist.(u) + 1;
+          Queue.add v queue
+        end)
+      (Digraph.out_neighbors g u)
+  done;
+  dist
+
+let cost_of_distances ~n dist =
+  let inf = n * n in
+  Array.fold_left
+    (fun acc d -> acc + if d = Bfs.unreachable then inf else d)
+    0 dist
+
+let cost_in_digraph g player =
+  cost_of_distances ~n:(Digraph.n g) (directed_distances g player)
+
+let player_cost profile player = cost_in_digraph (Strategy.realize profile) player
+
+let costs profile =
+  let g = Strategy.realize profile in
+  Array.init (Strategy.n profile) (cost_in_digraph g)
+
+let deviation_cost profile ~player ~targets =
+  if Array.length targets <> Budget.get (Strategy.budgets profile) player then
+    invalid_arg "Bbc.deviation_cost: budget violation";
+  let g = Digraph.replace_out_neighbors (Strategy.realize profile) player targets in
+  cost_in_digraph g player
+
+let unshift player c = Array.map (fun i -> if i < player then i else i + 1) c
+
+let best_response profile player =
+  let n = Strategy.n profile in
+  let b = Budget.get (Strategy.budgets profile) player in
+  let base = Strategy.realize profile in
+  let eval targets =
+    cost_in_digraph (Digraph.replace_out_neighbors base player targets) player
+  in
+  match
+    Bbng_graph.Combinatorics.fold_best ~n:(n - 1) ~k:b
+      ~score:(fun c -> eval (unshift player c))
+      ()
+  with
+  | Some (c, cost) -> { Best_response.targets = unshift player c; cost }
+  | None -> assert false
+
+let exact_improvement profile player =
+  let current = player_cost profile player in
+  let best = best_response profile player in
+  if best.Best_response.cost < current then Some best else None
+
+let is_nash profile =
+  let n = Strategy.n profile in
+  let rec go p = p >= n || (exact_improvement profile p = None && go (p + 1)) in
+  go 0
+
+let social_diameter profile =
+  let g = Strategy.realize profile in
+  let n = Digraph.n g in
+  let worst = ref 0 in
+  for v = 0 to n - 1 do
+    let dist = directed_distances g v in
+    Array.iter
+      (fun d -> worst := max !worst (if d = Bfs.unreachable then n * n else d))
+      dist
+  done;
+  !worst

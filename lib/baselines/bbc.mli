@@ -1,0 +1,46 @@
+open Bbng_core
+(** The directed Bounded Budget Connection (BBC) game of Laoutaris,
+    Poplawski, Rajaraman, Sundaram and Teng (PODC 2008) — the model the
+    paper is "mainly motivated by" (Section 1.1).
+
+    Differences from the paper's game, faithfully implemented here:
+    - links are {e directed}: an arc [u -> v] can be used only by its
+      owner [u], so distances are directed-path distances in [G]
+      itself, not in [U(G)];
+    - each player's cost is its {e total} directed distance to the
+      other players (the SUM objective; Laoutaris et al. use average
+      distance, which is the same up to the constant [1/(n-1)]);
+    - unreachable vertices are priced at [Cinf = n^2], mirroring the
+      paper's convention so the two models are comparable.
+
+    The point of carrying this baseline: Section 1.1's comparative
+    claims become checkable — e.g. the same strategy profile can be
+    stable in one model and unstable in the other, and Laoutaris et
+    al. prove best-response dynamics need not converge in the directed
+    model.  The experiment harness measures both. *)
+
+val directed_distances : Bbng_graph.Digraph.t -> int -> int array
+(** BFS along arc directions; [Bfs.unreachable] where no directed path
+    exists. *)
+
+val player_cost : Strategy.t -> int -> int
+(** Directed SUM cost of a player under the BBC semantics. *)
+
+val costs : Strategy.t -> int array
+
+val deviation_cost : Strategy.t -> player:int -> targets:int array -> int
+(** Cost to [player] if it re-points its arcs to [targets]. *)
+
+val best_response : Strategy.t -> int -> Best_response.move
+(** Exact directed best response (enumerates all [C(n-1,b)] subsets). *)
+
+val exact_improvement : Strategy.t -> int -> Best_response.move option
+(** First strictly improving directed deviation, [None] at a best
+    response. *)
+
+val is_nash : Strategy.t -> bool
+(** Pure Nash equilibrium of the directed game. *)
+
+val social_diameter : Strategy.t -> int
+(** Maximum directed distance over ordered pairs ([n^2] when some pair
+    is unreachable). *)

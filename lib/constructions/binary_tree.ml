@@ -1,0 +1,7 @@
+open Bbng_core
+let profile ~depth =
+  Strategy.of_digraph (Bbng_graph.Generators.perfect_binary_tree depth)
+
+let budgets ~depth = Strategy.budgets (profile ~depth)
+let n_of_depth depth = (1 lsl (depth + 1)) - 1
+let diameter ~depth = 2 * depth

@@ -1,0 +1,22 @@
+open Bbng_core
+(** The Theorem 3.4 construction: SUM tree equilibria of logarithmic
+    diameter.
+
+    The perfect binary tree on [n = 2^(depth+1) - 1] vertices, each
+    internal vertex owning the arcs to its two children, is a SUM-version
+    Nash equilibrium with diameter [2 * depth = Theta(log n)] — the
+    matching lower bound for Theorem 3.3's [O(log n)] upper bound on SUM
+    Tree-BG equilibria. *)
+
+val profile : depth:int -> Strategy.t
+(** The equilibrium profile ([depth >= 0]); vertex [i]'s children are
+    [2i + 1] and [2i + 2]. *)
+
+val budgets : depth:int -> Budget.t
+(** 2 for internal vertices, 0 for leaves; sums to [n - 1]. *)
+
+val n_of_depth : int -> int
+(** [2^(depth+1) - 1]. *)
+
+val diameter : depth:int -> int
+(** [2 * depth]. *)

@@ -1,0 +1,298 @@
+open Bbng_core
+module Digraph = Bbng_graph.Digraph
+module Undirected = Bbng_graph.Undirected
+module Distances = Bbng_graph.Distances
+
+type case = Case1 | Case2 | Case3
+
+let case_name = function
+  | Case1 -> "case 1 (sigma >= n-1, b_n >= z)"
+  | Case2 -> "case 2 (sigma >= n-1, b_n < z)"
+  | Case3 -> "case 3 (sigma < n-1)"
+
+let zeros budgets =
+  Array.fold_left
+    (fun acc b -> if b = 0 then acc + 1 else acc)
+    0
+    (Budget.to_array budgets)
+
+let case_of budgets =
+  let n = Budget.n budgets in
+  if n = 1 then Case1
+  else if not (Budget.connectable budgets) then Case3
+  else if Budget.max_budget budgets >= zeros budgets then Case1
+  else Case2
+
+let is_sorted b = Array.for_all (fun x -> x >= 0) b &&
+  (let ok = ref true in
+   for i = 1 to Array.length b - 1 do
+     if b.(i) < b.(i - 1) then ok := false
+   done;
+   !ok)
+
+let require_sorted budgets =
+  let b = Budget.to_array budgets in
+  if not (is_sorted b) then
+    invalid_arg "Existence: budgets must be nondecreasing";
+  b
+
+(* Suffix sums: [suffix.(i) = b.(i) + ... + b.(n-1)], [suffix.(n) = 0]. *)
+let suffix_sums b =
+  let n = Array.length b in
+  let s = Array.make (n + 1) 0 in
+  for i = n - 1 downto 0 do
+    s.(i) <- s.(i + 1) + b.(i)
+  done;
+  s
+
+let case2_t budgets =
+  let b = require_sorted budgets in
+  let n = Array.length b in
+  if case_of budgets <> Case2 then invalid_arg "Existence.case2_t: not Case 2";
+  let s = suffix_sums b in
+  let z = zeros budgets in
+  (* Largest 1-based t with b_n + ... + b_t >= z + n - t. *)
+  let rec search t0 =
+    if s.(t0) >= z + n - 1 - t0 then t0 + 1 else search (t0 - 1)
+  in
+  search (n - 1)
+
+let case3_m budgets =
+  let b = require_sorted budgets in
+  let n = Array.length b in
+  if case_of budgets <> Case3 then invalid_arg "Existence.case3_m: not Case 3";
+  let s = suffix_sums b in
+  (* Smallest 1-based m with b_m + ... + b_n >= n - m. *)
+  let rec search m0 =
+    if s.(m0) >= n - m0 - 1 then m0 + 1 else search (m0 + 1)
+  in
+  search 0
+
+(* Mutable construction state: out.(u) is u's target list (reverse
+   insertion order), [has u v] answers arc membership in O(1). *)
+type builder = {
+  bn : int;
+  out : int list array;
+  outdeg : int array;
+  matrix : Bytes.t;
+}
+
+let builder_make n =
+  { bn = n; out = Array.make n []; outdeg = Array.make n 0;
+    matrix = Bytes.make (n * n) '\000' }
+
+let has bld u v = Bytes.get bld.matrix ((u * bld.bn) + v) <> '\000'
+
+let add bld u v =
+  assert (u <> v);
+  assert (not (has bld u v));
+  Bytes.set bld.matrix ((u * bld.bn) + v) '\001';
+  bld.out.(u) <- v :: bld.out.(u);
+  bld.outdeg.(u) <- bld.outdeg.(u) + 1
+
+let remove bld u v =
+  assert (has bld u v);
+  Bytes.set bld.matrix ((u * bld.bn) + v) '\000';
+  bld.out.(u) <- List.filter (fun w -> w <> v) bld.out.(u);
+  bld.outdeg.(u) <- bld.outdeg.(u) - 1
+
+let adjacent bld u v = has bld u v || has bld v u
+
+let to_profile budgets bld =
+  Strategy.make budgets (Array.map Array.of_list bld.out)
+
+(* ------------------------------------------------------------------ *)
+(* Case 1 *)
+
+let build_case1 budgets b =
+  let n = Array.length b in
+  let bld = builder_make n in
+  let hub = n - 1 in
+  (* Star: the hub reaches b_n vertices, everyone else reaches the hub. *)
+  for v = 0 to b.(hub) - 1 do
+    add bld hub v
+  done;
+  for u = b.(hub) to n - 2 do
+    add bld u hub
+  done;
+  (* Fill remaining budgets, preferring targets that create no brace. *)
+  for u = 0 to n - 1 do
+    while bld.outdeg.(u) < b.(u) do
+      let pick pred =
+        let rec scan v =
+          if v >= n then None
+          else if v <> u && (not (has bld u v)) && pred v then Some v
+          else scan (v + 1)
+        in
+        scan 0
+      in
+      let v =
+        match pick (fun v -> not (has bld v u)) with
+        | Some v -> v
+        | None -> (
+            match pick (fun _ -> true) with
+            | Some v -> v
+            | None -> invalid_arg "Existence: budget exceeds available targets")
+      in
+      add bld u v
+    done
+  done;
+  (* Brace repair: while some braced vertex with local diameter >= 2 has
+     a non-adjacent vertex available, re-point its brace arc there.
+     Every step destroys a brace and creates none, so it terminates. *)
+  let underlying () =
+    let arcs = ref [] in
+    Array.iteri (fun u ts -> List.iter (fun v -> arcs := (u, v) :: !arcs) ts) bld.out;
+    Undirected.of_edges ~n !arcs
+  in
+  let rec repair () =
+    let g = underlying () in
+    let fixable u =
+      if bld.outdeg.(u) = 0 then None
+      else begin
+        let braced = List.filter (fun v -> has bld v u) bld.out.(u) in
+        match braced with
+        | [] -> None
+        | v :: _ -> (
+            match Distances.eccentricity g u with
+            | Some e when e >= 2 ->
+                let rec free w =
+                  if w >= n then None
+                  else if w <> u && not (adjacent bld u w) then Some (v, w)
+                  else free (w + 1)
+                in
+                free 0
+            | Some _ | None -> None)
+      end
+    in
+    let rec scan u =
+      if u >= n then ()
+      else
+        match fixable u with
+        | Some (v, w) ->
+            remove bld u v;
+            add bld u w;
+            repair ()
+        | None -> scan (u + 1)
+    in
+    scan 0
+  in
+  repair ();
+  to_profile budgets bld
+
+(* ------------------------------------------------------------------ *)
+(* Case 2: the four phases of Figure 1. *)
+
+let build_case2 budgets b =
+  let n = Array.length b in
+  let z = zeros budgets in
+  let s = suffix_sums b in
+  let t0 = case2_t budgets - 1 in
+  let bld = builder_make n in
+  let vn = n - 1 in
+  (* Phase 1: B and C point at v_n. *)
+  for u = z to n - 2 do
+    add bld u vn
+  done;
+  (* Phase 2: {v_n} ∪ C ∪ {v_t} cover A left to right. *)
+  let next_a = ref 0 in
+  let cover u count =
+    for _ = 1 to count do
+      add bld u !next_a;
+      incr next_a
+    done
+  in
+  cover vn b.(vn);
+  for u = n - 2 downto t0 + 1 do
+    cover u (b.(u) - 1)
+  done;
+  let spent = z + n - t0 - 2 - s.(t0 + 1) in
+  cover t0 spent;
+  assert (!next_a = z);
+  (* Phase 3: B tops up with arcs to C ∪ {v_t}, largest index first. *)
+  for u = z to t0 do
+    let w = ref (n - 2) in
+    while bld.outdeg.(u) < b.(u) && !w >= t0 do
+      if !w <> u && not (has bld u !w) then add bld u !w;
+      decr w
+    done
+  done;
+  (* Phase 4: B tops up with arcs into A, smallest index first. *)
+  for u = z to t0 do
+    let v = ref 0 in
+    while bld.outdeg.(u) < b.(u) do
+      assert (!v < z);
+      if not (has bld u !v) then add bld u !v;
+      incr v
+    done
+  done;
+  to_profile budgets bld
+
+(* ------------------------------------------------------------------ *)
+(* Case 3: isolated zeros plus a recursive suffix equilibrium. *)
+
+let rec construct_sorted budgets =
+  let b = require_sorted budgets in
+  let n = Array.length b in
+  if n = 1 then Strategy.make budgets [| [||] |]
+  else
+    match case_of budgets with
+    | Case1 -> build_case1 budgets b
+    | Case2 -> build_case2 budgets b
+    | Case3 ->
+        let m0 = case3_m budgets - 1 in
+        for j = 0 to m0 - 1 do
+          assert (b.(j) = 0)
+        done;
+        let sub_budgets = Budget.of_array (Array.sub b m0 (n - m0)) in
+        let sub = construct_sorted sub_budgets in
+        let strategies =
+          Array.init n (fun u ->
+              if u < m0 then [||]
+              else Array.map (fun v -> v + m0) (Strategy.strategy sub (u - m0)))
+        in
+        Strategy.make budgets strategies
+
+let construct budgets =
+  let b = Budget.to_array budgets in
+  let n = Array.length b in
+  (* Stable sort of player indices by budget. *)
+  let perm = Array.init n Fun.id in
+  let tagged = Array.map (fun i -> (b.(i), i)) perm in
+  Array.stable_sort compare tagged;
+  let perm = Array.map snd tagged in
+  let sorted = Budget.of_array (Array.map (fun i -> b.(i)) perm) in
+  let sp = construct_sorted sorted in
+  let strategies = Array.make n [||] in
+  Array.iteri
+    (fun slot player ->
+      strategies.(player) <- Array.map (fun j -> perm.(j)) (Strategy.strategy sp slot))
+    perm;
+  Strategy.make budgets strategies
+
+(* ------------------------------------------------------------------ *)
+(* Figure 1 *)
+
+let figure1_budgets =
+  Budget.of_array (Array.init 22 (fun i -> if i < 16 then 0 else if i = 16 then 2 else 5))
+
+let figure1_profile () =
+  (* Hand transcription of Figure 1, 0-based (paper v_i = i - 1). *)
+  let arcs =
+    [
+      (* phase 1 *)
+      (16, 21); (17, 21); (18, 21); (19, 21); (20, 21);
+      (* phase 2 *)
+      (21, 0); (21, 1); (21, 2); (21, 3); (21, 4);
+      (20, 5); (20, 6); (20, 7); (20, 8);
+      (19, 9); (19, 10); (19, 11); (19, 12);
+      (18, 13); (18, 14); (18, 15);
+      (* phase 3 *)
+      (16, 20);
+      (17, 20); (17, 19); (17, 18);
+      (18, 20);
+      (* phase 4 *)
+      (17, 0);
+    ]
+  in
+  Strategy.of_digraph (Digraph.of_arcs ~n:22 arcs)

@@ -1,0 +1,62 @@
+open Bbng_core
+(** The Theorem 2.3 equilibrium constructions.
+
+    For every budget vector the theorem builds a Nash equilibrium (for
+    both MAX and SUM versions simultaneously), split into three cases on
+    the sorted budgets [b_1 <= ... <= b_n] with [z] zeros and total
+    [sigma]:
+
+    - {b Case 1} ([sigma >= n-1], [b_n >= z]): a hub star where the
+      max-budget vertex covers all zero-budget vertices; diameter <= 2
+      after the initial star, braces repaired by re-pointing; final
+      diameter <= 2.
+    - {b Case 2} ([sigma >= n-1], [b_n < z]): the four-phase
+      construction of Figure 1; diameter <= 4.
+    - {b Case 3} ([sigma < n-1]): isolated zero-budget vertices plus a
+      recursive equilibrium on the suffix that can afford to connect
+      itself.
+
+    All functions operating on unsorted budgets sort internally and map
+    the construction back through the permutation, so [construct] is
+    total over valid budget vectors. *)
+
+type case = Case1 | Case2 | Case3
+
+val case_of : Budget.t -> case
+(** Which case applies (decided on the sorted budgets). *)
+
+val case_name : case -> string
+
+val construct : Budget.t -> Strategy.t
+(** A Nash-equilibrium profile for the instance, in both versions.
+    Certified exactly by the test suite on small instances. *)
+
+val construct_sorted : Budget.t -> Strategy.t
+(** Same, but requires the budget vector to be nondecreasing (this is
+    the literal paper construction, useful when the caller wants the
+    vertex roles — A, B, C, v_n — to sit at the paper's indices).
+    @raise Invalid_argument if budgets are not sorted. *)
+
+(** {1 The Figure 1 instance} *)
+
+val figure1_budgets : Budget.t
+(** [n = 22], [z = 16]: budgets [(0 x 16, 2, 5, 5, 5, 5, 5)]. *)
+
+val figure1_profile : unit -> Strategy.t
+(** The exact arc set drawn in Figure 1, hand-transcribed (independent
+    of {!construct_sorted}, which the tests check against it). *)
+
+(** {1 Case parameters (sorted budgets), exposed for tests} *)
+
+val zeros : Budget.t -> int
+(** Number of zero budgets. *)
+
+val case2_t : Budget.t -> int
+(** Case 2's threshold index [t] (1-based, as in the paper): the largest
+    [t] with [b_n + ... + b_t >= z + n - t].
+    @raise Invalid_argument unless sorted Case 2. *)
+
+val case3_m : Budget.t -> int
+(** Case 3's cut [m] (1-based): the smallest [m] with
+    [b_m + ... + b_n >= n - m].
+    @raise Invalid_argument unless sorted Case 3. *)

@@ -1,0 +1,47 @@
+open Bbng_core
+module Generators = Bbng_graph.Generators
+module Undirected = Bbng_graph.Undirected
+module Distances = Bbng_graph.Distances
+module Moore = Bbng_graph.Moore
+
+let profile ~t ~k =
+  Strategy.of_digraph (Generators.shift_graph_orientation ~t ~k)
+
+let budgets ~t ~k = Strategy.budgets (profile ~t ~k)
+
+let paper_t ~k = 1 lsl k
+
+let n_of ~t ~k =
+  let rec go acc i = if i = 0 then acc else go (acc * t) (i - 1) in
+  go 1 k
+
+type certificate = {
+  n : int;
+  max_degree : int;
+  all_local_diameters_equal : int option;
+  counting_ok : bool;
+  budgets_positive : bool;
+  valid : bool;
+}
+
+let certificate ~t ~k =
+  let g = Generators.shift_graph ~t ~k in
+  let n = Undirected.n g in
+  let max_degree = Undirected.max_degree g in
+  let eccs = Array.init n (Distances.eccentricity g) in
+  let all_local_diameters_equal =
+    match eccs.(0) with
+    | None -> None
+    | Some d ->
+        if Array.for_all (fun e -> e = Some d) eccs then Some d else None
+  in
+  let counting_ok =
+    match all_local_diameters_equal with
+    | None -> false
+    | Some _ -> Moore.lemma_5_1_holds g
+  in
+  let budgets_positive = Undirected.min_degree g >= 2 in
+  let valid =
+    all_local_diameters_equal <> None && counting_ok && budgets_positive
+  in
+  { n; max_degree; all_local_diameters_equal; counting_ok; budgets_positive; valid }

@@ -1,0 +1,49 @@
+open Bbng_core
+(** The Lemma 5.2 / Theorem 5.3 construction: the Braess-like paradox.
+
+    A shift (de Bruijn-style) graph on [t^k] vertices whose {e every}
+    orientation with positive out-degrees is a MAX equilibrium, of
+    diameter [k].  With the paper's parameters [t = 2^k] this gives
+    all-positive-budget instances with equilibrium diameter
+    [sqrt(log n)] — more budget than the unit case, yet a much worse
+    equilibrium: the bounded-budget analogue of Braess's paradox.
+
+    The equilibrium property is certified two ways:
+    - directly (exact best responses) for the sizes where that is
+      feasible, and
+    - through the Lemma 5.1/5.2 counting certificate ({!certificate}),
+      which is the paper's own proof made executable and applies at any
+      size. *)
+
+val profile : t:int -> k:int -> Strategy.t
+(** A positive-out-degree orientation of the [t]-ary shift graph on
+    [t^k] vertices; see {!Bbng_graph.Generators.shift_graph_orientation}. *)
+
+val budgets : t:int -> k:int -> Budget.t
+
+val paper_t : k:int -> int
+(** The paper's parameter choice [t = 2^k], so [n = t^k = 2^(k^2)] and
+    the diameter [k] equals [sqrt(log2 n)].  The Lemma 5.2 hypothesis
+    [(2t)^k - 1 < t^k (2t - 1)] simplifies to [2^k < 2t], which this
+    choice satisfies with room to spare; any [t > 2^(k-1)] works, which
+    is how the benches downsize [n] while keeping the certificate
+    valid. *)
+
+val n_of : t:int -> k:int -> int
+(** [t^k]. *)
+
+type certificate = {
+  n : int;
+  max_degree : int;
+  all_local_diameters_equal : int option;
+      (** [Some d] if every vertex has local diameter exactly [d] *)
+  counting_ok : bool;
+      (** the Lemma 5.1 premise [delta^d - 1 < n (delta - 1)] *)
+  budgets_positive : bool;
+  valid : bool;  (** conjunction: the profile is provably a MAX NE *)
+}
+
+val certificate : t:int -> k:int -> certificate
+(** Checks the Lemma 5.2 hypotheses on the {e actual} built graph
+    (diameters by BFS, degrees by counting): if [valid], every
+    orientation — in particular {!profile} — is a MAX equilibrium. *)

@@ -1,0 +1,11 @@
+open Bbng_core
+let profile ~k = Strategy.of_digraph (Bbng_graph.Generators.tripod k)
+let budgets ~k = Strategy.budgets (profile ~k)
+let n_of_k k = (3 * k) + 1
+let diameter ~k = 2 * k
+let hub ~k = 3 * k
+
+let spider_profile ~legs ~k =
+  Strategy.of_digraph (Bbng_graph.Generators.spider ~legs ~leg_len:k)
+
+let spider_budgets ~legs ~k = Strategy.budgets (spider_profile ~legs ~k)

@@ -1,0 +1,42 @@
+open Bbng_core
+(** The Theorem 3.2 / Figure 2 construction: MAX tree equilibria of
+    linear diameter.
+
+    For [n = 3k + 1], three directed paths of length [k] ([X], [Y], [Z])
+    are glued at a zero-budget hub [w]; [x_1] (and [y_1], [z_1]) owns
+    both its path arc and the arc to [w].  The tree is a MAX-version
+    Nash equilibrium with diameter [2k = Theta(n)], which pins the MAX
+    Tree-BG row of Table 1 (and the MAX "General" row's lower bound). *)
+
+val profile : k:int -> Strategy.t
+(** The equilibrium profile ([k >= 1]); vertex layout as in
+    {!Bbng_graph.Generators.tripod}. *)
+
+val budgets : k:int -> Budget.t
+(** [(2, 1, ..., 1, 0) x 3 + hub 0]: leg heads have budget 2, interior
+    vertices 1, leg tips and the hub 0.  Sums to [n - 1]. *)
+
+val n_of_k : int -> int
+(** [3k + 1]. *)
+
+val diameter : k:int -> int
+(** [2k], the claimed equilibrium diameter. *)
+
+val hub : k:int -> int
+(** Index of [w]. *)
+
+(** {1 Generalized spiders}
+
+    The Theorem 3.2 proof is stated for three legs, but nothing in the
+    best-response analysis uses "three" beyond >= 3: with [legs >= 3]
+    paths of length [k] glued at a zero-budget hub, each leg head still
+    has no better use of its two arcs.  The test suite certifies small
+    members exactly; two legs correctly fail (the graph is a path and
+    the head re-centers). *)
+
+val spider_profile : legs:int -> k:int -> Strategy.t
+(** MAX equilibrium witness on [legs * k + 1] vertices, diameter [2k];
+    layout as {!Bbng_graph.Generators.spider}.
+    @raise Invalid_argument if [legs < 1] or [k < 1]. *)
+
+val spider_budgets : legs:int -> k:int -> Budget.t

@@ -1,0 +1,27 @@
+open Bbng_core
+
+let balanced_sun ~cycle_len ~n =
+  if cycle_len < 2 || cycle_len > n then
+    invalid_arg "Unit_budget.balanced_sun: need 2 <= cycle_len <= n";
+  let arcs = ref [] in
+  for i = 0 to cycle_len - 1 do
+    arcs := (i, (i + 1) mod cycle_len) :: !arcs
+  done;
+  for v = cycle_len to n - 1 do
+    arcs := (v, v mod cycle_len) :: !arcs
+  done;
+  Strategy.of_digraph (Bbng_graph.Digraph.of_arcs ~n !arcs)
+
+let concentrated_sun ~n =
+  if n < 3 then invalid_arg "Unit_budget.concentrated_sun: n < 3";
+  let arcs = ref [ (0, 1); (1, 2); (2, 0) ] in
+  for v = 3 to n - 1 do
+    arcs := (v, 0) :: !arcs
+  done;
+  Strategy.of_digraph (Bbng_graph.Digraph.of_arcs ~n !arcs)
+
+let brace_pair () = balanced_sun ~cycle_len:2 ~n:2
+
+let diameter_upper_bound = function
+  | Cost.Sum -> 4 (* cycle <= 5, fringe depth <= 1: 1 + floor(5/2) + 1 *)
+  | Cost.Max -> 7 (* cycle <= 7, fringe depth <= 2: 2 + floor(7/2) + 2 *)

@@ -1,0 +1,35 @@
+open Bbng_core
+(** Canonical equilibria for [(1, 1, ..., 1)]-BG (Section 4).
+
+    Theorems 4.1/4.2 prove every unit-budget equilibrium is a short
+    cycle with a shallow fringe; this module provides matching witness
+    families (each certified exactly by the test suite):
+
+    - {!concentrated_sun}: a directed triangle with all remaining
+      vertices attached to one cycle vertex.  A Nash equilibrium in
+      {e both} versions for every [n >= 3], diameter 2 — the Theta(1)
+      row of Table 1.
+    - {!balanced_sun}: fringe spread round-robin over the cycle.  A MAX
+      equilibrium (for [cycle_len = 3]), but {e not} a SUM equilibrium
+      once two cycle vertices carry different visible fringe: a fringe
+      player strictly prefers the cycle vertex with the most attached
+      fringe, which is exactly why SUM equilibria concentrate. *)
+
+val concentrated_sun : n:int -> Strategy.t
+(** Directed triangle [0 -> 1 -> 2 -> 0]; every vertex [v >= 3] owns one
+    arc to vertex 0.  NE in both versions; diameter 2 for [n >= 4]
+    (1 for [n = 3]).
+    @raise Invalid_argument if [n < 3]. *)
+
+val balanced_sun : cycle_len:int -> n:int -> Strategy.t
+(** Directed [cycle_len]-cycle; vertex [v >= cycle_len] owns one arc to
+    cycle vertex [v mod cycle_len].
+    @raise Invalid_argument unless [2 <= cycle_len <= n]. *)
+
+val brace_pair : unit -> Strategy.t
+(** The unique realization for [n = 2]: the brace. *)
+
+val diameter_upper_bound : Cost.version -> int
+(** The structural bounds of Theorems 4.1/4.2 translated to diameters:
+    a cycle of length at most 5 (SUM) / 7 (MAX) with fringe depth at
+    most 1 (SUM) / 2 (MAX) has diameter at most 4 (SUM) / 7 (MAX). *)

@@ -1,0 +1,168 @@
+module Digraph = Bbng_graph.Digraph
+module Undirected = Bbng_graph.Undirected
+module Combinatorics = Bbng_graph.Combinatorics
+
+type move = { targets : int array; cost : int }
+
+(* All evaluators share one incremental evaluation context: the static
+   part of the graph is materialized once and each candidate strategy
+   costs a single overlay BFS (see Deviation_eval). *)
+type context = {
+  game : Game.t;
+  profile : Strategy.t;
+  player : int;
+  eval_ctx : Deviation_eval.t;
+  budget : int;
+  in_degree : int;
+  floor : int;              (* Lemma 2.2 cost floor *)
+  current_cost : int;
+}
+
+let make_context game profile player =
+  let n = Game.n game in
+  let budget = Budget.get (Game.budgets game) player in
+  let eval_ctx = Deviation_eval.make (Game.version game) profile ~player in
+  let in_degree =
+    let count = ref 0 in
+    for i = 0 to n - 1 do
+      if i <> player && Array.exists (fun v -> v = player) (Strategy.strategy profile i)
+      then incr count
+    done;
+    !count
+  in
+  let floor =
+    Cost.cost_floor (Game.version game) ~n ~budget ~in_degree
+  in
+  let current_cost = Deviation_eval.current_cost eval_ctx in
+  { game; profile; player; eval_ctx; budget; in_degree; floor; current_cost }
+
+let eval ctx targets = Deviation_eval.cost ctx.eval_ctx targets
+
+(* Subsets of {0..n-1} \ {player} are enumerated as subsets of
+   {0..n-2} and shifted past the player. *)
+let unshift player c =
+  Array.map (fun i -> if i < player then i else i + 1) c
+
+let satisfies_lemma_2_2 profile player =
+  let g = Strategy.realize profile in
+  let u = Strategy.underlying profile in
+  match Bbng_graph.Distances.eccentricity u player with
+  | None -> false
+  | Some e -> e = 1 || (e <= 2 && not (Digraph.in_some_brace g player))
+
+let exact game profile player =
+  let ctx = make_context game profile player in
+  let n = Game.n game in
+  match
+    Combinatorics.fold_best ~n:(n - 1) ~k:ctx.budget
+      ~score:(fun c -> eval ctx (unshift player c))
+      ~stop_at:ctx.floor ()
+  with
+  | Some (c, cost) -> { targets = unshift player c; cost }
+  | None -> assert false (* k = 0 always yields the empty subset *)
+
+exception Found of move
+
+let scan_for_improvement ctx ~stop_at_first =
+  if ctx.current_cost <= ctx.floor then None
+  else if satisfies_lemma_2_2 ctx.profile ctx.player then None
+  else begin
+    let n = Game.n ctx.game in
+    let best = ref None in
+    try
+      Combinatorics.iter_combinations ~n:(n - 1) ~k:ctx.budget (fun c ->
+          let targets = unshift ctx.player c in
+          let cost = eval ctx targets in
+          if cost < ctx.current_cost then begin
+            let better_than_best =
+              match !best with None -> true | Some m -> cost < m.cost
+            in
+            if better_than_best then begin
+              let m = { targets; cost } in
+              if stop_at_first || cost <= ctx.floor then raise (Found m);
+              best := Some m
+            end
+          end);
+      !best
+    with Found m -> Some m
+  end
+
+let exact_improvement game profile player =
+  scan_for_improvement (make_context game profile player) ~stop_at_first:true
+
+let best_improvement game profile player =
+  scan_for_improvement (make_context game profile player) ~stop_at_first:false
+
+let swap_candidates ctx =
+  (* (kept-set, replacement) pairs: drop each owned arc in turn, try
+     every replacement target not already owned and not the player. *)
+  let owned = Strategy.strategy ctx.profile ctx.player in
+  let n = Game.n ctx.game in
+  let is_owned v = Array.exists (fun w -> w = v) owned in
+  let moves = ref [] in
+  Array.iteri
+    (fun drop_idx _ ->
+      for v = 0 to n - 1 do
+        if v <> ctx.player && not (is_owned v) then begin
+          let targets =
+            Array.mapi (fun i w -> if i = drop_idx then v else w) owned
+          in
+          Array.sort compare targets;
+          moves := targets :: !moves
+        end
+      done)
+    owned;
+  List.rev !moves
+
+let swap_scan ctx ~stop_at_first =
+  if ctx.current_cost <= ctx.floor then None
+  else begin
+    let best = ref None in
+    try
+      List.iter
+        (fun targets ->
+          let cost = eval ctx targets in
+          if cost < ctx.current_cost then begin
+            let better = match !best with None -> true | Some m -> cost < m.cost in
+            if better then begin
+              let m = { targets; cost } in
+              if stop_at_first then raise (Found m);
+              best := Some m
+            end
+          end)
+        (swap_candidates ctx);
+      !best
+    with Found m -> Some m
+  end
+
+let swap_best game profile player =
+  swap_scan (make_context game profile player) ~stop_at_first:false
+
+let first_improving_swap game profile player =
+  swap_scan (make_context game profile player) ~stop_at_first:true
+
+let greedy game profile player =
+  let ctx = make_context game profile player in
+  let n = Game.n game in
+  let chosen = ref [] in
+  let is_chosen v = List.mem v !chosen in
+  for _step = 1 to ctx.budget do
+    let best_v = ref (-1) and best_cost = ref max_int in
+    for v = 0 to n - 1 do
+      if v <> player && not (is_chosen v) then begin
+        (* Partial target sets are legal digraph-wise even though they
+           violate the budget; cost is still well defined. *)
+        let targets = Array.of_list (v :: !chosen) in
+        Array.sort compare targets;
+        let cost = eval ctx targets in
+        if cost < !best_cost then begin
+          best_cost := cost;
+          best_v := v
+        end
+      end
+    done;
+    chosen := !best_v :: !chosen
+  done;
+  let targets = Array.of_list !chosen in
+  Array.sort compare targets;
+  { targets; cost = eval ctx targets }

@@ -1,0 +1,56 @@
+(** Best responses.
+
+    Theorem 2.1 proves finding a best response NP-hard (equivalent to
+    k-center in the MAX version and k-median in the SUM version), so
+    this module offers the full ladder:
+
+    - {!exact}: brute force over all [C(n-1, b)] strategies, with the
+      Lemma 2.2 cost-floor short-circuit — the ground truth used by the
+      equilibrium certifier and the hardness experiments;
+    - {!swap_best} / {!first_improving_swap}: the polynomial single-arc
+      deviations of Alon et al., used inside the paper's own proofs
+      (Theorems 3.3, 4.x, 6.x) and as scalable dynamics moves;
+    - {!greedy}: an incremental heuristic (build the target set one arc
+      at a time), the workhorse for large dynamics workloads. *)
+
+type move = {
+  targets : int array;  (** the (sorted) improving strategy *)
+  cost : int;           (** the player's cost after switching *)
+}
+
+val satisfies_lemma_2_2 : Strategy.t -> int -> bool
+(** Sufficient condition for "playing a best response" in {e both}
+    versions (Lemma 2.2): [c_MAX(u) = 1], or [c_MAX(u) <= 2] and [u] is
+    in no brace. *)
+
+val exact : Game.t -> Strategy.t -> int -> move
+(** The true best response of a player (ties broken toward the
+    lexicographically smallest target set; the player's current strategy
+    wins ties only if itself lexicographically smallest).  Exponential in
+    the budget. *)
+
+val exact_improvement : Game.t -> Strategy.t -> int -> move option
+(** [Some m] with [m.cost < current cost] if the player can improve
+    (the search stops at the first strict improvement found after
+    checking the Lemma 2.2 shortcut and the cost floor); [None] iff the
+    player is playing a best response. *)
+
+val best_improvement : Game.t -> Strategy.t -> int -> move option
+(** Like {!exact_improvement} but scans everything: the {e best}
+    deviation, or [None] if already optimal. *)
+
+val swap_best : Game.t -> Strategy.t -> int -> move option
+(** Best strict improvement obtainable by replacing exactly one owned
+    arc (keeping the other [b - 1]); [None] if no swap improves.
+    O(b * n) cost evaluations. *)
+
+val first_improving_swap : Game.t -> Strategy.t -> int -> move option
+(** First strict improvement by a single swap, scan order: owned arcs
+    increasing, replacement targets increasing. *)
+
+val greedy : Game.t -> Strategy.t -> int -> move
+(** Heuristic response: pick the [b] targets one at a time, each time
+    adding the target that minimizes the player's cost with the partial
+    set (a k-center/k-median-style greedy).  Not necessarily improving,
+    never validated as optimal; intended as a dynamics move and as an
+    initializer for local search. *)

@@ -1,0 +1,93 @@
+type t = int array
+
+let validate b =
+  let n = Array.length b in
+  if n < 1 then invalid_arg "Budget: empty budget vector";
+  Array.iteri
+    (fun i bi ->
+      if bi < 0 || bi >= n then
+        invalid_arg
+          (Printf.sprintf "Budget: b_%d = %d out of range [0,%d)" i bi n))
+    b;
+  b
+
+let of_array b = validate (Array.copy b)
+let of_list l = validate (Array.of_list l)
+
+let uniform ~n ~budget = validate (Array.make n budget)
+let unit_budgets n = uniform ~n ~budget:1
+
+let n b = Array.length b
+let get b i = b.(i)
+let to_array b = Array.copy b
+let total b = Array.fold_left ( + ) 0 b
+let min_budget b = Array.fold_left min b.(0) b
+let max_budget b = Array.fold_left max b.(0) b
+
+let is_tree_instance b = total b = n b - 1
+let is_unit b = Array.for_all (fun bi -> bi = 1) b
+let all_positive b = Array.for_all (fun bi -> bi >= 1) b
+let connectable b = total b >= n b - 1
+
+type instance_class = Subcritical | Tree | Unit | Positive | General
+
+let classify b =
+  let sigma = total b in
+  if sigma < n b - 1 then Subcritical
+  else if sigma = n b - 1 then Tree
+  else if is_unit b then Unit
+  else if all_positive b then Positive
+  else General
+
+let class_name = function
+  | Subcritical -> "subcritical"
+  | Tree -> "tree"
+  | Unit -> "unit"
+  | Positive -> "positive"
+  | General -> "general"
+
+let pp ppf b =
+  Format.fprintf ppf "(%a)-BG"
+    (Format.pp_print_array
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ",")
+       Format.pp_print_int)
+    b
+
+let random_partition rng ~n ~total =
+  if n < 1 then invalid_arg "Budget.random_partition: n < 1";
+  if total < 0 || total > n * (n - 1) then
+    invalid_arg "Budget.random_partition: total out of range";
+  let b = Array.make n 0 in
+  for _ = 1 to total do
+    (* Throw one unit into a uniformly random urn that still has room. *)
+    let rec throw () =
+      let i = Random.State.int rng n in
+      if b.(i) < n - 1 then b.(i) <- b.(i) + 1 else throw ()
+    in
+    throw ()
+  done;
+  validate b
+
+let random_powerlaw rng ~n ~exponent ~max_budget =
+  if n < 1 then invalid_arg "Budget.random_powerlaw: n < 1";
+  if max_budget < 0 || max_budget >= n then
+    invalid_arg "Budget.random_powerlaw: need 0 <= max_budget < n";
+  let weights =
+    Array.init (max_budget + 1) (fun b ->
+        (float_of_int (b + 1)) ** (-.exponent))
+  in
+  let total = Array.fold_left ( +. ) 0.0 weights in
+  let sample () =
+    let x = Random.State.float rng total in
+    let rec pick b acc =
+      if b = max_budget then b
+      else
+        let acc = acc +. weights.(b) in
+        if x < acc then b else pick (b + 1) acc
+    in
+    pick 0 0.0
+  in
+  validate (Array.init n (fun _ -> sample ()))
+
+let of_digraph g =
+  validate (Array.init (Bbng_graph.Digraph.n g) (Bbng_graph.Digraph.out_degree g))

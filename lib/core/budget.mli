@@ -1,0 +1,81 @@
+(** Budget vectors and instance classification.
+
+    A [(b_1, ..., b_n)]-BG instance is determined by its budget vector:
+    player [i] must own exactly [b_i] arcs, [0 <= b_i < n].  The paper's
+    bounds (Table 1) are stated per instance class, which this module
+    makes first-class. *)
+
+type t
+(** An immutable budget vector. *)
+
+val of_array : int array -> t
+(** @raise Invalid_argument unless [0 <= b_i < n] for all [i] and
+    [n >= 1]. *)
+
+val of_list : int list -> t
+
+val uniform : n:int -> budget:int -> t
+(** All players get [budget]; [unit_budgets n = uniform ~n ~budget:1]. *)
+
+val unit_budgets : int -> t
+
+val n : t -> int
+val get : t -> int -> int
+val to_array : t -> int array
+(** A fresh copy. *)
+
+val total : t -> int
+(** [sigma = b_1 + ... + b_n]. *)
+
+val min_budget : t -> int
+val max_budget : t -> int
+
+(** {1 Instance classes of Table 1} *)
+
+val is_tree_instance : t -> bool
+(** [sigma = n - 1]: the Tree-BG class of Section 3. *)
+
+val is_unit : t -> bool
+(** All budgets exactly 1 (Section 4). *)
+
+val all_positive : t -> bool
+(** All budgets >= 1 (Section 5). *)
+
+val connectable : t -> bool
+(** [sigma >= n - 1]: some realization is connected (Lemma 3.1 then
+    forces every equilibrium to be connected). *)
+
+type instance_class =
+  | Subcritical    (** [sigma < n - 1]: every realization disconnected *)
+  | Tree           (** [sigma = n - 1] *)
+  | Unit           (** all budgets = 1 (implies [sigma = n], not Tree) *)
+  | Positive       (** all budgets >= 1, not Unit *)
+  | General        (** [sigma >= n - 1] with some zero budget *)
+
+val classify : t -> instance_class
+(** The most specific Table 1 row the instance falls in.  [Tree] wins
+    over [Positive]/[General] when [sigma = n - 1]; [Unit] wins over
+    [Positive]. *)
+
+val class_name : instance_class -> string
+
+val pp : Format.formatter -> t -> unit
+
+(** {1 Workload helpers} *)
+
+val random_partition : Random.State.t -> n:int -> total:int -> t
+(** A random budget vector with the given total: [total] units thrown
+    into [n] urns uniformly, then clamped below [n] by reassigning
+    overflow (possible whenever [total <= n * (n - 1)]).
+    @raise Invalid_argument when no valid vector exists. *)
+
+val random_powerlaw :
+  Random.State.t -> n:int -> exponent:float -> max_budget:int -> t
+(** Skewed budgets for realistic P2P workloads: each player draws from
+    a discrete power law [P(b) ~ (b+1)^(-exponent)] over
+    [0..max_budget].  Larger exponents mean more zero-budget players.
+    @raise Invalid_argument if [max_budget >= n] or [max_budget < 0]. *)
+
+val of_digraph : Bbng_graph.Digraph.t -> t
+(** The budget vector realized by a digraph: [b_i] = out-degree of [i].
+    Theorem 2.1's reduction builds game instances this way. *)

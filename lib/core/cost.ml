@@ -1,0 +1,46 @@
+module Undirected = Bbng_graph.Undirected
+module Bfs = Bbng_graph.Bfs
+module Components = Bbng_graph.Components
+
+type version = Max | Sum
+
+let version_name = function Max -> "MAX" | Sum -> "SUM"
+let all_versions = [ Max; Sum ]
+
+let cinf ~n = n * n
+
+let vertex_cost_given version ~n ~kappa ~dist =
+  let inf = cinf ~n in
+  match version with
+  | Sum ->
+      let acc = ref 0 in
+      Array.iter (fun d -> acc := !acc + if d = Bfs.unreachable then inf else d) dist;
+      !acc
+  | Max ->
+      (* Local diameter is n^2 whenever the graph is disconnected (every
+         vertex then has some vertex at distance Cinf), plus the
+         (kappa - 1) n^2 incentive term. *)
+      if kappa > 1 then inf + ((kappa - 1) * inf)
+      else Array.fold_left max 0 dist
+
+let vertex_cost version g u =
+  let n = Undirected.n g in
+  let kappa = match version with Sum -> 1 | Max -> Components.count g in
+  vertex_cost_given version ~n ~kappa ~dist:(Bfs.distances g u)
+
+let profile_costs version g =
+  let n = Undirected.n g in
+  let kappa = match version with Sum -> 1 | Max -> Components.count g in
+  Array.init n (fun u ->
+      vertex_cost_given version ~n ~kappa ~dist:(Bfs.distances g u))
+
+let social_cost g =
+  match Bbng_graph.Distances.diameter g with
+  | Some d -> d
+  | None -> cinf ~n:(Undirected.n g)
+
+let cost_floor version ~n ~budget ~in_degree =
+  let p = min (budget + in_degree) (n - 1) in
+  match version with
+  | Max -> if n <= 1 then 0 else if p >= n - 1 then 1 else 2
+  | Sum -> p + (2 * (n - 1 - p))

@@ -1,0 +1,58 @@
+(** The paper's cost functions.
+
+    Distances are measured in the underlying undirected graph, with
+    [dist(u, v) = Cinf = n^2] when [u] and [v] are in different
+    components (chosen so any strategy change that enlarges a player's
+    component strictly pays off).
+
+    - SUM version: [c_SUM(u) = sum_v dist(u, v)].
+    - MAX version: [c_MAX(u) = local_diameter(u) + (kappa - 1) * n^2],
+      where [kappa] is the number of connected components and the local
+      diameter of any vertex of a disconnected graph is [n^2] itself.
+
+    All arithmetic is exact 63-bit integers; the largest representable
+    instance before overflow concerns would arise is n ~ 3 * 10^4 in the
+    SUM version ([n * n^2 < 2^62]), far above anything the experiments
+    use. *)
+
+type version = Max | Sum
+
+val version_name : version -> string
+(** ["MAX"] / ["SUM"]. *)
+
+val all_versions : version list
+
+val cinf : n:int -> int
+(** [n^2]. *)
+
+(** {1 Per-vertex costs} *)
+
+val vertex_cost : version -> Bbng_graph.Undirected.t -> int -> int
+(** [vertex_cost v g u] is the paper's [c_v(u)] on the underlying graph
+    [g].  Computes its own BFS and (for MAX) component count: O(n + m),
+    plus O(n (n + m)) the first time components are needed — use
+    {!profile_costs} to batch. *)
+
+val vertex_cost_given : version -> n:int -> kappa:int -> dist:int array -> int
+(** Cost from precomputed data: [dist] the BFS row of the vertex
+    ([Bfs.unreachable] allowed), [kappa] the component count of the whole
+    graph (ignored in SUM).  This is the single source of truth; the
+    other entry points delegate here. *)
+
+val profile_costs : version -> Bbng_graph.Undirected.t -> int array
+(** All players' costs in one pass (one BFS per vertex, one component
+    count). *)
+
+val social_cost : Bbng_graph.Undirected.t -> int
+(** Diameter of the network, with the convention of Section 1.2 that a
+    disconnected network has diameter [n^2] (any realization of a
+    subcritical instance "has diameter n^2"). *)
+
+val cost_floor : version -> n:int -> budget:int -> in_degree:int -> int
+(** Lemma 2.2's unconditional floor on a player's cost over {e all} its
+    strategies, the other players fixed: at most [budget + in_degree]
+    vertices can ever be at distance 1, so
+    - MAX: 1 if [budget + in_degree >= n - 1], else 2 (0 when [n = 1]);
+    - SUM: [p + 2 (n - 1 - p)] with [p = min (budget + in_degree) (n-1)].
+    Used to short-circuit best-response search: reaching the floor means
+    the current strategy is optimal. *)

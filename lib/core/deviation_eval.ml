@@ -1,0 +1,141 @@
+module Bfs = Bbng_graph.Bfs
+
+type t = {
+  version : Cost.version;
+  player : int;
+  n : int;
+  static_adj : int array array;  (* all arcs except the player's owned ones *)
+  own : int array;               (* the player's strategy in the profile *)
+  (* reusable scratch: [seen.(v) = stamp] marks validity of [dist.(v)] *)
+  mutable stamp : int;
+  seen : int array;
+  dist : int array;
+  queue : int array;
+  comp_seen : int array;         (* second stamp space for kappa *)
+}
+
+let make version profile ~player =
+  let n = Strategy.n profile in
+  if player < 0 || player >= n then invalid_arg "Deviation_eval.make: bad player";
+  let deg = Array.make n 0 in
+  let bump u v =
+    deg.(u) <- deg.(u) + 1;
+    deg.(v) <- deg.(v) + 1
+  in
+  for i = 0 to n - 1 do
+    if i <> player then Array.iter (fun j -> bump i j) (Strategy.strategy profile i)
+  done;
+  let static_adj = Array.map (fun d -> Array.make d 0) deg in
+  let fill = Array.make n 0 in
+  let add u v =
+    static_adj.(u).(fill.(u)) <- v;
+    fill.(u) <- fill.(u) + 1
+  in
+  for i = 0 to n - 1 do
+    if i <> player then
+      Array.iter
+        (fun j ->
+          add i j;
+          add j i)
+        (Strategy.strategy profile i)
+  done;
+  {
+    version;
+    player;
+    n;
+    static_adj;
+    own = Array.copy (Strategy.strategy profile player);
+    stamp = 0;
+    seen = Array.make n 0;
+    dist = Array.make n 0;
+    queue = Array.make (max n 1) 0;
+    comp_seen = Array.make n 0;
+  }
+
+let player t = t.player
+let version t = t.version
+
+(* Count connected components among vertices not reached by the last
+   BFS, walking only static adjacency (correct: no static edge joins a
+   reached and an unreached vertex — see the interface comment). *)
+let unreached_components t =
+  let comps = ref 0 in
+  let stamp = t.stamp in
+  for start = 0 to t.n - 1 do
+    if t.seen.(start) <> stamp && t.comp_seen.(start) <> stamp then begin
+      incr comps;
+      (* small DFS with the shared queue as a stack *)
+      let top = ref 1 in
+      t.queue.(0) <- start;
+      t.comp_seen.(start) <- stamp;
+      while !top > 0 do
+        decr top;
+        let u = t.queue.(!top) in
+        Array.iter
+          (fun v ->
+            if t.seen.(v) <> stamp && t.comp_seen.(v) <> stamp then begin
+              t.comp_seen.(v) <- stamp;
+              t.queue.(!top) <- v;
+              incr top
+            end)
+          t.static_adj.(u)
+      done
+    end
+  done;
+  !comps
+
+let cost t targets =
+  Array.iter
+    (fun v ->
+      if v < 0 || v >= t.n then invalid_arg "Deviation_eval.cost: target out of range";
+      if v = t.player then invalid_arg "Deviation_eval.cost: self target")
+    targets;
+  t.stamp <- t.stamp + 1;
+  let stamp = t.stamp in
+  let head = ref 0 and tail = ref 0 in
+  let visit v d =
+    if t.seen.(v) <> stamp then begin
+      t.seen.(v) <- stamp;
+      t.dist.(v) <- d;
+      t.queue.(!tail) <- v;
+      incr tail
+    end
+  in
+  visit t.player 0;
+  (* the player's tentative arcs only matter as first steps *)
+  Array.iter (fun v -> visit v 1) targets;
+  Array.iter (fun v -> visit v 1) t.static_adj.(t.player);
+  (* skip the player itself in the queue: position 0 *)
+  head := 0;
+  while !head < !tail do
+    let u = t.queue.(!head) in
+    incr head;
+    if u <> t.player then begin
+      let du = t.dist.(u) in
+      Array.iter (fun v -> visit v (du + 1)) t.static_adj.(u)
+    end
+  done;
+  let reached = !tail in
+  let inf = t.n * t.n in
+  match t.version with
+  | Cost.Sum ->
+      let acc = ref 0 in
+      for i = 0 to reached - 1 do
+        acc := !acc + t.dist.(t.queue.(i))
+      done;
+      !acc + ((t.n - reached) * inf)
+  | Cost.Max ->
+      if reached = t.n then begin
+        let acc = ref 0 in
+        for i = 0 to reached - 1 do
+          if t.dist.(t.queue.(i)) > !acc then acc := t.dist.(t.queue.(i))
+        done;
+        !acc
+      end
+      else begin
+        (* kappa = 1 (player's component) + components among unreached *)
+        let kappa = 1 + unreached_components t in
+        inf + ((kappa - 1) * inf)
+      end
+
+let current_cost t = cost t t.own

@@ -1,0 +1,39 @@
+(** Fast repeated evaluation of one player's deviations.
+
+    Exact best-response search evaluates thousands of candidate
+    strategies of a single player against a {e fixed} rest-of-profile.
+    The generic route ({!Game.deviation_cost}) rebuilds the whole
+    digraph and its undirected view per candidate; this module builds
+    the static part — every arc {e not} owned by the deviating player,
+    as undirected adjacency — once, and evaluates each candidate with a
+    single BFS that overlays the player's tentative arcs:
+
+    - a shortest path from the player never revisits the player, so an
+      edge [player - t] can only ever be the {e first} step: BFS from
+      the player with [neighbors(player) = static ∪ targets] and
+      [neighbors(v) = static(v)] elsewhere is exact;
+    - the vertices the BFS misses induce the same components as in the
+      static graph (none of their edges involve the player), so the
+      MAX version's [kappa] is recovered without rebuilding anything.
+
+    The observable behaviour is {e identical} to the generic route
+    (a qcheck property in the test suite pins this); the win is the
+    per-candidate constant. *)
+
+type t
+
+val make : Cost.version -> Strategy.t -> player:int -> t
+(** Captures the fixed part.  O(n + m). *)
+
+val player : t -> int
+val version : t -> Cost.version
+
+val cost : t -> int array -> int
+(** [cost ctx targets] is the player's cost if it plays [targets]
+    (sorted or not; duplicates and self-targets are rejected).  Budget
+    length is {e not} enforced here — the evaluator is also used on
+    partial target sets by the greedy heuristic.
+    @raise Invalid_argument on a self-target or out-of-range vertex. *)
+
+val current_cost : t -> int
+(** Cost of the player's actual strategy in the captured profile. *)

@@ -1,0 +1,120 @@
+module Combinatorics = Bbng_graph.Combinatorics
+
+type refutation = {
+  player : int;
+  better : Best_response.move;
+  current_cost : int;
+}
+
+type verdict = Equilibrium | Refuted of refutation
+
+let certify_with deviation_finder game profile =
+  let n = Game.n game in
+  let rec scan player =
+    if player >= n then Equilibrium
+    else
+      match deviation_finder game profile player with
+      | Some better ->
+          Refuted { player; better; current_cost = Game.player_cost game profile player }
+      | None -> scan (player + 1)
+  in
+  scan 0
+
+let certify game profile = certify_with Best_response.exact_improvement game profile
+let is_nash game profile = certify game profile = Equilibrium
+
+let certify_parallel ?domains game profile =
+  let n = Game.n game in
+  let witness =
+    Parallel.find_map ?domains ~n (fun player ->
+        match Best_response.exact_improvement game profile player with
+        | Some better ->
+            Some
+              (Refuted
+                 {
+                   player;
+                   better;
+                   current_cost = Game.player_cost game profile player;
+                 })
+        | None -> None)
+  in
+  match witness with Some v -> v | None -> Equilibrium
+
+let is_nash_parallel ?domains game profile =
+  let n = Game.n game in
+  Parallel.for_all ?domains ~n (fun player ->
+      Best_response.exact_improvement game profile player = None)
+
+let certify_swap game profile =
+  certify_with Best_response.first_improving_swap game profile
+
+let is_swap_stable game profile = certify_swap game profile = Equilibrium
+
+let digraph_is_nash version g =
+  let profile = Strategy.of_digraph g in
+  is_nash (Game.make version (Strategy.budgets profile)) profile
+
+let pp_verdict ppf = function
+  | Equilibrium -> Format.fprintf ppf "equilibrium"
+  | Refuted r ->
+      Format.fprintf ppf
+        "refuted: player %d improves %d -> %d by playing {%a}" r.player
+        r.current_cost r.better.Best_response.cost
+        (Format.pp_print_array
+           ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ",")
+           Format.pp_print_int)
+        r.better.Best_response.targets
+
+let iter_profiles budgets f =
+  let n = Budget.n budgets in
+  let strategies = Array.make n [||] in
+  let unshift player c =
+    Array.map (fun i -> if i < player then i else i + 1) c
+  in
+  let rec assign player =
+    if player = n then f (Strategy.make budgets (Array.map Array.copy strategies))
+    else
+      Combinatorics.iter_combinations ~n:(n - 1) ~k:(Budget.get budgets player)
+        (fun c ->
+          strategies.(player) <- unshift player c;
+          assign (player + 1))
+  in
+  assign 0
+
+let count_profiles budgets =
+  let n = Budget.n budgets in
+  let acc = ref 1 in
+  for i = 0 to n - 1 do
+    let c = Combinatorics.binomial (n - 1) (Budget.get budgets i) in
+    acc := if !acc > 0 && c > max_int / !acc then max_int else !acc * c
+  done;
+  !acc
+
+exception Limit_reached
+
+let enumerate_equilibria ?limit game =
+  let found = ref [] in
+  let count = ref 0 in
+  (try
+     iter_profiles (Game.budgets game) (fun profile ->
+         if is_nash game profile then begin
+           found := profile :: !found;
+           incr count;
+           match limit with
+           | Some l when !count >= l -> raise Limit_reached
+           | Some _ | None -> ()
+         end)
+   with Limit_reached -> ());
+  List.rev !found
+
+let equilibrium_diameter_range game =
+  let range = ref None in
+  iter_profiles (Game.budgets game) (fun profile ->
+      if is_nash game profile then begin
+        let d = Game.social_cost game profile in
+        range :=
+          match !range with
+          | None -> Some (d, d)
+          | Some (lo, hi) -> Some (min lo d, max hi d)
+      end);
+  !range

@@ -1,0 +1,68 @@
+(** Nash equilibrium certification.
+
+    A profile is a (pure) Nash equilibrium iff every player is playing a
+    best response.  Certification is exact (exponential in budgets,
+    with the Lemma 2.2 and cost-floor short-circuits) and returns a
+    {e witness} on failure so tests and experiments can show the
+    profitable deviation instead of a bare [false].
+
+    Swap stability (no single-arc replacement helps any player) is the
+    weaker, polynomial notion of Alon et al.; every Nash equilibrium is
+    swap stable, and several of the paper's arguments only use swap
+    deviations. *)
+
+type refutation = {
+  player : int;
+  better : Best_response.move;  (** a strictly improving deviation *)
+  current_cost : int;
+}
+
+type verdict =
+  | Equilibrium
+  | Refuted of refutation
+
+val certify : Game.t -> Strategy.t -> verdict
+(** Exact Nash check.  Players are scanned in increasing order and the
+    first refutation is returned. *)
+
+val is_nash : Game.t -> Strategy.t -> bool
+
+val certify_parallel : ?domains:int -> Game.t -> Strategy.t -> verdict
+(** Like {!certify}, with the per-player best-response checks fanned
+    out over OCaml 5 domains (see {!Parallel}).  When refuted, the
+    returned witness may belong to any deviating player (whichever
+    domain finished first), not necessarily the smallest index. *)
+
+val is_nash_parallel : ?domains:int -> Game.t -> Strategy.t -> bool
+
+val certify_swap : Game.t -> Strategy.t -> verdict
+(** Swap-stability check (polynomial). *)
+
+val is_swap_stable : Game.t -> Strategy.t -> bool
+
+val digraph_is_nash : Cost.version -> Bbng_graph.Digraph.t -> bool
+(** Convenience: reads the profile and budgets off a realization.  This
+    is how the paper's constructions are certified (their budgets are
+    defined by their arcs). *)
+
+val pp_verdict : Format.formatter -> verdict -> unit
+
+(** {1 Exhaustive enumeration (small instances)} *)
+
+val iter_profiles : Budget.t -> (Strategy.t -> unit) -> unit
+(** Every strategy profile of the instance, lexicographically.  The
+    count is [prod_i C(n-1, b_i)]: practical for [n <= 6]-ish. *)
+
+val count_profiles : Budget.t -> int
+(** [prod_i C(n-1, b_i)], saturating at [max_int]. *)
+
+val enumerate_equilibria : ?limit:int -> Game.t -> Strategy.t list
+(** All Nash equilibria of a small instance, in enumeration order,
+    stopping after [limit] (default: no limit).  Used to compute exact
+    max/min equilibrium diameters (hence exact PoA/PoS) on small
+    instances. *)
+
+val equilibrium_diameter_range : Game.t -> (int * int) option
+(** [(min, max)] diameter over {e all} equilibria of a small instance
+    ([None] if the game has no pure equilibrium — the paper proves one
+    always exists, so [None] signals a bug or a too-large instance). *)

@@ -1,0 +1,40 @@
+module Digraph = Bbng_graph.Digraph
+module Undirected = Bbng_graph.Undirected
+
+type t = {
+  version : Cost.version;
+  budgets : Budget.t;
+}
+
+let make version budgets = { version; budgets }
+let version g = g.version
+let budgets g = g.budgets
+let n g = Budget.n g.budgets
+
+let check_profile g p =
+  if Strategy.n p <> n g then invalid_arg "Game: profile size mismatch"
+
+let player_cost g p player =
+  check_profile g p;
+  Cost.vertex_cost g.version (Strategy.underlying p) player
+
+let costs g p =
+  check_profile g p;
+  Cost.profile_costs g.version (Strategy.underlying p)
+
+let deviation_cost g p ~player ~targets =
+  check_profile g p;
+  if Array.length targets <> Budget.get g.budgets player then
+    invalid_arg "Game.deviation_cost: deviation violates the player's budget";
+  let realization = Strategy.realize p in
+  let deviated = Digraph.replace_out_neighbors realization player targets in
+  Cost.vertex_cost g.version (Undirected.of_digraph deviated) player
+
+let social_cost g p =
+  check_profile g p;
+  Cost.social_cost (Strategy.underlying p)
+
+let social_welfare g p = Array.fold_left ( + ) 0 (costs g p)
+
+let pp ppf g =
+  Format.fprintf ppf "%s %a" (Cost.version_name g.version) Budget.pp g.budgets

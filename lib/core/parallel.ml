@@ -1,0 +1,51 @@
+let recommended_domains () = max 1 (Domain.recommended_domain_count () - 1)
+
+(* Block-cyclic index distribution: domain d handles indices
+   d, d + k, d + 2k, ...  This balances heterogeneous per-index work
+   (low player indices are not systematically cheaper). *)
+
+let for_all ?domains ~n f =
+  let k = min n (match domains with Some d -> max 1 d | None -> recommended_domains ()) in
+  if k <= 1 || n <= 1 then begin
+    let rec go i = i >= n || (f i && go (i + 1)) in
+    go 0
+  end
+  else begin
+    let failed = Atomic.make false in
+    let worker d () =
+      let i = ref d in
+      while (not (Atomic.get failed)) && !i < n do
+        if not (f !i) then Atomic.set failed true;
+        i := !i + k
+      done
+    in
+    let spawned = List.init (k - 1) (fun d -> Domain.spawn (worker (d + 1))) in
+    worker 0 ();
+    List.iter Domain.join spawned;
+    not (Atomic.get failed)
+  end
+
+let find_map ?domains ~n f =
+  let k = min n (match domains with Some d -> max 1 d | None -> recommended_domains ()) in
+  if k <= 1 || n <= 1 then begin
+    let rec go i = if i >= n then None else match f i with Some _ as r -> r | None -> go (i + 1) in
+    go 0
+  end
+  else begin
+    let result = Atomic.make None in
+    let worker d () =
+      let i = ref d in
+      while Atomic.get result = None && !i < n do
+        (match f !i with
+        | Some _ as r ->
+            (* keep the first writer's answer *)
+            ignore (Atomic.compare_and_set result None r)
+        | None -> ());
+        i := !i + k
+      done
+    in
+    let spawned = List.init (k - 1) (fun d -> Domain.spawn (worker (d + 1))) in
+    worker 0 ();
+    List.iter Domain.join spawned;
+    Atomic.get result
+  end

@@ -1,0 +1,30 @@
+(** Multicore helpers (OCaml 5 domains).
+
+    Equilibrium certification is embarrassingly parallel across players
+    — each player's best-response check touches only immutable data —
+    so the expensive certifications (Figure 1, big tripods, shift
+    graphs) can fan out over domains.  No dependency beyond the
+    standard library: plain [Domain.spawn] with block scheduling and an
+    atomic early-exit flag.
+
+    Keep the task grain coarse: spawning a domain costs far more than a
+    BFS, so these helpers are used at the per-player level, not inside
+    the subset enumeration. *)
+
+val recommended_domains : unit -> int
+(** [max 1 (Domain.recommended_domain_count () - 1)]: leave one core
+    for the caller. *)
+
+val for_all : ?domains:int -> n:int -> (int -> bool) -> bool
+(** [for_all ~n f] is [f 0 && ... && f (n-1)], evaluated on up to
+    [domains] domains (default {!recommended_domains}) with early exit:
+    once any index returns [false], remaining work is abandoned at the
+    next index boundary.  [f] must be safe to run concurrently (pure,
+    or confined to its own mutable state).  Falls back to a sequential
+    scan when [domains <= 1] or [n <= 1]. *)
+
+val find_map : ?domains:int -> n:int -> (int -> 'a option) -> 'a option
+(** First-ish [Some] produced by any index, or [None].  "First-ish":
+    with several domains the winner is the first to {e finish}, not
+    necessarily the smallest index — callers needing determinism should
+    use one domain.  Early exit as in {!for_all}. *)

@@ -1,0 +1,198 @@
+module Digraph = Bbng_graph.Digraph
+module Undirected = Bbng_graph.Undirected
+module Bfs = Bbng_graph.Bfs
+
+type t = {
+  n : int;
+  alive_mask : bool array;
+  weights : int array;
+  out : int list array;            (* arcs among alive vertices *)
+  underlying : Undirected.t Lazy.t;
+}
+
+let build n alive_mask weights out =
+  let underlying =
+    lazy
+      (let edges = ref [] in
+       Array.iteri
+         (fun u targets -> List.iter (fun v -> edges := (u, v) :: !edges) targets)
+         out;
+       Undirected.of_edges ~n !edges)
+  in
+  { n; alive_mask; weights; out; underlying }
+
+let of_digraph g =
+  let n = Digraph.n g in
+  build n (Array.make n true) (Array.make n 1)
+    (Array.init n (fun u -> Array.to_list (Digraph.out_neighbors g u)))
+
+let of_profile p = of_digraph (Strategy.realize p)
+
+let n t = t.n
+let is_alive t v = v >= 0 && v < t.n && t.alive_mask.(v)
+
+let alive t =
+  let acc = ref [] in
+  for v = t.n - 1 downto 0 do
+    if t.alive_mask.(v) then acc := v :: !acc
+  done;
+  !acc
+
+let alive_count t =
+  Array.fold_left (fun acc a -> if a then acc + 1 else acc) 0 t.alive_mask
+
+let check_alive t v =
+  if not (is_alive t v) then
+    invalid_arg (Printf.sprintf "Weighted: vertex %d is dead or out of range" v)
+
+let weight t v = check_alive t v; t.weights.(v)
+
+let total_weight t =
+  let acc = ref 0 in
+  for v = 0 to t.n - 1 do
+    if t.alive_mask.(v) then acc := !acc + t.weights.(v)
+  done;
+  !acc
+
+let underlying t = Lazy.force t.underlying
+let out_neighbors t v = check_alive t v; t.out.(v)
+
+let weighted_cost t u =
+  check_alive t u;
+  let dist = Bfs.distances (underlying t) u in
+  let inf = t.n * t.n in
+  let acc = ref 0 in
+  for v = 0 to t.n - 1 do
+    if t.alive_mask.(v) && v <> u then
+      acc := !acc + (t.weights.(v) * if dist.(v) = Bfs.unreachable then inf else dist.(v))
+  done;
+  !acc
+
+let degree t v =
+  let u = underlying t in
+  Undirected.degree u v
+
+let out_degree t v = List.length t.out.(v)
+
+let leaves_with pred t =
+  List.filter (fun v -> degree t v = 1 && pred (out_degree t v)) (alive t)
+
+let poor_leaves t = leaves_with (fun d -> d = 0) t
+let rich_leaves t = leaves_with (fun d -> d = 1) t
+
+let sole_neighbor t v =
+  match Undirected.neighbors (underlying t) v with
+  | [| u |] -> u
+  | _ -> invalid_arg (Printf.sprintf "Weighted: vertex %d is not a leaf" v)
+
+let fold_poor_leaf t leaf =
+  check_alive t leaf;
+  if not (degree t leaf = 1 && out_degree t leaf = 0) then
+    invalid_arg (Printf.sprintf "Weighted.fold_poor_leaf: %d is not a poor leaf" leaf);
+  let support = sole_neighbor t leaf in
+  let alive_mask = Array.copy t.alive_mask in
+  let weights = Array.copy t.weights in
+  let out = Array.map (List.filter (fun v -> v <> leaf)) t.out in
+  alive_mask.(leaf) <- false;
+  weights.(support) <- weights.(support) + weights.(leaf);
+  build t.n alive_mask weights out
+
+let fold_all_poor_leaves t =
+  let rec go t count =
+    match poor_leaves t with
+    | [] -> (t, count)
+    | leaf :: _ -> go (fold_poor_leaf t leaf) (count + 1)
+  in
+  go t 0
+
+let rich_leaves_within_2 t =
+  let rl = rich_leaves t in
+  let g = underlying t in
+  let rec pairs = function
+    | [] -> true
+    | u :: rest ->
+        let dist = Bfs.distances g u in
+        List.for_all (fun v -> dist.(v) <> Bfs.unreachable && dist.(v) <= 2) rest
+        && pairs rest
+  in
+  pairs rl
+
+let degree2_edges t =
+  let g = underlying t in
+  let acc = ref [] in
+  Undirected.iter_edges
+    (fun u v ->
+      if Undirected.degree g u = 2 && Undirected.degree g v = 2 then
+        acc := (u, v) :: !acc)
+    g;
+  List.rev !acc
+
+let contract_edge t u v =
+  check_alive t u;
+  check_alive t v;
+  if not (Undirected.mem_edge (underlying t) u v) then
+    invalid_arg "Weighted.contract_edge: edge absent";
+  let alive_mask = Array.copy t.alive_mask in
+  let weights = Array.copy t.weights in
+  alive_mask.(v) <- false;
+  weights.(u) <- weights.(u) + weights.(v);
+  (* Redirect every incidence of v to u, dropping the self-loops this
+     creates (the contracted pair) and merging duplicates. *)
+  let redirect w = if w = v then u else w in
+  let out =
+    Array.mapi
+      (fun src targets ->
+        if src = v then []
+        else
+          let targets = List.map redirect targets in
+          let targets =
+            if src = u then List.filter (fun w -> w <> u) targets else targets
+          in
+          List.sort_uniq compare targets)
+      t.out
+  in
+  (* v's own arcs move to u. *)
+  let moved = List.filter (fun w -> w <> u) (List.map redirect t.out.(v)) in
+  out.(u) <- List.sort_uniq compare (moved @ out.(u));
+  build t.n alive_mask weights out
+
+let contract_all_degree2 t =
+  let rec go t count =
+    match degree2_edges t with
+    | [] -> (t, count)
+    | (u, v) :: _ -> go (contract_edge t u v) (count + 1)
+  in
+  go t 0
+
+let is_weak_equilibrium t =
+  let alive_vs = alive t in
+  List.for_all
+    (fun u ->
+      let base_cost = weighted_cost t u in
+      let owned = t.out.(u) in
+      List.for_all
+        (fun dropped ->
+          List.for_all
+            (fun x ->
+              if x = u || List.mem x owned then true
+              else begin
+                let out = Array.copy t.out in
+                out.(u) <- x :: List.filter (fun w -> w <> dropped) owned;
+                let t' = build t.n t.alive_mask t.weights out in
+                weighted_cost t' u >= base_cost
+              end)
+            alive_vs)
+        owned)
+    alive_vs
+
+let pp ppf t =
+  Format.fprintf ppf "weighted{";
+  List.iter
+    (fun v ->
+      Format.fprintf ppf " %d(w=%d)->[%a]" v t.weights.(v)
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ",")
+           Format.pp_print_int)
+        t.out.(v))
+    (alive t);
+  Format.fprintf ppf " }"

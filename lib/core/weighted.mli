@@ -1,0 +1,87 @@
+(** Weighted weak-equilibrium machinery (Section 6).
+
+    The proof of the SUM upper bound (Theorem 6.9) works on {e weighted}
+    directed graphs: vertex weights absorb folded-away subtrees, and the
+    only deviations considered are single-arc swaps ("weak equilibrium").
+    This module makes those proof gadgets executable so the experiments
+    can watch Lemmas 6.2-6.5 act on real equilibria:
+
+    - a poor leaf (degree 1, out-degree 0) can be {e folded} into its
+      support vertex, transferring its weight — weak equilibrium is
+      preserved (the step before Corollary 6.3);
+    - rich leaves (degree 1, out-degree 1) pairwise lie within distance
+      2 (Lemma 6.4);
+    - edges whose two endpoints both have degree 2 can be contracted,
+      and a long path contains only O(log w(P)) of them (Lemma 6.5).
+
+    Vertices keep their original indices; folded/contracted vertices are
+    marked dead and become isolated. *)
+
+type t
+
+val of_digraph : Bbng_graph.Digraph.t -> t
+(** Unit weights, everything alive. *)
+
+val of_profile : Strategy.t -> t
+
+val n : t -> int
+(** Size of the original index space (dead vertices included). *)
+
+val alive : t -> int list
+val is_alive : t -> int -> bool
+val alive_count : t -> int
+
+val weight : t -> int -> int
+(** @raise Invalid_argument on a dead vertex. *)
+
+val total_weight : t -> int
+(** Invariant under folding and contraction. *)
+
+val underlying : t -> Bbng_graph.Undirected.t
+(** Underlying undirected graph on the alive vertices (dead vertices
+    present but isolated — skip them with {!is_alive}). *)
+
+val out_neighbors : t -> int -> int list
+
+val weighted_cost : t -> int -> int
+(** [c(u) = sum_{v alive} w(v) dist(u, v)], with [dist = Cinf = n^2] for
+    unreachable pairs (matching the unweighted convention). *)
+
+(** {1 Leaves} *)
+
+val poor_leaves : t -> int list
+val rich_leaves : t -> int list
+
+val fold_poor_leaf : t -> int -> t
+(** Folds a poor leaf into its unique neighbor (weight transfers).
+    @raise Invalid_argument if the vertex is not a poor leaf. *)
+
+val fold_all_poor_leaves : t -> t * int
+(** Folds until no poor leaf remains; returns the number of folds.  This
+    is the subtree-folding sequence of Corollary 6.3. *)
+
+val rich_leaves_within_2 : t -> bool
+(** The Lemma 6.4 invariant: every pair of rich leaves is at distance at
+    most 2 (vacuously true with fewer than two rich leaves). *)
+
+(** {1 Degree-2 chains (Lemma 6.5)} *)
+
+val degree2_edges : t -> (int * int) list
+(** Alive edges both of whose endpoints have degree exactly 2. *)
+
+val contract_edge : t -> int -> int -> t
+(** Contracts the alive edge [(u, v)] by merging [v] into [u] (weights
+    add, [v]'s other incidences move to [u], duplicates merged).
+    @raise Invalid_argument if the edge is absent. *)
+
+val contract_all_degree2 : t -> t * int
+(** Repeatedly contracts degree-2-degree-2 edges until none remain;
+    returns the contraction count. *)
+
+(** {1 Weak equilibrium} *)
+
+val is_weak_equilibrium : t -> bool
+(** No alive player can strictly decrease its weighted SUM cost by
+    swapping exactly one of its arcs.  O(m n) cost evaluations. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,120 @@
+open Bbng_core
+
+type rule = Exact_best | First_improving | Best_swap | First_swap
+
+let rule_name = function
+  | Exact_best -> "exact-best"
+  | First_improving -> "first-improving"
+  | Best_swap -> "best-swap"
+  | First_swap -> "first-swap"
+
+let mover rule game profile player =
+  match rule with
+  | Exact_best | First_improving ->
+      (* Both rules apply an exact improving move; Exact_best prefers
+         the best one. *)
+      if rule = Exact_best then Best_response.best_improvement game profile player
+      else Best_response.exact_improvement game profile player
+  | Best_swap -> Best_response.swap_best game profile player
+  | First_swap -> Best_response.first_improving_swap game profile player
+
+type outcome =
+  | Converged of { profile : Strategy.t; steps : int }
+  | Cycle of { profile : Strategy.t; steps : int; period : int }
+  | Step_limit of { profile : Strategy.t; steps : int }
+
+let outcome_name = function
+  | Converged _ -> "converged"
+  | Cycle _ -> "cycle"
+  | Step_limit _ -> "step-limit"
+
+let final_profile = function
+  | Converged { profile; _ } | Cycle { profile; _ } | Step_limit { profile; _ } ->
+      profile
+
+let steps = function
+  | Converged { steps; _ } | Cycle { steps; _ } | Step_limit { steps; _ } -> steps
+
+type trace_entry = {
+  step : int;
+  player : int;
+  old_cost : int;
+  new_cost : int;
+  social_cost : int;
+}
+
+module Profile_key = struct
+  type t = string
+  let of_profile p = Strategy.to_string p
+end
+
+let run ?(max_steps = 10_000) ?(detect_cycles = true) ?on_step game ~schedule
+    ~rule start =
+  let n = Game.n game in
+  let seen : (Profile_key.t, int) Hashtbl.t = Hashtbl.create 256 in
+  let remember step profile =
+    if detect_cycles then begin
+      let key = Profile_key.of_profile profile in
+      match Hashtbl.find_opt seen key with
+      | Some earlier -> Some (step - earlier)
+      | None ->
+          Hashtbl.add seen key step;
+          None
+    end
+    else None
+  in
+  ignore (remember 0 start);
+  let rec loop sched_state profile step =
+    if step >= max_steps then Step_limit { profile; steps = step }
+    else begin
+      (* The schedule probes players through this memoized move lookup,
+         so Max_gain's n probes and the final application share work. *)
+      let cache : (int, Best_response.move option) Hashtbl.t = Hashtbl.create 8 in
+      let move_of p =
+        match Hashtbl.find_opt cache p with
+        | Some m -> m
+        | None ->
+            let m = mover rule game profile p in
+            Hashtbl.add cache p m;
+            m
+      in
+      let improving p =
+        match move_of p with
+        | None -> None
+        | Some m -> Some (Game.player_cost game profile p - m.Best_response.cost)
+      in
+      match Schedule.next_player sched_state ~improving with
+      | None -> Converged { profile; steps = step }
+      | Some (player, sched_state) -> (
+          match move_of player with
+          | None -> assert false (* the schedule only returns improvers *)
+          | Some m ->
+              let old_cost = Game.player_cost game profile player in
+              let profile =
+                Strategy.with_strategy profile ~player ~targets:m.Best_response.targets
+              in
+              let step = step + 1 in
+              (match on_step with
+              | Some f ->
+                  f
+                    {
+                      step;
+                      player;
+                      old_cost;
+                      new_cost = m.Best_response.cost;
+                      social_cost = Game.social_cost game profile;
+                    }
+              | None -> ());
+              (match remember step profile with
+              | Some period -> Cycle { profile; steps = step; period }
+              | None -> loop sched_state profile step))
+    end
+  in
+  loop (Schedule.start schedule ~n) start 0
+
+let stable game rule profile =
+  let n = Game.n game in
+  let rec check p =
+    p >= n || (mover rule game profile p = None && check (p + 1))
+  in
+  check 0

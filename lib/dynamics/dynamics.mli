@@ -1,0 +1,57 @@
+open Bbng_core
+(** Iterated response dynamics.
+
+    From an initial profile, repeatedly activate a player (per a
+    {!Schedule.t}) and apply its move (per a {!type-rule}), until no
+    player can improve (the profile is then a Nash equilibrium for
+    [Exact_best] moves, a swap equilibrium for swap moves), a previously
+    visited profile recurs (a best-response cycle — the phenomenon
+    Laoutaris et al. exhibited in the directed variant, left open for
+    this game by Section 8), or a step bound is hit. *)
+
+type rule =
+  | Exact_best       (** move to an exact best response *)
+  | First_improving  (** first strictly improving strategy found *)
+  | Best_swap        (** best single-arc swap *)
+  | First_swap       (** first improving single-arc swap *)
+
+val rule_name : rule -> string
+
+type outcome =
+  | Converged of {
+      profile : Strategy.t;
+      steps : int;        (** number of strategy changes applied *)
+    }
+  | Cycle of {
+      profile : Strategy.t;  (** first repeated profile *)
+      steps : int;           (** step index at which it recurred *)
+      period : int;          (** distance since its previous occurrence *)
+    }
+  | Step_limit of { profile : Strategy.t; steps : int }
+
+val outcome_name : outcome -> string
+val final_profile : outcome -> Strategy.t
+val steps : outcome -> int
+
+type trace_entry = {
+  step : int;
+  player : int;
+  old_cost : int;
+  new_cost : int;
+  social_cost : int;  (** diameter after the move *)
+}
+
+val run :
+  ?max_steps:int ->
+  ?detect_cycles:bool ->
+  ?on_step:(trace_entry -> unit) ->
+  Game.t -> schedule:Schedule.t -> rule:rule -> Strategy.t -> outcome
+(** [run game ~schedule ~rule start] iterates until one of the outcomes
+    above.  Defaults: [max_steps = 10_000], [detect_cycles = true]
+    (profiles are hashed; memory grows with the trajectory length).
+    Cycle detection compares full profiles, so a reported [Cycle] is a
+    genuine best-response loop, not a hash collision. *)
+
+val stable : Game.t -> rule -> Strategy.t -> bool
+(** No player has a move under the rule: post-condition of
+    [Converged]. *)

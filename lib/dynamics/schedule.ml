@@ -1,0 +1,68 @@
+type t = Round_robin | Random_order of int | Max_gain
+
+let name = function
+  | Round_robin -> "round-robin"
+  | Random_order seed -> Printf.sprintf "random-order(seed=%d)" seed
+  | Max_gain -> "max-gain"
+
+type state = {
+  kind : t;
+  n : int;
+  position : int;        (* next slot in the current order *)
+  order : int array;     (* current round's activation order *)
+  rng : Random.State.t option;
+}
+
+let fresh_order st =
+  match st.rng with
+  | None -> Array.init st.n Fun.id
+  | Some rng ->
+      let a = Array.init st.n Fun.id in
+      for i = st.n - 1 downto 1 do
+        let j = Random.State.int rng (i + 1) in
+        let tmp = a.(i) in
+        a.(i) <- a.(j);
+        a.(j) <- tmp
+      done;
+      a
+
+let start kind ~n =
+  let rng =
+    match kind with
+    | Random_order seed -> Some (Random.State.make [| seed |])
+    | Round_robin | Max_gain -> None
+  in
+  let st = { kind; n; position = 0; order = [||]; rng } in
+  { st with order = fresh_order st }
+
+let next_player st ~improving =
+  match st.kind with
+  | Max_gain ->
+      let best = ref None in
+      for p = 0 to st.n - 1 do
+        match improving p with
+        | Some gain -> (
+            match !best with
+            | Some (_, g) when g >= gain -> ()
+            | Some _ | None -> best := Some (p, gain))
+        | None -> ()
+      done;
+      Option.map (fun (p, _) -> (p, st)) !best
+  | Round_robin | Random_order _ ->
+      (* Scan at most n players starting from the schedule position,
+         re-drawing the order at each round boundary. *)
+      let rec scan st tried =
+        if tried >= st.n then None
+        else begin
+          let st =
+            if st.position >= st.n then { st with position = 0; order = fresh_order st }
+            else st
+          in
+          let p = st.order.(st.position) in
+          let st = { st with position = st.position + 1 } in
+          match improving p with
+          | Some _ -> Some (p, st)
+          | None -> scan st (tried + 1)
+        end
+      in
+      scan st 0

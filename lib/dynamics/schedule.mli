@@ -1,0 +1,31 @@
+(** Player activation schedules for response dynamics.
+
+    The paper (Section 8) leaves convergence of best-response dynamics
+    open and notes Laoutaris et al. exhibit a loop in their directed
+    variant; the dynamics engine therefore supports several activation
+    orders so the experiments can probe convergence under each. *)
+
+type t =
+  | Round_robin
+      (** players 0, 1, ..., n-1, repeating *)
+  | Random_order of int
+      (** a fresh uniform permutation each round, seeded *)
+  | Max_gain
+      (** the player with the largest available cost improvement moves
+          (expensive: evaluates every player's move each step) *)
+
+val name : t -> string
+
+type state
+(** Iteration state (permutation position, RNG). *)
+
+val start : t -> n:int -> state
+
+val next_player :
+  state -> improving:(int -> int option) -> (int * state) option
+(** [next_player st ~improving] picks the next player to activate.
+    [improving p] must report the cost {e gain} of player [p]'s chosen
+    move ([None] if [p] has no improving move).  Returns [None] when no
+    player can improve (= the profile is stable for this move rule).
+    For [Round_robin]/[Random_order] the scan starts at the schedule
+    position and wraps; for [Max_gain] every player is probed. *)

@@ -1,0 +1,65 @@
+let unreachable = -1
+
+(* The queue is a preallocated ring over at most n vertices, so each BFS
+   allocates exactly two arrays. *)
+let bfs_core g sources ~record_parent =
+  let n = Undirected.n g in
+  let dist = Array.make n unreachable in
+  let parent = if record_parent then Array.make n (-1) else [||] in
+  let queue = Array.make (max n 1) 0 in
+  let head = ref 0 and tail = ref 0 in
+  List.iter
+    (fun s ->
+      if dist.(s) = unreachable then begin
+        dist.(s) <- 0;
+        if record_parent then parent.(s) <- s;
+        queue.(!tail) <- s;
+        incr tail
+      end)
+    sources;
+  while !head < !tail do
+    let u = queue.(!head) in
+    incr head;
+    let du = dist.(u) in
+    Array.iter
+      (fun v ->
+        if dist.(v) = unreachable then begin
+          dist.(v) <- du + 1;
+          if record_parent then parent.(v) <- u;
+          queue.(!tail) <- v;
+          incr tail
+        end)
+      (Undirected.neighbors g u)
+  done;
+  (dist, parent)
+
+let distances g src = fst (bfs_core g [ src ] ~record_parent:false)
+
+let distances_from_set g sources =
+  if sources = [] then invalid_arg "Bfs.distances_from_set: empty source set";
+  fst (bfs_core g sources ~record_parent:false)
+
+let distance g u v =
+  if u = v then Some 0
+  else
+    let dist = distances g u in
+    if dist.(v) = unreachable then None else Some dist.(v)
+
+let parents g src = snd (bfs_core g [ src ] ~record_parent:true)
+
+let shortest_path g u v =
+  let parent = parents g u in
+  if parent.(v) = -1 then None
+  else begin
+    let rec walk acc x = if x = u then u :: acc else walk (x :: acc) parent.(x) in
+    Some (walk [] v)
+  end
+
+let level_sets g src =
+  let dist = distances g src in
+  let ecc = Array.fold_left max 0 dist in
+  let levels = Array.make (ecc + 1) [] in
+  for v = Undirected.n g - 1 downto 0 do
+    if dist.(v) <> unreachable then levels.(dist.(v)) <- v :: levels.(dist.(v))
+  done;
+  levels

@@ -1,0 +1,35 @@
+(** Breadth-first search on the underlying undirected graph.
+
+    All distances in the game are hop counts in [U(G)], so BFS is the
+    single metric primitive of the whole system.  Unreachable vertices
+    get distance {!unreachable} = [-1]; translation to the paper's
+    [Cinf = n^2] convention happens in the game's cost layer. *)
+
+val unreachable : int
+(** [-1], the sentinel for "no path". *)
+
+val distances : Undirected.t -> int -> int array
+(** [distances g src] is the array of hop distances from [src];
+    [unreachable] where there is no path. *)
+
+val distances_from_set : Undirected.t -> int list -> int array
+(** Multi-source BFS: distance to the nearest source.  The paper's
+    [dist(u, A)].  All sources get 0.
+    @raise Invalid_argument if the source list is empty. *)
+
+val distance : Undirected.t -> int -> int -> int option
+(** [distance g u v] is [Some d] or [None] if disconnected.  Early exits
+    once [v] is reached. *)
+
+val parents : Undirected.t -> int -> int array
+(** BFS tree parents; [parents.(src) = src]; [-1] for unreachable.  Ties
+    broken toward the smallest-index parent, so the tree is canonical. *)
+
+val shortest_path : Undirected.t -> int -> int -> int list option
+(** A shortest [u -> v] vertex sequence including both endpoints. *)
+
+val level_sets : Undirected.t -> int -> int list array
+(** [level_sets g src] groups vertices by distance: element [d] lists the
+    vertices at distance exactly [d] (increasing index order).  The array
+    length is [ecc+1] where [ecc] is the largest finite distance;
+    unreachable vertices are not listed. *)

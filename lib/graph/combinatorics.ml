@@ -1,0 +1,72 @@
+let binomial n k =
+  if k < 0 || k > n then 0
+  else begin
+    let k = min k (n - k) in
+    let rec go acc i =
+      if i > k then acc
+      else
+        (* acc * (n - k + i) / i is exact at every step. *)
+        let num = n - k + i in
+        if acc > max_int / num then max_int
+        else go (acc * num / i) (i + 1)
+    in
+    go 1 1
+  end
+
+exception Stop
+
+(* Lexicographic successor on index arrays: find the rightmost index
+   that can still be advanced, advance it, reset the suffix. *)
+let iter_combinations ~n ~k f =
+  if k < 0 || n < 0 then invalid_arg "Combinatorics: negative argument";
+  if k = 0 then f [||]
+  else if k <= n then begin
+    let c = Array.init k (fun i -> i) in
+    let continue = ref true in
+    while !continue do
+      f c;
+      let i = ref (k - 1) in
+      while !i >= 0 && c.(!i) = n - k + !i do
+        decr i
+      done;
+      if !i < 0 then continue := false
+      else begin
+        c.(!i) <- c.(!i) + 1;
+        for j = !i + 1 to k - 1 do
+          c.(j) <- c.(j - 1) + 1
+        done
+      end
+    done
+  end
+
+let exists_combination ~n ~k pred =
+  try
+    iter_combinations ~n ~k (fun c -> if pred c then raise Stop);
+    false
+  with Stop -> true
+
+let iter_combinations_of elements ~k f =
+  let n = Array.length elements in
+  if k = 0 then f [||]
+  else if k <= n then begin
+    let buf = Array.make k elements.(0) in
+    iter_combinations ~n ~k (fun c ->
+        for i = 0 to k - 1 do
+          buf.(i) <- elements.(c.(i))
+        done;
+        f buf)
+  end
+
+let fold_best ~n ~k ~score ?stop_at () =
+  let best = ref None in
+  (try
+     iter_combinations ~n ~k (fun c ->
+         let s = score c in
+         (match !best with
+         | Some (_, b) when b <= s -> ()
+         | Some _ | None -> best := Some (Array.copy c, s));
+         match stop_at with
+         | Some floor when s <= floor -> raise Stop
+         | Some _ | None -> ())
+   with Stop -> ());
+  !best

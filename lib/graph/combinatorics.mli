@@ -1,0 +1,32 @@
+(** Subset enumeration utilities.
+
+    Strategy spaces in the game are exactly the [b]-subsets of the other
+    [n-1] players, and the k-center / k-median exact solvers enumerate
+    [k]-subsets of vertices, so subset iteration is shared substrate. *)
+
+val binomial : int -> int -> int
+(** [binomial n k], saturating at [max_int]; 0 when [k < 0] or [k > n]. *)
+
+val iter_combinations : n:int -> k:int -> (int array -> unit) -> unit
+(** [iter_combinations ~n ~k f] calls [f] once per size-[k] subset of
+    [{0, ..., n-1}], in lexicographic order, passing the subset as a
+    sorted array.  The array is reused between calls: callers must copy
+    if they retain it.  [f] is called once with [[||]] when [k = 0], and
+    never when [k > n].
+    @raise Invalid_argument if [k < 0] or [n < 0]. *)
+
+val exists_combination : n:int -> k:int -> (int array -> bool) -> bool
+(** Short-circuiting variant: [true] iff some subset satisfies the
+    predicate.  Same reuse caveat. *)
+
+val iter_combinations_of : 'a array -> k:int -> ('a array -> unit) -> unit
+(** Subsets of an arbitrary element array (elements in input order);
+    same reuse caveat. *)
+
+val fold_best :
+  n:int -> k:int -> score:(int array -> int) -> ?stop_at:int -> unit ->
+  (int array * int) option
+(** Minimizes [score] over all [k]-subsets; returns the first best
+    subset (copied) and its score.  If [stop_at] is given, stops early
+    as soon as a subset scoring [<= stop_at] is found (used with the
+    Lemma 2.2 cost floor).  [None] iff there are no subsets. *)

@@ -1,0 +1,100 @@
+(* Vertex split: v_in = 2v, v_out = 2v + 1.  Internal edges have capacity
+   1; adjacency edges get capacity n (effectively infinite), so every
+   unit of flow consumes one internal vertex on each internal hop. *)
+
+let infinite_cap g = Undirected.n g + 1
+
+let build_split g =
+  let n = Undirected.n g in
+  let net = Flow.create (2 * n) in
+  for v = 0 to n - 1 do
+    Flow.add_edge net ~src:(2 * v) ~dst:((2 * v) + 1) ~capacity:1
+  done;
+  let cap = infinite_cap g in
+  Undirected.iter_edges
+    (fun u v ->
+      Flow.add_edge net ~src:((2 * u) + 1) ~dst:(2 * v) ~capacity:cap;
+      Flow.add_edge net ~src:((2 * v) + 1) ~dst:(2 * u) ~capacity:cap)
+    g;
+  net
+
+let local_flow g u v =
+  let net = build_split g in
+  let flow = Flow.max_flow net ~source:((2 * u) + 1) ~sink:(2 * v) in
+  (net, flow)
+
+let local_connectivity g u v =
+  if u = v then invalid_arg "Connectivity.local_connectivity: u = v";
+  if Undirected.mem_edge g u v then
+    invalid_arg "Connectivity.local_connectivity: adjacent vertices";
+  snd (local_flow g u v)
+
+(* Even's seed scheme; [on_best] observes every time the best bound is
+   improved with the pair that achieved it, letting [min_vertex_cut]
+   recover a witness without duplicating the scan. *)
+let connectivity_scan g ~on_best =
+  let n = Undirected.n g in
+  if n <= 1 then 0
+  else if not (Components.is_connected g) then begin
+    on_best 0 None;
+    0
+  end
+  else begin
+    let best = ref (min (Undirected.min_degree g) (n - 1)) in
+    let seed = ref 0 in
+    while !seed <= !best && !seed < n do
+      let s = !seed in
+      for v = 0 to n - 1 do
+        if v <> s && not (Undirected.mem_edge g s v) then begin
+          let k = local_connectivity g s v in
+          if k < !best then begin
+            best := k;
+            on_best k (Some (s, v))
+          end
+        end
+      done;
+      incr seed
+    done;
+    !best
+  end
+
+let vertex_connectivity g = connectivity_scan g ~on_best:(fun _ _ -> ())
+
+let is_k_connected g k =
+  let n = Undirected.n g in
+  if k <= 0 then true
+  else if n <= k then false
+  else if k = 1 then Components.is_connected g
+  else Components.is_connected g && Undirected.min_degree g >= k
+       && vertex_connectivity g >= k
+
+let min_vertex_cut g =
+  let n = Undirected.n g in
+  if n < 2 then None
+  else begin
+    let witness = ref None in
+    let k = connectivity_scan g ~on_best:(fun _ pair -> witness := pair) in
+    if k = 0 then Some []
+    else if k = n - 1 then None (* complete graph: no cut exists *)
+    else
+      match !witness with
+      | None ->
+          (* best never improved below the degree bound: a minimum-degree
+             vertex's neighborhood is a minimum cut. *)
+          let v =
+            let best = ref 0 in
+            for u = 1 to n - 1 do
+              if Undirected.degree g u < Undirected.degree g !best then best := u
+            done;
+            !best
+          in
+          Some (Array.to_list (Undirected.neighbors g v))
+      | Some (s, t) ->
+          let net, _flow = local_flow g s t in
+          let side = Flow.min_cut_side net ~source:((2 * s) + 1) in
+          let cut = ref [] in
+          for v = n - 1 downto 0 do
+            if side.(2 * v) = 1 && side.((2 * v) + 1) = 0 then cut := v :: !cut
+          done;
+          Some !cut
+  end

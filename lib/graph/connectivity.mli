@@ -1,0 +1,33 @@
+(** Vertex connectivity via Menger's theorem.
+
+    Theorem 7.2 of the paper: a SUM equilibrium with all budgets >= k is
+    k-connected or has diameter < 4.  This module provides the exact
+    connectivity oracle used to check that claim empirically.
+
+    Implementation: local connectivity [kappa(u, v)] for non-adjacent
+    [u], [v] equals the max flow in the vertex-split network (each vertex
+    becomes an [in -> out] unit-capacity edge).  The global value follows
+    Even's scheme: it suffices to take the minimum of [kappa(v_i, v_j)]
+    over all non-adjacent pairs with [i <= kappa + 1], so we scan seeds
+    [0, 1, 2, ...] and stop once the current best is below the next seed
+    index. *)
+
+val local_connectivity : Undirected.t -> int -> int -> int
+(** [local_connectivity g u v] is the maximum number of internally
+    vertex-disjoint [u]-[v] paths.
+    @raise Invalid_argument if [u = v] or the vertices are adjacent (the
+    quantity is unbounded by convention in that case). *)
+
+val vertex_connectivity : Undirected.t -> int
+(** Global vertex connectivity; [n-1] for a complete graph, [0] for a
+    disconnected or single-vertex graph. *)
+
+val is_k_connected : Undirected.t -> int -> bool
+(** [is_k_connected g k] iff [n > k] and no cut of fewer than [k]
+    vertices disconnects [g].  Every graph is 0-connected; short-circuits
+    cheap cases ([k <= 1]) without flow computations. *)
+
+val min_vertex_cut : Undirected.t -> int list option
+(** A minimum vertex cut, or [None] when none exists (complete graphs
+    and graphs with fewer than 2 vertices).  The empty list is returned
+    for disconnected graphs. *)

@@ -1,0 +1,35 @@
+(** Cycle structure, specialized for the unicyclic graphs of Section 4.
+
+    In a [(1,...,1)]-BG realization every vertex owns exactly one arc, so
+    the functional digraph has exactly one directed cycle per (weakly)
+    connected component, and Theorems 4.1/4.2 bound the cycle length and
+    the depth of the trees hanging off it.  A brace ([u <-> v]) counts as
+    a directed 2-cycle, exactly as in the paper. *)
+
+val functional_cycle : Digraph.t -> int -> int list
+(** [functional_cycle g v] follows the unique out-arc from [v] until a
+    vertex repeats and returns that directed cycle (in arc order,
+    starting from its smallest vertex).  Requires every vertex reachable
+    by out-arcs from [v] to have out-degree exactly 1.
+    @raise Invalid_argument if an out-degree other than 1 is met. *)
+
+val functional_cycles : Digraph.t -> int list list
+(** All distinct directed cycles of a functional digraph (out-degree 1
+    everywhere), one per weak component, each starting at its smallest
+    vertex.  Sorted by that smallest vertex. *)
+
+val distance_to_set : Undirected.t -> int list -> int array
+(** [distance_to_set g vs] is the hop distance of each vertex to the set
+    [vs] in the underlying graph ([Bfs.unreachable] if none reachable).
+    Used for the "every vertex within distance 2 of the cycle" claims. *)
+
+val is_unicyclic : Undirected.t -> bool
+(** [true] iff connected with exactly [n] edges (n >= 1): one cycle with
+    trees attached.  Note: a brace collapses to a single undirected edge
+    in {!Undirected.t}, so a braced [(1,...,1)]-BG realization is {e not}
+    unicyclic in this sense — query the digraph-level functions above for
+    that case. *)
+
+val girth : Undirected.t -> int option
+(** Length of a shortest cycle in the simple graph, [None] for forests.
+    O(n (n + m)) BFS-based. *)

@@ -1,0 +1,98 @@
+(** Directed multigraphs with arc ownership.
+
+    This is the realization object of a bounded budget network creation
+    game: vertex [u] {e owns} every arc [u -> v] leaving it.  Both arcs
+    [u -> v] and [v -> u] may be present simultaneously; such a pair is
+    called a {e brace} in the paper and is treated as a cycle of length 2
+    by the structural theorems.  Self-loops and parallel arcs with the
+    same head and tail are rejected at construction time, matching the
+    game's strategy sets ([S_i] is a subset of the other players).
+
+    Vertices are the integers [0 .. n-1].  The type is immutable: all
+    "modifications" in the game layer go through strategy profiles, which
+    are re-realized into fresh graphs. *)
+
+type t
+
+(** {1 Construction} *)
+
+val create : n:int -> t
+(** [create ~n] is the arcless graph on [n] vertices.
+    @raise Invalid_argument if [n < 0]. *)
+
+val of_arcs : n:int -> (int * int) list -> t
+(** [of_arcs ~n arcs] builds the graph with the given arc list, where
+    [(u, v)] denotes the arc [u -> v] owned by [u].
+    @raise Invalid_argument on out-of-range endpoints, self-loops, or a
+    duplicate arc (same tail and head listed twice). *)
+
+val of_out_neighbors : int array array -> t
+(** [of_out_neighbors out] builds the graph on [Array.length out]
+    vertices in which vertex [u]'s owned arcs point to [out.(u)].  The
+    inner arrays are copied and sorted.  Validation as in {!of_arcs}. *)
+
+(** {1 Size} *)
+
+val n : t -> int
+(** Number of vertices. *)
+
+val arc_count : t -> int
+(** Total number of arcs (braces count twice). *)
+
+(** {1 Incidence} *)
+
+val out_neighbors : t -> int -> int array
+(** [out_neighbors g u] are the heads of arcs owned by [u], sorted
+    increasingly.  The returned array must not be mutated. *)
+
+val in_neighbors : t -> int -> int array
+(** [in_neighbors g u] are the tails of arcs pointing to [u], sorted
+    increasingly.  The returned array must not be mutated. *)
+
+val out_degree : t -> int -> int
+val in_degree : t -> int -> int
+
+val degree : t -> int -> int
+(** [degree g u] is [out_degree g u + in_degree g u]; a brace partner is
+    counted twice, matching multiplicity-2 edges of the underlying
+    multigraph [U(G)]. *)
+
+val mem_arc : t -> int -> int -> bool
+(** [mem_arc g u v] is [true] iff the arc [u -> v] is present. *)
+
+val arcs : t -> (int * int) list
+(** All arcs as [(tail, head)] pairs, in lexicographic order. *)
+
+val iter_arcs : (int -> int -> unit) -> t -> unit
+
+(** {1 Braces} *)
+
+val is_brace : t -> int -> int -> bool
+(** [is_brace g u v] is [true] iff both [u -> v] and [v -> u] exist. *)
+
+val braces : t -> (int * int) list
+(** All braces as pairs [(u, v)] with [u < v]. *)
+
+val in_some_brace : t -> int -> bool
+(** [in_some_brace g u] is [true] iff [u] belongs to some brace; used by
+    the Lemma 2.2 best-response short-circuit. *)
+
+(** {1 Transformations} *)
+
+val reverse : t -> t
+(** Reverse every arc (ownership flips with direction). *)
+
+val replace_out_neighbors : t -> int -> int array -> t
+(** [replace_out_neighbors g u targets] is [g] with all arcs owned by [u]
+    replaced by arcs to [targets].  Validation as in {!of_arcs}.  Cost is
+    O(n + m); used for single-player deviations. *)
+
+(** {1 Comparison and printing} *)
+
+val equal : t -> t -> bool
+(** Structural equality (same vertex count and same arc set). *)
+
+val pp : Format.formatter -> t -> unit
+(** Prints ["n=<n>; u->v, ..."], mainly for test failures and the CLI. *)
+
+val to_string : t -> string

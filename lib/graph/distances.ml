@@ -1,0 +1,80 @@
+type sum_result = { sum : int; unreachable : int }
+
+let eccentricity_of_row row =
+  let ecc = ref 0 and ok = ref true in
+  Array.iter
+    (fun d -> if d = Bfs.unreachable then ok := false else if d > !ecc then ecc := d)
+    row;
+  if !ok then Some !ecc else None
+
+let eccentricity g u = eccentricity_of_row (Bfs.distances g u)
+
+let fold_eccentricities g f init =
+  let n = Undirected.n g in
+  let rec go u acc =
+    if u >= n then Some acc
+    else
+      match eccentricity g u with
+      | None -> None
+      | Some e -> go (u + 1) (f acc u e)
+  in
+  go 0 init
+
+let diameter g =
+  if Undirected.n g = 0 then Some 0
+  else fold_eccentricities g (fun acc _ e -> max acc e) 0
+
+let radius g =
+  if Undirected.n g = 0 then Some 0
+  else fold_eccentricities g (fun acc _ e -> min acc e) max_int
+
+let center g =
+  match radius g with
+  | None -> []
+  | Some r ->
+      let acc = ref [] in
+      for u = Undirected.n g - 1 downto 0 do
+        match eccentricity g u with
+        | Some e when e = r -> acc := u :: !acc
+        | Some _ | None -> ()
+      done;
+      !acc
+
+let distance_sum g u =
+  let row = Bfs.distances g u in
+  let sum = ref 0 and unreachable = ref 0 in
+  Array.iter
+    (fun d -> if d = Bfs.unreachable then incr unreachable else sum := !sum + d)
+    row;
+  { sum = !sum; unreachable = !unreachable }
+
+let wiener_index g =
+  let n = Undirected.n g in
+  let rec go u acc =
+    if u >= n then Some acc
+    else
+      let { sum; unreachable } = distance_sum g u in
+      if unreachable > 0 then None else go (u + 1) (acc + sum)
+  in
+  if n = 0 then Some 0
+  else Option.map (fun twice -> twice / 2) (go 0 0)
+
+let all_pairs g = Array.init (Undirected.n g) (Bfs.distances g)
+
+let diameter_of_matrix m =
+  if Array.length m = 0 then Some 0
+  else
+    Array.fold_left
+      (fun acc row ->
+        match (acc, eccentricity_of_row row) with
+        | Some d, Some e -> Some (max d e)
+        | _, _ -> None)
+      (Some 0) m
+
+let farthest g u =
+  let row = Bfs.distances g u in
+  let best_v = ref u and best_d = ref 0 in
+  Array.iteri
+    (fun v d -> if d <> Bfs.unreachable && d > !best_d then begin best_v := v; best_d := d end)
+    row;
+  (!best_v, !best_d)

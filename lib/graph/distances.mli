@@ -1,0 +1,47 @@
+(** Distance aggregates: eccentricities, diameter, distance sums.
+
+    These are the raw graph-theoretic quantities; the paper's cost
+    functions (with their [Cinf]/[kappa] disconnection penalties) are
+    layered on top in [Bbng_core.Cost].  Here a disconnected input
+    surfaces as [None] / explicit unreachable counts, never as a
+    made-up large number. *)
+
+val eccentricity : Undirected.t -> int -> int option
+(** Local diameter of a vertex: its maximum distance to any vertex.
+    [None] if some vertex is unreachable. *)
+
+val diameter : Undirected.t -> int option
+(** Maximum distance over all pairs; [None] if disconnected; [Some 0]
+    for graphs with at most one vertex. *)
+
+val radius : Undirected.t -> int option
+(** Minimum eccentricity; [None] if disconnected. *)
+
+val center : Undirected.t -> int list
+(** Vertices of minimum eccentricity (empty iff disconnected and n>0). *)
+
+type sum_result = {
+  sum : int;          (** sum of finite distances from the source *)
+  unreachable : int;  (** number of vertices with no path from it *)
+}
+
+val distance_sum : Undirected.t -> int -> sum_result
+(** Ingredients of the SUM cost of a vertex. *)
+
+val wiener_index : Undirected.t -> int option
+(** Sum of distances over unordered pairs; [None] if disconnected. *)
+
+val all_pairs : Undirected.t -> int array array
+(** [all_pairs g] is the full distance matrix ([Bfs.unreachable] where no
+    path); row [u] is the BFS distance array from [u].  O(n(n+m)). *)
+
+val diameter_of_matrix : int array array -> int option
+(** Diameter from a precomputed {!all_pairs} matrix. *)
+
+val eccentricity_of_row : int array -> int option
+(** Eccentricity from a precomputed distance row. *)
+
+val farthest : Undirected.t -> int -> int * int
+(** [farthest g u] is [(v, d)] where [v] is a reachable vertex maximizing
+    the distance [d] from [u] (smallest index among ties).  [(u, 0)] when
+    [u] is isolated.  Building block for the double-BFS tree diameter. *)

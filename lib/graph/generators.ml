@@ -1,0 +1,235 @@
+let check_positive name v = if v < 0 then invalid_arg (name ^ ": negative size")
+
+(* {1 Deterministic digraphs} *)
+
+let directed_path n =
+  check_positive "Generators.directed_path" n;
+  Digraph.of_arcs ~n (List.init (max 0 (n - 1)) (fun i -> (i, i + 1)))
+
+let directed_cycle n =
+  if n < 2 then invalid_arg "Generators.directed_cycle: n < 2";
+  Digraph.of_arcs ~n (List.init n (fun i -> (i, (i + 1) mod n)))
+
+let out_star n =
+  if n < 1 then invalid_arg "Generators.out_star: n < 1";
+  Digraph.of_arcs ~n (List.init (n - 1) (fun i -> (0, i + 1)))
+
+let in_star n =
+  if n < 1 then invalid_arg "Generators.in_star: n < 1";
+  Digraph.of_arcs ~n (List.init (n - 1) (fun i -> (i + 1, 0)))
+
+let spider ~legs ~leg_len =
+  if legs < 1 || leg_len < 1 then invalid_arg "Generators.spider: legs and leg_len must be >= 1";
+  let hub = legs * leg_len in
+  let arcs = ref [] in
+  for leg = 0 to legs - 1 do
+    let base = leg * leg_len in
+    arcs := (base, hub) :: !arcs;
+    for p = 0 to leg_len - 2 do
+      arcs := (base + p, base + p + 1) :: !arcs
+    done
+  done;
+  Digraph.of_arcs ~n:(hub + 1) !arcs
+
+let tripod k =
+  if k < 1 then invalid_arg "Generators.tripod: k < 1";
+  spider ~legs:3 ~leg_len:k
+
+let perfect_binary_tree k =
+  if k < 0 then invalid_arg "Generators.perfect_binary_tree: negative depth";
+  let n = (1 lsl (k + 1)) - 1 in
+  let arcs = ref [] in
+  for i = 0 to n - 1 do
+    if (2 * i) + 1 < n then arcs := (i, (2 * i) + 1) :: !arcs;
+    if (2 * i) + 2 < n then arcs := (i, (2 * i) + 2) :: !arcs
+  done;
+  Digraph.of_arcs ~n !arcs
+
+let broom ~handle ~bristles =
+  if handle < 1 || bristles < 0 then invalid_arg "Generators.broom: bad sizes";
+  let n = handle + bristles in
+  let arcs = ref [] in
+  for i = 0 to handle - 2 do
+    arcs := (i, i + 1) :: !arcs
+  done;
+  for b = 0 to bristles - 1 do
+    arcs := (handle - 1, handle + b) :: !arcs
+  done;
+  Digraph.of_arcs ~n !arcs
+
+let complete_digraph n =
+  check_positive "Generators.complete_digraph" n;
+  let arcs = ref [] in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      arcs := (u, v) :: !arcs
+    done
+  done;
+  Digraph.of_arcs ~n !arcs
+
+(* {1 Shift graph (Lemma 5.2)} *)
+
+let shift_graph_size ~t ~k =
+  if t < 2 || k < 1 then invalid_arg "Generators.shift_graph: need t >= 2, k >= 1";
+  let rec power acc i =
+    if i = 0 then acc
+    else begin
+      let acc = acc * t in
+      if acc > 1 lsl 22 then invalid_arg "Generators.shift_graph: t^k too large";
+      power acc (i - 1)
+    end
+  in
+  power 1 k
+
+(* Vertices are base-t encodings, most significant digit first.  x ~ y
+   iff y = a * t^(k-1) + x / t (y's suffix is x's prefix) or
+   y = (x mod t^(k-1)) * t + a (y's prefix is x's suffix). *)
+let shift_neighbors ~t ~k x =
+  let high = ref 1 in
+  for _ = 2 to k do
+    high := !high * t
+  done;
+  let high = !high in
+  let nbrs = ref [] in
+  for a = 0 to t - 1 do
+    let y1 = (a * high) + (x / t) in
+    let y2 = ((x mod high) * t) + a in
+    if y1 <> x then nbrs := y1 :: !nbrs;
+    if y2 <> x then nbrs := y2 :: !nbrs
+  done;
+  List.sort_uniq compare !nbrs
+
+let shift_graph ~t ~k =
+  let n = shift_graph_size ~t ~k in
+  let edges = ref [] in
+  for x = 0 to n - 1 do
+    List.iter (fun y -> if x < y then edges := (x, y) :: !edges) (shift_neighbors ~t ~k x)
+  done;
+  Undirected.of_edges ~n !edges
+
+let shift_graph_orientation ~t ~k =
+  let g = shift_graph ~t ~k in
+  let n = Undirected.n g in
+  (* Pass 1: each vertex claims the edge to its smallest neighbor, giving
+     everyone out-degree >= 1.  Pass 2: unclaimed edges go to their
+     smaller endpoint. *)
+  let arcs = Hashtbl.create (4 * n) in
+  for u = 0 to n - 1 do
+    let nbrs = Undirected.neighbors g u in
+    if Array.length nbrs = 0 then
+      invalid_arg "Generators.shift_graph_orientation: isolated vertex";
+    Hashtbl.replace arcs (u, nbrs.(0)) ()
+  done;
+  Undirected.iter_edges
+    (fun u v ->
+      if not (Hashtbl.mem arcs (u, v)) && not (Hashtbl.mem arcs (v, u)) then
+        Hashtbl.replace arcs (u, v) ())
+    g;
+  Digraph.of_arcs ~n (Hashtbl.fold (fun arc () acc -> arc :: acc) arcs [])
+
+(* {1 Undirected families} *)
+
+let path_graph n =
+  check_positive "Generators.path_graph" n;
+  Undirected.of_edges ~n (List.init (max 0 (n - 1)) (fun i -> (i, i + 1)))
+
+let cycle_graph n =
+  if n < 3 then invalid_arg "Generators.cycle_graph: n < 3";
+  Undirected.of_edges ~n (List.init n (fun i -> (i, (i + 1) mod n)))
+
+let star_graph n =
+  if n < 1 then invalid_arg "Generators.star_graph: n < 1";
+  Undirected.of_edges ~n (List.init (n - 1) (fun i -> (0, i + 1)))
+
+let complete_graph n = Undirected.of_digraph (complete_digraph n)
+
+let grid_graph ~rows ~cols =
+  if rows < 1 || cols < 1 then invalid_arg "Generators.grid_graph: bad sizes";
+  let idx r c = (r * cols) + c in
+  let edges = ref [] in
+  for r = 0 to rows - 1 do
+    for c = 0 to cols - 1 do
+      if c + 1 < cols then edges := (idx r c, idx r (c + 1)) :: !edges;
+      if r + 1 < rows then edges := (idx r c, idx (r + 1) c) :: !edges
+    done
+  done;
+  Undirected.of_edges ~n:(rows * cols) !edges
+
+(* {1 Random workloads} *)
+
+let random_gnp rng ~n ~p =
+  check_positive "Generators.random_gnp" n;
+  if p < 0.0 || p > 1.0 then invalid_arg "Generators.random_gnp: p out of [0,1]";
+  let edges = ref [] in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      if Random.State.float rng 1.0 < p then edges := (u, v) :: !edges
+    done
+  done;
+  Undirected.of_edges ~n !edges
+
+let random_connected_gnp rng ~n ~p =
+  let g = random_gnp rng ~n ~p in
+  let l = Components.components g in
+  if l.count <= 1 then g
+  else begin
+    let pick_member id =
+      let members = Components.component_members l id in
+      List.nth members (Random.State.int rng (List.length members))
+    in
+    let extra = ref [] in
+    for id = 1 to l.count - 1 do
+      extra := (pick_member (id - 1), pick_member id) :: !extra
+    done;
+    Undirected.of_edges ~n (!extra @ Undirected.edges g)
+  end
+
+let random_tree rng n =
+  if n < 1 then invalid_arg "Generators.random_tree: n < 1";
+  if n = 1 then Undirected.of_edges ~n []
+  else if n = 2 then Undirected.of_edges ~n [ (0, 1) ]
+  else begin
+    (* Prüfer decoding. *)
+    let seq = Array.init (n - 2) (fun _ -> Random.State.int rng n) in
+    let deg = Array.make n 1 in
+    Array.iter (fun v -> deg.(v) <- deg.(v) + 1) seq;
+    let edges = ref [] in
+    (* Min-leaf selection via a scan pointer + "reusable leaf" trick. *)
+    let ptr = ref 0 in
+    while deg.(!ptr) <> 1 do
+      incr ptr
+    done;
+    let leaf = ref !ptr in
+    Array.iter
+      (fun v ->
+        edges := (!leaf, v) :: !edges;
+        deg.(v) <- deg.(v) - 1;
+        if deg.(v) = 1 && v < !ptr then leaf := v
+        else begin
+          incr ptr;
+          while deg.(!ptr) <> 1 do
+            incr ptr
+          done;
+          leaf := !ptr
+        end)
+      seq;
+    (* Two vertices of degree 1 remain; connect the last leaf to n-1. *)
+    edges := (!leaf, n - 1) :: !edges;
+    Undirected.of_edges ~n !edges
+  end
+
+let random_regularish rng ~n ~degree =
+  if degree < 0 || degree >= n then
+    invalid_arg "Generators.random_regularish: need 0 <= degree < n";
+  let edges = ref [] in
+  for u = 0 to n - 1 do
+    let chosen = Hashtbl.create degree in
+    while Hashtbl.length chosen < degree do
+      let v = Random.State.int rng n in
+      if v <> u && not (Hashtbl.mem chosen v) then begin
+        Hashtbl.replace chosen v ();
+        edges := (u, v) :: !edges
+      end
+    done
+  done;
+  Undirected.of_edges ~n !edges

@@ -1,0 +1,95 @@
+(** Graph and realization generators.
+
+    Every instance family the paper reasons about, as concrete
+    constructors.  Functions returning {!Digraph.t} fix the arc ownership
+    exactly as the corresponding proof does (ownership matters: it
+    determines the players' budgets); functions returning
+    {!Undirected.t} are plain graph families used as solver inputs and
+    random workloads. *)
+
+(** {1 Deterministic digraph families (with the paper's ownership)} *)
+
+val directed_path : int -> Digraph.t
+(** [v_0 -> v_1 -> ... -> v_{n-1}]; every non-final vertex owns one arc. *)
+
+val directed_cycle : int -> Digraph.t
+(** [v_i -> v_{i+1 mod n}]; each vertex owns one arc.  [n >= 2]; [n = 2]
+    is a brace. *)
+
+val out_star : int -> Digraph.t
+(** Center 0 owns arcs to everyone else ([n >= 1]). *)
+
+val in_star : int -> Digraph.t
+(** Every non-center vertex owns one arc to center 0. *)
+
+val tripod : int -> Digraph.t
+(** The Theorem 3.2 / Figure 2 tree on [n = 3k + 1] vertices ([k >= 1]):
+    three legs [X], [Y], [Z] of length [k] joined at a budget-0 hub [w].
+    Vertex layout: [x_i = i - 1], [y_i = k + i - 1], [z_i = 2k + i - 1]
+    (for [1 <= i <= k]), [w = 3k].  Arcs: [x_i -> x_(i+1)] (same for y,
+    z) and [x_1 -> w], [y_1 -> w], [z_1 -> w].  Diameter [2k]. *)
+
+val perfect_binary_tree : int -> Digraph.t
+(** The Theorem 3.4 tree on [n = 2^(k+1) - 1] vertices for depth
+    [k >= 0], vertices numbered 1-based in the paper but 0-based here:
+    vertex [i] owns arcs to [2i + 1] and [2i + 2] when they exist.
+    Diameter [2k]. *)
+
+val broom : handle:int -> bristles:int -> Digraph.t
+(** A path of [handle] vertices whose far end owns arcs to [bristles]
+    extra leaves.  Handy adversarial tree workload. *)
+
+val spider : legs:int -> leg_len:int -> Digraph.t
+(** Generalized tripod: [legs] paths of [leg_len] vertices joined at a
+    hub (vertex [legs * leg_len]); first vertex of each leg owns the arc
+    to the hub, interior arcs point outward as in {!tripod}. *)
+
+val complete_digraph : int -> Digraph.t
+(** Vertex [u] owns arcs to all [v > u]: realizes diameter 1 with
+    budgets [n-1, n-2, ..., 0]. *)
+
+(** {1 The Lemma 5.2 shift graph} *)
+
+val shift_graph : t:int -> k:int -> Undirected.t
+(** Vertex set [{0..t-1}^k] encoded as base-[t] integers (most
+    significant digit first); [x] and [y] adjacent iff [x]'s digit
+    suffix of length [k-1] equals [y]'s prefix or vice versa (de
+    Bruijn-style shifts), excluding self-loops, merging parallel edges.
+    Has [t^k] vertices, min degree >= [t - 1], max degree <= [2t], and
+    diameter exactly [k] when [t > 2].
+    @raise Invalid_argument if [t < 2] or [k < 1], or if [t^k] would
+    overflow a reasonable size (> 2^22 vertices). *)
+
+val shift_graph_orientation : t:int -> k:int -> Digraph.t
+(** An orientation of {!shift_graph} with every out-degree >= 1 (exists
+    since min degree >= 2 for [t >= 3]; Theorem 5.3 needs all budgets
+    positive).  Each vertex owns its arc to its left-rotation (or
+    smallest neighbor if the rotation is itself), remaining edges owned
+    by their smaller endpoint. *)
+
+(** {1 Undirected families} *)
+
+val path_graph : int -> Undirected.t
+val cycle_graph : int -> Undirected.t
+val star_graph : int -> Undirected.t
+val complete_graph : int -> Undirected.t
+val grid_graph : rows:int -> cols:int -> Undirected.t
+
+(** {1 Random workloads} *)
+
+val random_gnp : Random.State.t -> n:int -> p:float -> Undirected.t
+(** Erdos-Renyi G(n, p). *)
+
+val random_connected_gnp : Random.State.t -> n:int -> p:float -> Undirected.t
+(** G(n, p) with a uniform random spanning-tree-ish patch-up: after
+    sampling, any disconnection is repaired by joining consecutive
+    components with random edges, so the result is always connected. *)
+
+val random_tree : Random.State.t -> int -> Undirected.t
+(** Uniform random labelled tree (random Prüfer sequence), [n >= 1]. *)
+
+val random_regularish : Random.State.t -> n:int -> degree:int -> Undirected.t
+(** Random graph where each vertex picks [degree] distinct out-choices;
+    the underlying simple graph has minimum degree >= [degree] (in-choices
+    can push individual degrees higher).  Workload for uniform-budget
+    experiments. *)

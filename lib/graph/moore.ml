@@ -1,0 +1,65 @@
+(* Saturating multiplication / addition keep the counting bounds safe for
+   any parameters a test might throw at them. *)
+let sat_mul a b =
+  if a = 0 || b = 0 then 0
+  else if a > max_int / b then max_int
+  else a * b
+
+let sat_add a b = if a > max_int - b then max_int else a + b
+
+(* Subtracting 1 from a possibly-saturated count: saturation absorbs. *)
+let sat_pred a = if a = max_int then max_int else a - 1
+
+let sat_pow base e =
+  let rec go acc i = if i = 0 then acc else go (sat_mul acc base) (i - 1) in
+  go 1 e
+
+let geometric_bound ~delta ~diameter =
+  if delta < 0 || diameter < 0 then invalid_arg "Moore.geometric_bound: negative argument";
+  let rec go acc term i =
+    if i > diameter then acc
+    else go (sat_add acc term) (sat_mul term delta) (i + 1)
+  in
+  go 0 1 0
+
+let ball_bound ~delta ~radius =
+  if delta < 0 || radius < 0 then invalid_arg "Moore.ball_bound: negative argument";
+  if radius = 0 then 1
+  else
+    match delta with
+    | 0 -> 1
+    | 1 -> 2
+    | 2 -> sat_add 1 (sat_mul 2 radius)
+    | _ ->
+        (* 1 + delta * sum_{i=0}^{radius-1} (delta-1)^i *)
+        let rec layers acc term i =
+          if i >= radius then acc
+          else layers (sat_add acc term) (sat_mul term (delta - 1)) (i + 1)
+        in
+        sat_add 1 (sat_mul delta (layers 0 1 0))
+
+let min_diameter ~n ~delta =
+  if n <= 1 then 0
+  else if delta <= 0 then invalid_arg "Moore.min_diameter: delta <= 0 with n > 1"
+  else begin
+    let rec search d =
+      if ball_bound ~delta ~radius:d >= n then d else search (d + 1)
+    in
+    search 1
+  end
+
+let lemma_5_1_condition ~t ~k =
+  if t < 1 || k < 1 then invalid_arg "Moore.lemma_5_1_condition: bad arguments";
+  (* (2t)^k - 1 < t^k * (2t - 1) *)
+  let lhs = sat_pred (sat_pow (2 * t) k) in
+  let rhs = sat_mul (sat_pow t k) ((2 * t) - 1) in
+  lhs < rhs
+
+let lemma_5_1_holds g =
+  match Distances.diameter g with
+  | None -> false
+  | Some d ->
+      let n = Undirected.n g in
+      let delta = Undirected.max_degree g in
+      if delta <= 1 then n <= 2
+      else sat_pred (sat_pow delta d) < sat_mul n (delta - 1)

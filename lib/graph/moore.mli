@@ -1,0 +1,34 @@
+(** Moore-type counting bounds.
+
+    Lemma 5.1 of the paper is exactly the Moore counting argument: a
+    graph with maximum degree [delta] and diameter [d] has at most
+    [1 + delta + delta^2 + ... + delta^d] vertices.  These bounds feed
+    the shift-graph equilibrium certificate and the OPT-diameter lower
+    bounds used by the price-of-anarchy machinery. *)
+
+val ball_bound : delta:int -> radius:int -> int
+(** Maximum number of vertices within distance [radius] of a fixed
+    vertex in a graph of maximum degree [delta]:
+    [1 + delta * ((delta-1)^radius - 1) / (delta - 2)] for [delta >= 3],
+    with the obvious special cases for [delta <= 2].  Saturates at
+    [max_int] instead of overflowing. *)
+
+val geometric_bound : delta:int -> diameter:int -> int
+(** The cruder sum [1 + delta + ... + delta^diameter] used verbatim in
+    Lemma 5.1's proof; saturates at [max_int]. *)
+
+val min_diameter : n:int -> delta:int -> int
+(** Smallest [d] with [ball_bound ~delta ~radius:d >= n]: every graph on
+    [n] vertices with maximum degree [delta] has diameter at least this.
+    [0] when [n <= 1].
+    @raise Invalid_argument if [delta <= 0] and [n > 1]. *)
+
+val lemma_5_1_condition : t:int -> k:int -> bool
+(** The hypothesis [(2t)^k - 1 < t^k * (2t - 1)] under which Lemma 5.2
+    certifies the shift graph as a MAX equilibrium (computed with
+    saturating arithmetic). *)
+
+val lemma_5_1_holds : Undirected.t -> bool
+(** [lemma_5_1_holds g] checks [delta^d - 1 < n * (delta - 1)] on an
+    actual graph [g] (with [d] its diameter), i.e. the premise of
+    Lemma 5.1.  [false] for disconnected graphs. *)

@@ -1,0 +1,82 @@
+let parse_header expected_kind line =
+  match String.split_on_char ' ' (String.trim line) with
+  | [ kind; n ] when kind = expected_kind -> (
+      match int_of_string_opt n with
+      | Some n when n >= 0 -> n
+      | Some _ | None ->
+          invalid_arg (Printf.sprintf "Serialize: bad vertex count %S" n))
+  | _ ->
+      invalid_arg
+        (Printf.sprintf "Serialize: expected header %S <n>, got %S" expected_kind
+           line)
+
+let parse_pairs lines =
+  List.filter_map
+    (fun line ->
+      let line = String.trim line in
+      if line = "" || line.[0] = '#' then None
+      else
+        match String.split_on_char ' ' line with
+        | [ a; b ] -> (
+            match (int_of_string_opt a, int_of_string_opt b) with
+            | Some u, Some v -> Some (u, v)
+            | _ -> invalid_arg (Printf.sprintf "Serialize: bad line %S" line))
+        | _ -> invalid_arg (Printf.sprintf "Serialize: bad line %S" line))
+    lines
+
+let split_header text =
+  match String.split_on_char '\n' text with
+  | [] -> invalid_arg "Serialize: empty input"
+  | header :: rest -> (header, rest)
+
+module Digraph_io = struct
+  let to_text g =
+    let buf = Buffer.create 256 in
+    Buffer.add_string buf (Printf.sprintf "digraph %d\n" (Digraph.n g));
+    Digraph.iter_arcs (fun u v -> Buffer.add_string buf (Printf.sprintf "%d %d\n" u v)) g;
+    Buffer.contents buf
+
+  let of_text text =
+    let header, rest = split_header text in
+    let n = parse_header "digraph" header in
+    Digraph.of_arcs ~n (parse_pairs rest)
+
+  let to_dot ?(name = "g") g =
+    let buf = Buffer.create 256 in
+    Buffer.add_string buf (Printf.sprintf "digraph %s {\n" name);
+    for v = 0 to Digraph.n g - 1 do
+      Buffer.add_string buf (Printf.sprintf "  %d;\n" v)
+    done;
+    Digraph.iter_arcs
+      (fun u v -> Buffer.add_string buf (Printf.sprintf "  %d -> %d;\n" u v))
+      g;
+    Buffer.add_string buf "}\n";
+    Buffer.contents buf
+end
+
+module Undirected_io = struct
+  let to_text g =
+    let buf = Buffer.create 256 in
+    Buffer.add_string buf (Printf.sprintf "graph %d\n" (Undirected.n g));
+    Undirected.iter_edges
+      (fun u v -> Buffer.add_string buf (Printf.sprintf "%d %d\n" u v))
+      g;
+    Buffer.contents buf
+
+  let of_text text =
+    let header, rest = split_header text in
+    let n = parse_header "graph" header in
+    Undirected.of_edges ~n (parse_pairs rest)
+
+  let to_dot ?(name = "g") g =
+    let buf = Buffer.create 256 in
+    Buffer.add_string buf (Printf.sprintf "graph %s {\n" name);
+    for v = 0 to Undirected.n g - 1 do
+      Buffer.add_string buf (Printf.sprintf "  %d;\n" v)
+    done;
+    Undirected.iter_edges
+      (fun u v -> Buffer.add_string buf (Printf.sprintf "  %d -- %d;\n" u v))
+      g;
+    Buffer.add_string buf "}\n";
+    Buffer.contents buf
+end

@@ -1,0 +1,34 @@
+(** Graph serialization: a plain-text edge-list format and Graphviz DOT
+    export.
+
+    The text format is line-oriented and self-describing enough for the
+    CLI and for dumping experiment artifacts:
+
+    {v
+    digraph 5        (or: graph 5)
+    0 1
+    0 3
+    2 4
+    v}
+
+    The first line gives the kind and the vertex count; each following
+    non-empty line is one arc (tail head) or edge.  Lines starting with
+    [#] are comments.  Round-trips exactly through {!Digraph.to_text} /
+    {!Digraph.of_text} (and the undirected pair). *)
+
+module Digraph_io : sig
+  val to_text : Digraph.t -> string
+  val of_text : string -> Digraph.t
+  (** @raise Invalid_argument on malformed input. *)
+
+  val to_dot : ?name:string -> Digraph.t -> string
+  (** Graphviz digraph; braces render as two arcs. *)
+end
+
+module Undirected_io : sig
+  val to_text : Undirected.t -> string
+  val of_text : string -> Undirected.t
+  (** @raise Invalid_argument on malformed input. *)
+
+  val to_dot : ?name:string -> Undirected.t -> string
+end

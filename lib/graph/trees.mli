@@ -1,0 +1,53 @@
+(** Tree predicates and rooted-tree computations.
+
+    Tree-BG instances (sum of budgets = n-1, Section 3) have tree
+    equilibria only; the proofs of Theorems 3.2-3.4 and the Figure 3
+    decomposition all reason about rooted subtrees, longest paths, and
+    the sizes of the components hanging off a path.  This module
+    provides those exact operations on the undirected view. *)
+
+val is_tree : Undirected.t -> bool
+(** Connected with exactly [n - 1] edges ([n >= 1]); the empty graph is
+    not a tree. *)
+
+val is_forest : Undirected.t -> bool
+(** Acyclic (every component a tree). *)
+
+type rooted = {
+  root : int;
+  parent : int array;  (** [parent.(root) = root]; [-1] off the tree *)
+  depth : int array;   (** [-1] off the tree *)
+  order : int array;   (** vertices in BFS order from the root *)
+}
+
+val root_at : Undirected.t -> int -> rooted
+(** Rooted view of the component containing the root (callers normally
+    pass a tree, but any graph yields its BFS tree). *)
+
+val subtree_sizes : rooted -> int array
+(** [sizes.(v)] = number of vertices in the subtree of [v] (0 for
+    vertices outside the rooted component). *)
+
+val children : rooted -> int -> int list
+(** Children of a vertex in the rooted view, increasing. *)
+
+val height : rooted -> int
+(** Maximum depth. *)
+
+val tree_diameter_path : Undirected.t -> int list
+(** A longest path (vertex sequence) of a tree, found by double BFS.
+    @raise Invalid_argument if the graph is not a tree. *)
+
+val path_attachment_sizes : Undirected.t -> int list -> int array
+(** Figure 3's decomposition: given a path [v_0 ... v_d] in a tree,
+    [a.(i)] is the number of vertices whose unique connection to the path
+    goes through [v_i] (including [v_i] itself).  The arrays sum to [n]
+    when the tree is connected.
+    @raise Invalid_argument if the path is not a path of the tree. *)
+
+val leaves : Undirected.t -> int list
+(** Degree-1 vertices, increasing. *)
+
+val centers : Undirected.t -> int list
+(** The 1 or 2 centers of a tree (iteratively stripping leaves).
+    @raise Invalid_argument if the graph is not a tree. *)

@@ -1,0 +1,110 @@
+type t = {
+  n : int;
+  adj : int array array;
+  edge_count : int;
+}
+
+let check_vertex n u =
+  if u < 0 || u >= n then
+    invalid_arg (Printf.sprintf "Undirected: vertex %d out of range [0,%d)" u n)
+
+(* Sorts and deduplicates a neighbor list given as an int list. *)
+let finalize_adj lists =
+  Array.map
+    (fun l ->
+      let a = Array.of_list l in
+      Array.sort compare a;
+      let m = Array.length a in
+      if m = 0 then a
+      else begin
+        let out = ref [ a.(0) ] and count = ref 1 in
+        for i = 1 to m - 1 do
+          if a.(i) <> a.(i - 1) then begin
+            out := a.(i) :: !out;
+            incr count
+          end
+        done;
+        let dedup = Array.make !count 0 in
+        List.iteri (fun i v -> dedup.(!count - 1 - i) <- v) !out;
+        dedup
+      end)
+    lists
+
+let build n add_all =
+  let lists = Array.make n [] in
+  add_all (fun u v ->
+      check_vertex n u;
+      check_vertex n v;
+      if u = v then invalid_arg (Printf.sprintf "Undirected: self-loop at %d" u);
+      lists.(u) <- v :: lists.(u);
+      lists.(v) <- u :: lists.(v));
+  let adj = finalize_adj lists in
+  let deg_sum = Array.fold_left (fun acc a -> acc + Array.length a) 0 adj in
+  { n; adj; edge_count = deg_sum / 2 }
+
+let of_digraph g =
+  build (Digraph.n g) (fun add -> Digraph.iter_arcs (fun u v -> if u < v || not (Digraph.mem_arc g v u) then add u v) g)
+
+let of_edges ~n edges =
+  if n < 0 then invalid_arg "Undirected.of_edges: negative n";
+  build n (fun add -> List.iter (fun (u, v) -> add u v) edges)
+
+let n g = g.n
+let edge_count g = g.edge_count
+let neighbors g u = check_vertex g.n u; g.adj.(u)
+let degree g u = Array.length (neighbors g u)
+
+let max_degree g =
+  Array.fold_left (fun acc a -> max acc (Array.length a)) 0 g.adj
+
+let min_degree g =
+  if g.n = 0 then 0
+  else Array.fold_left (fun acc a -> min acc (Array.length a)) max_int g.adj
+
+let mem_sorted a x =
+  let rec go lo hi =
+    if lo >= hi then false
+    else
+      let mid = (lo + hi) / 2 in
+      if a.(mid) = x then true
+      else if a.(mid) < x then go (mid + 1) hi
+      else go lo mid
+  in
+  go 0 (Array.length a)
+
+let mem_edge g u v =
+  check_vertex g.n u;
+  check_vertex g.n v;
+  mem_sorted g.adj.(u) v
+
+let iter_edges f g =
+  Array.iteri
+    (fun u nbrs -> Array.iter (fun v -> if u < v then f u v) nbrs)
+    g.adj
+
+let edges g =
+  let acc = ref [] in
+  iter_edges (fun u v -> acc := (u, v) :: !acc) g;
+  List.rev !acc
+
+let remove_vertices g vs =
+  let dead = Array.make g.n false in
+  List.iter (fun v -> check_vertex g.n v; dead.(v) <- true) vs;
+  build g.n (fun add ->
+      iter_edges (fun u v -> if not dead.(u) && not dead.(v) then add u v) g)
+
+let complement g =
+  build g.n (fun add ->
+      for u = 0 to g.n - 1 do
+        for v = u + 1 to g.n - 1 do
+          if not (mem_sorted g.adj.(u) v) then add u v
+        done
+      done)
+
+let equal g1 g2 = g1.n = g2.n && g1.adj = g2.adj
+
+let pp ppf g =
+  Format.fprintf ppf "n=%d;" g.n;
+  iter_edges (fun u v -> Format.fprintf ppf " %d-%d" u v) g
+
+let to_string g = Format.asprintf "%a" pp g

@@ -1,0 +1,55 @@
+(** Underlying undirected graphs.
+
+    [U(G)] in the paper: arc directions are dropped and a brace becomes a
+    single undirected edge for the purpose of {e distances} (multiplicity
+    never changes shortest paths).  Structural facts that depend on
+    multiplicity (Theorems 4.1/4.2 treat a brace as a 2-cycle) query the
+    original {!Digraph.t} instead.
+
+    The adjacency lists are deduplicated and sorted, so this type is also
+    the general-purpose simple-undirected-graph of the substrate, usable
+    on its own (e.g. for k-center instances). *)
+
+type t
+
+val of_digraph : Digraph.t -> t
+(** Underlying graph of a realization. *)
+
+val of_edges : n:int -> (int * int) list -> t
+(** [of_edges ~n edges] builds a simple graph; edges are unordered pairs,
+    duplicates are merged, self-loops rejected.
+    @raise Invalid_argument on out-of-range endpoints or self-loops. *)
+
+val n : t -> int
+
+val edge_count : t -> int
+(** Number of distinct undirected edges. *)
+
+val neighbors : t -> int -> int array
+(** Sorted, duplicate-free.  Must not be mutated by callers. *)
+
+val degree : t -> int -> int
+val max_degree : t -> int
+val min_degree : t -> int
+val mem_edge : t -> int -> int -> bool
+
+val edges : t -> (int * int) list
+(** All edges as pairs [(u, v)] with [u < v], lexicographic. *)
+
+val iter_edges : (int -> int -> unit) -> t -> unit
+(** Each edge visited once, with [u < v]. *)
+
+val remove_vertices : t -> int list -> t
+(** [remove_vertices g vs] is the induced subgraph on [V \ vs], with the
+    surviving vertices {e keeping their original indices}; removed
+    vertices remain present but isolated.  This keeps index bookkeeping
+    trivial for connectivity checks (Section 7), where we only ask
+    whether the remainder is connected {e ignoring} the removed
+    vertices — see {!Components.is_connected_except}. *)
+
+val complement : t -> t
+(** Simple complement graph (no self-loops). *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,59 @@
+module Undirected = Bbng_graph.Undirected
+module Bfs = Bbng_graph.Bfs
+module Combinatorics = Bbng_graph.Combinatorics
+
+type solution = { centers : int array; radius : int }
+
+let evaluate g centers =
+  if Array.length centers = 0 then invalid_arg "K_center.evaluate: empty centers";
+  let n = Undirected.n g in
+  let dist = Bfs.distances_from_set g (Array.to_list centers) in
+  Array.fold_left
+    (fun acc d -> max acc (if d = Bfs.unreachable then n else d))
+    0 dist
+
+let check_k g k =
+  let n = Undirected.n g in
+  if k < 1 || k > n then invalid_arg "K_center: need 1 <= k <= n"
+
+let exact g ~k =
+  check_k g k;
+  let n = Undirected.n g in
+  match
+    Combinatorics.fold_best ~n ~k ~score:(fun c -> evaluate g c) ~stop_at:0 ()
+  with
+  | Some (centers, radius) -> { centers; radius }
+  | None -> assert false
+
+let gonzalez ?(seed = 0) g ~k =
+  check_k g k;
+  let n = Undirected.n g in
+  let first = ((seed mod n) + n) mod n in
+  let chosen = ref [ first ] in
+  for _ = 2 to k do
+    let dist = Bfs.distances_from_set g !chosen in
+    (* Farthest vertex from the current set; unreachable counts as n. *)
+    let best_v = ref (-1) and best_d = ref (-1) in
+    for v = 0 to n - 1 do
+      let d = if dist.(v) = Bfs.unreachable then n else dist.(v) in
+      if (not (List.mem v !chosen)) && d > !best_d then begin
+        best_d := d;
+        best_v := v
+      end
+    done;
+    chosen := !best_v :: !chosen
+  done;
+  let centers = Array.of_list !chosen in
+  Array.sort compare centers;
+  { centers; radius = evaluate g centers }
+
+exception Found of int array
+
+let decision g ~k ~radius =
+  check_k g k;
+  let n = Undirected.n g in
+  try
+    Combinatorics.iter_combinations ~n ~k (fun c ->
+        if evaluate g c <= radius then raise (Found (Array.copy c)));
+    None
+  with Found c -> Some c

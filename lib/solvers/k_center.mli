@@ -1,0 +1,34 @@
+(** The k-center problem.
+
+    Given an undirected graph and [k], choose a set [S] of [k] vertices
+    minimizing [max_v dist(v, S)].  Theorem 2.1 reduces k-center to
+    best-response computation in the MAX version, which is how the
+    paper proves the latter NP-hard; this module provides the exact
+    solver used to cross-validate that reduction, and the classical
+    Gonzalez 2-approximation as the polynomial baseline.
+
+    Costs use hop distances; a vertex unreachable from all of [S]
+    contributes [n] (an impossible finite distance, standing in for
+    infinity without leaving integers). *)
+
+type solution = {
+  centers : int array;  (** sorted *)
+  radius : int;         (** [max_v dist(v, centers)] *)
+}
+
+val evaluate : Bbng_graph.Undirected.t -> int array -> int
+(** Radius of an explicit center set.
+    @raise Invalid_argument on an empty center set. *)
+
+val exact : Bbng_graph.Undirected.t -> k:int -> solution
+(** Optimal solution by subset enumeration with an early-exit at radius
+    0/1 floors.  [C(n, k)] multi-source BFS calls.
+    @raise Invalid_argument unless [1 <= k <= n]. *)
+
+val gonzalez : ?seed:int -> Bbng_graph.Undirected.t -> k:int -> solution
+(** Farthest-point traversal: a 2-approximation on connected graphs
+    (the first center is vertex [seed mod n], default 0). *)
+
+val decision : Bbng_graph.Undirected.t -> k:int -> radius:int -> int array option
+(** [Some centers] iff some [k]-set achieves the given radius — the
+    NP-complete decision form, by bounded enumeration. *)

@@ -1,0 +1,72 @@
+module Undirected = Bbng_graph.Undirected
+module Bfs = Bbng_graph.Bfs
+module Combinatorics = Bbng_graph.Combinatorics
+
+type solution = { centers : int array; cost : int }
+
+let evaluate g centers =
+  if Array.length centers = 0 then invalid_arg "K_median.evaluate: empty centers";
+  let n = Undirected.n g in
+  let dist = Bfs.distances_from_set g (Array.to_list centers) in
+  Array.fold_left
+    (fun acc d -> acc + if d = Bfs.unreachable then n else d)
+    0 dist
+
+let check_k g k =
+  let n = Undirected.n g in
+  if k < 1 || k > n then invalid_arg "K_median: need 1 <= k <= n"
+
+let exact g ~k =
+  check_k g k;
+  let n = Undirected.n g in
+  match Combinatorics.fold_best ~n ~k ~score:(fun c -> evaluate g c) () with
+  | Some (centers, cost) -> { centers; cost }
+  | None -> assert false
+
+let local_search ?(seed = 0) g ~k =
+  check_k g k;
+  let n = Undirected.n g in
+  let centers = Array.init k (fun i -> (i + seed mod n + n) mod n) in
+  (* The rotation can collide for seed mod n > n - k; fall back to a
+     collision-free initial set in that case. *)
+  let distinct a =
+    let sorted = Array.copy a in
+    Array.sort compare sorted;
+    let ok = ref true in
+    for i = 1 to Array.length sorted - 1 do
+      if sorted.(i) = sorted.(i - 1) then ok := false
+    done;
+    !ok
+  in
+  let centers = if distinct centers then centers else Array.init k Fun.id in
+  Array.sort compare centers;
+  let current = ref centers in
+  let current_cost = ref (evaluate g !current) in
+  let improved = ref true in
+  while !improved do
+    improved := false;
+    let in_centers v = Array.exists (fun c -> c = v) !current in
+    (* Try every (center out, vertex in) swap, take the first strict
+       improvement (first-improvement converges like best-improvement
+       and is cheaper per round). *)
+    (try
+       Array.iteri
+         (fun idx _ ->
+           for v = 0 to n - 1 do
+             if not (in_centers v) then begin
+               let candidate = Array.copy !current in
+               candidate.(idx) <- v;
+               Array.sort compare candidate;
+               let cost = evaluate g candidate in
+               if cost < !current_cost then begin
+                 current := candidate;
+                 current_cost := cost;
+                 improved := true;
+                 raise Exit
+               end
+             end
+           done)
+         !current
+     with Exit -> ())
+  done;
+  { centers = !current; cost = !current_cost }

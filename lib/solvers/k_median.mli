@@ -1,0 +1,26 @@
+(** The k-median problem.
+
+    Choose [k] centers minimizing [sum_v dist(v, S)] (unreachable
+    vertices contribute [n] each).  This is the SUM-version half of
+    Theorem 2.1: a best response in the SUM game is exactly a k-median
+    solution of the rest of the network.  Exact solver by enumeration,
+    plus single-swap local search as the polynomial baseline (the
+    classical 5-approximation move set of Arya et al.). *)
+
+type solution = {
+  centers : int array;  (** sorted *)
+  cost : int;           (** [sum_v dist(v, centers)] *)
+}
+
+val evaluate : Bbng_graph.Undirected.t -> int array -> int
+(** Cost of an explicit center set.
+    @raise Invalid_argument on an empty center set. *)
+
+val exact : Bbng_graph.Undirected.t -> k:int -> solution
+(** Optimal solution by subset enumeration.
+    @raise Invalid_argument unless [1 <= k <= n]. *)
+
+val local_search : ?seed:int -> Bbng_graph.Undirected.t -> k:int -> solution
+(** Start from the [seed]-rotated first [k] vertices and apply
+    single-center swaps while they strictly improve; terminates at a
+    1-swap-local optimum. *)

@@ -1,0 +1,46 @@
+open Bbng_core
+module Undirected = Bbng_graph.Undirected
+
+type instance = {
+  game : Game.t;
+  profile : Strategy.t;
+  new_player : int;
+  base_n : int;
+}
+
+let build version h ~k =
+  let n = Undirected.n h in
+  if k < 1 || k > n then invalid_arg "Reduction: need 1 <= k <= n";
+  (* Orient H: each edge goes from its smaller endpoint. *)
+  let strategies = Array.make (n + 1) [] in
+  Undirected.iter_edges (fun u v -> strategies.(u) <- v :: strategies.(u)) h;
+  strategies.(n) <- List.init k Fun.id;
+  let strategies = Array.map Array.of_list strategies in
+  let budgets = Budget.of_array (Array.map Array.length strategies) in
+  {
+    game = Game.make version budgets;
+    profile = Strategy.make budgets strategies;
+    new_player = n;
+    base_n = n;
+  }
+
+let of_center_instance h ~k = build Cost.Max h ~k
+let of_median_instance h ~k = build Cost.Sum h ~k
+
+let strategy_cost inst targets =
+  Game.deviation_cost inst.game inst.profile ~player:inst.new_player ~targets
+
+let best_response inst =
+  Best_response.exact inst.game inst.profile inst.new_player
+
+let solve_center_via_game h ~k =
+  let inst = of_center_instance h ~k in
+  let move = best_response inst in
+  { K_center.centers = move.Best_response.targets;
+    radius = move.Best_response.cost - 1 }
+
+let solve_median_via_game h ~k =
+  let inst = of_median_instance h ~k in
+  let move = best_response inst in
+  { K_median.centers = move.Best_response.targets;
+    cost = move.Best_response.cost - inst.base_n }

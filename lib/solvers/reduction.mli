@@ -1,0 +1,48 @@
+open Bbng_core
+(** The Theorem 2.1 reduction, executable.
+
+    Given a k-center (resp. k-median) instance — an undirected graph [H]
+    on [n] vertices and a budget [k] — build the [(b_1, ..., b_n, k)]-BG
+    position in which players [0 .. n-1] realize an arbitrary orientation
+    of [H] and the fresh player [n] has budget [k].  The fresh player's
+    best responses are exactly the optimal k-center (MAX version) /
+    k-median (SUM version) solutions of [H]:
+
+    - [c_MAX(new) = 1 + radius(S)]
+    - [c_SUM(new) = n + median_cost(S)]
+
+    for every strategy [S] of the new player, {e provided [H] is
+    connected} (disconnected instances diverge only in how the two sides
+    price infinity).  The test suite cross-validates both equalities
+    against brute force, which is the paper's NP-hardness argument run
+    in reverse. *)
+
+type instance = {
+  game : Game.t;
+  profile : Strategy.t;  (** others fixed; the new player holds a
+                             placeholder strategy [{0, ..., k-1}] *)
+  new_player : int;      (** index [n] *)
+  base_n : int;          (** [n], the size of the original graph *)
+}
+
+val of_center_instance : Bbng_graph.Undirected.t -> k:int -> instance
+(** MAX-version game position for a k-center instance.
+    @raise Invalid_argument unless [1 <= k <= n]. *)
+
+val of_median_instance : Bbng_graph.Undirected.t -> k:int -> instance
+(** SUM-version game position for a k-median instance. *)
+
+val strategy_cost : instance -> int array -> int
+(** Game cost incurred to the new player when it plays the given
+    target set. *)
+
+val best_response : instance -> Best_response.move
+(** Exact best response of the new player (brute force). *)
+
+val solve_center_via_game : Bbng_graph.Undirected.t -> k:int -> K_center.solution
+(** k-center through the game: best response of the new player, radius
+    recovered as [cost - 1].  Must agree with {!K_center.exact} on
+    connected graphs. *)
+
+val solve_median_via_game : Bbng_graph.Undirected.t -> k:int -> K_median.solution
+(** k-median through the game: cost recovered as [cost - n]. *)

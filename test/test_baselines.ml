@@ -1,0 +1,170 @@
+(* The two comparison models of Section 1.1: the directed BBC game
+   (Laoutaris et al.) and the basic network creation game (Alon et
+   al.). *)
+
+open Helpers
+open Bbng_core
+open Bbng_baselines
+module Generators = Bbng_graph.Generators
+module Digraph = Bbng_graph.Digraph
+
+(* --- BBC (directed) --- *)
+
+let test_directed_distances () =
+  let g = Generators.directed_path 4 in
+  check_int_array "forward" [| 0; 1; 2; 3 |] (Bbc.directed_distances g 0);
+  (* backwards there is no directed path *)
+  let d = Bbc.directed_distances g 3 in
+  check_int "self" 0 d.(3);
+  check_int "unreachable backwards" Bbng_graph.Bfs.unreachable d.(0)
+
+let test_bbc_cost_asymmetry () =
+  (* on the directed path the head reaches everyone, the tail no one:
+     ownership matters in BBC but not in the paper's model *)
+  let p = Strategy.of_digraph (Generators.directed_path 4) in
+  check_int "head" 6 (Bbc.player_cost p 0);
+  check_int "tail pays Cinf each" (3 * 16) (Bbc.player_cost p 3);
+  (* the undirected game charges both ends the same *)
+  let game = Game.make Cost.Sum (Strategy.budgets p) in
+  check_int "undirected symmetric" (Game.player_cost game p 0)
+    (Game.player_cost game p 3)
+
+let test_bbc_costs_batch () =
+  let p = Strategy.of_digraph (Generators.directed_cycle 4) in
+  check_int_array "cycle costs" [| 6; 6; 6; 6 |] (Bbc.costs p)
+
+let test_bbc_deviation () =
+  let p = Strategy.of_digraph (Generators.directed_path 3) in
+  (* player 0 repoints from 1 to 2: reaches 2 at 1, but 1 unreachable *)
+  check_int "deviation" (1 + 9) (Bbc.deviation_cost p ~player:0 ~targets:[| 2 |]);
+  Alcotest.check_raises "budget enforced"
+    (Invalid_argument "Bbc.deviation_cost: budget violation") (fun () ->
+      ignore (Bbc.deviation_cost p ~player:0 ~targets:[| 1; 2 |]))
+
+let test_bbc_best_response () =
+  (* directed out-star center already reaches all at distance 1 *)
+  let p = Strategy.of_digraph (Generators.out_star 5) in
+  let m = Bbc.best_response p 0 in
+  check_int "optimal cost" 4 m.Best_response.cost;
+  check_true "already best" (Bbc.exact_improvement p 0 = None)
+
+let test_bbc_directed_cycle_nash () =
+  (* the directed n-cycle: each player's single arc; re-pointing the arc
+     to a farther vertex shortens some distances but disconnects none
+     (others' arcs still there).  For n = 3 it is a Nash equilibrium. *)
+  let p = Strategy.of_digraph (Generators.directed_cycle 3) in
+  check_true "C3 directed Nash" (Bbc.is_nash p)
+
+let test_bbc_vs_undirected_stability_differ () =
+  (* The in-star: every leaf owns one arc to the hub.  In the paper's
+     undirected game this is a Nash equilibrium (Lemma 2.2: local
+     diameter 2, no braces).  In the directed BBC game a leaf pointing
+     at the budget-0 hub reaches nothing beyond it, while re-pointing at
+     another leaf reaches that leaf AND the hub through it — so the same
+     profile is unstable.  Link direction is exactly the model gap
+     Section 1.1 describes. *)
+  let p = Strategy.of_digraph (Generators.in_star 4) in
+  let game = Game.make Cost.Sum (Strategy.budgets p) in
+  check_true "undirected Nash" (Equilibrium.is_nash game p);
+  check_false "BBC unstable" (Bbc.is_nash p);
+  (match Bbc.exact_improvement p 1 with
+  | Some m ->
+      check_true "leaf strictly improves in BBC"
+        (m.Best_response.cost < Bbc.player_cost p 1)
+  | None -> Alcotest.fail "expected a BBC improvement for a leaf")
+
+let test_bbc_social_diameter () =
+  check_int "directed cycle" 3 (Bbc.social_diameter (Strategy.of_digraph (Generators.directed_cycle 4)));
+  check_int "path has unreachable pairs" 16
+    (Bbc.social_diameter (Strategy.of_digraph (Generators.directed_path 4)))
+
+(* --- Basic NCG (Alon et al.) --- *)
+
+let test_swap_moves () =
+  let g = path5 in
+  (* vertex 0 has one incident edge and three non-neighbors *)
+  check_int "moves of a leaf" 3 (List.length (Basic_ncg.swap_moves g 0));
+  (* vertex 1: two incident edges x two non-neighbors *)
+  check_int "moves of inner" 4 (List.length (Basic_ncg.swap_moves g 1))
+
+let test_apply_swap () =
+  let g = Basic_ncg.apply_swap path5 0 ~drop:1 ~add:4 in
+  check_false "dropped" (Bbng_graph.Undirected.mem_edge g 0 1);
+  check_true "added" (Bbng_graph.Undirected.mem_edge g 0 4);
+  Alcotest.check_raises "absent edge"
+    (Invalid_argument "Basic_ncg.apply_swap: edge to drop is absent") (fun () ->
+      ignore (Basic_ncg.apply_swap path5 0 ~drop:3 ~add:4))
+
+let test_star_is_basic_equilibrium () =
+  (* the star is a swap equilibrium in both versions *)
+  List.iter
+    (fun v ->
+      check_true
+        (Cost.version_name v ^ " star")
+        (Basic_ncg.is_swap_equilibrium v star7))
+    Cost.all_versions
+
+let test_long_path_not_basic_equilibrium () =
+  let g = Bbng_graph.Generators.path_graph 7 in
+  check_false "path unstable in MAX" (Basic_ncg.is_swap_equilibrium Cost.Max g)
+
+let test_certify_witness_honest () =
+  let g = Bbng_graph.Generators.path_graph 7 in
+  match Basic_ncg.certify Cost.Max g with
+  | None -> Alcotest.fail "expected instability"
+  | Some (v, drop, add, new_cost) ->
+      let g' = Basic_ncg.apply_swap g v ~drop ~add in
+      check_int "witness cost replays" new_cost (Cost.vertex_cost Cost.Max g' v);
+      check_true "strictly better" (new_cost < Cost.vertex_cost Cost.Max g v)
+
+(* The Section 1.1 headline: the tripod is a MAX Nash equilibrium under
+   ownership but NOT a swap equilibrium in the basic game (where any
+   endpoint may swap any incident edge, tree equilibria have diameter
+   <= 3). *)
+let test_tripod_ownership_is_essential () =
+  let p = Bbng_constructions.Tripod.profile ~k:4 in
+  let game = Game.make Cost.Max (Strategy.budgets p) in
+  check_true "bounded-budget Nash" (Equilibrium.is_nash game p);
+  match Basic_ncg.bbg_nash_implies_basic_instability_witness Cost.Max p with
+  | Some (v, _, _, new_cost) ->
+      check_true "a vertex escapes once ownership is erased"
+        (new_cost < Cost.vertex_cost Cost.Max (Strategy.underlying p) v)
+  | None -> Alcotest.fail "tripod should be unstable in the basic game"
+
+let prop_basic_witness_replays =
+  qcheck ~count:40 "basic-NCG witnesses replay honestly" (gnp_gen ~n_min:3 ~n_max:9)
+    (fun input ->
+      let g = random_connected_of input in
+      match Basic_ncg.certify Cost.Sum g with
+      | None -> true
+      | Some (v, drop, add, new_cost) ->
+          let g' = Basic_ncg.apply_swap g v ~drop ~add in
+          Cost.vertex_cost Cost.Sum g' v = new_cost
+          && new_cost < Cost.vertex_cost Cost.Sum g v)
+
+let prop_bbc_br_at_most_current =
+  qcheck ~count:40 "BBC best response never worse than current"
+    (random_budget_gen ~n_min:2 ~n_max:7) (fun ((n, _, seed) as input) ->
+      let p = random_profile_of input in
+      let player = seed mod n in
+      (Bbc.best_response p player).Best_response.cost <= Bbc.player_cost p player)
+
+let suite =
+  [
+    case "directed distances" test_directed_distances;
+    case "BBC cost asymmetry" test_bbc_cost_asymmetry;
+    case "BBC costs batch" test_bbc_costs_batch;
+    case "BBC deviation" test_bbc_deviation;
+    case "BBC best response" test_bbc_best_response;
+    case "BBC directed C3 Nash" test_bbc_directed_cycle_nash;
+    case "BBC vs undirected stability" test_bbc_vs_undirected_stability_differ;
+    case "BBC social diameter" test_bbc_social_diameter;
+    case "basic: swap moves" test_swap_moves;
+    case "basic: apply swap" test_apply_swap;
+    case "basic: star is equilibrium" test_star_is_basic_equilibrium;
+    case "basic: long path unstable" test_long_path_not_basic_equilibrium;
+    case "basic: witness honest" test_certify_witness_honest;
+    case "tripod: ownership is essential (Sec 1.1)" test_tripod_ownership_is_essential;
+    prop_basic_witness_replays;
+    prop_bbc_br_at_most_current;
+  ]

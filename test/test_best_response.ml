@@ -1,0 +1,160 @@
+open Helpers
+open Bbng_core
+
+(* A small asymmetric fixture: 0 owns two arcs, on a path-ish start. *)
+let fixture () =
+  let b = Budget.of_list [ 2; 1; 0; 0; 0 ] in
+  (* 0 -> {1, 2}, 1 -> 3; vertex 4 isolated *)
+  let p = Strategy.make b [| [| 1; 2 |]; [| 3 |]; [||]; [||]; [||] |] in
+  (b, p)
+
+let test_exact_connects () =
+  (* With the player's arcs removed the rest is {1,3}, {2}, {4}; budget 2
+     joins the big component plus one singleton, leaving exactly one
+     vertex at Cinf = 25.  All such choices cost 1 + 1 + 2 + 25 = 29 and
+     the lexicographically smallest is {1, 2}. *)
+  let _, p = fixture () in
+  let game = Game.make Cost.Sum (Strategy.budgets p) in
+  let m = Best_response.exact game p 0 in
+  check_int "cost" 29 m.Best_response.cost;
+  check_int_array "tie-break" [| 1; 2 |] m.Best_response.targets
+
+let test_exact_is_minimum () =
+  (* brute-force double check on a tiny game *)
+  let _, p = fixture () in
+  List.iter
+    (fun version ->
+      let game = Game.make version (Strategy.budgets p) in
+      let m = Best_response.exact game p 0 in
+      (* every alternative strategy costs at least m.cost *)
+      let n = 5 in
+      Bbng_graph.Combinatorics.iter_combinations ~n:(n - 1) ~k:2 (fun c ->
+          (* unshift around player 0: indices 0..3 map to 1..4 *)
+          let targets = Array.map (fun i -> i + 1) c in
+          let cost = Game.deviation_cost game p ~player:0 ~targets in
+          check_true "minimum" (m.Best_response.cost <= cost)))
+    Cost.all_versions
+
+let test_exact_zero_budget () =
+  let _, p = fixture () in
+  let game = Game.make Cost.Max (Strategy.budgets p) in
+  let m = Best_response.exact game p 2 in
+  check_int_array "empty strategy" [||] m.Best_response.targets
+
+let test_lemma_2_2 () =
+  (* hub of an out-star has local diameter 1 *)
+  let p = Strategy.of_digraph (Bbng_graph.Generators.out_star 5) in
+  check_true "hub" (Best_response.satisfies_lemma_2_2 p 0);
+  check_true "leaf at distance 2, no brace" (Best_response.satisfies_lemma_2_2 p 1);
+  (* braced pair with a third vertex: the lemma does not apply to a
+     braced vertex with local diameter 2 (vertex 1 here; vertex 0 has
+     local diameter 1, so it still qualifies) *)
+  let b = Budget.of_list [ 1; 1; 1 ] in
+  let braced = Strategy.make b [| [| 1 |]; [| 0 |]; [| 0 |] |] in
+  check_true "braced but adjacent to all" (Best_response.satisfies_lemma_2_2 braced 0);
+  check_false "braced at distance 2" (Best_response.satisfies_lemma_2_2 braced 1)
+
+let test_exact_improvement_none_at_equilibrium () =
+  let p = Bbng_constructions.Unit_budget.concentrated_sun ~n:6 in
+  List.iter
+    (fun version ->
+      let game = Game.make version (Strategy.budgets p) in
+      for player = 0 to 5 do
+        check_true
+          (Printf.sprintf "%s player %d" (Cost.version_name version) player)
+          (Best_response.exact_improvement game p player = None)
+      done)
+    Cost.all_versions
+
+let test_exact_improvement_found () =
+  (* directed path: the first vertex would rather link to the middle in MAX *)
+  let p = Strategy.of_digraph (Bbng_graph.Generators.directed_path 7) in
+  let game = Game.make Cost.Max (Strategy.budgets p) in
+  match Best_response.exact_improvement game p 0 with
+  | Some m ->
+      check_true "strictly better"
+        (m.Best_response.cost < Game.player_cost game p 0)
+  | None -> Alcotest.fail "expected an improvement"
+
+let test_swap_equals_exact_for_unit_budget () =
+  (* with budget 1, a swap IS a full strategy change *)
+  let st = rng 11 in
+  for _ = 1 to 20 do
+    let p = Strategy.random st (Budget.unit_budgets 6) in
+    let game = Game.make Cost.Sum (Budget.unit_budgets 6) in
+    for player = 0 to 5 do
+      let swap = Best_response.swap_best game p player in
+      let full = Best_response.best_improvement game p player in
+      match (swap, full) with
+      | None, None -> ()
+      | Some a, Some b ->
+          check_int "same cost" b.Best_response.cost a.Best_response.cost
+      | Some _, None -> Alcotest.fail "swap found, exact missed"
+      | None, Some _ -> Alcotest.fail "exact found, swap missed"
+    done
+  done
+
+let test_first_improving_swap_improves () =
+  let p = Strategy.of_digraph (Bbng_graph.Generators.directed_path 8) in
+  let game = Game.make Cost.Sum (Strategy.budgets p) in
+  match Best_response.first_improving_swap game p 0 with
+  | Some m -> check_true "improves" (m.Best_response.cost < Game.player_cost game p 0)
+  | None -> Alcotest.fail "expected a swap improvement"
+
+let test_greedy_respects_budget () =
+  let b = Budget.of_list [ 3; 0; 0; 0; 0; 0 ] in
+  let p = Strategy.make b [| [| 1; 2; 3 |]; [||]; [||]; [||]; [||]; [||] |] in
+  let game = Game.make Cost.Sum b in
+  let m = Best_response.greedy game p 0 in
+  check_int "budget respected" 3 (Array.length m.Best_response.targets);
+  (* greedy on SUM from a star-owner: must reach everyone, its result is optimal here *)
+  let exact = Best_response.exact game p 0 in
+  check_int "greedy optimal on star" exact.Best_response.cost m.Best_response.cost
+
+let prop_swap_never_beats_exact =
+  qcheck "exact best <= best swap" (random_budget_gen ~n_min:2 ~n_max:6)
+    (fun ((n, _, seed) as input) ->
+      let p = random_profile_of input in
+      let game = Game.make Cost.Max (Strategy.budgets p) in
+      let player = seed mod n in
+      let exact = Best_response.exact game p player in
+      match Best_response.swap_best game p player with
+      | None -> exact.Best_response.cost <= Game.player_cost game p player
+      | Some swap -> exact.Best_response.cost <= swap.Best_response.cost)
+
+let prop_exact_at_most_current =
+  qcheck "exact best response never worse than current"
+    (random_budget_gen ~n_min:2 ~n_max:6) (fun ((n, _, seed) as input) ->
+      let p = random_profile_of input in
+      List.for_all
+        (fun version ->
+          let game = Game.make version (Strategy.budgets p) in
+          let player = seed mod n in
+          (Best_response.exact game p player).Best_response.cost
+          <= Game.player_cost game p player)
+        Cost.all_versions)
+
+let prop_greedy_never_beats_exact =
+  qcheck "greedy >= exact" (random_budget_gen ~n_min:2 ~n_max:6)
+    (fun ((n, _, seed) as input) ->
+      let p = random_profile_of input in
+      let game = Game.make Cost.Sum (Strategy.budgets p) in
+      let player = seed mod n in
+      (Best_response.greedy game p player).Best_response.cost
+      >= (Best_response.exact game p player).Best_response.cost)
+
+let suite =
+  [
+    case "exact absorbs isolated vertices" test_exact_connects;
+    case "exact is the minimum" test_exact_is_minimum;
+    case "exact with zero budget" test_exact_zero_budget;
+    case "lemma 2.2 shortcut" test_lemma_2_2;
+    case "no improvement at equilibrium" test_exact_improvement_none_at_equilibrium;
+    case "improvement found off equilibrium" test_exact_improvement_found;
+    case "swap = exact for unit budgets" test_swap_equals_exact_for_unit_budget;
+    case "first improving swap" test_first_improving_swap_improves;
+    case "greedy respects budget" test_greedy_respects_budget;
+    prop_swap_never_beats_exact;
+    prop_exact_at_most_current;
+    prop_greedy_never_beats_exact;
+  ]

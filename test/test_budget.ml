@@ -1,0 +1,120 @@
+open Helpers
+open Bbng_core
+
+let test_of_list () =
+  let b = Budget.of_list [ 0; 1; 2 ] in
+  check_int "n" 3 (Budget.n b);
+  check_int "get" 1 (Budget.get b 1);
+  check_int "total" 3 (Budget.total b)
+
+let test_validation () =
+  Alcotest.check_raises "empty" (Invalid_argument "Budget: empty budget vector")
+    (fun () -> ignore (Budget.of_list []));
+  Alcotest.check_raises "too large"
+    (Invalid_argument "Budget: b_1 = 3 out of range [0,3)") (fun () ->
+      ignore (Budget.of_list [ 0; 3; 0 ]));
+  Alcotest.check_raises "negative"
+    (Invalid_argument "Budget: b_0 = -1 out of range [0,2)") (fun () ->
+      ignore (Budget.of_list [ -1; 0 ]))
+
+let test_uniform () =
+  let b = Budget.uniform ~n:5 ~budget:2 in
+  check_int "total" 10 (Budget.total b);
+  check_true "unit" (Budget.is_unit (Budget.unit_budgets 4))
+
+let test_min_max () =
+  let b = Budget.of_list [ 0; 3; 1; 2 ] in
+  check_int "min" 0 (Budget.min_budget b);
+  check_int "max" 3 (Budget.max_budget b)
+
+let test_to_array_copies () =
+  let b = Budget.of_list [ 1; 1 ] in
+  let a = Budget.to_array b in
+  a.(0) <- 99;
+  check_int "immutable" 1 (Budget.get b 0)
+
+let test_predicates () =
+  check_true "tree instance" (Budget.is_tree_instance (Budget.of_list [ 0; 1; 1; 1 ]));
+  check_false "not tree" (Budget.is_tree_instance (Budget.unit_budgets 4));
+  check_true "positive" (Budget.all_positive (Budget.of_list [ 1; 2; 1 ]));
+  check_false "has zero" (Budget.all_positive (Budget.of_list [ 0; 2; 1 ]));
+  check_true "connectable" (Budget.connectable (Budget.of_list [ 0; 2; 1 ]));
+  check_false "subcritical" (Budget.connectable (Budget.of_list [ 0; 0; 1; 0 ]))
+
+let test_classify () =
+  let open Budget in
+  check_true "subcritical" (classify (of_list [ 0; 0; 1; 0 ]) = Subcritical);
+  check_true "tree" (classify (of_list [ 0; 1; 1; 1 ]) = Tree);
+  check_true "unit" (classify (unit_budgets 5) = Unit);
+  check_true "positive" (classify (of_list [ 1; 1; 2 ]) = Positive);
+  check_true "general" (classify (of_list [ 0; 2; 2 ]) = General);
+  (* tree wins over unit: (1,1) on n=2 has sigma = 2 > n-1, so Unit;
+     but (1,0) sums to 1 = n-1: Tree *)
+  check_true "tree beats general" (classify (of_list [ 1; 0 ]) = Tree)
+
+let test_class_names () =
+  check_true "names distinct"
+    (List.length
+       (List.sort_uniq compare
+          (List.map Budget.class_name
+             [ Budget.Subcritical; Tree; Unit; Positive; General ]))
+    = 5)
+
+let test_random_partition () =
+  let b = Budget.random_partition (rng 3) ~n:6 ~total:10 in
+  check_int "total preserved" 10 (Budget.total b);
+  check_int "n" 6 (Budget.n b);
+  Alcotest.check_raises "impossible total"
+    (Invalid_argument "Budget.random_partition: total out of range") (fun () ->
+      ignore (Budget.random_partition (rng 0) ~n:3 ~total:7))
+
+let test_random_partition_extremes () =
+  let b = Budget.random_partition (rng 1) ~n:4 ~total:12 in
+  check_true "saturated" (Array.for_all (fun x -> x = 3) (Budget.to_array b));
+  let b = Budget.random_partition (rng 1) ~n:4 ~total:0 in
+  check_int "empty" 0 (Budget.total b)
+
+let test_of_digraph () =
+  let b = Budget.of_digraph (Bbng_graph.Generators.tripod 2) in
+  check_int "total = n-1" 6 (Budget.total b);
+  check_true "tree instance" (Budget.is_tree_instance b)
+
+let test_random_powerlaw () =
+  let b = Budget.random_powerlaw (rng 7) ~n:50 ~exponent:2.0 ~max_budget:5 in
+  check_int "n" 50 (Budget.n b);
+  check_true "within cap" (Budget.max_budget b <= 5);
+  check_true "nonnegative" (Budget.min_budget b >= 0);
+  (* skew: with exponent 2 over 0..5, small budgets dominate *)
+  let zeros_and_ones =
+    Array.fold_left
+      (fun acc x -> if x <= 1 then acc + 1 else acc)
+      0 (Budget.to_array b)
+  in
+  check_true "skewed toward small budgets" (zeros_and_ones > 25);
+  Alcotest.check_raises "cap too large"
+    (Invalid_argument "Budget.random_powerlaw: need 0 <= max_budget < n")
+    (fun () -> ignore (Budget.random_powerlaw (rng 0) ~n:4 ~exponent:2.0 ~max_budget:4))
+
+let prop_random_partition_valid =
+  qcheck "random partitions are valid budgets" (random_budget_gen ~n_min:1 ~n_max:12)
+    (fun (n, total, seed) ->
+      let b = random_budget_of (n, total, seed) in
+      Budget.total b = total
+      && Array.for_all (fun x -> x >= 0 && x < n) (Budget.to_array b))
+
+let suite =
+  [
+    case "of_list" test_of_list;
+    case "validation" test_validation;
+    case "uniform" test_uniform;
+    case "min/max" test_min_max;
+    case "to_array copies" test_to_array_copies;
+    case "predicates" test_predicates;
+    case "classify" test_classify;
+    case "class names" test_class_names;
+    case "random partition" test_random_partition;
+    case "random partition extremes" test_random_partition_extremes;
+    case "of_digraph" test_of_digraph;
+    case "random powerlaw" test_random_powerlaw;
+    prop_random_partition_valid;
+  ]

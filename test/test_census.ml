@@ -1,0 +1,71 @@
+open Helpers
+open Bbng_core
+open Bbng_analysis
+
+let test_unit3 () =
+  let game = Game.make Cost.Sum (Budget.unit_budgets 3) in
+  let c = Census.run game in
+  check_int "profiles" 8 c.Census.total_profiles;
+  check_int "equilibria" 2 c.Census.equilibria;
+  (* both equilibria are directed triangles: one isomorphism class *)
+  check_int "iso classes" 1 (List.length c.Census.iso_classes);
+  check_true "histogram" (c.Census.diameter_histogram = [ (1, 2) ]);
+  check_true "min" (c.Census.min_diameter = Some 1);
+  check_true "max" (c.Census.max_diameter = Some 1)
+
+let test_unit4 () =
+  let game = Game.make Cost.Sum (Budget.unit_budgets 4) in
+  let c = Census.run game in
+  check_int "profiles" 81 c.Census.total_profiles;
+  check_int "equilibria" 30 c.Census.equilibria;
+  check_true "every class diameter <= 4"
+    (List.for_all (fun (d, _) -> d <= 4) c.Census.diameter_histogram);
+  (* histogram counts add up *)
+  check_int "histogram total" 30
+    (List.fold_left (fun acc (_, c) -> acc + c) 0 c.Census.diameter_histogram);
+  check_true "far fewer classes than equilibria"
+    (List.length c.Census.iso_classes < 30)
+
+let test_representatives_are_nash () =
+  let game = Game.make Cost.Max (Budget.unit_budgets 4) in
+  let c = Census.run game in
+  List.iter
+    (fun p -> check_true "representative certified" (Equilibrium.is_nash game p))
+    c.Census.iso_classes
+
+let test_poa () =
+  let game = Game.make Cost.Sum (Budget.unit_budgets 4) in
+  let c = Census.run game in
+  match Census.price_of_anarchy c with
+  | Some r ->
+      check_int "den = opt" 2 r.Poa.den;
+      check_true "ratio >= 1" (Poa.ratio_to_float r >= 1.0)
+  | None -> Alcotest.fail "expected a PoA"
+
+let test_empty_census () =
+  (* subcritical instance: equilibria exist (disconnected ones) *)
+  let game = Game.make Cost.Sum (Budget.of_list [ 0; 0; 1; 0 ]) in
+  let c = Census.run game in
+  check_true "has equilibria" (c.Census.equilibria > 0);
+  check_true "diameter is n^2" (c.Census.min_diameter = Some 16)
+
+let test_limit () =
+  let game = Game.make Cost.Sum (Budget.unit_budgets 5) in
+  let c = Census.run ~limit:3 game in
+  check_int "limited" 3 c.Census.equilibria
+
+let test_summary_prints () =
+  let game = Game.make Cost.Sum (Budget.unit_budgets 3) in
+  let s = Format.asprintf "%a" Census.pp_summary (Census.run game) in
+  check_true "non-empty" (String.length s > 10)
+
+let suite =
+  [
+    case "unit n=3" test_unit3;
+    slow_case "unit n=4" test_unit4;
+    slow_case "representatives are Nash" test_representatives_are_nash;
+    slow_case "PoA from census" test_poa;
+    case "subcritical census" test_empty_census;
+    case "limit respected" test_limit;
+    case "summary prints" test_summary_prints;
+  ]

@@ -1,0 +1,106 @@
+open Helpers
+module C = Bbng_graph.Combinatorics
+
+let collect ~n ~k =
+  let acc = ref [] in
+  C.iter_combinations ~n ~k (fun c -> acc := Array.to_list c :: !acc);
+  List.rev !acc
+
+let test_binomial () =
+  check_int "5 choose 2" 10 (C.binomial 5 2);
+  check_int "n choose 0" 1 (C.binomial 7 0);
+  check_int "n choose n" 1 (C.binomial 7 7);
+  check_int "k > n" 0 (C.binomial 3 5);
+  check_int "k < 0" 0 (C.binomial 3 (-1));
+  check_int "symmetry" (C.binomial 20 6) (C.binomial 20 14);
+  check_int "big exact" 184756 (C.binomial 20 10)
+
+let test_binomial_saturates () =
+  check_int "overflow clamps" max_int (C.binomial 200 100)
+
+let test_iter_enumerates_all () =
+  let subsets = collect ~n:4 ~k:2 in
+  check_int "count" 6 (List.length subsets);
+  check_true "lexicographic"
+    (subsets = [ [0;1]; [0;2]; [0;3]; [1;2]; [1;3]; [2;3] ])
+
+let test_iter_k0 () =
+  check_true "single empty subset" (collect ~n:5 ~k:0 = [ [] ]);
+  check_true "k=0,n=0" (collect ~n:0 ~k:0 = [ [] ])
+
+let test_iter_k_gt_n () =
+  check_true "no subsets" (collect ~n:3 ~k:4 = [])
+
+let test_iter_full () =
+  check_true "k=n single subset" (collect ~n:3 ~k:3 = [ [0;1;2] ])
+
+let test_exists () =
+  check_true "finds" (C.exists_combination ~n:5 ~k:2 (fun c -> c.(0) = 2));
+  check_false "exhausts" (C.exists_combination ~n:5 ~k:2 (fun c -> c.(0) = 9))
+
+let test_combinations_of () =
+  let acc = ref [] in
+  C.iter_combinations_of [| "a"; "b"; "c" |] ~k:2 (fun c -> acc := String.concat "" (Array.to_list c) :: !acc);
+  check_true "element subsets" (List.rev !acc = [ "ab"; "ac"; "bc" ])
+
+let test_fold_best () =
+  (* minimize the sum of the chosen indices: {0,1} wins *)
+  match C.fold_best ~n:5 ~k:2 ~score:(fun c -> c.(0) + c.(1)) () with
+  | Some (c, s) ->
+      check_int_array "best subset" [| 0; 1 |] c;
+      check_int "best score" 1 s
+  | None -> Alcotest.fail "expected a best subset"
+
+let test_fold_best_stop_at () =
+  (* early exit: with stop_at = 10 the very first subset qualifies *)
+  let evaluated = ref 0 in
+  (match
+     C.fold_best ~n:6 ~k:3
+       ~score:(fun _ -> incr evaluated; 5)
+       ~stop_at:10 ()
+   with
+  | Some (_, 5) -> ()
+  | _ -> Alcotest.fail "expected score 5");
+  check_int "only one evaluation" 1 !evaluated
+
+let test_fold_best_none () =
+  check_true "no subsets" (C.fold_best ~n:2 ~k:3 ~score:(fun _ -> 0) () = None)
+
+let prop_count_matches_binomial =
+  qcheck "iteration count = binomial"
+    (QCheck.make
+       ~print:(fun (n, k) -> Printf.sprintf "n=%d k=%d" n k)
+       QCheck.Gen.(pair (int_range 0 10) (int_range 0 10)))
+    (fun (n, k) -> List.length (collect ~n ~k) = C.binomial n k)
+
+let prop_subsets_sorted_distinct =
+  qcheck "every subset is sorted and duplicate-free"
+    (QCheck.make
+       ~print:(fun (n, k) -> Printf.sprintf "n=%d k=%d" n k)
+       QCheck.Gen.(pair (int_range 1 9) (int_range 1 9)))
+    (fun (n, k) ->
+      List.for_all
+        (fun c ->
+          let rec ok = function
+            | a :: (b :: _ as rest) -> a < b && ok rest
+            | _ -> true
+          in
+          ok c && List.for_all (fun x -> x >= 0 && x < n) c)
+        (collect ~n ~k))
+
+let suite =
+  [
+    case "binomial" test_binomial;
+    case "binomial saturates" test_binomial_saturates;
+    case "iterate all subsets" test_iter_enumerates_all;
+    case "k = 0" test_iter_k0;
+    case "k > n" test_iter_k_gt_n;
+    case "k = n" test_iter_full;
+    case "exists_combination" test_exists;
+    case "combinations of elements" test_combinations_of;
+    case "fold_best" test_fold_best;
+    case "fold_best early exit" test_fold_best_stop_at;
+    case "fold_best empty" test_fold_best_none;
+    prop_count_matches_binomial;
+    prop_subsets_sorted_distinct;
+  ]

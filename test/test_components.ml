@@ -1,0 +1,80 @@
+open Helpers
+module Components = Bbng_graph.Components
+module Undirected = Bbng_graph.Undirected
+
+let test_connected () =
+  check_true "path" (Components.is_connected path5);
+  check_true "cycle" (Components.is_connected cycle6);
+  check_false "two triangles" (Components.is_connected two_triangles)
+
+let test_count () =
+  check_int "one" 1 (Components.count path5);
+  check_int "two" 2 (Components.count two_triangles);
+  check_int "isolated vertices" 4 (Components.count (Undirected.of_edges ~n:4 []))
+
+let test_labels () =
+  let l = Components.components two_triangles in
+  check_int "count" 2 l.Components.count;
+  check_int "same label" l.Components.label.(0) l.Components.label.(2);
+  check_true "different labels" (l.Components.label.(0) <> l.Components.label.(3));
+  check_int "ids by smallest member" 0 l.Components.label.(0);
+  check_int "second component id" 1 l.Components.label.(3)
+
+let test_members_and_sizes () =
+  let l = Components.components two_triangles in
+  check_int_list "component 0" [ 0; 1; 2 ] (Components.component_members l 0);
+  check_int_list "component 1" [ 3; 4; 5 ] (Components.component_members l 1);
+  check_int_array "sizes" [| 3; 3 |] (Components.sizes l)
+
+let test_same_component () =
+  check_true "together" (Components.same_component two_triangles 3 5);
+  check_false "apart" (Components.same_component two_triangles 0 3)
+
+let test_empty_graph () =
+  let g = Undirected.of_edges ~n:0 [] in
+  check_int "zero components" 0 (Components.count g);
+  check_true "empty is connected" (Components.is_connected g)
+
+let test_is_connected_except () =
+  (* star: removing the hub shatters it *)
+  check_false "hub is a cut vertex" (Components.is_connected_except star7 [ 0 ]);
+  check_true "leaf is not" (Components.is_connected_except star7 [ 3 ]);
+  (* cycle: any single vertex leaves a path *)
+  check_true "cycle minus one" (Components.is_connected_except cycle6 [ 0 ]);
+  check_false "cycle minus opposite pair" (Components.is_connected_except cycle6 [ 0; 3 ]);
+  check_true "cycle minus adjacent pair" (Components.is_connected_except cycle6 [ 0; 1 ]);
+  (* removing everything is vacuously connected *)
+  check_true "vacuous" (Components.is_connected_except path5 [ 0; 1; 2; 3; 4 ])
+
+let prop_labels_partition =
+  qcheck "labels partition the vertex set" (gnp_gen ~n_min:1 ~n_max:15)
+    (fun input ->
+      let g = random_gnp_of input in
+      let l = Components.components g in
+      let sizes = Components.sizes l in
+      Array.fold_left ( + ) 0 sizes = Undirected.n g)
+
+let prop_edges_within_components =
+  qcheck "no edge crosses components" (gnp_gen ~n_min:1 ~n_max:15)
+    (fun input ->
+      let g = random_gnp_of input in
+      let l = Components.components g in
+      let ok = ref true in
+      Undirected.iter_edges
+        (fun u v ->
+          if l.Components.label.(u) <> l.Components.label.(v) then ok := false)
+        g;
+      !ok)
+
+let suite =
+  [
+    case "is_connected" test_connected;
+    case "count" test_count;
+    case "labels" test_labels;
+    case "members and sizes" test_members_and_sizes;
+    case "same_component" test_same_component;
+    case "empty graph" test_empty_graph;
+    case "is_connected_except" test_is_connected_except;
+    prop_labels_partition;
+    prop_edges_within_components;
+  ]

@@ -1,0 +1,156 @@
+open Helpers
+module Connectivity = Bbng_graph.Connectivity
+module Components = Bbng_graph.Components
+module Flow = Bbng_graph.Flow
+module Undirected = Bbng_graph.Undirected
+module Generators = Bbng_graph.Generators
+
+(* --- Flow --- *)
+
+let test_flow_simple () =
+  let net = Flow.create 4 in
+  Flow.add_edge net ~src:0 ~dst:1 ~capacity:3;
+  Flow.add_edge net ~src:0 ~dst:2 ~capacity:2;
+  Flow.add_edge net ~src:1 ~dst:3 ~capacity:2;
+  Flow.add_edge net ~src:2 ~dst:3 ~capacity:3;
+  check_int "max flow" 4 (Flow.max_flow net ~source:0 ~sink:3)
+
+let test_flow_bottleneck () =
+  let net = Flow.create 3 in
+  Flow.add_edge net ~src:0 ~dst:1 ~capacity:10;
+  Flow.add_edge net ~src:1 ~dst:2 ~capacity:1;
+  check_int "bottleneck" 1 (Flow.max_flow net ~source:0 ~sink:2)
+
+let test_flow_disconnected () =
+  let net = Flow.create 2 in
+  check_int "no path" 0 (Flow.max_flow net ~source:0 ~sink:1)
+
+let test_flow_min_cut_side () =
+  let net = Flow.create 3 in
+  Flow.add_edge net ~src:0 ~dst:1 ~capacity:1;
+  Flow.add_edge net ~src:1 ~dst:2 ~capacity:5;
+  ignore (Flow.max_flow net ~source:0 ~sink:2);
+  let side = Flow.min_cut_side net ~source:0 in
+  check_int_array "source side" [| 1; 0; 0 |] side
+
+let test_flow_rejects () =
+  Alcotest.check_raises "source=sink"
+    (Invalid_argument "Flow.max_flow: source = sink") (fun () ->
+      ignore (Flow.max_flow (Flow.create 2) ~source:1 ~sink:1))
+
+(* --- Vertex connectivity --- *)
+
+let test_local_connectivity () =
+  check_int "cycle pair" 2 (Connectivity.local_connectivity cycle6 0 3);
+  check_int "path pair" 1 (Connectivity.local_connectivity path5 0 4);
+  check_int "star leaves" 1 (Connectivity.local_connectivity star7 1 2)
+
+let test_local_rejects_adjacent () =
+  Alcotest.check_raises "adjacent"
+    (Invalid_argument "Connectivity.local_connectivity: adjacent vertices")
+    (fun () -> ignore (Connectivity.local_connectivity path5 0 1))
+
+let test_global_values () =
+  check_int "path" 1 (Connectivity.vertex_connectivity path5);
+  check_int "cycle" 2 (Connectivity.vertex_connectivity cycle6);
+  check_int "star" 1 (Connectivity.vertex_connectivity star7);
+  check_int "complete" 4 (Connectivity.vertex_connectivity k5);
+  check_int "disconnected" 0 (Connectivity.vertex_connectivity two_triangles);
+  check_int "single vertex" 0
+    (Connectivity.vertex_connectivity (Undirected.of_edges ~n:1 []))
+
+let test_grid_connectivity () =
+  let g = Generators.grid_graph ~rows:3 ~cols:3 in
+  check_int "grid corner degree" 2 (Connectivity.vertex_connectivity g)
+
+let test_complete_bipartite () =
+  (* K_{2,3}: connectivity 2 *)
+  let g =
+    Undirected.of_edges ~n:5
+      [ (0, 2); (0, 3); (0, 4); (1, 2); (1, 3); (1, 4) ]
+  in
+  check_int "K23" 2 (Connectivity.vertex_connectivity g)
+
+let test_is_k_connected () =
+  check_true "cycle 2-connected" (Connectivity.is_k_connected cycle6 2);
+  check_false "cycle not 3-connected" (Connectivity.is_k_connected cycle6 3);
+  check_true "0-connected always" (Connectivity.is_k_connected two_triangles 0);
+  check_false "k >= n fails" (Connectivity.is_k_connected k5 5);
+  check_true "K5 is 4-connected" (Connectivity.is_k_connected k5 4)
+
+let test_min_cut_star () =
+  match Connectivity.min_vertex_cut star7 with
+  | Some [ 0 ] -> ()
+  | Some other ->
+      Alcotest.failf "expected hub cut, got [%s]"
+        (String.concat ";" (List.map string_of_int other))
+  | None -> Alcotest.fail "expected a cut"
+
+let test_min_cut_complete () =
+  check_true "complete has no cut" (Connectivity.min_vertex_cut k5 = None)
+
+let test_min_cut_disconnected () =
+  check_true "empty cut" (Connectivity.min_vertex_cut two_triangles = Some [])
+
+let test_min_cut_is_separator () =
+  let g = Generators.grid_graph ~rows:2 ~cols:4 in
+  match Connectivity.min_vertex_cut g with
+  | Some cut ->
+      check_int "cut size = connectivity"
+        (Connectivity.vertex_connectivity g)
+        (List.length cut);
+      check_false "cut separates" (Components.is_connected_except g cut)
+  | None -> Alcotest.fail "expected a cut"
+
+let prop_connectivity_at_most_min_degree =
+  qcheck "kappa <= min degree" (gnp_gen ~n_min:2 ~n_max:10)
+    (fun input ->
+      let g = random_connected_of input in
+      Connectivity.vertex_connectivity g <= Undirected.min_degree g)
+
+let prop_cut_separates =
+  qcheck "min cut disconnects" (gnp_gen ~n_min:3 ~n_max:10)
+    (fun input ->
+      let g = random_connected_of input in
+      match Connectivity.min_vertex_cut g with
+      | None -> true (* complete *)
+      | Some cut ->
+          List.length cut = Connectivity.vertex_connectivity g
+          && not (Components.is_connected_except g cut))
+
+let prop_menger_consistency =
+  qcheck "local >= global for non-adjacent pairs" (gnp_gen ~n_min:4 ~n_max:9)
+    (fun input ->
+      let g = random_connected_of input in
+      let n = Undirected.n g in
+      let kappa = Connectivity.vertex_connectivity g in
+      let ok = ref true in
+      for u = 0 to n - 1 do
+        for v = u + 1 to n - 1 do
+          if not (Undirected.mem_edge g u v) then
+            if Connectivity.local_connectivity g u v < kappa then ok := false
+        done
+      done;
+      !ok)
+
+let suite =
+  [
+    case "flow: simple network" test_flow_simple;
+    case "flow: bottleneck" test_flow_bottleneck;
+    case "flow: disconnected" test_flow_disconnected;
+    case "flow: min cut side" test_flow_min_cut_side;
+    case "flow: rejects source=sink" test_flow_rejects;
+    case "local connectivity" test_local_connectivity;
+    case "local rejects adjacent" test_local_rejects_adjacent;
+    case "global values" test_global_values;
+    case "grid" test_grid_connectivity;
+    case "K_{2,3}" test_complete_bipartite;
+    case "is_k_connected" test_is_k_connected;
+    case "min cut of star" test_min_cut_star;
+    case "min cut of complete" test_min_cut_complete;
+    case "min cut disconnected" test_min_cut_disconnected;
+    case "min cut separates grid" test_min_cut_is_separator;
+    prop_connectivity_at_most_min_degree;
+    prop_cut_separates;
+    prop_menger_consistency;
+  ]

@@ -1,0 +1,212 @@
+(* Tripod (Thm 3.2), binary tree (Thm 3.4), shift graph (Lem 5.2 /
+   Thm 5.3), and unit-budget suns (Section 4). *)
+
+open Helpers
+open Bbng_core
+open Bbng_constructions
+module Trees = Bbng_graph.Trees
+module Distances = Bbng_graph.Distances
+
+(* --- Tripod --- *)
+
+let test_tripod_shape () =
+  let p = Tripod.profile ~k:3 in
+  check_int "n = 3k+1" 10 (Strategy.n p);
+  check_true "tree" (Trees.is_tree (Strategy.underlying p));
+  check_true "tree instance" (Budget.is_tree_instance (Tripod.budgets ~k:3));
+  check_int "diameter 2k" 6 (Cost.social_cost (Strategy.underlying p));
+  check_int "hub index" 9 (Tripod.hub ~k:3);
+  check_int "n_of_k" 10 (Tripod.n_of_k 3)
+
+let test_tripod_max_equilibrium () =
+  (* the Theta(n) MAX lower bound (Theorem 3.2), certified exactly *)
+  List.iter
+    (fun k -> assert_equilibrium (Printf.sprintf "tripod k=%d" k) Cost.Max (Tripod.profile ~k))
+    [ 1; 2; 3; 4 ]
+
+let test_tripod_not_sum_equilibrium () =
+  (* in the SUM version long legs are unstable: x1 prefers to move its
+     leg arc closer to the middle of the far path *)
+  assert_not_equilibrium "tripod k=4 SUM" Cost.Sum (Tripod.profile ~k:4)
+
+let test_tripod_poa_linear () =
+  (* equilibrium diameter 2k vs OPT <= 4: the Theta(n) PoA row *)
+  let k = 5 in
+  let r =
+    Poa.anarchy_lower_bound ~equilibrium_diameter:(Tripod.diameter ~k)
+      (Tripod.budgets ~k)
+  in
+  check_true "PoA grows" (Poa.ratio_to_float r >= 2.5)
+
+let test_spider_generalization () =
+  (* Theorem 3.2 generalizes beyond three legs: certified exactly *)
+  List.iter
+    (fun (legs, k) ->
+      assert_equilibrium
+        (Printf.sprintf "spider legs=%d k=%d" legs k)
+        Cost.Max
+        (Tripod.spider_profile ~legs ~k))
+    [ (4, 2); (5, 2); (4, 3); (6, 2) ];
+  (* two legs = a path: the head re-centers, NOT an equilibrium *)
+  assert_not_equilibrium "2-leg spider" Cost.Max (Tripod.spider_profile ~legs:2 ~k:3)
+
+let test_spider_tree_instance () =
+  let b = Tripod.spider_budgets ~legs:5 ~k:3 in
+  check_true "tree instance" (Budget.is_tree_instance b);
+  check_int "n" 16 (Budget.n b)
+
+(* --- Binary tree --- *)
+
+let test_binary_tree_shape () =
+  let p = Binary_tree.profile ~depth:3 in
+  check_int "n" 15 (Strategy.n p);
+  check_true "tree" (Trees.is_tree (Strategy.underlying p));
+  check_true "tree instance" (Budget.is_tree_instance (Binary_tree.budgets ~depth:3));
+  check_int "diameter" 6 (Cost.social_cost (Strategy.underlying p));
+  check_int "n_of_depth" 15 (Binary_tree.n_of_depth 3)
+
+let test_binary_tree_sum_equilibrium () =
+  List.iter
+    (fun depth ->
+      assert_equilibrium
+        (Printf.sprintf "binary depth=%d" depth)
+        Cost.Sum
+        (Binary_tree.profile ~depth))
+    [ 0; 1; 2; 3 ]
+
+let test_binary_tree_diameter_log () =
+  (* Theorem 3.3's explicit bound holds on the witnesses *)
+  List.iter
+    (fun depth ->
+      let n = Binary_tree.n_of_depth depth in
+      check_true
+        (Printf.sprintf "depth %d within Thm 3.3 bound" depth)
+        (Binary_tree.diameter ~depth <= Bbng_analysis.Bounds.tree_sum_diameter_bound ~n))
+    [ 1; 2; 3; 4; 5; 6; 7; 8 ]
+
+(* --- Shift graph --- *)
+
+let test_shift_certificate_paper_params () =
+  (* k=2 with the paper's t = 2^k = 4: exactly sqrt(log n) diameter *)
+  let c = Shift_graph.certificate ~t:4 ~k:2 in
+  check_true "valid" c.Shift_graph.valid;
+  check_int "n = 16" 16 c.Shift_graph.n;
+  check_true "local diameters all 2"
+    (c.Shift_graph.all_local_diameters_equal = Some 2);
+  check_int "paper_t" 4 (Shift_graph.paper_t ~k:2);
+  check_int "paper_t k=4" 16 (Shift_graph.paper_t ~k:4)
+
+let test_shift_certificate_downsized () =
+  (* t just above 2^(k-1) keeps the certificate valid at smaller n *)
+  let c = Shift_graph.certificate ~t:5 ~k:3 in
+  check_true "valid at t=5,k=3" c.Shift_graph.valid
+
+let test_shift_certificate_invalid_params () =
+  let c = Shift_graph.certificate ~t:3 ~k:3 in
+  (* 2^3 = 8 >= 2*3: counting fails *)
+  check_false "counting fails" c.Shift_graph.valid
+
+let test_shift_direct_certification () =
+  (* ground truth: the orientation is an exact MAX equilibrium at n=16
+     (every budget positive, diameter 2 = sqrt(log 16)) *)
+  let p = Shift_graph.profile ~t:4 ~k:2 in
+  check_true "all budgets positive" (Budget.all_positive (Shift_graph.budgets ~t:4 ~k:2));
+  check_int "diameter sqrt(log n)" 2 (Cost.social_cost (Strategy.underlying p));
+  assert_equilibrium "shift(4,2) MAX" Cost.Max p
+
+let test_shift_n_of () =
+  check_int "4^2" 16 (Shift_graph.n_of ~t:4 ~k:2);
+  check_int "5^3" 125 (Shift_graph.n_of ~t:5 ~k:3)
+
+(* --- Unit budget suns --- *)
+
+let test_concentrated_sun_equilibrium_both () =
+  List.iter
+    (fun n ->
+      let p = Unit_budget.concentrated_sun ~n in
+      assert_equilibrium (Printf.sprintf "sun n=%d MAX" n) Cost.Max p;
+      assert_equilibrium (Printf.sprintf "sun n=%d SUM" n) Cost.Sum p)
+    [ 3; 4; 5; 8; 11 ]
+
+let test_concentrated_sun_diameter () =
+  check_int "n=3 triangle" 1
+    (Cost.social_cost (Strategy.underlying (Unit_budget.concentrated_sun ~n:3)));
+  check_int "n=10" 2
+    (Cost.social_cost (Strategy.underlying (Unit_budget.concentrated_sun ~n:10)))
+
+let test_balanced_sun_max_only () =
+  let p = Unit_budget.balanced_sun ~cycle_len:3 ~n:9 in
+  assert_equilibrium "balanced MAX" Cost.Max p;
+  (* fringe players strictly prefer heavier cycle vertices in SUM *)
+  assert_not_equilibrium "balanced SUM" Cost.Sum p
+
+let test_brace_pair () =
+  let p = Unit_budget.brace_pair () in
+  check_int "n" 2 (Strategy.n p);
+  assert_equilibrium "brace MAX" Cost.Max p;
+  assert_equilibrium "brace SUM" Cost.Sum p
+
+let test_diameter_upper_bounds () =
+  check_int "SUM" 4 (Unit_budget.diameter_upper_bound Cost.Sum);
+  check_int "MAX" 7 (Unit_budget.diameter_upper_bound Cost.Max)
+
+let test_sun_validation () =
+  Alcotest.check_raises "n too small"
+    (Invalid_argument "Unit_budget.concentrated_sun: n < 3") (fun () ->
+      ignore (Unit_budget.concentrated_sun ~n:2))
+
+(* Exhaustive Section 4 check: ALL unit-budget equilibria at small n
+   satisfy the structure theorems and the diameter bounds. *)
+let test_exhaustive_unit_structure () =
+  List.iter
+    (fun n ->
+      List.iter
+        (fun version ->
+          let game = Game.make version (Budget.unit_budgets n) in
+          let eqs = Equilibrium.enumerate_equilibria game in
+          check_true (Printf.sprintf "n=%d has equilibria" n) (eqs <> []);
+          List.iter
+            (fun p ->
+              let d = Cost.social_cost (Strategy.underlying p) in
+              check_true
+                (Printf.sprintf "diameter bound n=%d %s" n (Cost.version_name version))
+                (d <= Unit_budget.diameter_upper_bound version);
+              let violation =
+                match version with
+                | Cost.Sum -> Bbng_analysis.Structure.check_sum_structure p
+                | Cost.Max -> Bbng_analysis.Structure.check_max_structure p
+              in
+              match violation with
+              | None -> ()
+              | Some v ->
+                  Alcotest.failf "n=%d %s violates: %s" n
+                    (Cost.version_name version) v.Bbng_analysis.Structure.clause)
+            eqs)
+        Cost.all_versions)
+    [ 2; 3; 4; 5 ]
+
+let suite =
+  [
+    case "tripod shape" test_tripod_shape;
+    slow_case "tripod MAX equilibrium (Thm 3.2)" test_tripod_max_equilibrium;
+    case "tripod not a SUM equilibrium" test_tripod_not_sum_equilibrium;
+    case "tripod PoA linear" test_tripod_poa_linear;
+    slow_case "spider generalization (Thm 3.2, legs > 3)" test_spider_generalization;
+    case "spider budgets" test_spider_tree_instance;
+    case "binary tree shape" test_binary_tree_shape;
+    slow_case "binary tree SUM equilibrium (Thm 3.4)" test_binary_tree_sum_equilibrium;
+    case "binary tree diameter log bound" test_binary_tree_diameter_log;
+    case "shift certificate (paper parameters)" test_shift_certificate_paper_params;
+    case "shift certificate downsized" test_shift_certificate_downsized;
+    case "shift certificate rejects bad parameters" test_shift_certificate_invalid_params;
+    slow_case "shift direct MAX certification" test_shift_direct_certification;
+    case "shift n_of" test_shift_n_of;
+    case "concentrated sun both versions" test_concentrated_sun_equilibrium_both;
+    case "concentrated sun diameter" test_concentrated_sun_diameter;
+    case "balanced sun MAX-only" test_balanced_sun_max_only;
+    case "brace pair" test_brace_pair;
+    case "unit diameter bounds" test_diameter_upper_bounds;
+    case "sun validation" test_sun_validation;
+    slow_case "exhaustive unit-budget structure (Thms 4.1/4.2)"
+      test_exhaustive_unit_structure;
+  ]

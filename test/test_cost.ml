@@ -1,0 +1,118 @@
+open Helpers
+open Bbng_core
+module Undirected = Bbng_graph.Undirected
+
+let test_cinf () = check_int "n^2" 49 (Cost.cinf ~n:7)
+
+let test_sum_on_path () =
+  (* path5: from an end 0+1+2+3+4 = 10, from the middle 2+1+0+1+2 = 6 *)
+  check_int "end" 10 (Cost.vertex_cost Cost.Sum path5 0);
+  check_int "middle" 6 (Cost.vertex_cost Cost.Sum path5 2)
+
+let test_max_on_path () =
+  check_int "end" 4 (Cost.vertex_cost Cost.Max path5 0);
+  check_int "middle" 2 (Cost.vertex_cost Cost.Max path5 2)
+
+let test_sum_disconnected () =
+  (* two triangles, n=6, Cinf=36: own component 1+1, three at 36 *)
+  check_int "sum with Cinf" (2 + 3 * 36) (Cost.vertex_cost Cost.Sum two_triangles 0)
+
+let test_max_disconnected () =
+  (* kappa = 2: local diameter n^2 plus (kappa-1) n^2 *)
+  check_int "max with kappa" (36 + 36) (Cost.vertex_cost Cost.Max two_triangles 0);
+  (* {0,1}, {2,3} and two isolated vertices: kappa = 4 *)
+  let g = Undirected.of_edges ~n:6 [ (0, 1); (2, 3) ] in
+  check_int "four components" (36 + 3 * 36) (Cost.vertex_cost Cost.Max g 0)
+
+let test_profile_costs () =
+  let costs = Cost.profile_costs Cost.Sum path5 in
+  check_int_array "all vertices" [| 10; 7; 6; 7; 10 |] costs;
+  let costs = Cost.profile_costs Cost.Max star7 in
+  check_int "center" 1 costs.(0);
+  check_int "leaf" 2 costs.(1)
+
+let test_social_cost () =
+  check_int "path diameter" 4 (Cost.social_cost path5);
+  check_int "disconnected n^2" 36 (Cost.social_cost two_triangles);
+  check_int "singleton" 0 (Cost.social_cost (Undirected.of_edges ~n:1 []))
+
+let test_cost_floor_max () =
+  check_int "n=1" 0 (Cost.cost_floor Cost.Max ~n:1 ~budget:0 ~in_degree:0);
+  check_int "adjacent to all" 1 (Cost.cost_floor Cost.Max ~n:5 ~budget:4 ~in_degree:0);
+  check_int "adjacent via in-arcs" 1 (Cost.cost_floor Cost.Max ~n:5 ~budget:2 ~in_degree:2);
+  check_int "not enough" 2 (Cost.cost_floor Cost.Max ~n:5 ~budget:1 ~in_degree:1)
+
+let test_cost_floor_sum () =
+  (* p neighbors at distance 1, rest at >= 2 *)
+  check_int "lonely" (2 * 4) (Cost.cost_floor Cost.Sum ~n:5 ~budget:0 ~in_degree:0);
+  check_int "one arc" (1 + 2 * 3) (Cost.cost_floor Cost.Sum ~n:5 ~budget:1 ~in_degree:0);
+  check_int "saturated" 4 (Cost.cost_floor Cost.Sum ~n:5 ~budget:4 ~in_degree:3)
+
+let test_floor_is_sound () =
+  (* brute-force: the floor never exceeds the true best-response cost *)
+  let b = Budget.of_list [ 1; 1; 2; 0 ] in
+  let game = Game.make Cost.Sum b in
+  let p =
+    Strategy.make b [| [| 1 |]; [| 2 |]; [| 0; 3 |]; [||] |]
+  in
+  let g = Strategy.realize p in
+  for player = 0 to 3 do
+    let floor =
+      Cost.cost_floor Cost.Sum ~n:4
+        ~budget:(Budget.get b player)
+        ~in_degree:(Bbng_graph.Digraph.in_degree g player)
+    in
+    let best = Best_response.exact game p player in
+    check_true
+      (Printf.sprintf "floor sound for %d" player)
+      (floor <= best.Best_response.cost)
+  done
+
+let test_version_names () =
+  check_true "names" (Cost.version_name Cost.Max = "MAX" && Cost.version_name Cost.Sum = "SUM");
+  check_int "two versions" 2 (List.length Cost.all_versions)
+
+let prop_sum_cost_equals_distance_sum =
+  qcheck "SUM cost on connected graphs = Wiener row" (gnp_gen ~n_min:2 ~n_max:12)
+    (fun input ->
+      let g = random_connected_of input in
+      let r = Bbng_graph.Distances.distance_sum g 0 in
+      Cost.vertex_cost Cost.Sum g 0 = r.Bbng_graph.Distances.sum)
+
+let prop_max_cost_equals_eccentricity =
+  qcheck "MAX cost on connected graphs = eccentricity" (gnp_gen ~n_min:2 ~n_max:12)
+    (fun input ->
+      let g = random_connected_of input in
+      Bbng_graph.Distances.eccentricity g 0 = Some (Cost.vertex_cost Cost.Max g 0))
+
+let prop_profile_costs_match_vertex_cost =
+  qcheck "profile_costs agrees with vertex_cost" (gnp_gen ~n_min:1 ~n_max:10)
+    (fun input ->
+      let g = random_gnp_of input in
+      List.for_all
+        (fun version ->
+          let batch = Cost.profile_costs version g in
+          let ok = ref true in
+          for v = 0 to Undirected.n g - 1 do
+            if batch.(v) <> Cost.vertex_cost version g v then ok := false
+          done;
+          !ok)
+        Cost.all_versions)
+
+let suite =
+  [
+    case "cinf" test_cinf;
+    case "SUM on path" test_sum_on_path;
+    case "MAX on path" test_max_on_path;
+    case "SUM disconnected" test_sum_disconnected;
+    case "MAX disconnected (kappa term)" test_max_disconnected;
+    case "profile costs" test_profile_costs;
+    case "social cost" test_social_cost;
+    case "cost floor MAX" test_cost_floor_max;
+    case "cost floor SUM" test_cost_floor_sum;
+    case "floor soundness vs brute force" test_floor_is_sound;
+    case "version names" test_version_names;
+    prop_sum_cost_equals_distance_sum;
+    prop_max_cost_equals_eccentricity;
+    prop_profile_costs_match_vertex_cost;
+  ]

@@ -1,0 +1,104 @@
+open Helpers
+module Cycles = Bbng_graph.Cycles
+module Digraph = Bbng_graph.Digraph
+module Undirected = Bbng_graph.Undirected
+module Generators = Bbng_graph.Generators
+
+let ring n = Generators.directed_cycle n
+
+let sun_digraph () =
+  (* 3-cycle 0->1->2->0 with fringe 3->0, 4->1 *)
+  Digraph.of_arcs ~n:5 [ (0, 1); (1, 2); (2, 0); (3, 0); (4, 1) ]
+
+let test_functional_cycle_ring () =
+  check_int_list "whole ring" [ 0; 1; 2; 3 ] (Cycles.functional_cycle (ring 4) 0);
+  check_int_list "start elsewhere" [ 0; 1; 2; 3 ] (Cycles.functional_cycle (ring 4) 2)
+
+let test_functional_cycle_with_tail () =
+  check_int_list "tail leads into cycle" [ 0; 1; 2 ]
+    (Cycles.functional_cycle (sun_digraph ()) 3)
+
+let test_functional_cycle_brace () =
+  let g = Digraph.of_arcs ~n:3 [ (0, 1); (1, 0); (2, 0) ] in
+  check_int_list "brace is a 2-cycle" [ 0; 1 ] (Cycles.functional_cycle g 2)
+
+let test_functional_cycle_rejects () =
+  Alcotest.check_raises "outdegree 2"
+    (Invalid_argument "Cycles: vertex 0 has out-degree 2, expected 1")
+    (fun () ->
+      ignore (Cycles.functional_cycle (Digraph.of_arcs ~n:3 [ (0, 1); (0, 2); (1, 0); (2, 1) ]) 0))
+
+let test_functional_cycles_multi () =
+  let g = Digraph.of_arcs ~n:6 [ (0, 1); (1, 0); (2, 3); (3, 4); (4, 2); (5, 2) ] in
+  check_true "two cycles"
+    (Cycles.functional_cycles g = [ [ 0; 1 ]; [ 2; 3; 4 ] ])
+
+let test_functional_cycles_single () =
+  check_true "one cycle" (Cycles.functional_cycles (sun_digraph ()) = [ [ 0; 1; 2 ] ])
+
+let test_distance_to_set () =
+  let u = Undirected.of_digraph (sun_digraph ()) in
+  let d = Cycles.distance_to_set u [ 0; 1; 2 ] in
+  check_int_array "cycle distance" [| 0; 0; 0; 1; 1 |] d
+
+let test_is_unicyclic () =
+  check_true "sun" (Cycles.is_unicyclic (Undirected.of_digraph (sun_digraph ())));
+  check_false "tree" (Cycles.is_unicyclic path5);
+  check_false "disconnected" (Cycles.is_unicyclic two_triangles);
+  check_true "plain cycle" (Cycles.is_unicyclic cycle6)
+
+let test_girth () =
+  check_int_option "cycle6" (Some 6) (Cycles.girth cycle6);
+  check_int_option "K5" (Some 3) (Cycles.girth k5);
+  check_int_option "tree" None (Cycles.girth path5);
+  check_int_option "two triangles" (Some 3) (Cycles.girth two_triangles)
+
+let test_girth_theta_graph () =
+  (* two vertices joined by paths of lengths 2, 2: girth 4 *)
+  let g = Undirected.of_edges ~n:4 [ (0, 1); (1, 2); (2, 3); (3, 0) ] in
+  check_int_option "4-cycle" (Some 4) (Cycles.girth g)
+
+let prop_unit_profile_has_cycle_per_component =
+  qcheck "functional digraph: one cycle per weak component"
+    (gnp_gen ~n_min:2 ~n_max:20) (fun (n, seed) ->
+      let st = rng seed in
+      let p =
+        Bbng_core.Strategy.random st (Bbng_core.Budget.unit_budgets n)
+      in
+      let g = Bbng_core.Strategy.realize p in
+      let u = Bbng_core.Strategy.underlying p in
+      let comps = (Bbng_graph.Components.components u).Bbng_graph.Components.count in
+      List.length (Cycles.functional_cycles g) = comps)
+
+let prop_cycle_is_closed_walk =
+  qcheck "reported cycle is a closed arc walk" (gnp_gen ~n_min:2 ~n_max:20)
+    (fun (n, seed) ->
+      let st = rng seed in
+      let p = Bbng_core.Strategy.random st (Bbng_core.Budget.unit_budgets n) in
+      let g = Bbng_core.Strategy.realize p in
+      List.for_all
+        (fun cycle ->
+          let arr = Array.of_list cycle in
+          let len = Array.length arr in
+          let ok = ref (len >= 2) in
+          for i = 0 to len - 1 do
+            if not (Digraph.mem_arc g arr.(i) arr.((i + 1) mod len)) then ok := false
+          done;
+          !ok)
+        (Cycles.functional_cycles g))
+
+let suite =
+  [
+    case "functional cycle: ring" test_functional_cycle_ring;
+    case "functional cycle: tail" test_functional_cycle_with_tail;
+    case "functional cycle: brace" test_functional_cycle_brace;
+    case "functional cycle: rejects" test_functional_cycle_rejects;
+    case "functional cycles: multiple components" test_functional_cycles_multi;
+    case "functional cycles: single" test_functional_cycles_single;
+    case "distance to cycle" test_distance_to_set;
+    case "is_unicyclic" test_is_unicyclic;
+    case "girth" test_girth;
+    case "girth of 4-cycle" test_girth_theta_graph;
+    prop_unit_profile_has_cycle_per_component;
+    prop_cycle_is_closed_walk;
+  ]

@@ -1,0 +1,122 @@
+open Helpers
+open Bbng_core
+
+let ctx version p player = Deviation_eval.make version p ~player
+
+let test_accessors () =
+  let p = Bbng_constructions.Unit_budget.concentrated_sun ~n:5 in
+  let c = ctx Cost.Sum p 2 in
+  check_int "player" 2 (Deviation_eval.player c);
+  check_true "version" (Deviation_eval.version c = Cost.Sum)
+
+let test_current_cost_matches_game () =
+  let p = Bbng_constructions.Binary_tree.profile ~depth:2 in
+  List.iter
+    (fun version ->
+      let game = Game.make version (Strategy.budgets p) in
+      for player = 0 to Strategy.n p - 1 do
+        check_int
+          (Printf.sprintf "%s player %d" (Cost.version_name version) player)
+          (Game.player_cost game p player)
+          (Deviation_eval.current_cost (ctx version p player))
+      done)
+    Cost.all_versions
+
+let test_cost_matches_deviation_cost () =
+  (* hand-picked deviations incl. ones that disconnect the graph *)
+  let b = Budget.of_list [ 2; 1; 0; 0; 0 ] in
+  let p = Strategy.make b [| [| 1; 2 |]; [| 3 |]; [||]; [||]; [||] |] in
+  List.iter
+    (fun version ->
+      let game = Game.make version b in
+      let c = ctx version p 0 in
+      List.iter
+        (fun targets ->
+          check_int
+            (Printf.sprintf "%s {%s}" (Cost.version_name version)
+               (String.concat ","
+                  (List.map string_of_int (Array.to_list targets))))
+            (Game.deviation_cost game p ~player:0 ~targets)
+            (Deviation_eval.cost c targets))
+        [ [| 1; 2 |]; [| 1; 4 |]; [| 3; 4 |]; [| 2; 4 |]; [| 1; 3 |] ])
+    Cost.all_versions
+
+let test_kappa_counting () =
+  (* everything isolated except the player's arcs: deviating to one
+     vertex leaves three components (player+target, and two singletons) *)
+  let b = Budget.of_list [ 1; 0; 0; 0 ] in
+  let p = Strategy.make b [| [| 1 |]; [||]; [||]; [||] |] in
+  let c = ctx Cost.Max p 0 in
+  (* kappa = 3: {0,1}, {2}, {3}; cost = 16 + 2*16 *)
+  check_int "kappa term" (16 + 2 * 16) (Deviation_eval.cost c [| 1 |]);
+  let game = Game.make Cost.Max b in
+  check_int "agrees with game" (Game.deviation_cost game p ~player:0 ~targets:[| 1 |])
+    (Deviation_eval.cost c [| 1 |])
+
+let test_partial_targets () =
+  (* the greedy heuristic evaluates fewer targets than the budget *)
+  let b = Budget.of_list [ 2; 0; 0 ] in
+  let p = Strategy.make b [| [| 1; 2 |]; [||]; [||] |] in
+  let c = ctx Cost.Sum p 0 in
+  (* one arc only: reach 1 at distance 1, vertex 2 unreachable (9) *)
+  check_int "partial" (1 + 9) (Deviation_eval.cost c [| 1 |]);
+  check_int "empty" (9 + 9) (Deviation_eval.cost c [||])
+
+let test_reuse_across_calls () =
+  (* scratch reuse must not leak state between evaluations *)
+  let p = Bbng_constructions.Unit_budget.concentrated_sun ~n:8 in
+  let c = ctx Cost.Sum p 4 in
+  let first = Deviation_eval.cost c [| 0 |] in
+  let _ = Deviation_eval.cost c [| 5 |] in
+  let _ = Deviation_eval.cost c [| 7 |] in
+  check_int "same answer after reuse" first (Deviation_eval.cost c [| 0 |])
+
+let test_validation () =
+  let p = Bbng_constructions.Unit_budget.concentrated_sun ~n:4 in
+  let c = ctx Cost.Sum p 1 in
+  Alcotest.check_raises "self"
+    (Invalid_argument "Deviation_eval.cost: self target") (fun () ->
+      ignore (Deviation_eval.cost c [| 1 |]));
+  Alcotest.check_raises "range"
+    (Invalid_argument "Deviation_eval.cost: target out of range") (fun () ->
+      ignore (Deviation_eval.cost c [| 9 |]))
+
+let prop_equivalent_to_generic =
+  qcheck ~count:200 "incremental evaluator == generic deviation cost"
+    (random_budget_gen ~n_min:2 ~n_max:9) (fun ((n, _, seed) as input) ->
+      let p = random_profile_of input in
+      let st = rng (seed + 17) in
+      let player = Random.State.int st n in
+      let alt = Strategy.random st (Strategy.budgets p) in
+      let targets = Strategy.strategy alt player in
+      List.for_all
+        (fun version ->
+          let game = Game.make version (Strategy.budgets p) in
+          Game.deviation_cost game p ~player ~targets
+          = Deviation_eval.cost (ctx version p player) targets)
+        Cost.all_versions)
+
+let prop_current_cost_equivalent =
+  qcheck ~count:100 "current_cost == Game.player_cost"
+    (random_budget_gen ~n_min:1 ~n_max:9) (fun ((n, _, seed) as input) ->
+      let p = random_profile_of input in
+      let player = seed mod n in
+      List.for_all
+        (fun version ->
+          let game = Game.make version (Strategy.budgets p) in
+          Game.player_cost game p player
+          = Deviation_eval.current_cost (ctx version p player))
+        Cost.all_versions)
+
+let suite =
+  [
+    case "accessors" test_accessors;
+    case "current cost matches game" test_current_cost_matches_game;
+    case "cost matches deviation_cost" test_cost_matches_deviation_cost;
+    case "kappa counting" test_kappa_counting;
+    case "partial target sets" test_partial_targets;
+    case "scratch reuse" test_reuse_across_calls;
+    case "validation" test_validation;
+    prop_equivalent_to_generic;
+    prop_current_cost_equivalent;
+  ]

@@ -1,0 +1,135 @@
+open Helpers
+module Digraph = Bbng_graph.Digraph
+
+let triangle () = Digraph.of_arcs ~n:3 [ (0, 1); (1, 2); (2, 0) ]
+let braced () = Digraph.of_arcs ~n:4 [ (0, 1); (1, 0); (1, 2); (3, 2) ]
+
+let test_create_empty () =
+  let g = Digraph.create ~n:4 in
+  check_int "n" 4 (Digraph.n g);
+  check_int "arcs" 0 (Digraph.arc_count g);
+  check_int "out-degree" 0 (Digraph.out_degree g 2)
+
+let test_of_arcs_basic () =
+  let g = triangle () in
+  check_int "arc count" 3 (Digraph.arc_count g);
+  check_true "0->1" (Digraph.mem_arc g 0 1);
+  check_false "1->0" (Digraph.mem_arc g 1 0);
+  check_int "out-degree 0" 1 (Digraph.out_degree g 0);
+  check_int "in-degree 0" 1 (Digraph.in_degree g 0);
+  check_int "degree" 2 (Digraph.degree g 0)
+
+let test_sorted_neighbors () =
+  let g = Digraph.of_arcs ~n:5 [ (0, 4); (0, 2); (0, 1) ] in
+  check_int_array "out sorted" [| 1; 2; 4 |] (Digraph.out_neighbors g 0)
+
+let test_in_neighbors () =
+  let g = Digraph.of_arcs ~n:4 [ (3, 1); (0, 1); (2, 1) ] in
+  check_int_array "in sorted" [| 0; 2; 3 |] (Digraph.in_neighbors g 1)
+
+let test_rejects_self_loop () =
+  Alcotest.check_raises "self loop" (Invalid_argument "Digraph: self-loop at 1")
+    (fun () -> ignore (Digraph.of_arcs ~n:3 [ (1, 1) ]))
+
+let test_rejects_duplicate () =
+  Alcotest.check_raises "duplicate" (Invalid_argument "Digraph: duplicate arc 0->2")
+    (fun () -> ignore (Digraph.of_arcs ~n:3 [ (0, 2); (0, 2) ]))
+
+let test_rejects_out_of_range () =
+  Alcotest.check_raises "range"
+    (Invalid_argument "Digraph: vertex 5 out of range [0,3)") (fun () ->
+      ignore (Digraph.of_arcs ~n:3 [ (0, 5) ]))
+
+let test_arcs_listing () =
+  let g = triangle () in
+  check_true "arc list" (Digraph.arcs g = [ (0, 1); (1, 2); (2, 0) ])
+
+let test_braces () =
+  let g = braced () in
+  check_true "brace list" (Digraph.braces g = [ (0, 1) ]);
+  check_true "is_brace" (Digraph.is_brace g 0 1);
+  check_true "is_brace sym" (Digraph.is_brace g 1 0);
+  check_false "1-2 not brace" (Digraph.is_brace g 1 2);
+  check_true "0 in brace" (Digraph.in_some_brace g 0);
+  check_false "3 not in brace" (Digraph.in_some_brace g 3)
+
+let test_brace_degree_counts_twice () =
+  let g = Digraph.of_arcs ~n:2 [ (0, 1); (1, 0) ] in
+  check_int "degree with brace" 2 (Digraph.degree g 0)
+
+let test_reverse () =
+  let g = Digraph.reverse (triangle ()) in
+  check_true "reversed arc" (Digraph.mem_arc g 1 0);
+  check_false "old arc gone" (Digraph.mem_arc g 0 1);
+  check_int "arc count preserved" 3 (Digraph.arc_count g)
+
+let test_reverse_involution () =
+  let g = braced () in
+  check_true "reverse twice" (Digraph.equal g (Digraph.reverse (Digraph.reverse g)))
+
+let test_replace_out_neighbors () =
+  let g = triangle () in
+  let g' = Digraph.replace_out_neighbors g 0 [| 2 |] in
+  check_true "new arc" (Digraph.mem_arc g' 0 2);
+  check_false "old arc" (Digraph.mem_arc g' 0 1);
+  check_true "others untouched" (Digraph.mem_arc g' 1 2);
+  (* original unchanged *)
+  check_true "persistence" (Digraph.mem_arc g 0 1)
+
+let test_equal () =
+  check_true "structural equality" (Digraph.equal (triangle ()) (triangle ()));
+  check_false "different graphs"
+    (Digraph.equal (triangle ()) (Digraph.of_arcs ~n:3 [ (0, 1) ]))
+
+let test_of_out_neighbors () =
+  let g = Digraph.of_out_neighbors [| [| 2; 1 |]; [||]; [| 0 |] |] in
+  check_int "arc count" 3 (Digraph.arc_count g);
+  check_int_array "sorted" [| 1; 2 |] (Digraph.out_neighbors g 0)
+
+let prop_arc_count_consistent =
+  qcheck "arc_count = sum of out-degrees" (gnp_gen ~n_min:1 ~n_max:12)
+    (fun (n, seed) ->
+      let u = random_gnp_of (n, seed) in
+      (* orient every edge from the smaller endpoint *)
+      let g =
+        Digraph.of_arcs ~n (Bbng_graph.Undirected.edges u)
+      in
+      let total = ref 0 in
+      for v = 0 to n - 1 do
+        total := !total + Digraph.out_degree g v
+      done;
+      !total = Digraph.arc_count g)
+
+let prop_in_out_duality =
+  qcheck "reverse swaps in/out degrees" (gnp_gen ~n_min:1 ~n_max:12)
+    (fun (n, seed) ->
+      let u = random_gnp_of (n, seed) in
+      let g = Digraph.of_arcs ~n (Bbng_graph.Undirected.edges u) in
+      let r = Digraph.reverse g in
+      let ok = ref true in
+      for v = 0 to n - 1 do
+        if Digraph.out_degree g v <> Digraph.in_degree r v then ok := false;
+        if Digraph.in_degree g v <> Digraph.out_degree r v then ok := false
+      done;
+      !ok)
+
+let suite =
+  [
+    case "create empty" test_create_empty;
+    case "of_arcs basics" test_of_arcs_basic;
+    case "neighbors sorted" test_sorted_neighbors;
+    case "in-neighbors" test_in_neighbors;
+    case "rejects self-loop" test_rejects_self_loop;
+    case "rejects duplicate arc" test_rejects_duplicate;
+    case "rejects out-of-range" test_rejects_out_of_range;
+    case "arcs listing" test_arcs_listing;
+    case "braces" test_braces;
+    case "brace degree multiplicity" test_brace_degree_counts_twice;
+    case "reverse" test_reverse;
+    case "reverse involution" test_reverse_involution;
+    case "replace_out_neighbors" test_replace_out_neighbors;
+    case "equality" test_equal;
+    case "of_out_neighbors" test_of_out_neighbors;
+    prop_arc_count_consistent;
+    prop_in_out_duality;
+  ]

@@ -1,0 +1,102 @@
+open Helpers
+module Distances = Bbng_graph.Distances
+module Undirected = Bbng_graph.Undirected
+module Generators = Bbng_graph.Generators
+
+let test_eccentricity () =
+  check_int_option "path end" (Some 4) (Distances.eccentricity path5 0);
+  check_int_option "path middle" (Some 2) (Distances.eccentricity path5 2);
+  check_int_option "disconnected" None (Distances.eccentricity two_triangles 0)
+
+let test_diameter () =
+  check_int_option "path" (Some 4) (Distances.diameter path5);
+  check_int_option "cycle" (Some 3) (Distances.diameter cycle6);
+  check_int_option "star" (Some 2) (Distances.diameter star7);
+  check_int_option "complete" (Some 1) (Distances.diameter k5);
+  check_int_option "disconnected" None (Distances.diameter two_triangles);
+  check_int_option "singleton" (Some 0)
+    (Distances.diameter (Undirected.of_edges ~n:1 []))
+
+let test_radius_center () =
+  check_int_option "path radius" (Some 2) (Distances.radius path5);
+  check_int_list "path center" [ 2 ] (Distances.center path5);
+  check_int_list "star center" [ 0 ] (Distances.center star7);
+  check_int_list "no center when disconnected" [] (Distances.center two_triangles)
+
+let test_distance_sum () =
+  let r = Distances.distance_sum path5 0 in
+  check_int "sum from end" 10 r.Distances.sum;
+  check_int "all reachable" 0 r.Distances.unreachable;
+  let r = Distances.distance_sum two_triangles 0 in
+  check_int "sum in component" 2 r.Distances.sum;
+  check_int "unreachable count" 3 r.Distances.unreachable
+
+let test_wiener () =
+  check_int_option "path5 wiener" (Some 20) (Distances.wiener_index path5);
+  check_int_option "K5 wiener" (Some 10) (Distances.wiener_index k5);
+  check_int_option "disconnected" None (Distances.wiener_index two_triangles)
+
+let test_all_pairs () =
+  let m = Distances.all_pairs path5 in
+  check_int "corner" 4 m.(0).(4);
+  check_int "diag" 0 m.(3).(3);
+  check_int_option "diameter via matrix" (Some 4) (Distances.diameter_of_matrix m)
+
+let test_farthest () =
+  let v, d = Distances.farthest path5 0 in
+  check_int "farthest vertex" 4 v;
+  check_int "farthest distance" 4 d;
+  let v, d = Distances.farthest two_triangles 3 in
+  check_true "stays in component" (v = 4 || v = 5);
+  check_int "distance" 1 d
+
+let test_grid_diameter () =
+  let g = Generators.grid_graph ~rows:3 ~cols:4 in
+  check_int_option "grid diameter" (Some 5) (Distances.diameter g)
+
+let prop_diameter_vs_eccentricities =
+  qcheck "diameter = max eccentricity" (gnp_gen ~n_min:2 ~n_max:12)
+    (fun input ->
+      let g = random_connected_of input in
+      let n = Undirected.n g in
+      let max_ecc = ref 0 in
+      for v = 0 to n - 1 do
+        match Distances.eccentricity g v with
+        | Some e -> max_ecc := max !max_ecc e
+        | None -> ()
+      done;
+      Distances.diameter g = Some !max_ecc)
+
+let prop_double_bfs_diameter_on_trees =
+  qcheck "double BFS finds tree diameter" (gnp_gen ~n_min:2 ~n_max:30)
+    (fun (n, seed) ->
+      let g = Generators.random_tree (rng seed) n in
+      let a, _ = Distances.farthest g 0 in
+      let _, d = Distances.farthest g a in
+      Distances.diameter g = Some d)
+
+let prop_wiener_symmetry =
+  qcheck "wiener = half of sum of distance sums" (gnp_gen ~n_min:2 ~n_max:12)
+    (fun input ->
+      let g = random_connected_of input in
+      let n = Undirected.n g in
+      let total = ref 0 in
+      for v = 0 to n - 1 do
+        total := !total + (Distances.distance_sum g v).Distances.sum
+      done;
+      Distances.wiener_index g = Some (!total / 2))
+
+let suite =
+  [
+    case "eccentricity" test_eccentricity;
+    case "diameter" test_diameter;
+    case "radius and center" test_radius_center;
+    case "distance_sum" test_distance_sum;
+    case "wiener index" test_wiener;
+    case "all_pairs" test_all_pairs;
+    case "farthest" test_farthest;
+    case "grid diameter" test_grid_diameter;
+    prop_diameter_vs_eccentricities;
+    prop_double_bfs_diameter_on_trees;
+    prop_wiener_symmetry;
+  ]

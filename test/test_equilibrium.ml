@@ -1,0 +1,158 @@
+open Helpers
+open Bbng_core
+
+let test_certify_equilibrium () =
+  let p = Bbng_constructions.Unit_budget.concentrated_sun ~n:7 in
+  List.iter
+    (fun version ->
+      match certify version p with
+      | Equilibrium.Equilibrium -> ()
+      | v -> Alcotest.failf "sun: %a" Equilibrium.pp_verdict v)
+    Cost.all_versions
+
+let test_certify_refutation_witness () =
+  (* a directed path is not an equilibrium: the head can do better *)
+  let p = Strategy.of_digraph (Bbng_graph.Generators.directed_path 6) in
+  let game = Game.make Cost.Max (Strategy.budgets p) in
+  match Equilibrium.certify game p with
+  | Equilibrium.Equilibrium -> Alcotest.fail "path should not be stable"
+  | Equilibrium.Refuted r ->
+      check_true "witness improves"
+        (r.Equilibrium.better.Best_response.cost < r.Equilibrium.current_cost);
+      (* replay the witness to confirm it is real *)
+      let replay =
+        Game.deviation_cost game p ~player:r.Equilibrium.player
+          ~targets:r.Equilibrium.better.Best_response.targets
+      in
+      check_int "witness cost is honest" r.Equilibrium.better.Best_response.cost replay
+
+let test_swap_stability_weaker () =
+  (* every Nash equilibrium is swap stable *)
+  let p = Bbng_constructions.Tripod.profile ~k:2 in
+  let game = Game.make Cost.Max (Strategy.budgets p) in
+  check_true "nash" (Equilibrium.is_nash game p);
+  check_true "swap stable" (Equilibrium.is_swap_stable game p)
+
+let test_digraph_is_nash () =
+  check_true "tripod via digraph"
+    (Equilibrium.digraph_is_nash Cost.Max (Bbng_graph.Generators.tripod 2));
+  check_false "path via digraph"
+    (Equilibrium.digraph_is_nash Cost.Max (Bbng_graph.Generators.directed_path 6))
+
+let test_iter_profiles_count () =
+  (* (1,1,1): each player picks 1 of 2 others: 8 profiles *)
+  let b = Budget.unit_budgets 3 in
+  let count = ref 0 in
+  Equilibrium.iter_profiles b (fun _ -> incr count);
+  check_int "8 profiles" 8 !count;
+  check_int "count_profiles agrees" 8 (Equilibrium.count_profiles b)
+
+let test_count_profiles_formula () =
+  let b = Budget.of_list [ 2; 1; 0; 1 ] in
+  (* C(3,2) * C(3,1) * C(3,0) * C(3,1) = 3*3*1*3 = 27 *)
+  check_int "product of binomials" 27 (Equilibrium.count_profiles b)
+
+let test_enumerate_equilibria_n2 () =
+  (* n=2, budgets (1,1): the brace is the unique profile and is an NE *)
+  let game = Game.make Cost.Sum (Budget.unit_budgets 2) in
+  let eqs = Equilibrium.enumerate_equilibria game in
+  check_int "unique equilibrium" 1 (List.length eqs)
+
+let test_enumerate_equilibria_exist_n4 () =
+  (* Theorem 2.3: equilibria exist for every instance; check small ones
+     exhaustively in both versions. *)
+  List.iter
+    (fun version ->
+      List.iter
+        (fun budgets ->
+          let b = Budget.of_list budgets in
+          let game = Game.make version b in
+          let eqs = Equilibrium.enumerate_equilibria ~limit:1 game in
+          check_true
+            (Printf.sprintf "NE exists for %s %s" (Cost.version_name version)
+               (String.concat "," (List.map string_of_int budgets)))
+            (eqs <> []))
+        [ [ 1; 1; 1 ]; [ 0; 1; 1; 1 ]; [ 2; 1; 1 ]; [ 0; 0; 2; 1 ]; [ 1; 1; 1; 1 ] ])
+    Cost.all_versions
+
+let test_limit_respected () =
+  let game = Game.make Cost.Max (Budget.unit_budgets 4) in
+  let eqs = Equilibrium.enumerate_equilibria ~limit:2 game in
+  check_true "at most 2" (List.length eqs <= 2)
+
+let test_equilibrium_diameter_range () =
+  let game = Game.make Cost.Sum (Budget.unit_budgets 4) in
+  match Equilibrium.equilibrium_diameter_range game with
+  | Some (lo, hi) ->
+      check_true "ordered" (lo <= hi);
+      (* Theorem 4.1 -> diameter at most 4 for unit SUM equilibria *)
+      check_true "structural bound" (hi <= 4)
+  | None -> Alcotest.fail "unit-budget games have equilibria"
+
+let test_all_enumerated_are_nash () =
+  let game = Game.make Cost.Max (Budget.of_list [ 1; 1; 0; 1 ]) in
+  let eqs = Equilibrium.enumerate_equilibria game in
+  check_true "non-empty" (eqs <> []);
+  List.iter (fun p -> check_true "verified" (Equilibrium.is_nash game p)) eqs
+
+(* Lemma 3.1: when sigma >= n-1, every equilibrium is connected. *)
+let prop_lemma_3_1_connected_equilibria =
+  qcheck ~count:25 "Lemma 3.1: equilibria of connectable instances are connected"
+    (random_budget_gen ~n_min:2 ~n_max:4) (fun input ->
+      let b = random_budget_of input in
+      List.for_all
+        (fun version ->
+          let game = Game.make version b in
+          List.for_all
+            (fun p ->
+              (not (Budget.connectable b))
+              || Bbng_graph.Components.is_connected (Strategy.underlying p))
+            (Equilibrium.enumerate_equilibria game))
+        Cost.all_versions)
+
+(* Section 3: when sigma = n-1, every equilibrium is a tree. *)
+let test_tree_instances_have_tree_equilibria () =
+  List.iter
+    (fun budgets ->
+      let b = Budget.of_list budgets in
+      List.iter
+        (fun version ->
+          let game = Game.make version b in
+          List.iter
+            (fun p ->
+              check_true
+                (Printf.sprintf "tree NE for %s %s"
+                   (String.concat "," (List.map string_of_int budgets))
+                   (Cost.version_name version))
+                (Bbng_graph.Trees.is_tree (Strategy.underlying p)))
+            (Equilibrium.enumerate_equilibria game))
+        Cost.all_versions)
+    [ [ 0; 1; 1; 1 ]; [ 0; 0; 1; 2 ]; [ 0; 0; 0; 3 ]; [ 1; 1; 1; 0; 1 ] ]
+
+let prop_existence_construction_certifies =
+  qcheck ~count:40 "Existence.construct certifies as NE in both versions"
+    (random_budget_gen ~n_min:2 ~n_max:7) (fun input ->
+      let b = random_budget_of input in
+      let p = Bbng_constructions.Existence.construct b in
+      List.for_all
+        (fun version -> Equilibrium.is_nash (Game.make version b) p)
+        Cost.all_versions)
+
+let suite =
+  [
+    case "certify equilibrium" test_certify_equilibrium;
+    case "refutation witness is honest" test_certify_refutation_witness;
+    case "swap stability is implied" test_swap_stability_weaker;
+    case "digraph_is_nash" test_digraph_is_nash;
+    case "iter_profiles count" test_iter_profiles_count;
+    case "count_profiles formula" test_count_profiles_formula;
+    case "n=2 unique equilibrium" test_enumerate_equilibria_n2;
+    slow_case "equilibria exist (exhaustive small)" test_enumerate_equilibria_exist_n4;
+    case "enumeration limit" test_limit_respected;
+    case "equilibrium diameter range" test_equilibrium_diameter_range;
+    case "enumerated profiles are Nash" test_all_enumerated_are_nash;
+    prop_existence_construction_certifies;
+    prop_lemma_3_1_connected_equilibria;
+    slow_case "tree instances have tree equilibria (Sec 3)"
+      test_tree_instances_have_tree_equilibria;
+  ]

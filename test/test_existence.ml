@@ -1,0 +1,180 @@
+open Helpers
+open Bbng_core
+open Bbng_constructions
+
+let budgets l = Budget.of_list l
+
+let test_case_dispatch () =
+  let open Existence in
+  check_true "case1 no zeros" (case_of (budgets [ 1; 1; 1 ]) = Case1);
+  check_true "case1 big hub" (case_of (budgets [ 0; 0; 2; 3 ]) = Case1);
+  check_true "case2" (case_of figure1_budgets = Case2);
+  check_true "case3" (case_of (budgets [ 0; 0; 0; 1; 1 ]) = Case3);
+  check_true "n=1" (case_of (budgets [ 0 ]) = Case1)
+
+let test_case2_t_figure1 () =
+  (* the paper's worked example: n=22, z=16, t=19 *)
+  check_int "t = 19" 19 (Existence.case2_t Existence.figure1_budgets)
+
+let test_case3_m () =
+  (* (0,0,0,1,1): n=5; suffix sums from m: need b_m+...+b_n >= n-m
+     (1-based).  m=4: 1+1 >= 1 yes; m=3: 0+1+1 >= 2 yes; m=2: 2 >= 3 no. *)
+  check_int "m" 3 (Existence.case3_m (budgets [ 0; 0; 0; 1; 1 ]))
+
+let test_zeros () =
+  check_int "sixteen" 16 (Existence.zeros Existence.figure1_budgets);
+  check_int "none" 0 (Existence.zeros (budgets [ 1; 1 ]))
+
+let test_figure1_exact_arcs () =
+  (* the generic construction reproduces the hand-transcribed figure *)
+  let built = Existence.construct_sorted Existence.figure1_budgets in
+  check_true "construct = figure" (Strategy.equal built (Existence.figure1_profile ()))
+
+let test_figure1_properties () =
+  let p = Existence.figure1_profile () in
+  let g = Strategy.underlying p in
+  check_true "connected" (Bbng_graph.Components.is_connected g);
+  check_true "diameter <= 4" (Cost.social_cost g <= 4);
+  check_true "no brace" (Bbng_graph.Digraph.braces (Strategy.realize p) = []);
+  assert_equilibrium "figure1 MAX" Cost.Max p;
+  assert_equilibrium "figure1 SUM" Cost.Sum p
+
+let test_case1_equilibrium () =
+  List.iter
+    (fun l ->
+      let p = Existence.construct (budgets l) in
+      assert_equilibrium "case1 MAX" Cost.Max p;
+      assert_equilibrium "case1 SUM" Cost.Sum p)
+    [ [ 1; 1; 1 ]; [ 0; 0; 2; 3 ]; [ 2; 2; 2; 2 ]; [ 0; 1; 2; 3 ]; [ 1; 1; 1; 1; 1 ] ]
+
+let test_case2_equilibrium_small () =
+  (* a small handmade case 2: z=3, b = (0,0,0,1,2,2): sigma=5=n-1 and
+     b_n=2 < z=3 *)
+  let b = budgets [ 0; 0; 0; 1; 2; 2 ] in
+  check_true "is case2" (Existence.case_of b = Existence.Case2);
+  let p = Existence.construct b in
+  assert_equilibrium "case2 MAX" Cost.Max p;
+  assert_equilibrium "case2 SUM" Cost.Sum p;
+  check_true "diameter <= 4" (Cost.social_cost (Strategy.underlying p) <= 4)
+
+let test_case3_structure () =
+  let b = budgets [ 0; 0; 0; 1; 1 ] in
+  let p = Existence.construct b in
+  (* vertices below m-1 (0-based: 0,1) are isolated *)
+  let g = Strategy.underlying p in
+  check_int "isolated prefix" 0 (Bbng_graph.Undirected.degree g 0);
+  check_int "isolated prefix 2" 0 (Bbng_graph.Undirected.degree g 1);
+  (* the suffix {2,3,4} is connected among itself *)
+  check_true "suffix connected"
+    (Bbng_graph.Components.same_component g 2 3
+    && Bbng_graph.Components.same_component g 3 4);
+  assert_equilibrium "case3 MAX" Cost.Max p;
+  assert_equilibrium "case3 SUM" Cost.Sum p
+
+let test_construct_unsorted () =
+  (* permutation invariance: unsorted budgets still give an equilibrium
+     with each player owning exactly its budget *)
+  let b = budgets [ 2; 0; 1; 0; 3 ] in
+  let p = Existence.construct b in
+  for i = 0 to 4 do
+    check_int
+      (Printf.sprintf "budget of %d respected" i)
+      (Budget.get b i)
+      (Array.length (Strategy.strategy p i))
+  done;
+  assert_equilibrium "unsorted MAX" Cost.Max p;
+  assert_equilibrium "unsorted SUM" Cost.Sum p
+
+let test_construct_sorted_rejects_unsorted () =
+  Alcotest.check_raises "unsorted"
+    (Invalid_argument "Existence: budgets must be nondecreasing") (fun () ->
+      ignore (Existence.construct_sorted (budgets [ 2; 1; 1 ])))
+
+let test_n1 () =
+  let p = Existence.construct (budgets [ 0 ]) in
+  check_int "n" 1 (Strategy.n p)
+
+let test_n2 () =
+  List.iter
+    (fun l ->
+      let p = Existence.construct (budgets l) in
+      assert_equilibrium "n=2 MAX" Cost.Max p;
+      assert_equilibrium "n=2 SUM" Cost.Sum p)
+    [ [ 0; 1 ]; [ 1; 1 ]; [ 0; 0 ] ]
+
+let test_price_of_stability_evidence () =
+  (* Theorem 2.3's second claim: the constructed equilibria have O(1)
+     diameter, so PoS = O(1).  Check diameter <= 4 across a sweep. *)
+  let st = rng 77 in
+  for _ = 1 to 30 do
+    let n = 2 + Random.State.int st 10 in
+    let total = (n - 1) + Random.State.int st (n * (n - 1) - n + 2) in
+    let b = Budget.random_partition st ~n ~total in
+    let p = Existence.construct b in
+    check_true
+      (Printf.sprintf "diameter <= 4 (n=%d total=%d)" n total)
+      (Cost.social_cost (Strategy.underlying p) <= 4)
+  done
+
+let prop_construct_is_equilibrium =
+  qcheck ~count:60 "construct certifies in both versions (random budgets)"
+    (random_budget_gen ~n_min:1 ~n_max:8) (fun input ->
+      let b = random_budget_of input in
+      let p = Existence.construct b in
+      List.for_all
+        (fun v -> Equilibrium.is_nash (Game.make v b) p)
+        Cost.all_versions)
+
+let prop_construct_deterministic =
+  qcheck ~count:40 "construct is deterministic"
+    (random_budget_gen ~n_min:1 ~n_max:10) (fun input ->
+      let b = random_budget_of input in
+      Strategy.equal (Existence.construct b) (Existence.construct b))
+
+let prop_case2_zeros_covered_once =
+  (* Case 2 structural invariant: after phase 2 every zero-budget vertex
+     has exactly one incoming arc; phases 3-4 may add more only from B.
+     Weaker checkable form on the final profile: every zero-budget
+     vertex has in-degree >= 1 whenever the instance is connectable. *)
+  qcheck ~count:40 "connectable: zero-budget vertices are covered"
+    (random_budget_gen ~n_min:2 ~n_max:10) (fun input ->
+      let b = random_budget_of input in
+      (not (Budget.connectable b))
+      ||
+      let g = Strategy.realize (Existence.construct b) in
+      let ok = ref true in
+      for v = 0 to Budget.n b - 1 do
+        if Budget.get b v = 0 && Bbng_graph.Digraph.in_degree g v = 0 then
+          ok := false
+      done;
+      !ok)
+
+let prop_connectable_gives_connected =
+  qcheck "connectable budgets give connected equilibria"
+    (random_budget_gen ~n_min:2 ~n_max:10) (fun input ->
+      let b = random_budget_of input in
+      let p = Existence.construct b in
+      (not (Budget.connectable b))
+      || Bbng_graph.Components.is_connected (Strategy.underlying p))
+
+let suite =
+  [
+    case "case dispatch" test_case_dispatch;
+    case "case2 t on figure 1" test_case2_t_figure1;
+    case "case3 m" test_case3_m;
+    case "zeros" test_zeros;
+    case "figure 1 arcs reproduced exactly" test_figure1_exact_arcs;
+    slow_case "figure 1 is an equilibrium" test_figure1_properties;
+    case "case 1 equilibria" test_case1_equilibrium;
+    case "case 2 small equilibrium" test_case2_equilibrium_small;
+    case "case 3 structure" test_case3_structure;
+    case "unsorted budgets" test_construct_unsorted;
+    case "construct_sorted rejects unsorted" test_construct_sorted_rejects_unsorted;
+    case "n = 1" test_n1;
+    case "n = 2" test_n2;
+    case "price of stability O(1) evidence" test_price_of_stability_evidence;
+    prop_construct_is_equilibrium;
+    prop_construct_deterministic;
+    prop_case2_zeros_covered_once;
+    prop_connectable_gives_connected;
+  ]

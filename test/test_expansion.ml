@@ -1,0 +1,102 @@
+open Helpers
+open Bbng_analysis
+module Generators = Bbng_graph.Generators
+
+let test_ball_profile_path () =
+  let p = Expansion.ball_profile path5 in
+  (* radius 0: every ball is 1; radius 1: ends have 2, middle 3 *)
+  check_int "f(0)" 1 p.Expansion.min_ball.(0);
+  check_int "f(1)" 2 p.Expansion.min_ball.(1);
+  check_int "max ball radius 1" 3 p.Expansion.max_ball.(1);
+  check_int "radii up to diameter" 5 (Array.length p.Expansion.radii);
+  check_int "f(diameter) = n" 5 p.Expansion.min_ball.(4)
+
+let test_ball_profile_complete () =
+  let p = Expansion.ball_profile k5 in
+  check_int "two radii" 2 (Array.length p.Expansion.radii);
+  check_int "f(1) = n" 5 p.Expansion.min_ball.(1)
+
+let test_f_clamps () =
+  let p = Expansion.ball_profile path5 in
+  check_int "beyond diameter" 5 (Expansion.f p 100);
+  check_int "at zero" 1 (Expansion.f p 0)
+
+let test_disconnected_saturates () =
+  let p = Expansion.ball_profile two_triangles in
+  check_int "component size" 3 (Expansion.f p 10)
+
+let test_doubling_radius () =
+  check_int "complete" 1 (Expansion.doubling_radius k5);
+  (* star: a leaf's radius-1 ball has only 2 vertices, so radius 2 is
+     needed before the MINIMUM ball clears n/2 *)
+  check_int "star" 2 (Expansion.doubling_radius star7);
+  (* path of 9: balls of radius k have >= k+1 vertices; need > 4.5 *)
+  check_int "path9" 4 (Expansion.doubling_radius (Generators.path_graph 9));
+  check_int "singleton" 0 (Expansion.doubling_radius (Bbng_graph.Undirected.of_edges ~n:1 []))
+
+let test_inequality_3_on_equilibria () =
+  (* SUM equilibria expand (the heart of Theorem 6.9) *)
+  List.iter
+    (fun profile ->
+      check_true "equilibrium expands"
+        (Expansion.inequality_3 (Bbng_core.Strategy.underlying profile)))
+    [
+      Bbng_constructions.Unit_budget.concentrated_sun ~n:20;
+      Bbng_constructions.Binary_tree.profile ~depth:4;
+      Bbng_constructions.Existence.construct (Bbng_core.Budget.uniform ~n:12 ~budget:2);
+    ]
+
+let test_inequality_3_small_diameter_vacuous () =
+  check_true "diameter < 4 is vacuous" (Expansion.inequality_3 k5)
+
+let test_inequality_3_fails_on_long_path () =
+  (* a long path has f(4k) = 4k+1 << k f(k) / (c log n) for suitable k:
+     paths are exactly what cannot be equilibria at scale *)
+  let g = Generators.path_graph 400 in
+  check_false "path does not expand" (Expansion.inequality_3 ~c:1.0 g)
+
+let test_report_shape () =
+  let rows = Expansion.report (Bbng_constructions.Binary_tree.profile ~depth:3) in
+  check_int "one row per radius" 7 (List.length rows);
+  let k0, f0, m0 = List.hd rows in
+  check_int "radius zero" 0 k0;
+  check_int "f" 1 f0;
+  check_int "max" 1 m0
+
+let prop_min_ball_monotone =
+  qcheck "f is nondecreasing in the radius" (gnp_gen ~n_min:2 ~n_max:14)
+    (fun input ->
+      let g = random_connected_of input in
+      let p = Expansion.ball_profile g in
+      let ok = ref true in
+      for k = 1 to Array.length p.Expansion.min_ball - 1 do
+        if p.Expansion.min_ball.(k) < p.Expansion.min_ball.(k - 1) then ok := false
+      done;
+      !ok)
+
+let prop_ball_bounds =
+  qcheck "1 <= f(k) <= max_ball(k) <= n" (gnp_gen ~n_min:1 ~n_max:14)
+    (fun input ->
+      let g = random_gnp_of input in
+      let n = Bbng_graph.Undirected.n g in
+      let p = Expansion.ball_profile g in
+      Array.for_all
+        (fun k ->
+          let f = p.Expansion.min_ball.(k) and m = p.Expansion.max_ball.(k) in
+          1 <= f && f <= m && m <= n)
+        p.Expansion.radii)
+
+let suite =
+  [
+    case "ball profile on a path" test_ball_profile_path;
+    case "ball profile on K5" test_ball_profile_complete;
+    case "f clamps" test_f_clamps;
+    case "disconnected saturates" test_disconnected_saturates;
+    case "doubling radius" test_doubling_radius;
+    case "inequality (3) holds on equilibria" test_inequality_3_on_equilibria;
+    case "inequality (3) vacuous at small diameter" test_inequality_3_small_diameter_vacuous;
+    case "inequality (3) fails on long paths" test_inequality_3_fails_on_long_path;
+    case "report shape" test_report_shape;
+    prop_min_ball_monotone;
+    prop_ball_bounds;
+  ]

@@ -1,0 +1,87 @@
+open Helpers
+open Bbng_core
+
+let b4 = Budget.of_list [ 1; 1; 1; 0 ]
+let star_profile () =
+  (* 0,1,2 all point at 3 *)
+  Strategy.make b4 [| [| 3 |]; [| 3 |]; [| 3 |]; [||] |]
+
+let test_accessors () =
+  let g = Game.make Cost.Max b4 in
+  check_int "n" 4 (Game.n g);
+  check_true "version" (Game.version g = Cost.Max);
+  check_int "budgets" 1 (Budget.get (Game.budgets g) 0)
+
+let test_player_cost () =
+  let g = Game.make Cost.Sum b4 in
+  let p = star_profile () in
+  (* leaf: 1 (hub) + 2 + 2 = 5; hub: 3 *)
+  check_int "leaf" 5 (Game.player_cost g p 0);
+  check_int "hub" 3 (Game.player_cost g p 3)
+
+let test_costs_batch () =
+  let g = Game.make Cost.Sum b4 in
+  check_int_array "all" [| 5; 5; 5; 3 |] (Game.costs g (star_profile ()))
+
+let test_deviation_cost () =
+  let g = Game.make Cost.Sum b4 in
+  let p = star_profile () in
+  (* 0 deviates to point at 1: 0-1, 1-3, 2-3: dist 1,2,3 = 6 *)
+  check_int "deviation" 6 (Game.deviation_cost g p ~player:0 ~targets:[| 1 |]);
+  (* deviation does not mutate the profile *)
+  check_int "profile intact" 5 (Game.player_cost g p 0)
+
+let test_deviation_budget_enforced () =
+  let g = Game.make Cost.Sum b4 in
+  Alcotest.check_raises "too many targets"
+    (Invalid_argument "Game.deviation_cost: deviation violates the player's budget")
+    (fun () ->
+      ignore (Game.deviation_cost g (star_profile ()) ~player:0 ~targets:[| 1; 2 |]))
+
+let test_social_cost () =
+  let g = Game.make Cost.Max b4 in
+  check_int "star diameter" 2 (Game.social_cost g (star_profile ()));
+  (* disconnected profile: 0,1,2 in a triangle, 3 isolated *)
+  let p = Strategy.make b4 [| [| 1 |]; [| 2 |]; [| 0 |]; [||] |] in
+  check_int "disconnected" 16 (Game.social_cost g p)
+
+let test_social_welfare () =
+  let g = Game.make Cost.Sum b4 in
+  check_int "welfare" (5 + 5 + 5 + 3) (Game.social_welfare g (star_profile ()))
+
+let test_profile_size_mismatch () =
+  let g = Game.make Cost.Sum (Budget.of_list [ 0; 0 ]) in
+  Alcotest.check_raises "size mismatch"
+    (Invalid_argument "Game: profile size mismatch") (fun () ->
+      ignore (Game.player_cost g (star_profile ()) 0))
+
+let prop_deviation_matches_with_strategy =
+  qcheck "deviation_cost = cost after with_strategy"
+    (random_budget_gen ~n_min:2 ~n_max:8) (fun ((n, _, seed) as input) ->
+      let p = random_profile_of input in
+      let game = Game.make Cost.Sum (Strategy.budgets p) in
+      let st = rng (seed + 1) in
+      let player = Random.State.int st n in
+      let b = Budget.get (Strategy.budgets p) player in
+      (* random alternative strategy *)
+      let alt = Strategy.random st (Strategy.budgets p) in
+      let targets = Strategy.strategy alt player in
+      ignore b;
+      let direct = Game.deviation_cost game p ~player ~targets in
+      let via_profile =
+        Game.player_cost game (Strategy.with_strategy p ~player ~targets) player
+      in
+      direct = via_profile)
+
+let suite =
+  [
+    case "accessors" test_accessors;
+    case "player cost" test_player_cost;
+    case "costs batch" test_costs_batch;
+    case "deviation cost" test_deviation_cost;
+    case "deviation budget enforced" test_deviation_budget_enforced;
+    case "social cost" test_social_cost;
+    case "social welfare" test_social_welfare;
+    case "profile size mismatch" test_profile_size_mismatch;
+    prop_deviation_matches_with_strategy;
+  ]

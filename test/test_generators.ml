@@ -1,0 +1,164 @@
+open Helpers
+module Generators = Bbng_graph.Generators
+module Digraph = Bbng_graph.Digraph
+module Undirected = Bbng_graph.Undirected
+module Distances = Bbng_graph.Distances
+module Trees = Bbng_graph.Trees
+module Components = Bbng_graph.Components
+
+let test_directed_path () =
+  let g = Generators.directed_path 4 in
+  check_int "arcs" 3 (Digraph.arc_count g);
+  check_true "0->1" (Digraph.mem_arc g 0 1);
+  check_int "last owns nothing" 0 (Digraph.out_degree g 3)
+
+let test_directed_cycle () =
+  let g = Generators.directed_cycle 5 in
+  check_int "arcs" 5 (Digraph.arc_count g);
+  check_true "wraps" (Digraph.mem_arc g 4 0);
+  check_true "n=2 is brace" (Digraph.is_brace (Generators.directed_cycle 2) 0 1)
+
+let test_stars () =
+  let g = Generators.out_star 5 in
+  check_int "center owns all" 4 (Digraph.out_degree g 0);
+  let g = Generators.in_star 5 in
+  check_int "center owns none" 0 (Digraph.out_degree g 0);
+  check_int "leaves own one" 1 (Digraph.out_degree g 3)
+
+let test_tripod_shape () =
+  let k = 4 in
+  let g = Generators.tripod k in
+  let u = Undirected.of_digraph g in
+  check_int "n = 3k+1" (3 * k + 1) (Digraph.n g);
+  check_true "tree" (Trees.is_tree u);
+  check_int_option "diameter 2k" (Some (2 * k)) (Distances.diameter u);
+  (* budgets: leg heads own 2 (path arc + hub arc), tips own 0, hub owns 0 *)
+  check_int "leg head" 2 (Digraph.out_degree g 0);
+  check_int "leg tip" 0 (Digraph.out_degree g (k - 1));
+  check_int "hub" 0 (Digraph.out_degree g (3 * k))
+
+let test_tripod_k1 () =
+  let g = Generators.tripod 1 in
+  check_int "n" 4 (Digraph.n g);
+  check_int "head owns only hub arc" 1 (Digraph.out_degree g 0)
+
+let test_perfect_binary_tree () =
+  let g = Generators.perfect_binary_tree 3 in
+  let u = Undirected.of_digraph g in
+  check_int "n = 2^4 - 1" 15 (Digraph.n g);
+  check_true "tree" (Trees.is_tree u);
+  check_int_option "diameter" (Some 6) (Distances.diameter u);
+  check_int "internal owns 2" 2 (Digraph.out_degree g 2);
+  check_int "leaf owns 0" 0 (Digraph.out_degree g 14)
+
+let test_broom () =
+  let g = Generators.broom ~handle:3 ~bristles:4 in
+  let u = Undirected.of_digraph g in
+  check_int "n" 7 (Digraph.n g);
+  check_true "tree" (Trees.is_tree u);
+  check_int "brush vertex degree" 5 (Undirected.degree u 2)
+
+let test_complete_digraph () =
+  let g = Generators.complete_digraph 4 in
+  check_int "arcs" 6 (Digraph.arc_count g);
+  check_int_option "diameter 1" (Some 1)
+    (Distances.diameter (Undirected.of_digraph g))
+
+let test_grid () =
+  let g = Generators.grid_graph ~rows:2 ~cols:3 in
+  check_int "edges" 7 (Undirected.edge_count g);
+  check_true "connected" (Components.is_connected g)
+
+(* --- shift graph (Lemma 5.2) --- *)
+
+let test_shift_graph_size () =
+  let g = Generators.shift_graph ~t:3 ~k:2 in
+  check_int "t^k vertices" 9 (Undirected.n g)
+
+let test_shift_graph_degree_bounds () =
+  let g = Generators.shift_graph ~t:4 ~k:3 in
+  check_true "min degree >= t-1" (Undirected.min_degree g >= 3);
+  check_true "max degree <= 2t" (Undirected.max_degree g <= 8)
+
+let test_shift_graph_diameter_k () =
+  List.iter
+    (fun (t, k) ->
+      let g = Generators.shift_graph ~t ~k in
+      check_int_option
+        (Printf.sprintf "diameter of shift(%d,%d)" t k)
+        (Some k) (Distances.diameter g))
+    [ (3, 2); (4, 2); (4, 3); (6, 2) ]
+
+let test_shift_graph_adjacency_rule () =
+  (* t=10, k=2 makes digit reasoning transparent: x = 10*x1 + x2 *)
+  let g = Generators.shift_graph ~t:10 ~k:2 in
+  (* 12 ~ 23: suffix "2" of 12 = prefix "2" of 23 *)
+  check_true "12-23" (Undirected.mem_edge g 12 23);
+  check_true "12-21" (Undirected.mem_edge g 12 21);
+  check_false "12-34 not adjacent" (Undirected.mem_edge g 12 34);
+  check_false "no self loop" (Undirected.mem_edge g 11 11)
+
+let test_shift_graph_orientation () =
+  let d = Generators.shift_graph_orientation ~t:4 ~k:2 in
+  let g = Generators.shift_graph ~t:4 ~k:2 in
+  check_true "underlying matches"
+    (Undirected.equal (Undirected.of_digraph d) g);
+  let ok = ref true in
+  for v = 0 to Digraph.n d - 1 do
+    if Digraph.out_degree d v < 1 then ok := false
+  done;
+  check_true "all out-degrees positive" !ok
+
+let test_shift_graph_rejects () =
+  Alcotest.check_raises "too large"
+    (Invalid_argument "Generators.shift_graph: t^k too large") (fun () ->
+      ignore (Generators.shift_graph ~t:100 ~k:4))
+
+(* --- random families --- *)
+
+let test_gnp_extremes () =
+  let g = Generators.random_gnp (rng 1) ~n:8 ~p:0.0 in
+  check_int "p=0 no edges" 0 (Undirected.edge_count g);
+  let g = Generators.random_gnp (rng 1) ~n:8 ~p:1.0 in
+  check_int "p=1 complete" 28 (Undirected.edge_count g)
+
+let test_gnp_deterministic_by_seed () =
+  let g1 = Generators.random_gnp (rng 7) ~n:10 ~p:0.5 in
+  let g2 = Generators.random_gnp (rng 7) ~n:10 ~p:0.5 in
+  check_true "same seed same graph" (Undirected.equal g1 g2)
+
+let prop_connected_gnp_connected =
+  qcheck "random_connected_gnp is connected" (gnp_gen ~n_min:1 ~n_max:25)
+    (fun (n, seed) ->
+      Components.is_connected
+        (Generators.random_connected_gnp (rng seed) ~n ~p:0.1))
+
+let prop_regularish_degrees =
+  qcheck "regularish min degree >= d" (gnp_gen ~n_min:5 ~n_max:20)
+    (fun (n, seed) ->
+      let d = 3 in
+      let g = Generators.random_regularish (rng seed) ~n ~degree:d in
+      Undirected.min_degree g >= d)
+
+let suite =
+  [
+    case "directed path" test_directed_path;
+    case "directed cycle" test_directed_cycle;
+    case "stars" test_stars;
+    case "tripod shape" test_tripod_shape;
+    case "tripod k=1" test_tripod_k1;
+    case "perfect binary tree" test_perfect_binary_tree;
+    case "broom" test_broom;
+    case "complete digraph" test_complete_digraph;
+    case "grid" test_grid;
+    case "shift graph size" test_shift_graph_size;
+    case "shift graph degree bounds" test_shift_graph_degree_bounds;
+    case "shift graph diameter = k" test_shift_graph_diameter_k;
+    case "shift graph adjacency" test_shift_graph_adjacency_rule;
+    case "shift graph orientation" test_shift_graph_orientation;
+    case "shift graph size guard" test_shift_graph_rejects;
+    case "gnp extremes" test_gnp_extremes;
+    case "gnp deterministic" test_gnp_deterministic_by_seed;
+    prop_connected_gnp_connected;
+    prop_regularish_degrees;
+  ]

@@ -1,0 +1,37 @@
+let () =
+  Alcotest.run "bbng"
+    [
+      ("digraph", Test_digraph.suite);
+      ("undirected", Test_undirected.suite);
+      ("bfs", Test_bfs.suite);
+      ("components", Test_components.suite);
+      ("distances", Test_distances.suite);
+      ("connectivity", Test_connectivity.suite);
+      ("cycles", Test_cycles.suite);
+      ("trees", Test_trees.suite);
+      ("generators", Test_generators.suite);
+      ("moore", Test_moore.suite);
+      ("combinatorics", Test_combinatorics.suite);
+      ("budget", Test_budget.suite);
+      ("strategy", Test_strategy.suite);
+      ("cost", Test_cost.suite);
+      ("game", Test_game.suite);
+      ("deviation_eval", Test_deviation_eval.suite);
+      ("best_response", Test_best_response.suite);
+      ("equilibrium", Test_equilibrium.suite);
+      ("poa", Test_poa.suite);
+      ("parallel", Test_parallel.suite);
+      ("weighted", Test_weighted.suite);
+      ("existence", Test_existence.suite);
+      ("constructions", Test_constructions.suite);
+      ("solvers", Test_solvers.suite);
+      ("dynamics", Test_dynamics.suite);
+      ("improvement_graph", Test_improvement_graph.suite);
+      ("analysis", Test_analysis.suite);
+      ("serialize", Test_serialize.suite);
+      ("isomorphism", Test_isomorphism.suite);
+      ("baselines", Test_baselines.suite);
+      ("expansion", Test_expansion.suite);
+      ("census", Test_census.suite);
+      ("edge_cases", Test_edge_cases.suite);
+    ]

@@ -1,0 +1,88 @@
+open Helpers
+module Moore = Bbng_graph.Moore
+module Generators = Bbng_graph.Generators
+
+let test_geometric_bound () =
+  check_int "delta=2,d=3" (1 + 2 + 4 + 8) (Moore.geometric_bound ~delta:2 ~diameter:3);
+  check_int "delta=3,d=2" 13 (Moore.geometric_bound ~delta:3 ~diameter:2);
+  check_int "d=0" 1 (Moore.geometric_bound ~delta:5 ~diameter:0);
+  check_int "delta=0" 1 (Moore.geometric_bound ~delta:0 ~diameter:4)
+
+let test_geometric_saturates () =
+  check_int "saturation" max_int (Moore.geometric_bound ~delta:10 ~diameter:100)
+
+let test_ball_bound () =
+  check_int "radius 0" 1 (Moore.ball_bound ~delta:7 ~radius:0);
+  check_int "delta 0" 1 (Moore.ball_bound ~delta:0 ~radius:3);
+  check_int "delta 1" 2 (Moore.ball_bound ~delta:1 ~radius:3);
+  check_int "delta 2 (path both ways)" 7 (Moore.ball_bound ~delta:2 ~radius:3);
+  (* delta=3, r=2: 1 + 3 + 3*2 = 10 (the Petersen graph attains it) *)
+  check_int "delta 3 radius 2" 10 (Moore.ball_bound ~delta:3 ~radius:2)
+
+let test_min_diameter () =
+  check_int "trivial" 0 (Moore.min_diameter ~n:1 ~delta:3);
+  (* 10 vertices of degree 3 need diameter >= 2 (Petersen tight) *)
+  check_int "petersen" 2 (Moore.min_diameter ~n:10 ~delta:3);
+  check_int "11 vertices need 3" 3 (Moore.min_diameter ~n:11 ~delta:3);
+  (* star: n vertices, delta = n-1, diameter 1 possible *)
+  check_int "star regime" 1 (Moore.min_diameter ~n:8 ~delta:7)
+
+let test_min_diameter_is_sound () =
+  (* Every concrete graph obeys the bound. *)
+  let check_graph name g =
+    match Bbng_graph.Distances.diameter g with
+    | Some d ->
+        let bound =
+          Moore.min_diameter ~n:(Bbng_graph.Undirected.n g)
+            ~delta:(Bbng_graph.Undirected.max_degree g)
+        in
+        check_true name (d >= bound)
+    | None -> ()
+  in
+  check_graph "cycle" cycle6;
+  check_graph "path" path5;
+  check_graph "grid" (Generators.grid_graph ~rows:4 ~cols:4);
+  check_graph "shift" (Generators.shift_graph ~t:4 ~k:2)
+
+let test_lemma_5_1_condition () =
+  (* The condition simplifies to 2^k < 2t; the paper picks t = 2^k. *)
+  check_true "k=4,t=2^4" (Moore.lemma_5_1_condition ~t:16 ~k:4);
+  check_true "k=5,t=2^5" (Moore.lemma_5_1_condition ~t:32 ~k:5);
+  check_true "k=3,t=5 (just above 2^(k-1))" (Moore.lemma_5_1_condition ~t:5 ~k:3);
+  check_false "k=4,t=2k too small" (Moore.lemma_5_1_condition ~t:8 ~k:4);
+  check_false "t=2,k=3" (Moore.lemma_5_1_condition ~t:2 ~k:3)
+
+let test_lemma_5_1_holds_on_graphs () =
+  check_true "shift(4,2)" (Moore.lemma_5_1_holds (Generators.shift_graph ~t:4 ~k:2));
+  (* a long path: delta=2, d=n-1, 2^d huge vs n: fails *)
+  check_false "path" (Moore.lemma_5_1_holds (Generators.path_graph 12));
+  check_false "disconnected" (Moore.lemma_5_1_holds two_triangles)
+
+let prop_ball_bound_monotone =
+  qcheck "ball bound grows with radius"
+    (QCheck.make
+       ~print:(fun (d, r) -> Printf.sprintf "delta=%d r=%d" d r)
+       QCheck.Gen.(pair (int_range 0 8) (int_range 0 10)))
+    (fun (delta, radius) ->
+      Moore.ball_bound ~delta ~radius <= Moore.ball_bound ~delta ~radius:(radius + 1))
+
+let prop_ball_at_most_geometric =
+  qcheck "ball bound <= geometric bound"
+    (QCheck.make
+       ~print:(fun (d, r) -> Printf.sprintf "delta=%d r=%d" d r)
+       QCheck.Gen.(pair (int_range 1 6) (int_range 0 8)))
+    (fun (delta, radius) ->
+      Moore.ball_bound ~delta ~radius <= Moore.geometric_bound ~delta ~diameter:radius)
+
+let suite =
+  [
+    case "geometric bound" test_geometric_bound;
+    case "geometric saturates" test_geometric_saturates;
+    case "ball bound" test_ball_bound;
+    case "min diameter" test_min_diameter;
+    case "min diameter sound on graphs" test_min_diameter_is_sound;
+    case "lemma 5.1 condition" test_lemma_5_1_condition;
+    case "lemma 5.1 on graphs" test_lemma_5_1_holds_on_graphs;
+    prop_ball_bound_monotone;
+    prop_ball_at_most_geometric;
+  ]

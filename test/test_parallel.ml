@@ -1,0 +1,78 @@
+open Helpers
+open Bbng_core
+
+let test_for_all_true () =
+  check_true "all pass" (Parallel.for_all ~domains:3 ~n:100 (fun i -> i >= 0))
+
+let test_for_all_false () =
+  check_false "one fails" (Parallel.for_all ~domains:3 ~n:100 (fun i -> i <> 57))
+
+let test_for_all_sequential_fallback () =
+  check_true "domains=1" (Parallel.for_all ~domains:1 ~n:10 (fun i -> i < 10));
+  check_false "domains=1 failing" (Parallel.for_all ~domains:1 ~n:10 (fun i -> i < 5));
+  check_true "n=0 vacuous" (Parallel.for_all ~domains:4 ~n:0 (fun _ -> false))
+
+let test_for_all_covers_every_index () =
+  (* each index must be evaluated exactly once when nothing fails *)
+  let hits = Array.init 64 (fun _ -> Atomic.make 0) in
+  check_true "runs"
+    (Parallel.for_all ~domains:4 ~n:64 (fun i ->
+         Atomic.incr hits.(i);
+         true));
+  Array.iteri
+    (fun i c -> check_int (Printf.sprintf "index %d hit once" i) 1 (Atomic.get c))
+    hits
+
+let test_find_map () =
+  check_true "found"
+    (Parallel.find_map ~domains:3 ~n:50 (fun i -> if i = 31 then Some i else None)
+    = Some 31);
+  check_true "not found"
+    (Parallel.find_map ~domains:3 ~n:50 (fun _ -> None) = None);
+  check_true "n=0" (Parallel.find_map ~domains:3 ~n:0 (fun i -> Some i) = None)
+
+let test_recommended_positive () =
+  check_true "at least one" (Parallel.recommended_domains () >= 1)
+
+let test_parallel_certification_agrees () =
+  (* parallel and sequential certification agree on equilibria and on
+     refuted profiles *)
+  let eq = Bbng_constructions.Tripod.profile ~k:4 in
+  let eq_game = Game.make Cost.Max (Strategy.budgets eq) in
+  check_true "equilibrium, parallel" (Equilibrium.is_nash_parallel ~domains:4 eq_game eq);
+  check_true "matches sequential" (Equilibrium.is_nash eq_game eq);
+  let bad = Strategy.of_digraph (Bbng_graph.Generators.directed_path 8) in
+  let bad_game = Game.make Cost.Max (Strategy.budgets bad) in
+  check_false "refuted, parallel" (Equilibrium.is_nash_parallel ~domains:4 bad_game bad);
+  match Equilibrium.certify_parallel ~domains:4 bad_game bad with
+  | Equilibrium.Equilibrium -> Alcotest.fail "expected refutation"
+  | Equilibrium.Refuted r ->
+      (* the witness must replay, whichever player it names *)
+      let replay =
+        Game.deviation_cost bad_game bad ~player:r.Equilibrium.player
+          ~targets:r.Equilibrium.better.Best_response.targets
+      in
+      check_int "parallel witness honest" r.Equilibrium.better.Best_response.cost replay;
+      check_true "strictly better" (replay < r.Equilibrium.current_cost)
+
+let prop_parallel_matches_sequential =
+  qcheck ~count:40 "parallel is_nash == sequential is_nash"
+    (random_budget_gen ~n_min:2 ~n_max:7) (fun input ->
+      let p = random_profile_of input in
+      List.for_all
+        (fun version ->
+          let game = Game.make version (Strategy.budgets p) in
+          Equilibrium.is_nash game p = Equilibrium.is_nash_parallel ~domains:3 game p)
+        Cost.all_versions)
+
+let suite =
+  [
+    case "for_all true" test_for_all_true;
+    case "for_all false" test_for_all_false;
+    case "sequential fallback" test_for_all_sequential_fallback;
+    case "covers every index once" test_for_all_covers_every_index;
+    case "find_map" test_find_map;
+    case "recommended domains" test_recommended_positive;
+    slow_case "parallel certification agrees" test_parallel_certification_agrees;
+    prop_parallel_matches_sequential;
+  ]

@@ -1,0 +1,83 @@
+open Helpers
+module Digraph = Bbng_graph.Digraph
+module Undirected = Bbng_graph.Undirected
+module S = Bbng_graph.Serialize
+
+let contains hay needle =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  go 0
+
+let test_digraph_roundtrip () =
+  let g = Bbng_graph.Generators.tripod 3 in
+  let g' = S.Digraph_io.of_text (S.Digraph_io.to_text g) in
+  check_true "roundtrip" (Digraph.equal g g')
+
+let test_digraph_empty () =
+  let g = Digraph.create ~n:4 in
+  let g' = S.Digraph_io.of_text (S.Digraph_io.to_text g) in
+  check_true "empty roundtrip" (Digraph.equal g g');
+  check_int "n preserved" 4 (Digraph.n g')
+
+let test_digraph_text_shape () =
+  let g = Digraph.of_arcs ~n:3 [ (0, 1); (2, 0) ] in
+  let text = S.Digraph_io.to_text g in
+  check_true "header" (contains text "digraph 3");
+  check_true "arc line" (contains text "0 1")
+
+let test_of_text_comments_and_blanks () =
+  let g = S.Digraph_io.of_text "digraph 3\n# a comment\n\n0 1\n  2 0 \n" in
+  check_true "arcs parsed" (Digraph.mem_arc g 0 1 && Digraph.mem_arc g 2 0);
+  check_int "arc count" 2 (Digraph.arc_count g)
+
+let test_of_text_rejects () =
+  Alcotest.check_raises "wrong kind"
+    (Invalid_argument "Serialize: expected header \"digraph\" <n>, got \"graph 3\"")
+    (fun () -> ignore (S.Digraph_io.of_text "graph 3\n0 1\n"));
+  Alcotest.check_raises "bad line" (Invalid_argument "Serialize: bad line \"0 1 2\"")
+    (fun () -> ignore (S.Digraph_io.of_text "digraph 3\n0 1 2\n"))
+
+let test_undirected_roundtrip () =
+  let g = cycle6 in
+  let g' = S.Undirected_io.of_text (S.Undirected_io.to_text g) in
+  check_true "roundtrip" (Undirected.equal g g')
+
+let test_dot_output () =
+  let dot = S.Digraph_io.to_dot ~name:"trip" (Bbng_graph.Generators.tripod 1) in
+  check_true "digraph keyword" (contains dot "digraph trip {");
+  check_true "arrow" (contains dot "->");
+  let dot = S.Undirected_io.to_dot path5 in
+  check_true "graph keyword" (contains dot "graph g {");
+  check_true "edge" (contains dot "0 -- 1")
+
+let test_brace_two_arcs_in_dot () =
+  let g = Digraph.of_arcs ~n:2 [ (0, 1); (1, 0) ] in
+  let dot = S.Digraph_io.to_dot g in
+  check_true "both arcs" (contains dot "0 -> 1" && contains dot "1 -> 0")
+
+let prop_digraph_roundtrip =
+  qcheck "digraph text roundtrip (random orientations)" (gnp_gen ~n_min:1 ~n_max:12)
+    (fun (n, seed) ->
+      let u = random_gnp_of (n, seed) in
+      let g = Digraph.of_arcs ~n (Undirected.edges u) in
+      Digraph.equal g (S.Digraph_io.of_text (S.Digraph_io.to_text g)))
+
+let prop_undirected_roundtrip =
+  qcheck "undirected text roundtrip" (gnp_gen ~n_min:1 ~n_max:12)
+    (fun input ->
+      let g = random_gnp_of input in
+      Undirected.equal g (S.Undirected_io.of_text (S.Undirected_io.to_text g)))
+
+let suite =
+  [
+    case "digraph roundtrip" test_digraph_roundtrip;
+    case "empty digraph" test_digraph_empty;
+    case "text shape" test_digraph_text_shape;
+    case "comments and blanks" test_of_text_comments_and_blanks;
+    case "rejects malformed" test_of_text_rejects;
+    case "undirected roundtrip" test_undirected_roundtrip;
+    case "dot output" test_dot_output;
+    case "brace renders two arcs" test_brace_two_arcs_in_dot;
+    prop_digraph_roundtrip;
+    prop_undirected_roundtrip;
+  ]

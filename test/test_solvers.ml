@@ -1,0 +1,181 @@
+open Helpers
+open Bbng_solvers
+module Undirected = Bbng_graph.Undirected
+module Generators = Bbng_graph.Generators
+
+(* --- k-center --- *)
+
+let test_kcenter_evaluate () =
+  check_int "single center of path" 4 (K_center.evaluate path5 [| 0 |]);
+  check_int "middle center" 2 (K_center.evaluate path5 [| 2 |]);
+  check_int "two centers" 1 (K_center.evaluate path5 [| 1; 3 |])
+
+let test_kcenter_evaluate_disconnected () =
+  (* unreachable vertices count n *)
+  check_int "misses a component" 6 (K_center.evaluate two_triangles [| 0 |])
+
+let test_kcenter_exact () =
+  let s = K_center.exact path5 ~k:1 in
+  check_int "radius" 2 s.K_center.radius;
+  check_int_array "center" [| 2 |] s.K_center.centers;
+  let s = K_center.exact path5 ~k:2 in
+  check_int "radius k=2" 1 s.K_center.radius
+
+let test_kcenter_exact_star () =
+  let s = K_center.exact star7 ~k:1 in
+  check_int "hub radius 1" 1 s.K_center.radius;
+  check_int_array "hub" [| 0 |] s.K_center.centers
+
+let test_kcenter_gonzalez_2approx () =
+  (* farthest-point traversal is within 2x of optimum *)
+  List.iter
+    (fun (g, k) ->
+      let opt = (K_center.exact g ~k).K_center.radius in
+      let approx = (K_center.gonzalez g ~k).K_center.radius in
+      check_true "2-approximation" (approx <= 2 * max opt 1);
+      check_true "not better than opt" (approx >= opt))
+    [ (path5, 1); (path5, 2); (cycle6, 2); (star7, 2); (Generators.grid_graph ~rows:3 ~cols:3, 2) ]
+
+let test_kcenter_decision () =
+  check_true "radius 2 feasible with 1" (K_center.decision path5 ~k:1 ~radius:2 <> None);
+  check_true "radius 1 infeasible with 1" (K_center.decision path5 ~k:1 ~radius:1 = None);
+  (match K_center.decision path5 ~k:2 ~radius:1 with
+  | Some c -> check_true "witness is honest" (K_center.evaluate path5 c <= 1)
+  | None -> Alcotest.fail "expected feasible")
+
+let test_kcenter_validation () =
+  Alcotest.check_raises "k = 0" (Invalid_argument "K_center: need 1 <= k <= n")
+    (fun () -> ignore (K_center.exact path5 ~k:0))
+
+(* --- k-median --- *)
+
+let test_kmedian_evaluate () =
+  check_int "end of path" 10 (K_median.evaluate path5 [| 0 |]);
+  check_int "middle" 6 (K_median.evaluate path5 [| 2 |]);
+  check_int "pair" 3 (K_median.evaluate path5 [| 1; 3 |])
+
+let test_kmedian_exact () =
+  let s = K_median.exact path5 ~k:1 in
+  check_int "median cost" 6 s.K_median.cost;
+  check_int_array "median is the middle" [| 2 |] s.K_median.centers
+
+let test_kmedian_exact_vs_center_differ () =
+  (* a broom: k-center favors the handle middle, k-median the brush *)
+  let g = Undirected.of_digraph (Generators.broom ~handle:4 ~bristles:6) in
+  let med = K_median.exact g ~k:1 in
+  (* the brush vertex (index 3) minimizes total distance *)
+  check_int_array "median at brush" [| 3 |] med.K_median.centers
+
+let test_kmedian_local_search_soundness () =
+  List.iter
+    (fun (g, k) ->
+      let opt = (K_median.exact g ~k).K_median.cost in
+      let ls = (K_median.local_search g ~k).K_median.cost in
+      check_true "local search >= opt" (ls >= opt);
+      (* the classical guarantee is 5x; on these tiny instances local
+         search actually lands on the optimum *)
+      check_true "within 5x" (ls <= 5 * max opt 1))
+    [ (path5, 1); (path5, 2); (cycle6, 2); (star7, 1) ]
+
+let test_kmedian_validation () =
+  Alcotest.check_raises "k too big" (Invalid_argument "K_median: need 1 <= k <= n")
+    (fun () -> ignore (K_median.exact path5 ~k:6))
+
+(* --- Theorem 2.1 reduction --- *)
+
+let test_reduction_builds_valid_position () =
+  let inst = Reduction.of_center_instance path5 ~k:2 in
+  check_int "new player index" 5 inst.Reduction.new_player;
+  check_int "new player budget" 2
+    (Bbng_core.Budget.get (Bbng_core.Game.budgets inst.Reduction.game) 5);
+  check_true "version MAX"
+    (Bbng_core.Game.version inst.Reduction.game = Bbng_core.Cost.Max)
+
+let test_reduction_cost_formula_center () =
+  (* c_MAX(new) = 1 + radius(S) for any strategy on connected H *)
+  let inst = Reduction.of_center_instance path5 ~k:1 in
+  List.iter
+    (fun center ->
+      check_int
+        (Printf.sprintf "formula at center %d" center)
+        (1 + K_center.evaluate path5 [| center |])
+        (Reduction.strategy_cost inst [| center |]))
+    [ 0; 1; 2; 3; 4 ]
+
+let test_reduction_cost_formula_median () =
+  let inst = Reduction.of_median_instance path5 ~k:1 in
+  List.iter
+    (fun center ->
+      check_int
+        (Printf.sprintf "formula at center %d" center)
+        (5 + K_median.evaluate path5 [| center |])
+        (Reduction.strategy_cost inst [| center |]))
+    [ 0; 2; 4 ]
+
+let test_reduction_solves_kcenter () =
+  List.iter
+    (fun (g, k) ->
+      let direct = K_center.exact g ~k in
+      let via_game = Reduction.solve_center_via_game g ~k in
+      check_int "radii agree" direct.K_center.radius via_game.K_center.radius;
+      check_int "witness radius honest" direct.K_center.radius
+        (K_center.evaluate g via_game.K_center.centers))
+    [ (path5, 1); (path5, 2); (cycle6, 1); (cycle6, 2); (star7, 2) ]
+
+let test_reduction_solves_kmedian () =
+  List.iter
+    (fun (g, k) ->
+      let direct = K_median.exact g ~k in
+      let via_game = Reduction.solve_median_via_game g ~k in
+      check_int "costs agree" direct.K_median.cost via_game.K_median.cost;
+      check_int "witness cost honest" direct.K_median.cost
+        (K_median.evaluate g via_game.K_median.centers))
+    [ (path5, 1); (path5, 2); (cycle6, 2); (star7, 1) ]
+
+let prop_reduction_center_random =
+  qcheck ~count:30 "k-center via game = exact (random connected graphs)"
+    (gnp_gen ~n_min:3 ~n_max:8) (fun input ->
+      let g = random_connected_of input in
+      let k = 2 in
+      (K_center.exact g ~k).K_center.radius
+      = (Reduction.solve_center_via_game g ~k).K_center.radius)
+
+let prop_reduction_median_random =
+  qcheck ~count:30 "k-median via game = exact (random connected graphs)"
+    (gnp_gen ~n_min:3 ~n_max:8) (fun input ->
+      let g = random_connected_of input in
+      let k = 2 in
+      (K_median.exact g ~k).K_median.cost
+      = (Reduction.solve_median_via_game g ~k).K_median.cost)
+
+let prop_gonzalez_2approx_random =
+  qcheck ~count:30 "Gonzalez within 2x on random connected graphs"
+    (gnp_gen ~n_min:3 ~n_max:10) (fun input ->
+      let g = random_connected_of input in
+      let k = 2 in
+      (K_center.gonzalez g ~k).K_center.radius
+      <= 2 * max 1 (K_center.exact g ~k).K_center.radius)
+
+let suite =
+  [
+    case "k-center evaluate" test_kcenter_evaluate;
+    case "k-center evaluate disconnected" test_kcenter_evaluate_disconnected;
+    case "k-center exact" test_kcenter_exact;
+    case "k-center exact star" test_kcenter_exact_star;
+    case "Gonzalez 2-approx" test_kcenter_gonzalez_2approx;
+    case "k-center decision" test_kcenter_decision;
+    case "k-center validation" test_kcenter_validation;
+    case "k-median evaluate" test_kmedian_evaluate;
+    case "k-median exact" test_kmedian_exact;
+    case "k-median vs k-center" test_kmedian_exact_vs_center_differ;
+    case "k-median local search" test_kmedian_local_search_soundness;
+    case "k-median validation" test_kmedian_validation;
+    case "reduction builds valid position" test_reduction_builds_valid_position;
+    case "reduction cost formula (MAX/k-center)" test_reduction_cost_formula_center;
+    case "reduction cost formula (SUM/k-median)" test_reduction_cost_formula_median;
+    case "reduction solves k-center" test_reduction_solves_kcenter;
+    case "reduction solves k-median" test_reduction_solves_kmedian;
+    prop_reduction_center_random;
+    prop_reduction_median_random;
+    prop_gonzalez_2approx_random;
+  ]

@@ -1,0 +1,128 @@
+open Helpers
+module Trees = Bbng_graph.Trees
+module Undirected = Bbng_graph.Undirected
+module Generators = Bbng_graph.Generators
+
+let binary7 = Undirected.of_digraph (Generators.perfect_binary_tree 2)
+
+let test_is_tree () =
+  check_true "path" (Trees.is_tree path5);
+  check_true "star" (Trees.is_tree star7);
+  check_false "cycle" (Trees.is_tree cycle6);
+  check_false "disconnected" (Trees.is_tree two_triangles);
+  check_true "singleton" (Trees.is_tree (Undirected.of_edges ~n:1 []))
+
+let test_is_forest () =
+  check_true "tree" (Trees.is_forest path5);
+  check_true "two trees" (Trees.is_forest (Undirected.of_edges ~n:4 [ (0, 1); (2, 3) ]));
+  check_false "cycle" (Trees.is_forest cycle6);
+  check_true "isolated vertices" (Trees.is_forest (Undirected.of_edges ~n:3 []))
+
+let test_root_at () =
+  let r = Trees.root_at binary7 0 in
+  check_int "root depth" 0 r.Trees.depth.(0);
+  check_int "leaf depth" 2 r.Trees.depth.(6);
+  check_int "parent of 5" 2 r.Trees.parent.(5);
+  check_int "root parent self" 0 r.Trees.parent.(0);
+  check_int "height" 2 (Trees.height r)
+
+let test_subtree_sizes () =
+  let r = Trees.root_at binary7 0 in
+  let s = Trees.subtree_sizes r in
+  check_int "whole tree" 7 s.(0);
+  check_int "internal" 3 s.(1);
+  check_int "leaf" 1 s.(4)
+
+let test_children () =
+  let r = Trees.root_at binary7 0 in
+  check_int_list "root children" [ 1; 2 ] (Trees.children r 0);
+  check_int_list "leaf children" [] (Trees.children r 6)
+
+let test_diameter_path () =
+  let p = Trees.tree_diameter_path path5 in
+  check_int "path length" 5 (List.length p);
+  let p = Trees.tree_diameter_path binary7 in
+  check_int "binary tree diameter path" 5 (List.length p)
+
+let test_diameter_path_rejects () =
+  Alcotest.check_raises "not a tree"
+    (Invalid_argument "Trees.tree_diameter_path: not a tree") (fun () ->
+      ignore (Trees.tree_diameter_path cycle6))
+
+let test_attachment_sizes () =
+  (* path 0-1-2 with extra leaves 3,4 hanging off vertex 1 *)
+  let g = Undirected.of_edges ~n:5 [ (0, 1); (1, 2); (1, 3); (1, 4) ] in
+  let a = Trees.path_attachment_sizes g [ 0; 1; 2 ] in
+  check_int_array "attachments" [| 1; 3; 1 |] a
+
+let test_attachment_sizes_whole_tree () =
+  let p = Trees.tree_diameter_path binary7 in
+  let a = Trees.path_attachment_sizes binary7 p in
+  check_int "partition sums to n" 7 (Array.fold_left ( + ) 0 a)
+
+let test_attachment_rejects_non_path () =
+  let g = path5 in
+  Alcotest.check_raises "not a path"
+    (Invalid_argument "Trees.path_attachment_sizes: not a path of the graph")
+    (fun () -> ignore (Trees.path_attachment_sizes g [ 0; 2 ]))
+
+let test_leaves () =
+  check_int_list "path leaves" [ 0; 4 ] (Trees.leaves path5);
+  check_int_list "star leaves" [ 1; 2; 3; 4; 5; 6 ] (Trees.leaves star7);
+  check_int_list "binary tree leaves" [ 3; 4; 5; 6 ] (Trees.leaves binary7)
+
+let test_centers () =
+  check_int_list "odd path" [ 2 ] (Trees.centers path5);
+  check_int_list "star" [ 0 ] (Trees.centers star7);
+  check_int_list "binary tree" [ 0 ] (Trees.centers binary7);
+  let p4 = Generators.path_graph 4 in
+  check_int_list "even path: two centers" [ 1; 2 ] (Trees.centers p4);
+  check_int_list "singleton" [ 0 ] (Trees.centers (Undirected.of_edges ~n:1 []))
+
+let prop_random_tree_is_tree =
+  qcheck "Prüfer decoding yields trees" (gnp_gen ~n_min:1 ~n_max:40)
+    (fun (n, seed) -> Trees.is_tree (Generators.random_tree (rng seed) n))
+
+let prop_diameter_path_is_longest =
+  qcheck "diameter path length matches diameter" (gnp_gen ~n_min:2 ~n_max:30)
+    (fun (n, seed) ->
+      let g = Generators.random_tree (rng seed) n in
+      let p = Trees.tree_diameter_path g in
+      Bbng_graph.Distances.diameter g = Some (List.length p - 1))
+
+let prop_attachment_partitions =
+  qcheck "attachment sizes partition the tree" (gnp_gen ~n_min:2 ~n_max:30)
+    (fun (n, seed) ->
+      let g = Generators.random_tree (rng seed) n in
+      let p = Trees.tree_diameter_path g in
+      let a = Trees.path_attachment_sizes g p in
+      Array.fold_left ( + ) 0 a = n && Array.for_all (fun x -> x >= 1) a)
+
+let prop_subtree_sizes_consistent =
+  qcheck "subtree sizes: root has n, leaves have 1" (gnp_gen ~n_min:2 ~n_max:30)
+    (fun (n, seed) ->
+      let g = Generators.random_tree (rng seed) n in
+      let r = Trees.root_at g 0 in
+      let s = Trees.subtree_sizes r in
+      s.(0) = n
+      && List.for_all (fun leaf -> leaf = 0 || s.(leaf) = 1) (Trees.leaves g))
+
+let suite =
+  [
+    case "is_tree" test_is_tree;
+    case "is_forest" test_is_forest;
+    case "root_at" test_root_at;
+    case "subtree sizes" test_subtree_sizes;
+    case "children" test_children;
+    case "diameter path" test_diameter_path;
+    case "diameter path rejects non-tree" test_diameter_path_rejects;
+    case "attachment sizes" test_attachment_sizes;
+    case "attachment partition" test_attachment_sizes_whole_tree;
+    case "attachment rejects non-path" test_attachment_rejects_non_path;
+    case "leaves" test_leaves;
+    case "centers" test_centers;
+    prop_random_tree_is_tree;
+    prop_diameter_path_is_longest;
+    prop_attachment_partitions;
+    prop_subtree_sizes_consistent;
+  ]

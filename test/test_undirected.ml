@@ -1,0 +1,103 @@
+open Helpers
+module Digraph = Bbng_graph.Digraph
+module Undirected = Bbng_graph.Undirected
+
+let test_of_edges () =
+  let g = Undirected.of_edges ~n:4 [ (0, 1); (1, 2); (2, 3) ] in
+  check_int "n" 4 (Undirected.n g);
+  check_int "edges" 3 (Undirected.edge_count g);
+  check_true "0-1" (Undirected.mem_edge g 0 1);
+  check_true "symmetric" (Undirected.mem_edge g 1 0);
+  check_false "0-3" (Undirected.mem_edge g 0 3)
+
+let test_duplicate_edges_merge () =
+  let g = Undirected.of_edges ~n:3 [ (0, 1); (1, 0); (0, 1) ] in
+  check_int "edge count deduped" 1 (Undirected.edge_count g);
+  check_int_array "neighbors deduped" [| 1 |] (Undirected.neighbors g 0)
+
+let test_of_digraph_brace_collapses () =
+  let d = Digraph.of_arcs ~n:2 [ (0, 1); (1, 0) ] in
+  let g = Undirected.of_digraph d in
+  check_int "brace is one edge" 1 (Undirected.edge_count g)
+
+let test_of_digraph_directions_dropped () =
+  let d = Digraph.of_arcs ~n:3 [ (2, 0); (1, 2) ] in
+  let g = Undirected.of_digraph d in
+  check_true "0-2" (Undirected.mem_edge g 0 2);
+  check_true "1-2" (Undirected.mem_edge g 1 2);
+  check_false "0-1" (Undirected.mem_edge g 0 1)
+
+let test_degrees () =
+  check_int "star center" 6 (Undirected.degree star7 0);
+  check_int "star leaf" 1 (Undirected.degree star7 3);
+  check_int "max degree" 6 (Undirected.max_degree star7);
+  check_int "min degree" 1 (Undirected.min_degree star7);
+  check_int "path min" 1 (Undirected.min_degree path5);
+  check_int "cycle uniform" 2 (Undirected.max_degree cycle6)
+
+let test_edges_ordering () =
+  let g = Undirected.of_edges ~n:4 [ (3, 2); (1, 0) ] in
+  check_true "lexicographic edges" (Undirected.edges g = [ (0, 1); (2, 3) ])
+
+let test_rejects_self_loop () =
+  Alcotest.check_raises "self loop" (Invalid_argument "Undirected: self-loop at 2")
+    (fun () -> ignore (Undirected.of_edges ~n:3 [ (2, 2) ]))
+
+let test_remove_vertices () =
+  let g = Undirected.remove_vertices k5 [ 0 ] in
+  check_int "edges after removal" 6 (Undirected.edge_count g);
+  check_int "removed vertex isolated" 0 (Undirected.degree g 0);
+  check_int "same n" 5 (Undirected.n g)
+
+let test_complement () =
+  let c = Undirected.complement path5 in
+  check_int "complement edges" (5 * 4 / 2 - 4) (Undirected.edge_count c);
+  check_false "adjacent pair dropped" (Undirected.mem_edge c 0 1);
+  check_true "far pair added" (Undirected.mem_edge c 0 4)
+
+let test_complement_of_complete_is_empty () =
+  check_int "empty" 0 (Undirected.edge_count (Undirected.complement k5))
+
+let prop_degree_sum =
+  qcheck "handshake: sum of degrees = 2m" (gnp_gen ~n_min:1 ~n_max:15)
+    (fun input ->
+      let g = random_gnp_of input in
+      let sum = ref 0 in
+      for v = 0 to Undirected.n g - 1 do
+        sum := !sum + Undirected.degree g v
+      done;
+      !sum = 2 * Undirected.edge_count g)
+
+let prop_complement_involution =
+  qcheck "complement twice is identity" (gnp_gen ~n_min:1 ~n_max:12)
+    (fun input ->
+      let g = random_gnp_of input in
+      Undirected.equal g (Undirected.complement (Undirected.complement g)))
+
+let prop_neighbors_symmetric =
+  qcheck "adjacency is symmetric" (gnp_gen ~n_min:1 ~n_max:12)
+    (fun input ->
+      let g = random_gnp_of input in
+      let ok = ref true in
+      Undirected.iter_edges
+        (fun u v ->
+          if not (Undirected.mem_edge g v u) then ok := false)
+        g;
+      !ok)
+
+let suite =
+  [
+    case "of_edges" test_of_edges;
+    case "duplicate edges merge" test_duplicate_edges_merge;
+    case "brace collapses to one edge" test_of_digraph_brace_collapses;
+    case "directions dropped" test_of_digraph_directions_dropped;
+    case "degrees" test_degrees;
+    case "edges lexicographic" test_edges_ordering;
+    case "rejects self-loop" test_rejects_self_loop;
+    case "remove_vertices keeps indices" test_remove_vertices;
+    case "complement" test_complement;
+    case "complement of K5" test_complement_of_complete_is_empty;
+    prop_degree_sum;
+    prop_complement_involution;
+    prop_neighbors_symmetric;
+  ]

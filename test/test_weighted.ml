@@ -1,0 +1,138 @@
+open Helpers
+open Bbng_core
+module Weighted = Bbng_core.Weighted
+
+(* Perfect binary tree of depth 2: 4 poor leaves (3,4,5,6). *)
+let btree () = Weighted.of_profile (Bbng_constructions.Binary_tree.profile ~depth:2)
+
+let test_of_digraph_units () =
+  let w = btree () in
+  check_int "n" 7 (Weighted.n w);
+  check_int "alive count" 7 (Weighted.alive_count w);
+  check_int "unit weight" 1 (Weighted.weight w 3);
+  check_int "total weight" 7 (Weighted.total_weight w)
+
+let test_poor_rich_leaves () =
+  let w = btree () in
+  (* leaves 3..6 have degree 1 and out-degree 0: poor *)
+  check_int_list "poor" [ 3; 4; 5; 6 ] (Weighted.poor_leaves w);
+  check_int_list "no rich" [] (Weighted.rich_leaves w);
+  (* a directed path: vertex 0 owns an arc and has degree 1: rich leaf *)
+  let p = Strategy.of_digraph (Bbng_graph.Generators.directed_path 3) in
+  let w = Weighted.of_profile p in
+  check_int_list "rich" [ 0 ] (Weighted.rich_leaves w);
+  check_int_list "poor" [ 2 ] (Weighted.poor_leaves w)
+
+let test_fold_poor_leaf () =
+  let w = btree () in
+  let w = Weighted.fold_poor_leaf w 3 in
+  check_false "leaf dead" (Weighted.is_alive w 3);
+  check_int "weight transferred" 2 (Weighted.weight w 1);
+  check_int "total invariant" 7 (Weighted.total_weight w);
+  check_int "alive count" 6 (Weighted.alive_count w)
+
+let test_fold_poor_leaf_rejects () =
+  let w = btree () in
+  Alcotest.check_raises "not a poor leaf"
+    (Invalid_argument "Weighted.fold_poor_leaf: 0 is not a poor leaf") (fun () ->
+      ignore (Weighted.fold_poor_leaf w 0))
+
+let test_fold_all () =
+  let w, folds = Weighted.fold_all_poor_leaves (btree ()) in
+  (* folding cascades: the whole tree folds into the root *)
+  check_int "everything folds" 6 folds;
+  check_int "one survivor" 1 (Weighted.alive_count w);
+  check_int "root holds all weight" 7 (Weighted.weight w 0);
+  check_int "total invariant" 7 (Weighted.total_weight w)
+
+let test_weighted_cost () =
+  let w = btree () in
+  (* root: two children at 1, four grandchildren at 2: 2 + 8 = 10 *)
+  check_int "root cost" 10 (Weighted.weighted_cost w 0);
+  (* after folding leaf 3 into 1, the root sees weight 2 at distance 1,
+     weight 1 at distance 1, and three unit weights at distance 2 *)
+  let w = Weighted.fold_poor_leaf w 3 in
+  check_int "root cost after fold" (2 + 1 + (3 * 2)) (Weighted.weighted_cost w 0)
+
+let test_rich_leaves_within_2 () =
+  (* brace between 0,1 plus pendant arcs from 2,3 to 0 and 1:
+     2 and 3 are rich leaves at distance 3: violates Lemma 6.4
+     (and indeed that profile is not an equilibrium) *)
+  let arcs = [ (0, 1); (1, 0); (2, 0); (3, 1) ] in
+  let d = Bbng_graph.Digraph.of_arcs ~n:4 arcs in
+  let w = Weighted.of_digraph d in
+  check_int_list "rich leaves" [ 2; 3 ] (Weighted.rich_leaves w);
+  check_false "distance 3 violates" (Weighted.rich_leaves_within_2 w);
+  (* both attached to 0: distance 2: fine *)
+  let d = Bbng_graph.Digraph.of_arcs ~n:4 [ (0, 1); (1, 0); (2, 0); (3, 0) ] in
+  check_true "distance 2 ok" (Weighted.rich_leaves_within_2 (Weighted.of_digraph d))
+
+let test_degree2_edges_and_contraction () =
+  let p = Strategy.of_digraph (Bbng_graph.Generators.directed_path 5) in
+  let w = Weighted.of_profile p in
+  (* interior path edges where both endpoints have degree 2: (1,2) (2,3) *)
+  check_true "two interior edges" (List.length (Weighted.degree2_edges w) = 2);
+  let w = Weighted.contract_edge w 1 2 in
+  check_false "2 merged away" (Weighted.is_alive w 2);
+  check_int "weights add" 2 (Weighted.weight w 1);
+  check_true "1 now adjacent to 3"
+    (Bbng_graph.Undirected.mem_edge (Weighted.underlying w) 1 3)
+
+let test_contract_all () =
+  let p = Strategy.of_digraph (Bbng_graph.Generators.directed_path 6) in
+  let w, count = Weighted.contract_all_degree2 (Weighted.of_profile p) in
+  check_true "contracted repeatedly" (count >= 3);
+  check_int "weight preserved" 6 (Weighted.total_weight w);
+  (* final shape: no degree-2-degree-2 edge *)
+  check_true "fixpoint" (Weighted.degree2_edges w = [])
+
+let test_weak_equilibrium_binary_tree () =
+  (* SUM Tree-BG equilibrium is in particular a weak equilibrium *)
+  check_true "binary tree" (Weighted.is_weak_equilibrium (btree ()))
+
+let test_weak_equilibrium_violated () =
+  (* directed path of 6: the head can swap its arc toward the middle *)
+  let p = Strategy.of_digraph (Bbng_graph.Generators.directed_path 6) in
+  check_false "path not weakly stable"
+    (Weighted.is_weak_equilibrium (Weighted.of_profile p))
+
+let test_folding_preserves_weak_equilibrium () =
+  (* the Corollary 6.3 step: folding a poor leaf of a weak equilibrium
+     leaves a weak equilibrium *)
+  let w = btree () in
+  let w = Weighted.fold_poor_leaf w 3 in
+  check_true "still weak equilibrium" (Weighted.is_weak_equilibrium w);
+  let w, _ = Weighted.fold_all_poor_leaves w in
+  check_true "after full fold" (Weighted.is_weak_equilibrium w)
+
+let test_lemma_6_2_height_bound () =
+  (* after folding a deep structure, the folded weights bound the height:
+     h <= 1 + log2 w(T).  Check on binary trees of several depths. *)
+  List.iter
+    (fun depth ->
+      let p = Bbng_constructions.Binary_tree.profile ~depth in
+      let w = Weighted.of_profile p in
+      let n = Weighted.total_weight w in
+      let height = depth in
+      let bound = 1.0 +. (log (float_of_int n) /. log 2.0) in
+      check_true
+        (Printf.sprintf "depth %d" depth)
+        (float_of_int height <= bound))
+    [ 1; 2; 3; 4 ]
+
+let suite =
+  [
+    case "unit weights" test_of_digraph_units;
+    case "poor and rich leaves" test_poor_rich_leaves;
+    case "fold one poor leaf" test_fold_poor_leaf;
+    case "fold rejects non-leaf" test_fold_poor_leaf_rejects;
+    case "fold all" test_fold_all;
+    case "weighted cost" test_weighted_cost;
+    case "lemma 6.4 checker" test_rich_leaves_within_2;
+    case "degree-2 contraction" test_degree2_edges_and_contraction;
+    case "contract to fixpoint" test_contract_all;
+    case "weak equilibrium: binary tree" test_weak_equilibrium_binary_tree;
+    case "weak equilibrium: violated" test_weak_equilibrium_violated;
+    case "folding preserves weak equilibrium" test_folding_preserves_weak_equilibrium;
+    case "lemma 6.2 height bound" test_lemma_6_2_height_bound;
+  ]
