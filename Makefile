@@ -1,0 +1,23 @@
+.PHONY: build test bench smoke check fmt
+
+build:
+	dune build
+
+test:
+	dune runtest
+
+bench:
+	dune exec bench/main.exe
+
+smoke:
+	dune exec bench/main.exe -- --smoke
+	dune exec bench/main.exe -- --validate BENCH_smoke.json
+
+# build + tests + bench smoke + report-format validation
+check:
+	sh bin/check.sh
+
+# no-op unless ocamlformat is configured; kept dune-native so CI can
+# opt in with a .ocamlformat file
+fmt:
+	-dune build @fmt --auto-promote

@@ -4,13 +4,24 @@ open Bbng_core
 module Table = Bbng_analysis.Table
 module Growth = Bbng_analysis.Growth
 
+(* Headers are flushed eagerly: experiment phases can run for minutes,
+   and the counter/span stats land on stderr — without the flush the
+   two streams interleave mid-line in captured logs. *)
 let section title =
   let bar = String.make (String.length title + 8) '=' in
-  Printf.printf "\n%s\n=== %s ===\n%s\n" bar title bar
+  Printf.printf "\n%s\n=== %s ===\n%s\n" bar title bar;
+  flush stdout
 
-let subsection title = Printf.printf "\n--- %s ---\n" title
+let subsection title =
+  Printf.printf "\n--- %s ---\n" title;
+  flush stdout
 
-let note fmt = Printf.ksprintf (fun s -> Printf.printf "  %s\n" s) fmt
+let note fmt =
+  Printf.ksprintf
+    (fun s ->
+      Printf.printf "  %s\n" s;
+      flush stdout)
+    fmt
 
 let rng seed = Random.State.make [| 0xBB9; seed |]
 
@@ -64,3 +75,24 @@ let time_it f =
   (r, Unix.gettimeofday () -. t0)
 
 let verdict_cell ok = if ok then "ok" else "VIOLATED"
+
+(* --- machine-readable run reports --- *)
+
+module Json = Bbng_obs.Json
+
+(* BENCH_<name>.json in the invocation directory: the given fields
+   plus a snapshot of every engine counter, so the perf trajectory
+   accumulates comparable data run over run. *)
+let write_bench_report ~name fields =
+  let path = Printf.sprintf "BENCH_%s.json" name in
+  let json =
+    Json.Obj
+      (("report", Json.Str name)
+      :: fields
+      @ [ ("counters", Bbng_obs.Stats.counters_json ()) ])
+  in
+  let oc = open_out path in
+  output_string oc (Json.to_string json);
+  output_char oc '\n';
+  close_out oc;
+  note "wrote %s" path

@@ -5,6 +5,8 @@
    Usage:
      dune exec bench/main.exe            # everything
      dune exec bench/main.exe -- table1 figures   # a selection
+     dune exec bench/main.exe -- --smoke          # seconds-long bench sanity pass
+     dune exec bench/main.exe -- --validate BENCH_smoke.json
    Known experiment names: table1 figures hardness existence weighted
    connectivity dynamics baselines expansion census extremal ablation perf. *)
 
@@ -25,7 +27,59 @@ let experiments =
     ("perf", Perf.run);
   ]
 
+(* Check that a BENCH_*.json report parses and carries a usable ns/run
+   figure for every test — this is what keeps report-format regressions
+   inside tier-1-adjacent checks (bin/check.sh). *)
+let validate file =
+  let read_all ic =
+    let n = in_channel_length ic in
+    really_input_string ic n
+  in
+  let fail fmt =
+    Printf.ksprintf
+      (fun msg ->
+        Printf.eprintf "%s: INVALID — %s\n" file msg;
+        exit 1)
+      fmt
+  in
+  let ic = try open_in file with Sys_error e -> fail "%s" e in
+  let text = read_all ic in
+  close_in ic;
+  let module Json = Bbng_obs.Json in
+  let json =
+    try Json.of_string text with Json.Parse_error e -> fail "parse error: %s" e
+  in
+  (match Json.member "report" json with
+  | Some (Json.Str _) -> ()
+  | _ -> fail "missing \"report\" name");
+  (match Json.member "results" json with
+  | Some (Json.List (_ :: _ as results)) ->
+      List.iter
+        (fun r ->
+          match (Json.member "name" r, Json.member "ns_per_run" r) with
+          | Some (Json.Str _), Some (Json.Float ns) when ns > 0. -> ()
+          | Some (Json.Str _), Some (Json.Int ns) when ns > 0 -> ()
+          | Some (Json.Str name), _ -> fail "no ns_per_run for %S" name
+          | _ -> fail "result entry without a name")
+        results
+  | _ -> fail "missing or empty \"results\"");
+  (match Json.member "counters" json with
+  | Some (Json.Obj _) -> ()
+  | _ -> fail "missing \"counters\" snapshot");
+  Printf.printf "%s: ok\n" file
+
 let () =
+  (match Array.to_list Sys.argv with
+  | _ :: "--smoke" :: _ ->
+      Perf.smoke ();
+      exit 0
+  | _ :: "--validate" :: file :: _ ->
+      validate file;
+      exit 0
+  | _ :: "--validate" :: [] ->
+      Printf.eprintf "--validate needs a file argument\n";
+      exit 2
+  | _ -> ());
   let requested =
     match Array.to_list Sys.argv with
     | _ :: (_ :: _ as names) -> names

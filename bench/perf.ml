@@ -42,14 +42,12 @@ let tests =
          Staged.stage (fun () -> ignore (Deviation_eval.cost ctx [| 7 |])));
     ]
 
-let run () =
-  Exp_common.section
-    "PERF — Bechamel micro-benchmarks (monotonic clock + minor allocations)";
+let measure ~quota =
   let ols =
     Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
   in
   let instances = Instance.[ monotonic_clock; minor_allocated ] in
-  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.25) ~kde:None () in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second quota) ~kde:None () in
   let raw = Benchmark.all cfg instances tests in
   let times = Analyze.all ols Instance.monotonic_clock raw in
   let allocs = Analyze.all ols Instance.minor_allocated raw in
@@ -57,26 +55,61 @@ let run () =
     match Hashtbl.find_opt results name with
     | Some r -> (
         match Analyze.OLS.estimates r with
-        | Some (est :: _) -> Printf.sprintf "%.0f" est
-        | Some [] | None -> "?")
-    | None -> "?"
+        | Some (est :: _) -> Some est
+        | Some [] | None -> None)
+    | None -> None
   in
   let r_square name =
     match Hashtbl.find_opt times name with
-    | Some r -> (
-        match Analyze.OLS.r_square r with
-        | Some v -> Printf.sprintf "%.4f" v
-        | None -> "?")
-    | None -> "?"
+    | Some r -> Analyze.OLS.r_square r
+    | None -> None
   in
-  let names = Hashtbl.fold (fun name _ acc -> name :: acc) times [] in
+  let names = List.sort compare (Hashtbl.fold (fun name _ acc -> name :: acc) times []) in
+  List.map
+    (fun name -> (name, estimate times name, estimate allocs name, r_square name))
+    names
+
+let print_table results =
+  let cell = function Some v -> Printf.sprintf "%.0f" v | None -> "?" in
+  let r2_cell = function Some v -> Printf.sprintf "%.4f" v | None -> "?" in
   let table =
     Bbng_analysis.Table.make
       ~headers:[ "benchmark"; "ns/run"; "minor words/run"; "r2(time)" ]
   in
   List.iter
-    (fun name ->
-      Bbng_analysis.Table.add_row table
-        [ name; estimate times name; estimate allocs name; r_square name ])
-    (List.sort compare names);
+    (fun (name, ns, words, r2) ->
+      Bbng_analysis.Table.add_row table [ name; cell ns; cell words; r2_cell r2 ])
+    results;
   Bbng_analysis.Table.print table
+
+let report ~name results =
+  let module Json = Bbng_obs.Json in
+  let num = function Some v -> Json.Float v | None -> Json.Null in
+  Exp_common.write_bench_report ~name
+    [
+      ( "results",
+        Json.List
+          (List.map
+             (fun (test, ns, words, r2) ->
+               Json.Obj
+                 [
+                   ("name", Json.Str test);
+                   ("ns_per_run", num ns);
+                   ("minor_words_per_run", num words);
+                   ("r_square_time", num r2);
+                 ])
+             results) );
+    ]
+
+let run_with ~report_name ~quota () =
+  Exp_common.section
+    "PERF — Bechamel micro-benchmarks (monotonic clock + minor allocations)";
+  let results = measure ~quota in
+  print_table results;
+  report ~name:report_name results
+
+let run () = run_with ~report_name:"micro" ~quota:0.25 ()
+
+(* a few-second sanity pass: same tests, tiny quota, own report file —
+   bin/check.sh validates that BENCH_smoke.json stays parseable *)
+let smoke () = run_with ~report_name:"smoke" ~quota:0.02 ()

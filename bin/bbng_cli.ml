@@ -13,8 +13,49 @@
 
 open Cmdliner
 open Bbng_core
+module Obs = Bbng_obs
 
 (* --- shared term fragments --- *)
+
+(* Observability setup, shared by every subcommand: [--stats] prints a
+   counter/span summary to stderr on exit; [--report FILE.jsonl]
+   streams structured events to FILE and appends a final [run.summary]
+   event with the counter and span totals.  Both leave the default
+   Null sink untouched when absent, so unobserved runs pay nothing. *)
+let obs_term =
+  let stats =
+    Arg.(
+      value & flag
+      & info [ "stats" ]
+          ~doc:"Print a counter/span summary to stderr when the run exits.")
+  in
+  let report =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "report" ] ~docv:"FILE.jsonl"
+          ~doc:
+            "Stream structured events (one JSON object per line) to \
+             $(docv), ending with a run.summary event.")
+  in
+  let setup stats report =
+    if stats || report <> None then Obs.Span.set_enabled true;
+    (match report with
+    | None -> ()
+    | Some file ->
+        let oc =
+          try open_out file
+          with Sys_error e ->
+            Printf.eprintf "bbng: cannot open report file: %s\n" e;
+            Stdlib.exit 1
+        in
+        Obs.Sink.add (Obs.Sink.Jsonl oc);
+        at_exit (fun () ->
+            Obs.Sink.emit "run.summary" (Obs.Stats.summary_fields ());
+            close_out oc));
+    if stats then at_exit (fun () -> Obs.Stats.print stderr)
+  in
+  Term.(const setup $ stats $ report)
 
 let version_term =
   let parse = function
@@ -76,7 +117,7 @@ let construct_cmd =
       & opt (some string) None
       & info [ "budgets"; "b" ] ~docv:"B1,B2,..." ~doc:"Budget vector (existence).")
   in
-  let run family version k t depth n budgets =
+  let run () family version k t depth n budgets =
     let open Bbng_constructions in
     match family with
     | "existence" -> (
@@ -116,7 +157,8 @@ let construct_cmd =
     Cmd.info "construct" ~doc:"Build one of the paper's equilibrium families."
   in
   Cmd.v info
-    Term.(ret (const run $ family $ version_term $ k $ t $ depth $ n $ budgets))
+    Term.(
+      ret (const run $ obs_term $ family $ version_term $ k $ t $ depth $ n $ budgets))
 
 (* --- verify --- *)
 
@@ -127,7 +169,7 @@ let verify_cmd =
       & pos 0 (some string) None
       & info [] ~docv:"PROFILE" ~doc:"Serialized profile, e.g. \"1,2;0;0\".")
   in
-  let run version profile_str =
+  let run () version profile_str =
     match Strategy.of_string profile_str with
     | exception Invalid_argument msg -> `Error (false, msg)
     | profile ->
@@ -135,7 +177,7 @@ let verify_cmd =
         `Ok ()
   in
   let info = Cmd.info "verify" ~doc:"Certify a serialized profile." in
-  Cmd.v info Term.(ret (const run $ version_term $ profile))
+  Cmd.v info Term.(ret (const run $ obs_term $ version_term $ profile))
 
 (* --- dynamics --- *)
 
@@ -160,23 +202,24 @@ let dynamics_cmd =
       & info [ "rule" ] ~docv:"RULE" ~doc:"Move rule: best|first|swap|first-swap.")
   in
   let trace =
-    Arg.(value & flag & info [ "trace" ] ~doc:"Print every improving move.")
+    Arg.(
+      value & flag
+      & info [ "trace" ]
+          ~doc:
+            "Show every improving move (routed through the pretty event \
+             sink, so it matches --report's JSONL line for line).")
   in
-  let run version budgets seed steps rule trace =
+  let run () version budgets seed steps rule trace =
+    (* --trace is just the pretty sink: the same dynamics.step events a
+       --report file receives, rendered for humans on stderr. *)
+    if trace then Obs.Sink.add Obs.Sink.Stderr_pretty;
     let game = Game.make version budgets in
     let start = Strategy.random (Random.State.make [| seed |]) budgets in
     Format.printf "start: %s (diameter %d)@."
       (Strategy.to_string start)
       (Game.social_cost game start);
-    let on_step e =
-      if trace then
-        Format.printf "  step %d: player %d, %d -> %d (diameter %d)@."
-          e.Bbng_dynamics.Dynamics.step e.Bbng_dynamics.Dynamics.player
-          e.Bbng_dynamics.Dynamics.old_cost e.Bbng_dynamics.Dynamics.new_cost
-          e.Bbng_dynamics.Dynamics.social_cost
-    in
     let outcome =
-      Bbng_dynamics.Dynamics.run ~max_steps:steps ~on_step game
+      Bbng_dynamics.Dynamics.run ~max_steps:steps game
         ~schedule:Bbng_dynamics.Schedule.Round_robin ~rule start
     in
     Format.printf "outcome: %s after %d steps@."
@@ -186,12 +229,14 @@ let dynamics_cmd =
   in
   let info = Cmd.info "dynamics" ~doc:"Run best-response dynamics from a random start." in
   Cmd.v info
-    Term.(const run $ version_term $ budgets_term $ seed_term $ steps $ rule $ trace)
+    Term.(
+      const run $ obs_term $ version_term $ budgets_term $ seed_term $ steps $ rule
+      $ trace)
 
 (* --- opt --- *)
 
 let opt_cmd =
-  let run budgets =
+  let run () budgets =
     let lo, hi = Poa.opt_diameter_bounds budgets in
     Format.printf "instance: %a (%s)@." Budget.pp budgets
       (Budget.class_name (Budget.classify budgets));
@@ -203,7 +248,7 @@ let opt_cmd =
     Format.printf "witness realization: %s@." (Strategy.to_string witness)
   in
   let info = Cmd.info "opt" ~doc:"Minimum diameter over realizations of an instance." in
-  Cmd.v info Term.(const run $ budgets_term)
+  Cmd.v info Term.(const run $ obs_term $ budgets_term)
 
 (* --- kcenter (Theorem 2.1 in action) --- *)
 
@@ -211,7 +256,7 @@ let kcenter_cmd =
   let n = Arg.(value & opt int 10 & info [ "n" ] ~docv:"N" ~doc:"Vertices.") in
   let p = Arg.(value & opt float 0.3 & info [ "p" ] ~docv:"P" ~doc:"Edge probability.") in
   let k = Arg.(value & opt int 2 & info [ "k" ] ~docv:"K" ~doc:"Centers.") in
-  let run n p k seed =
+  let run () n p k seed =
     let g =
       Bbng_graph.Generators.random_connected_gnp (Random.State.make [| seed |]) ~n ~p
     in
@@ -231,7 +276,7 @@ let kcenter_cmd =
   let info =
     Cmd.info "kcenter" ~doc:"Solve k-center through the Theorem 2.1 reduction."
   in
-  Cmd.v info Term.(const run $ n $ p $ k $ seed_term)
+  Cmd.v info Term.(const run $ obs_term $ n $ p $ k $ seed_term)
 
 (* --- fip: improvement-graph analysis --- *)
 
@@ -239,7 +284,7 @@ let fip_cmd =
   let dot =
     Arg.(value & flag & info [ "dot" ] ~doc:"Emit the improvement graph as Graphviz DOT.")
   in
-  let run version budgets dot =
+  let run () version budgets dot =
     let module Ig = Bbng_dynamics.Improvement_graph in
     let profiles = Equilibrium.count_profiles budgets in
     if profiles > 100_000 then
@@ -271,12 +316,12 @@ let fip_cmd =
     Cmd.info "fip"
       ~doc:"Build the exact improvement graph of a small instance (Section 8)."
   in
-  Cmd.v info Term.(const run $ version_term $ budgets_term $ dot)
+  Cmd.v info Term.(const run $ obs_term $ version_term $ budgets_term $ dot)
 
 (* --- census --- *)
 
 let census_cmd =
-  let run version budgets =
+  let run () version budgets =
     let game = Game.make version budgets in
     let profiles = Equilibrium.count_profiles budgets in
     if profiles > 200_000 then
@@ -299,7 +344,7 @@ let census_cmd =
     Cmd.info "census"
       ~doc:"Enumerate and classify every Nash equilibrium of a small instance."
   in
-  Cmd.v info Term.(const run $ version_term $ budgets_term)
+  Cmd.v info Term.(const run $ obs_term $ version_term $ budgets_term)
 
 (* --- export --- *)
 
@@ -316,7 +361,7 @@ let export_cmd =
       & opt (enum [ ("dot", `Dot); ("text", `Text); ("undirected-dot", `Udot) ]) `Dot
       & info [ "format"; "f" ] ~docv:"FMT" ~doc:"Output: dot, text, or undirected-dot.")
   in
-  let run profile_str format =
+  let run () profile_str format =
     match Strategy.of_string profile_str with
     | exception Invalid_argument msg -> `Error (false, msg)
     | profile ->
@@ -334,7 +379,7 @@ let export_cmd =
   let info =
     Cmd.info "export" ~doc:"Export a profile's realization as DOT or edge-list text."
   in
-  Cmd.v info Term.(ret (const run $ profile $ format))
+  Cmd.v info Term.(ret (const run $ obs_term $ profile $ format))
 
 let main_cmd =
   let info =

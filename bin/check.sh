@@ -1,0 +1,20 @@
+#!/bin/sh
+# Tier-1-adjacent gate: build, full test suite, then a seconds-long
+# bench smoke whose BENCH_smoke.json must stay machine-parseable —
+# report-format regressions fail here, not in a nightly perf run.
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "== dune build =="
+dune build
+
+echo "== dune runtest =="
+dune runtest
+
+echo "== bench smoke =="
+dune exec bench/main.exe -- --smoke
+
+echo "== validate BENCH_smoke.json =="
+dune exec bench/main.exe -- --validate BENCH_smoke.json
+
+echo "check: all green"

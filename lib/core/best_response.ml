@@ -4,6 +4,11 @@ module Combinatorics = Bbng_graph.Combinatorics
 
 type move = { targets : int array; cost : int }
 
+let c_candidates = Bbng_obs.Counter.make "br.candidates"
+let c_improving = Bbng_obs.Counter.make "br.improving_moves"
+let c_pruned_floor = Bbng_obs.Counter.make "br.pruned_floor"
+let c_pruned_lemma = Bbng_obs.Counter.make "br.pruned_lemma22"
+
 (* All evaluators share one incremental evaluation context: the static
    part of the graph is materialized once and each candidate strategy
    costs a single overlay BFS (see Deviation_eval). *)
@@ -36,7 +41,9 @@ let make_context game profile player =
   let current_cost = Deviation_eval.current_cost eval_ctx in
   { game; profile; player; eval_ctx; budget; in_degree; floor; current_cost }
 
-let eval ctx targets = Deviation_eval.cost ctx.eval_ctx targets
+let eval ctx targets =
+  Bbng_obs.Counter.bump c_candidates;
+  Deviation_eval.cost ctx.eval_ctx targets
 
 (* Subsets of {0..n-1} \ {player} are enumerated as subsets of
    {0..n-2} and shifted past the player. *)
@@ -64,8 +71,14 @@ let exact game profile player =
 exception Found of move
 
 let scan_for_improvement ctx ~stop_at_first =
-  if ctx.current_cost <= ctx.floor then None
-  else if satisfies_lemma_2_2 ctx.profile ctx.player then None
+  if ctx.current_cost <= ctx.floor then begin
+    Bbng_obs.Counter.bump c_pruned_floor;
+    None
+  end
+  else if satisfies_lemma_2_2 ctx.profile ctx.player then begin
+    Bbng_obs.Counter.bump c_pruned_lemma;
+    None
+  end
   else begin
     let n = Game.n ctx.game in
     let best = ref None in
@@ -74,6 +87,7 @@ let scan_for_improvement ctx ~stop_at_first =
           let targets = unshift ctx.player c in
           let cost = eval ctx targets in
           if cost < ctx.current_cost then begin
+            Bbng_obs.Counter.bump c_improving;
             let better_than_best =
               match !best with None -> true | Some m -> cost < m.cost
             in
@@ -115,7 +129,10 @@ let swap_candidates ctx =
   List.rev !moves
 
 let swap_scan ctx ~stop_at_first =
-  if ctx.current_cost <= ctx.floor then None
+  if ctx.current_cost <= ctx.floor then begin
+    Bbng_obs.Counter.bump c_pruned_floor;
+    None
+  end
   else begin
     let best = ref None in
     try
@@ -123,6 +140,7 @@ let swap_scan ctx ~stop_at_first =
         (fun targets ->
           let cost = eval ctx targets in
           if cost < ctx.current_cost then begin
+            Bbng_obs.Counter.bump c_improving;
             let better = match !best with None -> true | Some m -> cost < m.cost in
             if better then begin
               let m = { targets; cost } in

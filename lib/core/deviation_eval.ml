@@ -1,5 +1,8 @@
 module Bfs = Bbng_graph.Bfs
 
+let c_contexts = Bbng_obs.Counter.make "deveval.contexts"
+let c_evals = Bbng_obs.Counter.make "deveval.incremental_evals"
+
 type t = {
   version : Cost.version;
   player : int;
@@ -15,6 +18,7 @@ type t = {
 }
 
 let make version profile ~player =
+  Bbng_obs.Counter.bump c_contexts;
   let n = Strategy.n profile in
   if player < 0 || player >= n then invalid_arg "Deviation_eval.make: bad player";
   let deg = Array.make n 0 in
@@ -85,6 +89,7 @@ let unreached_components t =
   !comps
 
 let cost t targets =
+  Bbng_obs.Counter.bump c_evals;
   Array.iter
     (fun v ->
       if v < 0 || v >= t.n then invalid_arg "Deviation_eval.cost: target out of range";

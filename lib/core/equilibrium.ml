@@ -1,5 +1,16 @@
 module Combinatorics = Bbng_graph.Combinatorics
 
+let c_players = Bbng_obs.Counter.make "equilibrium.players_certified"
+let c_early_exits = Bbng_obs.Counter.make "equilibrium.early_exits"
+
+(* Every per-player best-response check in a certification funnels
+   through here: one span (coarse enough for the mutex-protected span
+   table, even from Parallel domains) and one counter bump. *)
+let check_player finder game profile player =
+  Bbng_obs.Counter.bump c_players;
+  Bbng_obs.Span.time "equilibrium.certify_player" (fun () ->
+      finder game profile player)
+
 type refutation = {
   player : int;
   better : Best_response.move;
@@ -13,8 +24,9 @@ let certify_with deviation_finder game profile =
   let rec scan player =
     if player >= n then Equilibrium
     else
-      match deviation_finder game profile player with
+      match check_player deviation_finder game profile player with
       | Some better ->
+          if player < n - 1 then Bbng_obs.Counter.bump c_early_exits;
           Refuted { player; better; current_cost = Game.player_cost game profile player }
       | None -> scan (player + 1)
   in
@@ -27,7 +39,7 @@ let certify_parallel ?domains game profile =
   let n = Game.n game in
   let witness =
     Parallel.find_map ?domains ~n (fun player ->
-        match Best_response.exact_improvement game profile player with
+        match check_player Best_response.exact_improvement game profile player with
         | Some better ->
             Some
               (Refuted
@@ -38,12 +50,13 @@ let certify_parallel ?domains game profile =
                  })
         | None -> None)
   in
+  (match witness with Some _ -> Bbng_obs.Counter.bump c_early_exits | None -> ());
   match witness with Some v -> v | None -> Equilibrium
 
 let is_nash_parallel ?domains game profile =
   let n = Game.n game in
   Parallel.for_all ?domains ~n (fun player ->
-      Best_response.exact_improvement game profile player = None)
+      check_player Best_response.exact_improvement game profile player = None)
 
 let certify_swap game profile =
   certify_with Best_response.first_improving_swap game profile

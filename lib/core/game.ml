@@ -1,6 +1,8 @@
 module Digraph = Bbng_graph.Digraph
 module Undirected = Bbng_graph.Undirected
 
+let c_generic = Bbng_obs.Counter.make "deveval.generic_evals"
+
 type t = {
   version : Cost.version;
   budgets : Budget.t;
@@ -23,6 +25,7 @@ let costs g p =
   Cost.profile_costs g.version (Strategy.underlying p)
 
 let deviation_cost g p ~player ~targets =
+  Bbng_obs.Counter.bump c_generic;
   check_profile g p;
   if Array.length targets <> Budget.get g.budgets player then
     invalid_arg "Game.deviation_cost: deviation violates the player's budget";

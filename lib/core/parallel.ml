@@ -1,5 +1,13 @@
 let recommended_domains () = max 1 (Domain.recommended_domain_count () - 1)
 
+let c_spawned = Bbng_obs.Counter.make "parallel.domains_spawned"
+let c_abandoned = Bbng_obs.Counter.make "parallel.chunks_abandoned"
+
+(* indices this worker never evaluated because the early-exit flag
+   tripped; each per-index task is one "chunk" of the block-cyclic
+   distribution *)
+let abandoned_by ~n ~k i = if i < n then (n - i + k - 1) / k else 0
+
 (* Block-cyclic index distribution: domain d handles indices
    d, d + k, d + 2k, ...  This balances heterogeneous per-index work
    (low player indices are not systematically cheaper). *)
@@ -17,9 +25,11 @@ let for_all ?domains ~n f =
       while (not (Atomic.get failed)) && !i < n do
         if not (f !i) then Atomic.set failed true;
         i := !i + k
-      done
+      done;
+      Bbng_obs.Counter.add c_abandoned (abandoned_by ~n ~k !i)
     in
     let spawned = List.init (k - 1) (fun d -> Domain.spawn (worker (d + 1))) in
+    Bbng_obs.Counter.add c_spawned (k - 1);
     worker 0 ();
     List.iter Domain.join spawned;
     not (Atomic.get failed)
@@ -42,9 +52,11 @@ let find_map ?domains ~n f =
             ignore (Atomic.compare_and_set result None r)
         | None -> ());
         i := !i + k
-      done
+      done;
+      Bbng_obs.Counter.add c_abandoned (abandoned_by ~n ~k !i)
     in
     let spawned = List.init (k - 1) (fun d -> Domain.spawn (worker (d + 1))) in
+    Bbng_obs.Counter.add c_spawned (k - 1);
     worker 0 ();
     List.iter Domain.join spawned;
     Atomic.get result

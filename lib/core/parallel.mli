@@ -9,7 +9,12 @@
 
     Keep the task grain coarse: spawning a domain costs far more than a
     BFS, so these helpers are used at the per-player level, not inside
-    the subset enumeration. *)
+    the subset enumeration.
+
+    Observability: spawns bump the [parallel.domains_spawned] counter,
+    and every index a worker skips because the early-exit flag tripped
+    bumps [parallel.chunks_abandoned] — so "early exit abandons work"
+    is a measurable claim, not a doc promise (see [test_parallel]). *)
 
 val recommended_domains : unit -> int
 (** [max 1 (Domain.recommended_domain_count () - 1)]: leave one core

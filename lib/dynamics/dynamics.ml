@@ -1,4 +1,5 @@
 open Bbng_core
+module Obs = Bbng_obs
 
 type rule = Exact_best | First_improving | Best_swap | First_swap
 
@@ -48,9 +49,49 @@ module Profile_key = struct
   let of_profile p = Strategy.to_string p
 end
 
+let c_steps = Obs.Counter.make "dynamics.steps_applied"
+let c_runs = Obs.Counter.make "dynamics.runs"
+
+let emit_entry e =
+  Obs.Sink.emit "dynamics.step"
+    [
+      ("step", Obs.Json.Int e.step);
+      ("player", Obs.Json.Int e.player);
+      ("old_cost", Obs.Json.Int e.old_cost);
+      ("new_cost", Obs.Json.Int e.new_cost);
+      ("social_cost", Obs.Json.Int e.social_cost);
+    ]
+
+(* The final event names the rule and the outcome so a run's JSONL is
+   self-describing even when read in isolation. *)
+let emit_outcome game rule outcome =
+  Obs.Sink.emit "dynamics.outcome"
+    (List.concat
+       [
+         [
+           ("rule", Obs.Json.Str (rule_name rule));
+           ("outcome", Obs.Json.Str (outcome_name outcome));
+           ("steps", Obs.Json.Int (steps outcome));
+           ( "social_cost",
+             Obs.Json.Int (Game.social_cost game (final_profile outcome)) );
+         ];
+         (match outcome with
+         | Cycle { period; _ } -> [ ("period", Obs.Json.Int period) ]
+         | Converged _ | Step_limit _ -> []);
+       ])
+
 let run ?(max_steps = 10_000) ?(detect_cycles = true) ?on_step game ~schedule
     ~rule start =
   let n = Game.n game in
+  Obs.Counter.bump c_runs;
+  if Obs.Sink.active () then
+    Obs.Sink.emit "dynamics.start"
+      [
+        ("rule", Obs.Json.Str (rule_name rule));
+        ("players", Obs.Json.Int n);
+        ("max_steps", Obs.Json.Int max_steps);
+        ("social_cost", Obs.Json.Int (Game.social_cost game start));
+      ];
   let seen : (Profile_key.t, int) Hashtbl.t = Hashtbl.create 256 in
   let remember step profile =
     if detect_cycles then begin
@@ -64,8 +105,12 @@ let run ?(max_steps = 10_000) ?(detect_cycles = true) ?on_step game ~schedule
     else None
   in
   ignore (remember 0 start);
+  let finish outcome =
+    emit_outcome game rule outcome;
+    outcome
+  in
   let rec loop sched_state profile step =
-    if step >= max_steps then Step_limit { profile; steps = step }
+    if step >= max_steps then finish (Step_limit { profile; steps = step })
     else begin
       (* The schedule probes players through this memoized move lookup,
          so Max_gain's n probes and the final application share work. *)
@@ -84,7 +129,7 @@ let run ?(max_steps = 10_000) ?(detect_cycles = true) ?on_step game ~schedule
         | Some m -> Some (Game.player_cost game profile p - m.Best_response.cost)
       in
       match Schedule.next_player sched_state ~improving with
-      | None -> Converged { profile; steps = step }
+      | None -> finish (Converged { profile; steps = step })
       | Some (player, sched_state) -> (
           match move_of player with
           | None -> assert false (* the schedule only returns improvers *)
@@ -94,19 +139,22 @@ let run ?(max_steps = 10_000) ?(detect_cycles = true) ?on_step game ~schedule
                 Strategy.with_strategy profile ~player ~targets:m.Best_response.targets
               in
               let step = step + 1 in
-              (match on_step with
-              | Some f ->
-                  f
-                    {
-                      step;
-                      player;
-                      old_cost;
-                      new_cost = m.Best_response.cost;
-                      social_cost = Game.social_cost game profile;
-                    }
-              | None -> ());
+              Obs.Counter.bump c_steps;
+              if Option.is_some on_step || Obs.Sink.active () then begin
+                let entry =
+                  {
+                    step;
+                    player;
+                    old_cost;
+                    new_cost = m.Best_response.cost;
+                    social_cost = Game.social_cost game profile;
+                  }
+                in
+                (match on_step with Some f -> f entry | None -> ());
+                emit_entry entry
+              end;
               (match remember step profile with
-              | Some period -> Cycle { profile; steps = step; period }
+              | Some period -> finish (Cycle { profile; steps = step; period })
               | None -> loop sched_state profile step))
     end
   in

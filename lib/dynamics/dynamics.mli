@@ -50,7 +50,14 @@ val run :
     above.  Defaults: [max_steps = 10_000], [detect_cycles = true]
     (profiles are hashed; memory grows with the trajectory length).
     Cycle detection compares full profiles, so a reported [Cycle] is a
-    genuine best-response loop, not a hash collision. *)
+    genuine best-response loop, not a hash collision.
+
+    Observability: when a {!Bbng_obs.Sink} is active, every applied
+    move is also emitted as a [dynamics.step] event (same payload as
+    {!type-trace_entry}), bracketed by a [dynamics.start] event and a
+    final self-describing [dynamics.outcome] event carrying
+    {!rule_name} and {!outcome_name} — so [--trace] (pretty sink) and
+    [--report] (JSONL sink) always agree. *)
 
 val stable : Game.t -> rule -> Strategy.t -> bool
 (** No player has a move under the rule: post-condition of

@@ -1,5 +1,8 @@
 let unreachable = -1
 
+let c_runs = Bbng_obs.Counter.make "bfs.runs"
+let c_popped = Bbng_obs.Counter.make "bfs.vertices_popped"
+
 (* The queue is a preallocated ring over at most n vertices, so each BFS
    allocates exactly two arrays. *)
 let bfs_core g sources ~record_parent =
@@ -31,6 +34,9 @@ let bfs_core g sources ~record_parent =
         end)
       (Undirected.neighbors g u)
   done;
+  (* batched: two atomic adds per traversal, none per vertex *)
+  Bbng_obs.Counter.bump c_runs;
+  Bbng_obs.Counter.add c_popped !head;
   (dist, parent)
 
 let distances g src = fst (bfs_core g [ src ] ~record_parent:false)

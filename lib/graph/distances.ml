@@ -1,5 +1,7 @@
 type sum_result = { sum : int; unreachable : int }
 
+let c_sweeps = Bbng_obs.Counter.make "distances.full_sweeps"
+
 let eccentricity_of_row row =
   let ecc = ref 0 and ok = ref true in
   Array.iter
@@ -10,6 +12,7 @@ let eccentricity_of_row row =
 let eccentricity g u = eccentricity_of_row (Bfs.distances g u)
 
 let fold_eccentricities g f init =
+  Bbng_obs.Counter.bump c_sweeps;
   let n = Undirected.n g in
   let rec go u acc =
     if u >= n then Some acc
@@ -59,7 +62,10 @@ let wiener_index g =
   if n = 0 then Some 0
   else Option.map (fun twice -> twice / 2) (go 0 0)
 
-let all_pairs g = Array.init (Undirected.n g) (Bfs.distances g)
+let all_pairs g =
+  Bbng_obs.Counter.bump c_sweeps;
+  Bbng_obs.Span.time "distances.all_pairs" (fun () ->
+      Array.init (Undirected.n g) (Bfs.distances g))
 
 let diameter_of_matrix m =
   if Array.length m = 0 then Some 0

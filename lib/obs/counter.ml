@@ -1,0 +1,35 @@
+type t = { name : string; cell : int Atomic.t }
+
+let registry : (string, t) Hashtbl.t = Hashtbl.create 64
+let registry_mutex = Mutex.create ()
+
+let make name =
+  Mutex.protect registry_mutex (fun () ->
+      match Hashtbl.find_opt registry name with
+      | Some c -> c
+      | None ->
+          let c = { name; cell = Atomic.make 0 } in
+          Hashtbl.add registry name c;
+          c)
+
+let name c = c.name
+let bump c = Atomic.incr c.cell
+let add c k = ignore (Atomic.fetch_and_add c.cell k)
+let get c = Atomic.get c.cell
+
+let find name =
+  Mutex.protect registry_mutex (fun () ->
+      match Hashtbl.find_opt registry name with
+      | Some c -> Atomic.get c.cell
+      | None -> 0)
+
+let snapshot () =
+  let all =
+    Mutex.protect registry_mutex (fun () ->
+        Hashtbl.fold (fun name c acc -> (name, Atomic.get c.cell) :: acc) registry [])
+  in
+  List.sort compare all
+
+let reset_all () =
+  Mutex.protect registry_mutex (fun () ->
+      Hashtbl.iter (fun _ c -> Atomic.set c.cell 0) registry)

@@ -1,0 +1,33 @@
+(** Named monotonic counters.
+
+    Each counter is one [int Atomic.t]: a bump is a single atomic
+    fetch-and-add, safe to call from {!Bbng_core.Parallel} workers and
+    cheap enough for hot paths (nanoseconds; instrumented call sites
+    amortize further by adding batch totals, e.g. one [add] per BFS
+    rather than one [bump] per vertex).
+
+    Counters are process-global and registered by name at module
+    initialization; {!make} is idempotent, so a test can re-[make] a
+    production counter to read or diff it. *)
+
+type t
+
+val make : string -> t
+(** Register (or look up) the counter named [name].  The same name
+    always yields the same counter. *)
+
+val name : t -> string
+val bump : t -> unit
+val add : t -> int -> unit
+val get : t -> int
+
+val find : string -> int
+(** Current value of the counter named [name]; [0] if it was never
+    registered. *)
+
+val snapshot : unit -> (string * int) list
+(** All registered counters, sorted by name. *)
+
+val reset_all : unit -> unit
+(** Zero every registered counter (the registry itself is kept).  For
+    per-run deltas in benches and tests. *)

@@ -1,0 +1,40 @@
+(** Hand-rolled JSON: just enough for JSONL event streams and bench
+    reports, with zero dependencies.
+
+    The emitter always produces valid JSON on a single line (no raw
+    newlines escape a string literal), so one event per line is a
+    structural guarantee, not a convention.  The parser accepts the
+    emitter's output plus standard whitespace — it exists so tests and
+    [bench/main.exe --validate] can check reports without pulling in an
+    opam JSON library. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+val escape : string -> string
+(** Body of a JSON string literal (no surrounding quotes): escapes
+    double quotes, backslashes and all control characters below
+    [0x20]. *)
+
+val to_buffer : Buffer.t -> t -> unit
+
+val to_string : t -> string
+(** Single-line rendering.  Non-finite floats become [null] (JSON has
+    no [nan]/[inf]). *)
+
+exception Parse_error of string
+
+val of_string : string -> t
+(** Strict recursive-descent parse of one JSON value; raises
+    {!Parse_error} on malformed input or trailing garbage.  Numbers
+    without [.], [e] or [E] parse as [Int], others as [Float]. *)
+
+val member : string -> t -> t option
+(** [member key (Obj _)] looks up [key]; [None] on missing key or
+    non-object. *)

@@ -1,0 +1,45 @@
+type t =
+  | Null
+  | Stderr_pretty
+  | Jsonl of out_channel
+
+let sinks : t list Atomic.t = Atomic.make []
+let out_mutex = Mutex.create ()
+
+let normalize = List.filter (fun s -> s <> Null)
+let set s = Atomic.set sinks (normalize [ s ])
+let add s = Atomic.set sinks (normalize (s :: Atomic.get sinks))
+let installed () = Atomic.get sinks
+let active () = Atomic.get sinks <> []
+
+let pretty_field buf (k, v) =
+  Buffer.add_char buf ' ';
+  Buffer.add_string buf k;
+  Buffer.add_char buf '=';
+  match v with
+  | Json.Str s -> Buffer.add_string buf s
+  | v -> Json.to_buffer buf v
+
+let deliver sink name fields =
+  match sink with
+  | Null -> ()
+  | Stderr_pretty ->
+      let buf = Buffer.create 64 in
+      Buffer.add_string buf "[bbng] ";
+      Buffer.add_string buf name;
+      List.iter (pretty_field buf) fields;
+      Buffer.add_char buf '\n';
+      output_string stderr (Buffer.contents buf);
+      flush stderr
+  | Jsonl oc ->
+      let line = Json.to_string (Json.Obj (("event", Json.Str name) :: fields)) in
+      output_string oc line;
+      output_char oc '\n';
+      flush oc
+
+let emit name fields =
+  match Atomic.get sinks with
+  | [] -> ()
+  | installed ->
+      Mutex.protect out_mutex (fun () ->
+          List.iter (fun s -> deliver s name fields) installed)

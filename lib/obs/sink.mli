@@ -1,0 +1,39 @@
+(** Pluggable event sinks.
+
+    An {e event} is a name plus flat JSON fields.  Instrumented code
+    emits events at coarse milestones (a dynamics step, a run summary);
+    the installed sinks decide where they go:
+
+    - [Null]: nothing installed — {!emit} is one atomic load and an
+      immediate return, so instrumentation stays compiled-in for free;
+    - [Stderr_pretty]: one human-readable line per event on stderr
+      (this is what [--trace] routes through);
+    - [Jsonl oc]: one JSON object per line on [oc], flushed per event
+      so a crashed run still leaves a parseable prefix.
+
+    Several sinks can be active at once ([--trace --report f.jsonl]
+    installs both), and they all see the same events — that is what
+    keeps the human trace and the machine report in agreement. *)
+
+type t =
+  | Null
+  | Stderr_pretty
+  | Jsonl of out_channel
+
+val set : t -> unit
+(** Replace all installed sinks ([set Null] uninstalls everything). *)
+
+val add : t -> unit
+(** Install an additional sink ([add Null] is a no-op). *)
+
+val installed : unit -> t list
+
+val active : unit -> bool
+(** [true] iff at least one non-[Null] sink is installed.  Call sites
+    use this to skip building field lists. *)
+
+val emit : string -> (string * Json.t) list -> unit
+(** [emit name fields] delivers the event to every installed sink.
+    The JSONL rendering is [{"event": name, ...fields}].  Output is
+    mutex-serialized: concurrent emitters never interleave bytes
+    within one line. *)

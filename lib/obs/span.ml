@@ -1,0 +1,63 @@
+type stat = { count : int; total_ns : int; max_ns : int }
+
+type open_span = { name : string; t0 : float; mutable closed : bool }
+type handle = Disabled | Open of open_span
+
+type cell = { mutable count : int; mutable total_ns : int; mutable max_ns : int }
+
+let table : (string, cell) Hashtbl.t = Hashtbl.create 32
+let table_mutex = Mutex.create ()
+let enabled_flag = Atomic.make false
+
+let enabled () = Atomic.get enabled_flag
+let set_enabled b = Atomic.set enabled_flag b
+
+let record name ns =
+  Mutex.protect table_mutex (fun () ->
+      let cell =
+        match Hashtbl.find_opt table name with
+        | Some c -> c
+        | None ->
+            let c = { count = 0; total_ns = 0; max_ns = 0 } in
+            Hashtbl.add table name c;
+            c
+      in
+      cell.count <- cell.count + 1;
+      cell.total_ns <- cell.total_ns + ns;
+      if ns > cell.max_ns then cell.max_ns <- ns)
+
+let enter name =
+  if not (Atomic.get enabled_flag) then Disabled
+  else Open { name; t0 = Unix.gettimeofday (); closed = false }
+
+let exit = function
+  | Disabled -> ()
+  | Open span ->
+      if not span.closed then begin
+        span.closed <- true;
+        let ns = int_of_float ((Unix.gettimeofday () -. span.t0) *. 1e9) in
+        record span.name (max 0 ns)
+      end
+
+let time name f =
+  if not (Atomic.get enabled_flag) then f ()
+  else begin
+    let h = enter name in
+    Fun.protect ~finally:(fun () -> exit h) f
+  end
+
+let snapshot () =
+  let all =
+    Mutex.protect table_mutex (fun () ->
+        Hashtbl.fold
+          (fun name c acc ->
+            let s : stat =
+              { count = c.count; total_ns = c.total_ns; max_ns = c.max_ns }
+            in
+            (name, s) :: acc)
+          table [])
+  in
+  List.sort compare all
+
+let reset_all () =
+  Mutex.protect table_mutex (fun () -> Hashtbl.reset table)

@@ -1,0 +1,40 @@
+(** Nestable wall-clock timing spans.
+
+    Spans aggregate into a process-global table keyed by span name:
+    count, total and maximum duration.  Nesting is free-form — an inner
+    span's time is also counted inside every enclosing span (the table
+    records durations, not an exclusive-time tree).
+
+    Spans are {e disabled by default} and then cost one atomic load per
+    {!time} call (no clock read, no allocation beyond the caller's
+    closure).  [--stats] / [--report] style entry points call
+    {!set_enabled}[ true]; timed sections must not change behavior
+    either way.
+
+    The aggregate table is mutex-protected, so spans may close
+    concurrently from {!Bbng_core.Parallel} domains; keep spans coarse
+    (per player / per phase, not per vertex). *)
+
+type handle
+(** An open span.  Handles are affine: closing twice is a no-op, and a
+    handle opened while spans were disabled closes for free. *)
+
+type stat = { count : int; total_ns : int; max_ns : int }
+
+val enabled : unit -> bool
+val set_enabled : bool -> unit
+
+val enter : string -> handle
+val exit : handle -> unit
+(** Close the span and record its duration.  Unbalanced use is safe:
+    closing a handle twice records it once, and a never-closed handle
+    simply records nothing. *)
+
+val time : string -> (unit -> 'a) -> 'a
+(** [time name f] runs [f] inside a span named [name]; the span closes
+    even if [f] raises. *)
+
+val snapshot : unit -> (string * stat) list
+(** All recorded spans, sorted by name. *)
+
+val reset_all : unit -> unit

@@ -1,0 +1,50 @@
+let counters_json () =
+  Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) (Counter.snapshot ()))
+
+let ms ns = float_of_int ns /. 1e6
+
+let spans_json () =
+  Json.Obj
+    (List.map
+       (fun (k, (s : Span.stat)) ->
+         ( k,
+           Json.Obj
+             [
+               ("count", Json.Int s.Span.count);
+               ("total_ms", Json.Float (ms s.Span.total_ns));
+               ("max_ms", Json.Float (ms s.Span.max_ns));
+             ] ))
+       (Span.snapshot ()))
+
+let summary_fields () =
+  [ ("counters", counters_json ()); ("spans", spans_json ()) ]
+
+let print oc =
+  let counters = List.filter (fun (_, v) -> v <> 0) (Counter.snapshot ()) in
+  let spans = Span.snapshot () in
+  Printf.fprintf oc "== bbng stats ==\n";
+  if counters = [] && spans = [] then
+    Printf.fprintf oc "  (no counters bumped, no spans recorded)\n"
+  else begin
+    let width =
+      List.fold_left
+        (fun acc (k, _) -> max acc (String.length k))
+        0
+        (counters @ List.map (fun (k, _) -> (k, 0)) spans)
+    in
+    if counters <> [] then begin
+      Printf.fprintf oc "counters:\n";
+      List.iter
+        (fun (k, v) -> Printf.fprintf oc "  %-*s %d\n" width k v)
+        counters
+    end;
+    if spans <> [] then begin
+      Printf.fprintf oc "spans (count / total ms / max ms):\n";
+      List.iter
+        (fun (k, (s : Span.stat)) ->
+          Printf.fprintf oc "  %-*s %d / %.3f / %.3f\n" width k s.Span.count
+            (ms s.Span.total_ns) (ms s.Span.max_ns))
+        spans
+    end
+  end;
+  flush oc

@@ -1,0 +1,17 @@
+(** Run summaries over the counter and span tables. *)
+
+val counters_json : unit -> Json.t
+(** [Obj] of every registered counter, sorted by name. *)
+
+val spans_json : unit -> Json.t
+(** [Obj] mapping each span name to
+    [{"count": _, "total_ms": _, "max_ms": _}]. *)
+
+val summary_fields : unit -> (string * Json.t) list
+(** [("counters", ...); ("spans", ...)] — the payload of a final
+    [run.summary] event or a bench report. *)
+
+val print : out_channel -> unit
+(** Human-readable counter/span summary (the [--stats] output).
+    Counters at zero are omitted; spans print count, total and max in
+    milliseconds. *)

@@ -21,6 +21,7 @@ let () =
       ("equilibrium", Test_equilibrium.suite);
       ("poa", Test_poa.suite);
       ("parallel", Test_parallel.suite);
+      ("obs", Test_obs.suite);
       ("weighted", Test_weighted.suite);
       ("existence", Test_existence.suite);
       ("constructions", Test_constructions.suite);

@@ -1,0 +1,183 @@
+open Helpers
+open Bbng_core
+module Counter = Bbng_obs.Counter
+module Span = Bbng_obs.Span
+module Sink = Bbng_obs.Sink
+module Json = Bbng_obs.Json
+
+(* --- counters --- *)
+
+let test_counter_basics () =
+  let c = Counter.make "test.obs.basics" in
+  let base = Counter.get c in
+  Counter.bump c;
+  Counter.add c 41;
+  check_int "bump + add" (base + 42) (Counter.get c);
+  let c' = Counter.make "test.obs.basics" in
+  check_int "make is idempotent" (Counter.get c) (Counter.get c');
+  check_int "find by name" (Counter.get c) (Counter.find "test.obs.basics");
+  check_int "unknown name reads 0" 0 (Counter.find "test.obs.no-such-counter")
+
+let test_counter_monotonic_under_parallel () =
+  (* n concurrent bumps from Parallel.for_all workers lose nothing *)
+  let c = Counter.make "test.obs.parallel-bumps" in
+  let base = Counter.get c in
+  let n = 10_000 in
+  check_true "all workers succeed"
+    (Parallel.for_all ~domains:4 ~n (fun _ ->
+         Counter.bump c;
+         true));
+  check_int "every bump counted" (base + n) (Counter.get c)
+
+let test_counter_snapshot_sorted () =
+  ignore (Counter.make "test.obs.zzz");
+  ignore (Counter.make "test.obs.aaa");
+  let names = List.map fst (Counter.snapshot ()) in
+  check_true "snapshot sorted" (List.sort compare names = names);
+  check_true "registered names present"
+    (List.mem "test.obs.zzz" names && List.mem "test.obs.aaa" names)
+
+(* --- spans --- *)
+
+let with_spans f =
+  Span.set_enabled true;
+  Fun.protect ~finally:(fun () -> Span.set_enabled false) f
+
+let span_stat name =
+  match List.assoc_opt name (Span.snapshot ()) with
+  | Some s -> s
+  | None -> Alcotest.failf "span %S not recorded" name
+
+let test_span_nesting () =
+  with_spans (fun () ->
+      Span.reset_all ();
+      Span.time "test.outer" (fun () ->
+          Span.time "test.inner" (fun () -> Unix.sleepf 0.002));
+      let outer = span_stat "test.outer" and inner = span_stat "test.inner" in
+      check_int "outer count" 1 outer.Span.count;
+      check_int "inner count" 1 inner.Span.count;
+      check_true "inner took measurable time" (inner.Span.total_ns > 0);
+      check_true "outer encloses inner"
+        (outer.Span.total_ns >= inner.Span.total_ns);
+      check_true "max <= total for a single span"
+        (outer.Span.max_ns <= outer.Span.total_ns))
+
+let test_span_unbalanced_close () =
+  with_spans (fun () ->
+      Span.reset_all ();
+      let h = Span.enter "test.unbalanced" in
+      Span.exit h;
+      Span.exit h;
+      (* double close *)
+      let s = span_stat "test.unbalanced" in
+      check_int "double close records once" 1 s.Span.count)
+
+let test_span_disabled_is_inert () =
+  Span.set_enabled false;
+  Span.reset_all ();
+  let h = Span.enter "test.disabled" in
+  Span.exit h;
+  ignore (Span.time "test.disabled" (fun () -> 7));
+  check_true "nothing recorded while disabled"
+    (List.assoc_opt "test.disabled" (Span.snapshot ()) = None)
+
+let test_span_records_on_raise () =
+  with_spans (fun () ->
+      Span.reset_all ();
+      (try Span.time "test.raising" (fun () -> failwith "boom")
+       with Failure _ -> ());
+      check_int "span closed despite raise" 1 (span_stat "test.raising").Span.count)
+
+(* --- JSON emitter + parser --- *)
+
+let test_json_escape_roundtrip () =
+  let nasty = "quote:\" backslash:\\ newline:\n tab:\t ctrl:\001 end" in
+  let rendered = Json.to_string (Json.Str nasty) in
+  check_true "single line" (not (String.contains rendered '\n'));
+  (match Json.of_string rendered with
+  | Json.Str s -> Alcotest.(check string) "string round-trips" nasty s
+  | _ -> Alcotest.fail "expected a string");
+  let v =
+    Json.Obj
+      [
+        ("int", Json.Int (-42));
+        ("float", Json.Float 1.5);
+        ("bool", Json.Bool true);
+        ("null", Json.Null);
+        ("list", Json.List [ Json.Int 1; Json.Str "a\\b" ]);
+      ]
+  in
+  check_true "object round-trips" (Json.of_string (Json.to_string v) = v)
+
+let test_json_rejects_garbage () =
+  let rejects s =
+    match Json.of_string s with
+    | exception Json.Parse_error _ -> ()
+    | _ -> Alcotest.failf "accepted %S" s
+  in
+  rejects "";
+  rejects "{";
+  rejects "\"unterminated";
+  rejects "{\"a\":1,}";
+  rejects "[1 2]";
+  rejects "123 trailing"
+
+(* --- JSONL sink --- *)
+
+let test_jsonl_one_event_per_line () =
+  let file = Filename.temp_file "bbng_obs" ".jsonl" in
+  let oc = open_out file in
+  Sink.set (Sink.Jsonl oc);
+  Fun.protect
+    ~finally:(fun () ->
+      Sink.set Sink.Null;
+      close_out_noerr oc;
+      Sys.remove file)
+    (fun () ->
+      Sink.emit "test.event"
+        [ ("text", Json.Str "tricky \"quoted\\path\"\nline2"); ("k", Json.Int 3) ];
+      Sink.emit "test.event" [ ("step", Json.Int 2) ];
+      Sink.set Sink.Null;
+      let ic = open_in file in
+      let lines = ref [] in
+      (try
+         while true do
+           lines := input_line ic :: !lines
+         done
+       with End_of_file -> close_in ic);
+      let lines = List.rev !lines in
+      check_int "one event per line" 2 (List.length lines);
+      List.iter
+        (fun line ->
+          match Json.of_string line with
+          | Json.Obj fields ->
+              check_true "event field first"
+                (match fields with ("event", Json.Str "test.event") :: _ -> true | _ -> false)
+          | _ -> Alcotest.fail "line is not an object")
+        lines;
+      match Json.member "text" (Json.of_string (List.nth lines 0)) with
+      | Some (Json.Str s) ->
+          Alcotest.(check string) "escaping round-trips through the sink"
+            "tricky \"quoted\\path\"\nline2" s
+      | _ -> Alcotest.fail "text field missing")
+
+let test_sink_active () =
+  check_false "no sink by default here" (Sink.active ());
+  Sink.add Sink.Null;
+  check_false "Null never counts as active" (Sink.active ())
+
+let suite =
+  [
+    case "counter basics" test_counter_basics;
+    case "counter monotonic under Parallel.for_all"
+      test_counter_monotonic_under_parallel;
+    case "counter snapshot sorted" test_counter_snapshot_sorted;
+    case "span nesting" test_span_nesting;
+    case "span unbalanced close" test_span_unbalanced_close;
+    case "span disabled is inert" test_span_disabled_is_inert;
+    case "span closes on raise" test_span_records_on_raise;
+    case "json escape round-trip" test_json_escape_roundtrip;
+    case "json rejects garbage" test_json_rejects_garbage;
+    case "jsonl sink one event per line" test_jsonl_one_event_per_line;
+    case "sink activity" test_sink_active;
+  ]

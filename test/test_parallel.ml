@@ -34,6 +34,39 @@ let test_find_map () =
 let test_recommended_positive () =
   check_true "at least one" (Parallel.recommended_domains () >= 1)
 
+(* The docs promise find_map is "first-ish" because early exit abandons
+   remaining work — the chunks-abandoned counter makes that checkable.
+   With the hit at index 0, the worker owning index 0 always finds it
+   on its first probe and then abandons the rest of its own block, so
+   the counter must move regardless of scheduling. *)
+let test_find_map_abandons_work () =
+  let abandoned = Bbng_obs.Counter.make "parallel.chunks_abandoned" in
+  let spawned = Bbng_obs.Counter.make "parallel.domains_spawned" in
+  let before = Bbng_obs.Counter.get abandoned in
+  let spawned_before = Bbng_obs.Counter.get spawned in
+  let hit =
+    Parallel.find_map ~domains:4 ~n:10_000 (fun i ->
+        if i = 0 then Some i else None)
+  in
+  check_int_option "early hit found" (Some 0) hit;
+  check_int "domains were spawned" (spawned_before + 3) (Bbng_obs.Counter.get spawned);
+  check_true "early exit abandoned work"
+    (Bbng_obs.Counter.get abandoned > before)
+
+let test_for_all_abandons_work () =
+  let abandoned = Bbng_obs.Counter.make "parallel.chunks_abandoned" in
+  let before = Bbng_obs.Counter.get abandoned in
+  check_false "early failure"
+    (Parallel.for_all ~domains:4 ~n:10_000 (fun i -> i <> 0));
+  check_true "early exit abandoned work"
+    (Bbng_obs.Counter.get abandoned > before)
+
+let test_no_abandonment_without_early_exit () =
+  let abandoned = Bbng_obs.Counter.make "parallel.chunks_abandoned" in
+  let before = Bbng_obs.Counter.get abandoned in
+  check_true "full scan" (Parallel.for_all ~domains:4 ~n:1_000 (fun _ -> true));
+  check_int "nothing abandoned" before (Bbng_obs.Counter.get abandoned)
+
 let test_parallel_certification_agrees () =
   (* parallel and sequential certification agree on equilibria and on
      refuted profiles *)
@@ -73,6 +106,9 @@ let suite =
     case "covers every index once" test_for_all_covers_every_index;
     case "find_map" test_find_map;
     case "recommended domains" test_recommended_positive;
+    case "find_map abandons work on early hit" test_find_map_abandons_work;
+    case "for_all abandons work on early failure" test_for_all_abandons_work;
+    case "no abandonment without early exit" test_no_abandonment_without_early_exit;
     slow_case "parallel certification agrees" test_parallel_certification_agrees;
     prop_parallel_matches_sequential;
   ]
