@@ -1,4 +1,4 @@
-.PHONY: build test bench smoke check fmt
+.PHONY: build test bench smoke check fmt bench-baseline
 
 build:
 	dune build
@@ -13,9 +13,19 @@ smoke:
 	dune exec bench/main.exe -- --smoke
 	dune exec bench/main.exe -- --validate BENCH_smoke.json
 
-# build + tests + bench smoke + report-format validation
+# build + tests + bench smoke + report-format validation + bench diff
 check:
 	sh bin/check.sh
+
+# regenerate the local BENCH_micro.json / BENCH_smoke.json baselines
+# (gitignored: ns/run is machine-specific) that bin/check.sh diffs
+# subsequent runs against
+bench-baseline:
+	dune exec bench/main.exe -- perf
+	dune exec bench/main.exe -- --smoke
+	dune exec bench/main.exe -- --validate BENCH_micro.json
+	dune exec bench/main.exe -- --validate BENCH_smoke.json
+	@echo "baselines refreshed: next 'make check' diffs against them"
 
 # no-op unless ocamlformat is configured; kept dune-native so CI can
 # opt in with a .ocamlformat file

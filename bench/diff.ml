@@ -1,0 +1,146 @@
+(* BENCH_*.json regression differ: compare per-benchmark ns/run and
+   minor words between two reports, with a noise threshold, and exit
+   non-zero on regression — this is what closes the loop from the perf
+   trajectory the harness records to an actual gate in bin/check.sh.
+
+   The threshold is a percentage (default 25), overridable with
+   BBNG_BENCH_DIFF_THRESHOLD; tiny absolute figures are ignored so
+   sub-100ns benchmarks don't flap. *)
+
+module Json = Bbng_obs.Json
+
+let read_file file =
+  let ic =
+    try open_in file
+    with Sys_error e ->
+      Printf.eprintf "bench --diff: %s\n" e;
+      exit 2
+  in
+  let text = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  text
+
+type row = { ns : float option; words : float option }
+
+let num = function
+  | Some (Json.Float f) -> Some f
+  | Some (Json.Int i) -> Some (float_of_int i)
+  | _ -> None
+
+let results_of file =
+  let json =
+    try Json.of_string (read_file file)
+    with Json.Parse_error e ->
+      Printf.eprintf "bench --diff: %s: parse error: %s\n" file e;
+      exit 2
+  in
+  match Json.member "results" json with
+  | Some (Json.List results) ->
+      List.filter_map
+        (fun r ->
+          match Json.member "name" r with
+          | Some (Json.Str name) ->
+              Some
+                ( name,
+                  {
+                    ns = num (Json.member "ns_per_run" r);
+                    words = num (Json.member "minor_words_per_run" r);
+                  } )
+          | _ -> None)
+        results
+  | _ ->
+      Printf.eprintf "bench --diff: %s: missing \"results\"\n" file;
+      exit 2
+
+let threshold_pct () =
+  match Sys.getenv_opt "BBNG_BENCH_DIFF_THRESHOLD" with
+  | Some s -> (
+      match float_of_string_opt s with
+      | Some t when t > 0. -> t
+      | _ ->
+          Printf.eprintf
+            "bench --diff: ignoring bad BBNG_BENCH_DIFF_THRESHOLD %S\n" s;
+          25.)
+  | None -> 25.
+
+(* ignore regressions below these absolute floors: a 30%% swing on a
+   60ns benchmark or a 50-word allocation is measurement noise *)
+let ns_floor = 100.
+let words_floor = 64.
+
+type verdict = Ok_ | Faster | Regressed
+
+let compare_metric ~floor ~threshold old_v new_v =
+  match (old_v, new_v) with
+  | Some o, Some n when o > floor || n > floor ->
+      let pct = if o > 0. then (n -. o) /. o *. 100. else Float.infinity in
+      if n > o && pct > threshold && n -. o > floor then (Regressed, pct)
+      else if o > n && -.pct > threshold then (Faster, pct)
+      else (Ok_, pct)
+  | Some o, Some n ->
+      ((Ok_), if o > 0. then (n -. o) /. o *. 100. else 0.)
+  | _, _ -> (Ok_, 0.)
+
+let cell = function Some v -> Printf.sprintf "%.0f" v | None -> "?"
+
+let pct_cell = function
+  | p when Float.is_finite p -> Printf.sprintf "%+.1f%%" p
+  | _ -> "?"
+
+let run old_file new_file =
+  let threshold = threshold_pct () in
+  let old_results = results_of old_file and new_results = results_of new_file in
+  let table =
+    Bbng_analysis.Table.make
+      ~headers:
+        [ "benchmark"; "ns old"; "ns new"; "ns d%"; "mw old"; "mw new"; "mw d%"; "verdict" ]
+  in
+  let regressions = ref 0 in
+  let compared = ref 0 in
+  List.iter
+    (fun (name, old_row) ->
+      match List.assoc_opt name new_results with
+      | None ->
+          incr regressions;
+          Bbng_analysis.Table.add_row table
+            [ name; cell old_row.ns; "-"; "?"; cell old_row.words; "-"; "?";
+              "MISSING" ]
+      | Some new_row ->
+          incr compared;
+          let ns_v, ns_pct =
+            compare_metric ~floor:ns_floor ~threshold old_row.ns new_row.ns
+          in
+          let w_v, w_pct =
+            compare_metric ~floor:words_floor ~threshold old_row.words
+              new_row.words
+          in
+          let verdict =
+            match (ns_v, w_v) with
+            | Regressed, _ | _, Regressed ->
+                incr regressions;
+                "REGRESSED"
+            | Faster, _ | _, Faster -> "faster"
+            | _ -> "ok"
+          in
+          Bbng_analysis.Table.add_row table
+            [
+              name; cell old_row.ns; cell new_row.ns; pct_cell ns_pct;
+              cell old_row.words; cell new_row.words; pct_cell w_pct; verdict;
+            ])
+    old_results;
+  List.iter
+    (fun (name, new_row) ->
+      if List.assoc_opt name old_results = None then
+        Bbng_analysis.Table.add_row table
+          [ name; "-"; cell new_row.ns; "?"; "-"; cell new_row.words; "?"; "new" ])
+    new_results;
+  Printf.printf "bench diff: %s -> %s (threshold %.0f%%)\n" old_file new_file
+    threshold;
+  Bbng_analysis.Table.print table;
+  if !regressions > 0 then begin
+    Printf.printf "%d regression%s past the %.0f%% threshold\n" !regressions
+      (if !regressions = 1 then "" else "s")
+      threshold;
+    exit 1
+  end
+  else Printf.printf "no regressions (%d benchmarks compared)\n" !compared

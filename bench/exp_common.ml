@@ -81,15 +81,19 @@ let verdict_cell ok = if ok then "ok" else "VIOLATED"
 module Json = Bbng_obs.Json
 
 (* BENCH_<name>.json in the invocation directory: the given fields
-   plus a snapshot of every engine counter, so the perf trajectory
-   accumulates comparable data run over run. *)
+   plus a snapshot of every engine counter, the process GC delta and
+   provenance (argv / compiler / word size), so the perf trajectory
+   accumulates comparable, self-describing data run over run — and
+   bench/main.exe --diff can gate on it. *)
 let write_bench_report ~name fields =
   let path = Printf.sprintf "BENCH_%s.json" name in
   let json =
     Json.Obj
       (("report", Json.Str name)
       :: fields
-      @ [ ("counters", Bbng_obs.Stats.counters_json ()) ])
+      @ [ ("counters", Bbng_obs.Stats.counters_json ()) ]
+      @ [ ("gc", Bbng_obs.Gcstats.to_json (Bbng_obs.Gcstats.since_start ())) ]
+      @ Bbng_obs.Stats.provenance_fields ())
   in
   let oc = open_out path in
   output_string oc (Json.to_string json);

@@ -7,6 +7,7 @@
      dune exec bench/main.exe -- table1 figures   # a selection
      dune exec bench/main.exe -- --smoke          # seconds-long bench sanity pass
      dune exec bench/main.exe -- --validate BENCH_smoke.json
+     dune exec bench/main.exe -- --diff OLD.json NEW.json   # regression gate
    Known experiment names: table1 figures hardness existence weighted
    connectivity dynamics baselines expansion census extremal ablation perf. *)
 
@@ -78,6 +79,12 @@ let () =
       exit 0
   | _ :: "--validate" :: [] ->
       Printf.eprintf "--validate needs a file argument\n";
+      exit 2
+  | _ :: "--diff" :: old_file :: new_file :: _ ->
+      Diff.run old_file new_file;
+      exit 0
+  | _ :: "--diff" :: _ ->
+      Printf.eprintf "--diff needs OLD.json and NEW.json arguments\n";
       exit 2
   | _ -> ());
   let requested =

@@ -42,15 +42,26 @@ let tests =
          Staged.stage (fun () -> ignore (Deviation_eval.cost ctx [| 7 |])));
     ]
 
+type result = {
+  test : string;
+  ns : float option;
+  minor : float option;          (* minor words / run *)
+  major : float option;          (* major words / run — GC pressure *)
+  r2 : float option;
+}
+
 let measure ~quota =
   let ols =
     Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
   in
-  let instances = Instance.[ monotonic_clock; minor_allocated ] in
+  let instances =
+    Instance.[ monotonic_clock; minor_allocated; major_allocated ]
+  in
   let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second quota) ~kde:None () in
   let raw = Benchmark.all cfg instances tests in
   let times = Analyze.all ols Instance.monotonic_clock raw in
-  let allocs = Analyze.all ols Instance.minor_allocated raw in
+  let minors = Analyze.all ols Instance.minor_allocated raw in
+  let majors = Analyze.all ols Instance.major_allocated raw in
   let estimate results name =
     match Hashtbl.find_opt results name with
     | Some r -> (
@@ -66,7 +77,14 @@ let measure ~quota =
   in
   let names = List.sort compare (Hashtbl.fold (fun name _ acc -> name :: acc) times []) in
   List.map
-    (fun name -> (name, estimate times name, estimate allocs name, r_square name))
+    (fun name ->
+      {
+        test = name;
+        ns = estimate times name;
+        minor = estimate minors name;
+        major = estimate majors name;
+        r2 = r_square name;
+      })
     names
 
 let print_table results =
@@ -74,11 +92,13 @@ let print_table results =
   let r2_cell = function Some v -> Printf.sprintf "%.4f" v | None -> "?" in
   let table =
     Bbng_analysis.Table.make
-      ~headers:[ "benchmark"; "ns/run"; "minor words/run"; "r2(time)" ]
+      ~headers:
+        [ "benchmark"; "ns/run"; "minor words/run"; "major words/run"; "r2(time)" ]
   in
   List.iter
-    (fun (name, ns, words, r2) ->
-      Bbng_analysis.Table.add_row table [ name; cell ns; cell words; r2_cell r2 ])
+    (fun r ->
+      Bbng_analysis.Table.add_row table
+        [ r.test; cell r.ns; cell r.minor; cell r.major; r2_cell r.r2 ])
     results;
   Bbng_analysis.Table.print table
 
@@ -90,20 +110,21 @@ let report ~name results =
       ( "results",
         Json.List
           (List.map
-             (fun (test, ns, words, r2) ->
+             (fun r ->
                Json.Obj
                  [
-                   ("name", Json.Str test);
-                   ("ns_per_run", num ns);
-                   ("minor_words_per_run", num words);
-                   ("r_square_time", num r2);
+                   ("name", Json.Str r.test);
+                   ("ns_per_run", num r.ns);
+                   ("minor_words_per_run", num r.minor);
+                   ("major_words_per_run", num r.major);
+                   ("r_square_time", num r.r2);
                  ])
              results) );
     ]
 
 let run_with ~report_name ~quota () =
   Exp_common.section
-    "PERF — Bechamel micro-benchmarks (monotonic clock + minor allocations)";
+    "PERF — Bechamel micro-benchmarks (monotonic clock + minor/major allocations)";
   let results = measure ~quota in
   print_table results;
   report ~name:report_name results
@@ -111,5 +132,6 @@ let run_with ~report_name ~quota () =
 let run () = run_with ~report_name:"micro" ~quota:0.25 ()
 
 (* a few-second sanity pass: same tests, tiny quota, own report file —
-   bin/check.sh validates that BENCH_smoke.json stays parseable *)
+   bin/check.sh validates that BENCH_smoke.json stays parseable and
+   diffs it against the last committed baseline *)
 let smoke () = run_with ~report_name:"smoke" ~quota:0.02 ()

@@ -36,12 +36,20 @@ let obs_term =
       & info [ "report" ] ~docv:"FILE.jsonl"
           ~doc:
             "Stream structured events (one JSON object per line) to \
-             $(docv), ending with a run.summary event.")
+             $(docv), ending with a run.summary event.  Pass '-' to \
+             write JSONL to stdout, enabling pipelines like \
+             $(b,bbng_cli dynamics --report - | bbng_cli report \
+             --summarize -).")
   in
   let setup stats report =
     if stats || report <> None then Obs.Span.set_enabled true;
     (match report with
     | None -> ()
+    | Some "-" ->
+        Obs.Sink.add (Obs.Sink.Jsonl stdout);
+        at_exit (fun () ->
+            Obs.Sink.emit "run.summary" (Obs.Stats.summary_fields ());
+            flush stdout)
     | Some file ->
         let oc =
           try open_out file
@@ -381,6 +389,91 @@ let export_cmd =
   in
   Cmd.v info Term.(ret (const run $ obs_term $ profile $ format))
 
+(* --- report: offline consumers of recorded JSONL runs --- *)
+
+let report_cmd =
+  let input =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"FILE.jsonl"
+          ~doc:"A --report JSONL stream; '-' reads stdin.")
+  in
+  let chrome =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "to-chrome-trace" ] ~docv:"OUT.json"
+          ~doc:
+            "Convert the event stream to Chrome trace-event JSON \
+             (openable in Perfetto or chrome://tracing); '-' writes to \
+             stdout.")
+  in
+  let summarize =
+    Arg.(
+      value & flag
+      & info [ "summarize" ]
+          ~doc:
+            "Pretty-print the recorded run (event tally, outcomes, \
+             run.summary) without re-running it.  This is the default \
+             when --to-chrome-trace is absent.")
+  in
+  let run () input chrome summarize =
+    let read_in () =
+      if input = "-" then Obs.Trace_export.read_events stdin
+      else begin
+        let ic =
+          try open_in input
+          with Sys_error e ->
+            Printf.eprintf "bbng: cannot open report: %s\n" e;
+            Stdlib.exit 1
+        in
+        Fun.protect ~finally:(fun () -> close_in_noerr ic) (fun () ->
+            Obs.Trace_export.read_events ic)
+      end
+    in
+    let events, skipped = read_in () in
+    if skipped > 0 then
+      Printf.eprintf "bbng: skipped %d non-event line%s\n" skipped
+        (if skipped = 1 then "" else "s");
+    if events = [] then begin
+      Printf.eprintf "bbng: no events in %s\n" input;
+      Stdlib.exit 1
+    end;
+    (match chrome with
+    | None -> ()
+    | Some out ->
+        let trace = Obs.Trace_export.to_chrome events in
+        let write oc =
+          output_string oc (Obs.Json.to_string trace);
+          output_char oc '\n'
+        in
+        if out = "-" then begin
+          write stdout;
+          flush stdout
+        end
+        else begin
+          let oc =
+            try open_out out
+            with Sys_error e ->
+              Printf.eprintf "bbng: cannot open output: %s\n" e;
+              Stdlib.exit 1
+          in
+          write oc;
+          close_out oc;
+          Printf.eprintf "wrote %s (%d events)\n" out (List.length events)
+        end);
+    if summarize || chrome = None then Obs.Trace_export.summarize events stdout;
+    `Ok ()
+  in
+  let info =
+    Cmd.info "report"
+      ~doc:
+        "Summarize a recorded --report JSONL run or export it as a \
+         Chrome trace."
+  in
+  Cmd.v info Term.(ret (const run $ obs_term $ input $ chrome $ summarize))
+
 let main_cmd =
   let info =
     Cmd.info "bbng" ~version:"1.0.0"
@@ -388,6 +481,6 @@ let main_cmd =
   in
   Cmd.group info
     [ construct_cmd; verify_cmd; dynamics_cmd; opt_cmd; kcenter_cmd; census_cmd;
-      export_cmd; fip_cmd ]
+      export_cmd; fip_cmd; report_cmd ]
 
 let () = exit (Cmd.eval main_cmd)

@@ -1,7 +1,13 @@
 #!/bin/sh
 # Tier-1-adjacent gate: build, full test suite, then a seconds-long
 # bench smoke whose BENCH_smoke.json must stay machine-parseable —
-# report-format regressions fail here, not in a nightly perf run.
+# report-format regressions fail here, not in a nightly perf run —
+# and is diffed against the last local baseline (make bench-baseline)
+# so hot-path regressions are at least shouted about.  The diff is
+# warn-only by default (one-off machine load inflates ns/run); set
+# BBNG_BENCH_STRICT=1 to make a past-threshold regression fail the
+# gate, and BBNG_BENCH_DIFF_THRESHOLD=<pct> to tune the noise
+# threshold.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -12,9 +18,28 @@ echo "== dune runtest =="
 dune runtest
 
 echo "== bench smoke =="
+# snapshot the pre-run baseline before --smoke overwrites it
+baseline=""
+if [ -f BENCH_smoke.json ]; then
+  mkdir -p _build
+  cp BENCH_smoke.json _build/BENCH_smoke.baseline.json
+  baseline=_build/BENCH_smoke.baseline.json
+fi
 dune exec bench/main.exe -- --smoke
 
 echo "== validate BENCH_smoke.json =="
 dune exec bench/main.exe -- --validate BENCH_smoke.json
+
+if [ -n "$baseline" ]; then
+  echo "== bench diff vs baseline =="
+  if dune exec bench/main.exe -- --diff "$baseline" BENCH_smoke.json; then
+    :
+  elif [ "${BBNG_BENCH_STRICT:-0}" = "1" ]; then
+    echo "check: bench regression (BBNG_BENCH_STRICT=1)"
+    exit 1
+  else
+    echo "check: bench diff WARNING only (set BBNG_BENCH_STRICT=1 to fail on regressions)"
+  fi
+fi
 
 echo "check: all green"

@@ -9,6 +9,11 @@ let c_improving = Bbng_obs.Counter.make "br.improving_moves"
 let c_pruned_floor = Bbng_obs.Counter.make "br.pruned_floor"
 let c_pruned_lemma = Bbng_obs.Counter.make "br.pruned_lemma22"
 
+(* candidates evaluated per improvement/swap search — a pruned search
+   records 0, so the distribution shows how often the floor and Lemma
+   2.2 cuts fire, not just how much the surviving scans cost *)
+let h_candidates = Bbng_obs.Histogram.make "br.candidates_per_search"
+
 (* All evaluators share one incremental evaluation context: the static
    part of the graph is materialized once and each candidate strategy
    costs a single overlay BFS (see Deviation_eval). *)
@@ -70,35 +75,46 @@ let exact game profile player =
 
 exception Found of move
 
+let record_search_size evals =
+  if Bbng_obs.Span.enabled () then Bbng_obs.Histogram.record h_candidates evals
+
 let scan_for_improvement ctx ~stop_at_first =
   if ctx.current_cost <= ctx.floor then begin
     Bbng_obs.Counter.bump c_pruned_floor;
+    record_search_size 0;
     None
   end
   else if satisfies_lemma_2_2 ctx.profile ctx.player then begin
     Bbng_obs.Counter.bump c_pruned_lemma;
+    record_search_size 0;
     None
   end
   else begin
     let n = Game.n ctx.game in
     let best = ref None in
-    try
-      Combinatorics.iter_combinations ~n:(n - 1) ~k:ctx.budget (fun c ->
-          let targets = unshift ctx.player c in
-          let cost = eval ctx targets in
-          if cost < ctx.current_cost then begin
-            Bbng_obs.Counter.bump c_improving;
-            let better_than_best =
-              match !best with None -> true | Some m -> cost < m.cost
-            in
-            if better_than_best then begin
-              let m = { targets; cost } in
-              if stop_at_first || cost <= ctx.floor then raise (Found m);
-              best := Some m
-            end
-          end);
-      !best
-    with Found m -> Some m
+    let evals = ref 0 in
+    let result =
+      try
+        Combinatorics.iter_combinations ~n:(n - 1) ~k:ctx.budget (fun c ->
+            let targets = unshift ctx.player c in
+            incr evals;
+            let cost = eval ctx targets in
+            if cost < ctx.current_cost then begin
+              Bbng_obs.Counter.bump c_improving;
+              let better_than_best =
+                match !best with None -> true | Some m -> cost < m.cost
+              in
+              if better_than_best then begin
+                let m = { targets; cost } in
+                if stop_at_first || cost <= ctx.floor then raise (Found m);
+                best := Some m
+              end
+            end);
+        !best
+      with Found m -> Some m
+    in
+    record_search_size !evals;
+    result
   end
 
 let exact_improvement game profile player =
@@ -131,26 +147,33 @@ let swap_candidates ctx =
 let swap_scan ctx ~stop_at_first =
   if ctx.current_cost <= ctx.floor then begin
     Bbng_obs.Counter.bump c_pruned_floor;
+    record_search_size 0;
     None
   end
   else begin
     let best = ref None in
-    try
-      List.iter
-        (fun targets ->
-          let cost = eval ctx targets in
-          if cost < ctx.current_cost then begin
-            Bbng_obs.Counter.bump c_improving;
-            let better = match !best with None -> true | Some m -> cost < m.cost in
-            if better then begin
-              let m = { targets; cost } in
-              if stop_at_first then raise (Found m);
-              best := Some m
-            end
-          end)
-        (swap_candidates ctx);
-      !best
-    with Found m -> Some m
+    let evals = ref 0 in
+    let result =
+      try
+        List.iter
+          (fun targets ->
+            incr evals;
+            let cost = eval ctx targets in
+            if cost < ctx.current_cost then begin
+              Bbng_obs.Counter.bump c_improving;
+              let better = match !best with None -> true | Some m -> cost < m.cost in
+              if better then begin
+                let m = { targets; cost } in
+                if stop_at_first then raise (Found m);
+                best := Some m
+              end
+            end)
+          (swap_candidates ctx);
+        !best
+      with Found m -> Some m
+    in
+    record_search_size !evals;
+    result
   end
 
 let swap_best game profile player =

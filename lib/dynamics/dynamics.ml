@@ -10,14 +10,18 @@ let rule_name = function
   | First_swap -> "first-swap"
 
 let mover rule game profile player =
-  match rule with
-  | Exact_best | First_improving ->
-      (* Both rules apply an exact improving move; Exact_best prefers
-         the best one. *)
-      if rule = Exact_best then Best_response.best_improvement game profile player
-      else Best_response.exact_improvement game profile player
-  | Best_swap -> Best_response.swap_best game profile player
-  | First_swap -> Best_response.first_improving_swap game profile player
+  (* one span per best-response probe: its p50/p99 is the per-player
+     move-selection latency distribution of the whole dynamics run *)
+  Obs.Span.with_ "dynamics.select_move" (fun () ->
+      match rule with
+      | Exact_best | First_improving ->
+          (* Both rules apply an exact improving move; Exact_best prefers
+             the best one. *)
+          if rule = Exact_best then
+            Best_response.best_improvement game profile player
+          else Best_response.exact_improvement game profile player
+      | Best_swap -> Best_response.swap_best game profile player
+      | First_swap -> Best_response.first_improving_swap game profile player)
 
 type outcome =
   | Converged of { profile : Strategy.t; steps : int }
@@ -51,6 +55,7 @@ end
 
 let c_steps = Obs.Counter.make "dynamics.steps_applied"
 let c_runs = Obs.Counter.make "dynamics.runs"
+let h_improvement = Obs.Histogram.make "dynamics.step_improvement"
 
 let emit_entry e =
   Obs.Sink.emit "dynamics.step"
@@ -140,6 +145,9 @@ let run ?(max_steps = 10_000) ?(detect_cycles = true) ?on_step game ~schedule
               in
               let step = step + 1 in
               Obs.Counter.bump c_steps;
+              if Obs.Span.enabled () then
+                Obs.Histogram.record h_improvement
+                  (old_cost - m.Best_response.cost);
               if Option.is_some on_step || Obs.Sink.active () then begin
                 let entry =
                   {

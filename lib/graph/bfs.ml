@@ -2,6 +2,7 @@ let unreachable = -1
 
 let c_runs = Bbng_obs.Counter.make "bfs.runs"
 let c_popped = Bbng_obs.Counter.make "bfs.vertices_popped"
+let h_popped = Bbng_obs.Histogram.make "bfs.popped_per_run"
 
 (* The queue is a preallocated ring over at most n vertices, so each BFS
    allocates exactly two arrays. *)
@@ -34,9 +35,12 @@ let bfs_core g sources ~record_parent =
         end)
       (Undirected.neighbors g u)
   done;
-  (* batched: two atomic adds per traversal, none per vertex *)
+  (* batched: two atomic adds per traversal, none per vertex; the
+     per-run distribution only when observability is on (one extra
+     atomic load otherwise) *)
   Bbng_obs.Counter.bump c_runs;
   Bbng_obs.Counter.add c_popped !head;
+  if Bbng_obs.Span.enabled () then Bbng_obs.Histogram.record h_popped !head;
   (dist, parent)
 
 let distances g src = fst (bfs_core g [ src ] ~record_parent:false)

@@ -1,0 +1,69 @@
+type snapshot = {
+  minor_words : float;
+  major_words : float;
+  promoted_words : float;
+  minor_collections : int;
+  major_collections : int;
+  heap_words : int;
+}
+
+let capture () =
+  let s = Gc.quick_stat () in
+  {
+    (* quick_stat's minor_words excludes the current domain's
+       not-yet-sampled allocation on OCaml 5; Gc.minor_words () is the
+       precise counter and costs a single runtime read *)
+    minor_words = Gc.minor_words ();
+    major_words = s.Gc.major_words;
+    promoted_words = s.Gc.promoted_words;
+    minor_collections = s.Gc.minor_collections;
+    major_collections = s.Gc.major_collections;
+    heap_words = s.Gc.heap_words;
+  }
+
+(* process baseline, captured when the library is initialized *)
+let start = capture ()
+
+type delta = snapshot
+
+let diff a b =
+  {
+    minor_words = b.minor_words -. a.minor_words;
+    major_words = b.major_words -. a.major_words;
+    promoted_words = b.promoted_words -. a.promoted_words;
+    minor_collections = b.minor_collections - a.minor_collections;
+    major_collections = b.major_collections - a.major_collections;
+    (* heap_words is a level, not a counter: report the current level *)
+    heap_words = b.heap_words;
+  }
+
+let since before = diff before (capture ())
+let since_start () = since start
+
+let to_fields d =
+  [
+    ("minor_words", Json.Float d.minor_words);
+    ("major_words", Json.Float d.major_words);
+    ("promoted_words", Json.Float d.promoted_words);
+    ("minor_collections", Json.Int d.minor_collections);
+    ("major_collections", Json.Int d.major_collections);
+    ("heap_words", Json.Int d.heap_words);
+  ]
+
+let to_json d = Json.Obj (to_fields d)
+
+(* 1234567. -> "1.2M" — the --stats line is for eyeballs, the JSON
+   carries the exact figures *)
+let human w =
+  let aw = Float.abs w in
+  if aw >= 1e9 then Printf.sprintf "%.1fG" (w /. 1e9)
+  else if aw >= 1e6 then Printf.sprintf "%.1fM" (w /. 1e6)
+  else if aw >= 1e3 then Printf.sprintf "%.1fk" (w /. 1e3)
+  else Printf.sprintf "%.0f" w
+
+let pp_line oc d =
+  Printf.fprintf oc
+    "gc: minor %s words (%d collections), major %s words (%d), promoted %s, heap %s words\n"
+    (human d.minor_words) d.minor_collections (human d.major_words)
+    d.major_collections (human d.promoted_words)
+    (human (float_of_int d.heap_words))

@@ -1,0 +1,56 @@
+(** Lock-light log-bucketed value histograms.
+
+    A histogram is 64 power-of-two buckets of atomic counts: value [0]
+    lands in bucket 0 and a value in [[2^(i-1), 2^i)] lands in bucket
+    [i].  Recording is a handful of atomic operations — no lock, no
+    allocation — so {!module-Bbng_core.Parallel} domains share a
+    histogram safely and hot paths can record per-call values (BFS
+    frontier sizes, deviation-candidate counts, span latencies) when
+    observability is switched on.
+
+    Quantile estimates interpolate linearly inside the bucket holding
+    the requested rank.  Because the true rank-th value lies in the same
+    power-of-two bucket, every estimate is within a factor of two of the
+    exact sample quantile (and [max] is exact). *)
+
+type t
+
+val make : string -> t
+(** Find-or-create in the process-global registry (idempotent, like
+    {!Counter.make}).  Registered histograms appear in {!snapshot} and
+    in the [run.summary] [histograms] object. *)
+
+val unregistered : string -> t
+(** A private histogram outside the registry — {!Span} keeps one per
+    span family without polluting the domain-value listing. *)
+
+val name : t -> string
+
+val record : t -> int -> unit
+(** [record t v] adds one observation.  Negative values clamp to 0. *)
+
+val count : t -> int
+val total : t -> int
+
+val max_value : t -> int
+(** Exact maximum recorded value (0 when empty). *)
+
+val quantile : t -> float -> float
+(** [quantile t q] for [q] in [[0, 1]]: estimated [q]-quantile of the
+    recorded values, within a factor of two of the exact sample
+    quantile.  0 when empty; clamped to [[0, max_value]]. *)
+
+val to_json : t -> Json.t
+(** [{"count": _, "total": _, "max": _, "p50": _, "p90": _, "p99": _,
+     "buckets": [{"lo": _, "hi": _, "count": _}, ...]}] with only the
+    occupied buckets listed. *)
+
+val find : string -> t option
+(** Registry lookup by name. *)
+
+val snapshot : unit -> (string * t) list
+(** All registered histograms, sorted by name. *)
+
+val reset : t -> unit
+val reset_all : unit -> unit
+(** Zero every registered histogram (the registry keeps its entries). *)

@@ -167,22 +167,26 @@ let parse_number cur =
   let is_float = ref false in
   let consume () = advance cur in
   (match peek cur with Some '-' -> consume () | _ -> ());
-  let rec digits () =
-    match peek cur with Some '0' .. '9' -> consume (); digits () | _ -> ()
+  let rec digits n =
+    match peek cur with
+    | Some '0' .. '9' ->
+        consume ();
+        digits (n + 1)
+    | _ -> n
   in
-  digits ();
+  ignore (digits 0);
   (match peek cur with
   | Some '.' ->
       is_float := true;
       consume ();
-      digits ()
+      if digits 0 = 0 then fail cur "digit expected after '.'"
   | _ -> ());
   (match peek cur with
   | Some ('e' | 'E') ->
       is_float := true;
       consume ();
       (match peek cur with Some ('+' | '-') -> consume () | _ -> ());
-      digits ()
+      if digits 0 = 0 then fail cur "digit expected in exponent"
   | _ -> ());
   let text = String.sub cur.src start (cur.pos - start) in
   if text = "" || text = "-" then fail cur "bad number";
@@ -191,7 +195,13 @@ let parse_number cur =
     | Some i -> Int i
     | None -> Float (float_of_string text)
 
-let rec parse_value cur =
+(* the parser is recursive-descent, so containment depth is stack
+   depth; cap it so adversarially deep input fails with Parse_error
+   instead of Stack_overflow *)
+let max_depth = 512
+
+let rec parse_value depth cur =
+  if depth > max_depth then fail cur "nesting too deep";
   skip_ws cur;
   match peek cur with
   | None -> fail cur "unexpected end of input"
@@ -205,7 +215,7 @@ let rec parse_value cur =
       if peek cur = Some ']' then begin advance cur; List [] end
       else begin
         let rec items acc =
-          let v = parse_value cur in
+          let v = parse_value (depth + 1) cur in
           skip_ws cur;
           match peek cur with
           | Some ',' -> advance cur; items (v :: acc)
@@ -224,7 +234,7 @@ let rec parse_value cur =
           let k = parse_string cur in
           skip_ws cur;
           expect cur ':';
-          let v = parse_value cur in
+          let v = parse_value (depth + 1) cur in
           skip_ws cur;
           match peek cur with
           | Some ',' -> advance cur; fields ((k, v) :: acc)
@@ -238,7 +248,7 @@ let rec parse_value cur =
 
 let of_string s =
   let cur = { src = s; pos = 0 } in
-  let v = parse_value cur in
+  let v = parse_value 0 cur in
   skip_ws cur;
   if cur.pos <> String.length s then fail cur "trailing garbage";
   v

@@ -32,8 +32,10 @@ exception Parse_error of string
 
 val of_string : string -> t
 (** Strict recursive-descent parse of one JSON value; raises
-    {!Parse_error} on malformed input or trailing garbage.  Numbers
-    without [.], [e] or [E] parse as [Int], others as [Float]. *)
+    {!Parse_error} on malformed input, trailing garbage, or containment
+    nesting deeper than 512 levels (deep input fails cleanly instead of
+    overflowing the stack).  Numbers without [.], [e] or [E] parse as
+    [Int], others as [Float]. *)
 
 val member : string -> t -> t option
 (** [member key (Obj _)] looks up [key]; [None] on missing key or

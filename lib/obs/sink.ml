@@ -12,6 +12,11 @@ let add s = Atomic.set sinks (normalize (s :: Atomic.get sinks))
 let installed () = Atomic.get sinks
 let active () = Atomic.get sinks <> []
 
+(* event timestamps are microseconds since this module initialized, so
+   every sink (and every span event) shares one clock origin *)
+let t0 = Unix.gettimeofday ()
+let now_us () = (Unix.gettimeofday () -. t0) *. 1e6
+
 let pretty_field buf (k, v) =
   Buffer.add_char buf ' ';
   Buffer.add_string buf k;
@@ -25,9 +30,15 @@ let deliver sink name fields =
   | Null -> ()
   | Stderr_pretty ->
       let buf = Buffer.create 64 in
-      Buffer.add_string buf "[bbng] ";
+      (* render the timestamp as a compact prefix, not a field *)
+      (match List.assoc_opt "ts_us" fields with
+      | Some (Json.Float ts) ->
+          Buffer.add_string buf (Printf.sprintf "[bbng +%.3fms] " (ts /. 1e3))
+      | _ -> Buffer.add_string buf "[bbng] ");
       Buffer.add_string buf name;
-      List.iter (pretty_field buf) fields;
+      List.iter
+        (fun (k, v) -> if k <> "ts_us" then pretty_field buf (k, v))
+        fields;
       Buffer.add_char buf '\n';
       output_string stderr (Buffer.contents buf);
       flush stderr
@@ -41,5 +52,6 @@ let emit name fields =
   match Atomic.get sinks with
   | [] -> ()
   | installed ->
+      let fields = ("ts_us", Json.Float (now_us ())) :: fields in
       Mutex.protect out_mutex (fun () ->
           List.iter (fun s -> deliver s name fields) installed)

@@ -32,8 +32,15 @@ val active : unit -> bool
 (** [true] iff at least one non-[Null] sink is installed.  Call sites
     use this to skip building field lists. *)
 
+val now_us : unit -> float
+(** Microseconds since the observability layer initialized — the clock
+    origin every emitted [ts_us] field shares, so a report's timestamps
+    are mutually comparable (and convertible to Chrome trace time). *)
+
 val emit : string -> (string * Json.t) list -> unit
-(** [emit name fields] delivers the event to every installed sink.
-    The JSONL rendering is [{"event": name, ...fields}].  Output is
+(** [emit name fields] stamps the event with [ts_us] ({!now_us} at call
+    time) and delivers it to every installed sink.  The JSONL rendering
+    is [{"event": name, "ts_us": _, ...fields}]; the pretty sink renders
+    the timestamp as a [+12.345ms] prefix instead of a field.  Output is
     mutex-serialized: concurrent emitters never interleave bytes
     within one line. *)

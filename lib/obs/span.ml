@@ -1,9 +1,33 @@
-type stat = { count : int; total_ns : int; max_ns : int }
+type stat = {
+  count : int;
+  total_ns : int;
+  max_ns : int;
+  minor_words : float;
+  major_words : float;
+  p50_ns : float;
+  p90_ns : float;
+  p99_ns : float;
+}
 
-type open_span = { name : string; t0 : float; mutable closed : bool }
+type open_span = {
+  name : string;
+  t0 : float;
+  gc0 : Gcstats.snapshot;
+  mutable closed : bool;
+}
+
 type handle = Disabled | Open of open_span
 
-type cell = { mutable count : int; mutable total_ns : int; mutable max_ns : int }
+type cell = {
+  mutable count : int;
+  mutable total_ns : int;
+  mutable max_ns : int;
+  mutable minor_words : float;
+  mutable major_words : float;
+  (* per-family latency distribution; unregistered so the domain-value
+     histogram listing stays free of span duplicates *)
+  hist : Histogram.t;
+}
 
 let table : (string, cell) Hashtbl.t = Hashtbl.create 32
 let table_mutex = Mutex.create ()
@@ -12,23 +36,40 @@ let enabled_flag = Atomic.make false
 let enabled () = Atomic.get enabled_flag
 let set_enabled b = Atomic.set enabled_flag b
 
-let record name ns =
+let record name ns ~gc =
   Mutex.protect table_mutex (fun () ->
       let cell =
         match Hashtbl.find_opt table name with
         | Some c -> c
         | None ->
-            let c = { count = 0; total_ns = 0; max_ns = 0 } in
+            let c =
+              {
+                count = 0;
+                total_ns = 0;
+                max_ns = 0;
+                minor_words = 0.;
+                major_words = 0.;
+                hist = Histogram.unregistered name;
+              }
+            in
             Hashtbl.add table name c;
             c
       in
       cell.count <- cell.count + 1;
       cell.total_ns <- cell.total_ns + ns;
-      if ns > cell.max_ns then cell.max_ns <- ns)
+      if ns > cell.max_ns then cell.max_ns <- ns;
+      (match (gc : Gcstats.delta option) with
+      | Some d ->
+          cell.minor_words <- cell.minor_words +. d.Gcstats.minor_words;
+          cell.major_words <- cell.major_words +. d.Gcstats.major_words
+      | None -> ());
+      Histogram.record cell.hist ns)
 
 let enter name =
   if not (Atomic.get enabled_flag) then Disabled
-  else Open { name; t0 = Unix.gettimeofday (); closed = false }
+  else
+    Open
+      { name; t0 = Unix.gettimeofday (); gc0 = Gcstats.capture (); closed = false }
 
 let exit = function
   | Disabled -> ()
@@ -36,15 +77,26 @@ let exit = function
       if not span.closed then begin
         span.closed <- true;
         let ns = int_of_float ((Unix.gettimeofday () -. span.t0) *. 1e9) in
-        record span.name (max 0 ns)
+        let ns = max 0 ns in
+        record span.name ns ~gc:(Some (Gcstats.since span.gc0));
+        (* a sinked run also sees each span close as an event, which is
+           what Trace_export turns into Chrome complete slices *)
+        if Sink.active () then
+          Sink.emit "span"
+            [
+              ("name", Json.Str span.name);
+              ("dur_us", Json.Float (float_of_int ns /. 1e3));
+            ]
       end
 
-let time name f =
+let with_ name f =
   if not (Atomic.get enabled_flag) then f ()
   else begin
     let h = enter name in
     Fun.protect ~finally:(fun () -> exit h) f
   end
+
+let time = with_
 
 let snapshot () =
   let all =
@@ -52,7 +104,16 @@ let snapshot () =
         Hashtbl.fold
           (fun name c acc ->
             let s : stat =
-              { count = c.count; total_ns = c.total_ns; max_ns = c.max_ns }
+              {
+                count = c.count;
+                total_ns = c.total_ns;
+                max_ns = c.max_ns;
+                minor_words = c.minor_words;
+                major_words = c.major_words;
+                p50_ns = Histogram.quantile c.hist 0.5;
+                p90_ns = Histogram.quantile c.hist 0.9;
+                p99_ns = Histogram.quantile c.hist 0.99;
+              }
             in
             (name, s) :: acc)
           table [])

@@ -1,15 +1,23 @@
 (** Nestable wall-clock timing spans.
 
     Spans aggregate into a process-global table keyed by span name:
-    count, total and maximum duration.  Nesting is free-form — an inner
-    span's time is also counted inside every enclosing span (the table
+    count, total and maximum duration, a log-bucketed latency
+    {!Histogram} (so [--stats] can report p50/p90/p99 per span family),
+    and the {!Gcstats} minor/major-word allocation attributed to the
+    span's scope.  Nesting is free-form — an inner span's time (and
+    allocation) is also counted inside every enclosing span (the table
     records durations, not an exclusive-time tree).
 
     Spans are {e disabled by default} and then cost one atomic load per
-    {!time} call (no clock read, no allocation beyond the caller's
-    closure).  [--stats] / [--report] style entry points call
-    {!set_enabled}[ true]; timed sections must not change behavior
-    either way.
+    {!with_} call (no clock read, no GC capture, no histogram, no
+    allocation beyond the caller's closure).  [--stats] / [--report]
+    style entry points call {!set_enabled}[ true]; timed sections must
+    not change behavior either way.
+
+    While a sink is active, every span close also {!Sink.emit}s a
+    ["span"] event carrying [name] and [dur_us] — together with the
+    stamped [ts_us] this is what {!Trace_export} turns into Chrome
+    trace complete slices.
 
     The aggregate table is mutex-protected, so spans may close
     concurrently from {!Bbng_core.Parallel} domains; keep spans coarse
@@ -19,7 +27,16 @@ type handle
 (** An open span.  Handles are affine: closing twice is a no-op, and a
     handle opened while spans were disabled closes for free. *)
 
-type stat = { count : int; total_ns : int; max_ns : int }
+type stat = {
+  count : int;
+  total_ns : int;
+  max_ns : int;
+  minor_words : float;  (** GC minor words allocated inside the span *)
+  major_words : float;
+  p50_ns : float;  (** histogram estimates, within 2x of exact *)
+  p90_ns : float;
+  p99_ns : float;
+}
 
 val enabled : unit -> bool
 val set_enabled : bool -> unit
@@ -30,9 +47,14 @@ val exit : handle -> unit
     closing a handle twice records it once, and a never-closed handle
     simply records nothing. *)
 
+val with_ : string -> (unit -> 'a) -> 'a
+(** [with_ name f] runs [f] inside a span named [name]; the span closes
+    (recording duration, latency-histogram sample and GC delta) even if
+    [f] raises. *)
+
 val time : string -> (unit -> 'a) -> 'a
-(** [time name f] runs [f] inside a span named [name]; the span closes
-    even if [f] raises. *)
+(** Alias of {!with_} (the original name; kept for instrumented call
+    sites). *)
 
 val snapshot : unit -> (string * stat) list
 (** All recorded spans, sorted by name. *)

@@ -1,0 +1,198 @@
+let read_events ic =
+  let events = ref [] and skipped = ref 0 in
+  (try
+     while true do
+       let line = input_line ic in
+       if String.trim line <> "" then
+         match Json.of_string line with
+         | Json.Obj _ as j when Json.member "event" j <> None ->
+             events := j :: !events
+         | _ -> incr skipped
+         | exception Json.Parse_error _ -> incr skipped
+     done
+   with End_of_file -> ());
+  (List.rev !events, !skipped)
+
+let event_name j =
+  match Json.member "event" j with Some (Json.Str s) -> s | _ -> "?"
+
+let num_field k j =
+  match Json.member k j with
+  | Some (Json.Int i) -> Some (float_of_int i)
+  | Some (Json.Float f) -> Some f
+  | _ -> None
+
+let ts_us j = num_field "ts_us" j
+
+(* --- Chrome trace-event conversion --- *)
+
+let common ~name ~ph ~ts ~dur rest =
+  Json.Obj
+    ([
+       ("name", Json.Str name);
+       ("ph", Json.Str ph);
+       ("ts", Json.Float ts);
+       ("dur", Json.Float dur);
+       ("pid", Json.Int 1);
+       ("tid", Json.Int 1);
+     ]
+    @ rest)
+
+let args_of j =
+  match j with
+  | Json.Obj fields ->
+      Json.Obj
+        (List.filter
+           (fun (k, _) -> k <> "event" && k <> "ts_us" && k <> "dur_us")
+           fields)
+  | _ -> Json.Obj []
+
+let convert_event j =
+  let ts = Option.value (ts_us j) ~default:0. in
+  match event_name j with
+  | "span" ->
+      (* the event is stamped at close; the slice starts dur earlier *)
+      let dur = Option.value (num_field "dur_us" j) ~default:0. in
+      let name =
+        match Json.member "name" j with Some (Json.Str s) -> s | _ -> "span"
+      in
+      [
+        common ~name ~ph:"X"
+          ~ts:(Float.max 0. (ts -. dur))
+          ~dur
+          [ ("args", args_of j) ];
+      ]
+  | name ->
+      let instant =
+        common ~name ~ph:"i" ~ts ~dur:0.
+          [ ("s", Json.Str "g"); ("args", args_of j) ]
+      in
+      (* dynamics steps additionally feed a Chrome counter track, so the
+         social-cost trajectory draws itself in the trace viewer *)
+      let extra =
+        match (name, Json.member "social_cost" j) with
+        | "dynamics.step", Some v ->
+            [
+              common ~name:"social_cost" ~ph:"C" ~ts ~dur:0.
+                [ ("args", Json.Obj [ ("social_cost", v) ]) ];
+            ]
+        | _ -> []
+      in
+      instant :: extra
+
+let to_chrome events =
+  let meta =
+    common ~name:"process_name" ~ph:"M" ~ts:0. ~dur:0.
+      [ ("args", Json.Obj [ ("name", Json.Str "bbng") ]) ]
+  in
+  Json.Obj
+    [
+      ("traceEvents", Json.List (meta :: List.concat_map convert_event events));
+      ("displayTimeUnit", Json.Str "ms");
+    ]
+
+(* --- offline pretty summary of a recorded run --- *)
+
+let str_field k j =
+  match Json.member k j with Some (Json.Str s) -> Some s | _ -> None
+
+let summarize events oc =
+  let n = List.length events in
+  Printf.fprintf oc "== bbng report summary ==\n";
+  Printf.fprintf oc "events: %d\n" n;
+  (match
+     List.filter_map ts_us events |> function
+     | [] -> None
+     | l -> Some (List.fold_left Float.min infinity l,
+                  List.fold_left Float.max neg_infinity l)
+   with
+  | Some (lo, hi) when hi >= lo ->
+      Printf.fprintf oc "time range: +%.3fms .. +%.3fms (%.3fms recorded)\n"
+        (lo /. 1e3) (hi /. 1e3) ((hi -. lo) /. 1e3)
+  | _ -> ());
+  (* event counts, most frequent first *)
+  let tally = Hashtbl.create 8 in
+  List.iter
+    (fun j ->
+      let k = event_name j in
+      Hashtbl.replace tally k (1 + Option.value ~default:0 (Hashtbl.find_opt tally k)))
+    events;
+  let counts =
+    List.sort
+      (fun (ka, a) (kb, b) -> compare (b, ka) (a, kb))
+      (Hashtbl.fold (fun k v acc -> (k, v) :: acc) tally [])
+  in
+  List.iter (fun (k, v) -> Printf.fprintf oc "  %-24s %d\n" k v) counts;
+  (* dynamics outcomes are the run's headline *)
+  List.iter
+    (fun j ->
+      if event_name j = "dynamics.outcome" then
+        Printf.fprintf oc "outcome: %s (rule %s) after %s steps, social cost %s\n"
+          (Option.value ~default:"?" (str_field "outcome" j))
+          (Option.value ~default:"?" (str_field "rule" j))
+          (match Json.member "steps" j with
+          | Some (Json.Int i) -> string_of_int i
+          | _ -> "?")
+          (match Json.member "social_cost" j with
+          | Some (Json.Int i) -> string_of_int i
+          | _ -> "?"))
+    events;
+  (* the final run.summary, re-rendered *)
+  (match List.find_opt (fun j -> event_name j = "run.summary") events with
+  | None -> Printf.fprintf oc "(no run.summary event — truncated run?)\n"
+  | Some s ->
+      (match (str_field "ocaml_version" s, Json.member "word_size" s) with
+      | Some v, Some (Json.Int w) ->
+          Printf.fprintf oc "recorded by: ocaml %s, %d-bit\n" v w
+      | _ -> ());
+      (match Json.member "argv" s with
+      | Some (Json.List argv) ->
+          Printf.fprintf oc "argv: %s\n"
+            (String.concat " "
+               (List.map (function Json.Str a -> a | _ -> "?") argv))
+      | _ -> ());
+      (match Json.member "counters" s with
+      | Some (Json.Obj fields) ->
+          let nonzero =
+            List.filter (function _, Json.Int 0 -> false | _ -> true) fields
+          in
+          let nonzero =
+            List.sort
+              (fun (_, a) (_, b) -> compare b a)
+              (List.filter_map
+                 (function k, Json.Int v -> Some (k, v) | _ -> None)
+                 nonzero)
+          in
+          if nonzero <> [] then begin
+            Printf.fprintf oc "counters:\n";
+            List.iter
+              (fun (k, v) -> Printf.fprintf oc "  %-32s %d\n" k v)
+              nonzero
+          end
+      | _ -> ());
+      (match Json.member "spans" s with
+      | Some (Json.Obj fields) when fields <> [] ->
+          Printf.fprintf oc "spans (count / total ms / p50 ms / p99 ms / max ms):\n";
+          let numf k j = Option.value ~default:0. (num_field k j) in
+          let by_total =
+            List.sort
+              (fun (_, a) (_, b) ->
+                compare (numf "total_ms" b) (numf "total_ms" a))
+              fields
+          in
+          List.iter
+            (fun (k, sp) ->
+              Printf.fprintf oc "  %-32s %.0f / %.3f / %.3f / %.3f / %.3f\n" k
+                (numf "count" sp) (numf "total_ms" sp) (numf "p50_ms" sp)
+                (numf "p99_ms" sp) (numf "max_ms" sp))
+            by_total
+      | _ -> ());
+      (match Json.member "gc" s with
+      | Some gc ->
+          let numf k = Option.value ~default:0. (num_field k gc) in
+          Printf.fprintf oc
+            "gc: minor %.0f words (%.0f collections), major %.0f words (%.0f), heap %.0f words\n"
+            (numf "minor_words") (numf "minor_collections") (numf "major_words")
+            (numf "major_collections") (numf "heap_words")
+      | None -> ()));
+  flush oc

@@ -1,0 +1,28 @@
+(** Offline consumers of recorded JSONL event streams.
+
+    A [--report] file is one JSON object per line, each stamped with
+    [ts_us] by {!Sink.emit}.  This module re-reads such a stream and
+    either converts it to the Chrome trace-event format (openable in
+    Perfetto / [chrome://tracing]) or pretty-prints the run without
+    re-running it — the [bbng_cli report] subcommand is a thin wrapper
+    over these two functions. *)
+
+val read_events : in_channel -> Json.t list * int
+(** Read a JSONL stream to end-of-file.  Returns the event objects (in
+    order) and the count of skipped lines — lines that are not JSON or
+    carry no ["event"] field are skipped, not fatal, so a report piped
+    through stdout alongside normal CLI output still loads. *)
+
+val to_chrome : Json.t list -> Json.t
+(** Chrome trace-event JSON:
+    [{"traceEvents": [...], "displayTimeUnit": "ms"}].  Every record
+    carries [name]/[ph]/[ts]/[dur] (plus [pid]/[tid]/[args]): ["span"]
+    events become [ph:"X"] complete slices positioned by their close
+    timestamp minus duration, every other event becomes a [ph:"i"]
+    instant, and [dynamics.step] events additionally feed a
+    [ph:"C"] [social_cost] counter track. *)
+
+val summarize : Json.t list -> out_channel -> unit
+(** Pretty-print a recorded run: event tally, time range, dynamics
+    outcomes, and the final [run.summary] re-rendered (provenance,
+    counters by count, spans by total time, GC delta). *)
