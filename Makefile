@@ -1,4 +1,4 @@
-.PHONY: build test bench smoke check fmt bench-baseline
+.PHONY: build test bench smoke check fmt bench-baseline artifacts
 
 build:
 	dune build
@@ -26,6 +26,19 @@ bench-baseline:
 	dune exec bench/main.exe -- --validate BENCH_micro.json
 	dune exec bench/main.exe -- --validate BENCH_smoke.json
 	@echo "baselines refreshed: next 'make check' diffs against them"
+
+# regenerate the golden audit artifacts (equilibrium certificates +
+# dynamics flight recordings) and promote them to test/golden/, where
+# bin/check.sh independently re-verifies every one with
+# `bbng_cli verify` / `bbng_cli replay`
+GOLDEN_ARTIFACTS = CERT_sun8_max.json CERT_sun8_swap.json \
+  CERT_tripod2_max.json CERT_refuted_path3_max.json \
+  DYN_rr_best_unit8_max.jsonl DYN_rr_first_swap_n12_sum.jsonl
+artifacts:
+	dune exec bench/main.exe -- artifacts
+	mkdir -p test/golden
+	cd artifacts && cp $(GOLDEN_ARTIFACTS) ../test/golden/
+	@echo "golden set refreshed: 'make check' now gates on it"
 
 # no-op unless ocamlformat is configured; kept dune-native so CI can
 # opt in with a .ocamlformat file

@@ -25,13 +25,31 @@ let note fmt =
 
 let rng seed = Random.State.make [| 0xBB9; seed |]
 
+(* --- audit-trail artifacts --- *)
+
+(* Certificates and flight recordings land in artifacts/ next to the
+   BENCH_*.json reports: one file per certified construction or
+   recorded dynamics run, independently re-checkable with
+   `bbng_cli verify` / `bbng_cli replay` (bin/check.sh gates a golden
+   subset in test/golden/). *)
+let artifacts_dir () =
+  let dir = "artifacts" in
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  dir
+
+let artifact_path name = Filename.concat (artifacts_dir ()) name
+
 (* Scaled equilibrium certification.  Three tiers, by estimated work:
    1. exact Nash (sum over players of C(n-1, b) BFS runs);
    2. full swap-stability (sum of b*n single-swap evaluations);
    3. sampled swap-stability (a spread of at most [sample] players).
-   The returned string names the tier that ran and its verdict. *)
+   The returned string names the tier that ran and its verdict.
+
+   [?artifact:"name"] additionally writes the certification's evidence
+   to artifacts/CERT_<name>.json when a certificate-producing tier ran
+   (the sampled tier checks too little to certify anything). *)
 let certify_scaled ?(exact_limit = 400_000_000) ?(swap_limit = 300_000_000)
-    ?(sample = 40) version profile =
+    ?(sample = 40) ?artifact version profile =
   let budgets = Strategy.budgets profile in
   let n = Strategy.n profile in
   let game = Game.make version budgets in
@@ -45,11 +63,28 @@ let certify_scaled ?(exact_limit = 400_000_000) ?(swap_limit = 300_000_000)
       0 (Budget.to_array budgets)
   in
   let swap_work = Budget.total budgets * n * bfs_cost in
-  if exact_work <= exact_limit then
-    if Equilibrium.is_nash game profile then "NE(exact)" else "NOT-NE"
-  else if swap_work <= swap_limit then
-    if Equilibrium.is_swap_stable game profile then "swap-stable"
-    else "NOT-swap-stable"
+  let emit cert =
+    match artifact with
+    | None -> ()
+    | Some name ->
+        let path = artifact_path (Printf.sprintf "CERT_%s.json" name) in
+        Equilibrium.write_certificate path cert;
+        note "wrote %s" path
+  in
+  if exact_work <= exact_limit then begin
+    let cert = Equilibrium.certify_cert game profile in
+    emit cert;
+    match Equilibrium.certificate_verdict cert with
+    | Equilibrium.Equilibrium -> "NE(exact)"
+    | Equilibrium.Refuted _ -> "NOT-NE"
+  end
+  else if swap_work <= swap_limit then begin
+    let cert = Equilibrium.certify_swap_cert game profile in
+    emit cert;
+    match Equilibrium.certificate_verdict cert with
+    | Equilibrium.Equilibrium -> "swap-stable"
+    | Equilibrium.Refuted _ -> "NOT-swap-stable"
+  end
   else begin
     let step = max 1 (n / sample) in
     let ok = ref true in
@@ -61,6 +96,20 @@ let certify_scaled ?(exact_limit = 400_000_000) ?(swap_limit = 300_000_000)
     done;
     if !ok then "swap-stable(sampled)" else "NOT-swap-stable(sampled)"
   end
+
+(* Run [f] with a JSONL flight recorder capturing every dynamics event
+   into artifacts/DYN_<name>.jsonl; the recording replays with
+   `bbng_cli replay`. *)
+let record_dynamics ~name f =
+  let path = artifact_path (Printf.sprintf "DYN_%s.jsonl" name) in
+  let oc = open_out path in
+  let result =
+    Fun.protect
+      ~finally:(fun () -> close_out oc)
+      (fun () -> Bbng_obs.Sink.scoped (Bbng_obs.Sink.Jsonl oc) f)
+  in
+  note "wrote %s" path;
+  result
 
 let diameter profile = Cost.social_cost (Strategy.underlying profile)
 

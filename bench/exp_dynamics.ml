@@ -160,9 +160,16 @@ let large_scale () =
       let start = Strategy.random (rng seed) budgets in
       let (outcome, steps, final), wall =
         time_it (fun () ->
-            let o =
+            (* the smallest instance doubles as a flight recording:
+               artifacts/DYN_large_scale_n50.jsonl replays with
+               `bbng_cli replay` *)
+            let run () =
               Dynamics.run ~max_steps:5_000 game ~schedule:Schedule.Round_robin
                 ~rule:Dynamics.First_swap start
+            in
+            let o =
+              if n = 50 then record_dynamics ~name:"large_scale_n50" run
+              else run ()
             in
             (Dynamics.outcome_name o, Dynamics.steps o, Dynamics.final_profile o))
       in
@@ -170,7 +177,9 @@ let large_scale () =
         [ string_of_int n; string_of_int b; outcome; string_of_int steps;
           Printf.sprintf "%.2f" wall;
           string_of_int (Game.social_cost game final);
-          certify_scaled Cost.Sum final ])
+          certify_scaled
+            ~artifact:(Printf.sprintf "dyn_final_n%d_b%d_sum" n b)
+            Cost.Sum final ])
     [ (50, 2, 1); (100, 2, 2); (100, 3, 3); (200, 2, 4) ];
   Table.print t;
   note

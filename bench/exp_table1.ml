@@ -28,7 +28,9 @@ let trees_max () =
     (fun k ->
       let p = Tripod.profile ~k in
       let d = diameter p in
-      let cert = certify_scaled Cost.Max p in
+      let cert =
+        certify_scaled ~artifact:(Printf.sprintf "tripod_k%d_max" k) Cost.Max p
+      in
       points := (Tripod.n_of_k k, d) :: !points;
       Table.add_row t
         [ string_of_int k; string_of_int (Tripod.n_of_k k); string_of_int d;

@@ -9,7 +9,8 @@
      dune exec bench/main.exe -- --validate BENCH_smoke.json
      dune exec bench/main.exe -- --diff OLD.json NEW.json   # regression gate
    Known experiment names: table1 figures hardness existence weighted
-   connectivity dynamics baselines expansion census extremal ablation perf. *)
+   connectivity dynamics baselines expansion census extremal ablation
+   artifacts perf. *)
 
 let experiments =
   [
@@ -25,6 +26,7 @@ let experiments =
     ("census", Exp_census.run);
     ("extremal", Exp_extremal.run);
     ("ablation", Exp_ablation.run);
+    ("artifacts", Exp_artifacts.run);
     ("perf", Perf.run);
   ]
 

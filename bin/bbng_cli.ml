@@ -43,27 +43,34 @@ let obs_term =
   in
   let setup stats report =
     if stats || report <> None then Obs.Span.set_enabled true;
-    (match report with
-    | None -> ()
-    | Some "-" ->
-        Obs.Sink.add (Obs.Sink.Jsonl stdout);
-        at_exit (fun () ->
-            Obs.Sink.emit "run.summary" (Obs.Stats.summary_fields ());
-            flush stdout)
-    | Some file ->
-        let oc =
-          try open_out file
-          with Sys_error e ->
-            Printf.eprintf "bbng: cannot open report file: %s\n" e;
-            Stdlib.exit 1
-        in
-        Obs.Sink.add (Obs.Sink.Jsonl oc);
-        at_exit (fun () ->
-            Obs.Sink.emit "run.summary" (Obs.Stats.summary_fields ());
-            close_out oc));
-    if stats then at_exit (fun () -> Obs.Stats.print stderr)
+    let result =
+      match report with
+      | None -> Ok ()
+      | Some "-" ->
+          Obs.Sink.add (Obs.Sink.Jsonl stdout);
+          at_exit (fun () ->
+              Obs.Sink.emit "run.summary" (Obs.Stats.summary_fields ());
+              flush stdout);
+          Ok ()
+      | Some file -> (
+          (* Fail before any work runs: an unwritable --report path is a
+             usage error, not something to discover after minutes of
+             dynamics. *)
+          match open_out file with
+          | exception Sys_error e ->
+              Error (Printf.sprintf "cannot open report file %S: %s" file e)
+          | oc ->
+              Obs.Sink.add (Obs.Sink.Jsonl oc);
+              at_exit (fun () ->
+                  Obs.Sink.emit "run.summary" (Obs.Stats.summary_fields ());
+                  Obs.Sink.flush_all ();
+                  close_out oc);
+              Ok ())
+    in
+    if stats then at_exit (fun () -> Obs.Stats.print stderr);
+    result
   in
-  Term.(const setup $ stats $ report)
+  Term.term_result' Term.(const setup $ stats $ report)
 
 let version_term =
   let parse = function
@@ -170,22 +177,132 @@ let construct_cmd =
 
 (* --- verify --- *)
 
+let pp_evidence_summary ppf (cert : Equilibrium.certificate) =
+  let tally = Hashtbl.create 4 in
+  let scanned = ref 0 in
+  List.iter
+    (fun (_, a) ->
+      let name = Best_response.tier_name a.Best_response.tier in
+      Hashtbl.replace tally name
+        (1 + Option.value ~default:0 (Hashtbl.find_opt tally name));
+      scanned := !scanned + a.Best_response.scanned)
+    cert.Equilibrium.cert_evidence;
+  let tiers =
+    List.filter_map
+      (fun t ->
+        match Hashtbl.find_opt tally t with
+        | Some c -> Some (Printf.sprintf "%s: %d" t c)
+        | None -> None)
+      [ "exact"; "swap"; "lemma-2.2"; "cost-floor" ]
+  in
+  Format.fprintf ppf "%d player%s — %s; %d candidate%s scanned"
+    (List.length cert.Equilibrium.cert_evidence)
+    (if List.length cert.Equilibrium.cert_evidence = 1 then "" else "s")
+    (String.concat ", " tiers) !scanned
+    (if !scanned = 1 then "" else "s")
+
 let verify_cmd =
-  let profile =
+  let target =
     Arg.(
       required
       & pos 0 (some string) None
-      & info [] ~docv:"PROFILE" ~doc:"Serialized profile, e.g. \"1,2;0;0\".")
+      & info [] ~docv:"PROFILE|CERT.json"
+          ~doc:
+            "A serialized profile (e.g. \"1,2;0;0\") to certify, or the \
+             path of a previously written certificate artifact to \
+             independently re-check.  An existing file is treated as a \
+             certificate.")
   in
-  let run () version profile_str =
-    match Strategy.of_string profile_str with
-    | exception Invalid_argument msg -> `Error (false, msg)
-    | profile ->
-        report_profile version profile;
-        `Ok ()
+  let cert_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "cert" ] ~docv:"OUT.json"
+          ~doc:
+            "Write the certification's evidence (per-player tier, \
+             candidates scanned, best deviation) as a single-line JSON \
+             certificate artifact to $(docv).  Re-check later with \
+             $(b,bbng_cli verify OUT.json).")
   in
-  let info = Cmd.info "verify" ~doc:"Certify a serialized profile." in
-  Cmd.v info Term.(ret (const run $ obs_term $ version_term $ profile))
+  let swap =
+    Arg.(
+      value & flag
+      & info [ "swap" ]
+          ~doc:"Certify swap stability instead of exact Nash (polynomial).")
+  in
+  let par =
+    Arg.(
+      value & flag
+      & info [ "parallel" ]
+          ~doc:"Fan the per-player checks out over domains (same certificate).")
+  in
+  let samples =
+    Arg.(
+      value & opt int 32
+      & info [ "samples" ] ~docv:"N"
+          ~doc:
+            "When re-checking a certificate: random non-recorded \
+             candidates re-evaluated per exhaustively scanned player.")
+  in
+  let verify_artifact path samples =
+    match Equilibrium.read_certificate path with
+    | Error msg -> `Error (false, Printf.sprintf "%s: %s" path msg)
+    | Ok cert -> (
+        Format.printf "certificate: %s (mode %s, %s, %a)@." path
+          (Equilibrium.mode_name cert.Equilibrium.cert_mode)
+          (Cost.version_name cert.Equilibrium.cert_version)
+          pp_evidence_summary cert;
+        Format.printf "recorded verdict: %a@." Equilibrium.pp_verdict
+          (Equilibrium.certificate_verdict cert);
+        match Equilibrium.verify_certificate ~samples cert with
+        | Ok () ->
+            Format.printf "independent re-check: OK (%d samples/player)@."
+              samples;
+            `Ok ()
+        | Error msg ->
+            Format.eprintf "independent re-check FAILED: %s@." msg;
+            Stdlib.exit 1)
+  in
+  let certify_profile version profile cert_out swap par =
+    let game = Game.make version (Strategy.budgets profile) in
+    let cert =
+      if swap then Equilibrium.certify_swap_cert game profile
+      else if par then Equilibrium.certify_parallel_cert game profile
+      else Equilibrium.certify_cert game profile
+    in
+    Format.printf "profile:   %s@." (Strategy.to_string profile);
+    Format.printf "graph:     %a@." Bbng_graph.Digraph.pp
+      (Strategy.realize profile);
+    Format.printf "diameter:  %d@." (Game.social_cost game profile);
+    Format.printf "welfare:   %d@." (Game.social_welfare game profile);
+    Format.printf "verdict:   %a@." Equilibrium.pp_verdict
+      (Equilibrium.certificate_verdict cert);
+    Format.printf "evidence:  %a@." pp_evidence_summary cert;
+    (match cert_out with
+    | None -> ()
+    | Some path ->
+        Equilibrium.write_certificate path cert;
+        Format.printf "wrote %s@." path);
+    `Ok ()
+  in
+  let run () version target cert_out swap par samples =
+    if Sys.file_exists target then verify_artifact target samples
+    else
+      match Strategy.of_string target with
+      | exception Invalid_argument msg -> `Error (false, msg)
+      | profile -> certify_profile version profile cert_out swap par
+  in
+  let info =
+    Cmd.info "verify"
+      ~doc:
+        "Certify a serialized profile (optionally writing a certificate \
+         artifact), or independently re-check a certificate file."
+  in
+  Cmd.v info
+    Term.(
+      ret
+        (const run $ obs_term $ version_term $ target $ cert_out $ swap $ par
+        $ samples))
 
 (* --- dynamics --- *)
 
@@ -227,8 +344,9 @@ let dynamics_cmd =
       (Strategy.to_string start)
       (Game.social_cost game start);
     let outcome =
-      Bbng_dynamics.Dynamics.run ~max_steps:steps game
-        ~schedule:Bbng_dynamics.Schedule.Round_robin ~rule start
+      Bbng_dynamics.Dynamics.run ~max_steps:steps
+        ~meta:[ ("seed", Obs.Json.Int seed) ]
+        game ~schedule:Bbng_dynamics.Schedule.Round_robin ~rule start
     in
     Format.printf "outcome: %s after %d steps@."
       (Bbng_dynamics.Dynamics.outcome_name outcome)
@@ -474,6 +592,71 @@ let report_cmd =
   in
   Cmd.v info Term.(ret (const run $ obs_term $ input $ chrome $ summarize))
 
+(* --- replay: re-apply a recorded dynamics run and verify it --- *)
+
+let replay_cmd =
+  let input =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"REPORT.jsonl"
+          ~doc:
+            "A --report JSONL flight recording of one or more dynamics \
+             runs; '-' reads stdin.")
+  in
+  let no_stable =
+    Arg.(
+      value & flag
+      & info [ "no-check-stable" ]
+          ~doc:
+            "Skip re-verifying that converged outcomes are stable under \
+             the recorded rule (the expensive part on exact-rule runs).")
+  in
+  let run () input no_stable =
+    let events, skipped =
+      if input = "-" then Obs.Trace_export.read_events stdin
+      else
+        match open_in input with
+        | exception Sys_error e ->
+            Printf.eprintf "bbng: cannot open recording: %s\n" e;
+            Stdlib.exit 1
+        | ic ->
+            Fun.protect
+              ~finally:(fun () -> close_in_noerr ic)
+              (fun () -> Obs.Trace_export.read_events ic)
+    in
+    if skipped > 0 then
+      Printf.eprintf "bbng: skipped %d non-event line%s\n" skipped
+        (if skipped = 1 then "" else "s");
+    match Obs.Replay.runs_of_events events with
+    | [] -> `Error (false, Printf.sprintf "no recorded dynamics runs in %s" input)
+    | runs ->
+        let check_stable = not no_stable in
+        let failures =
+          List.mapi
+            (fun i r ->
+              match Bbng_dynamics.Replay.check_run ~check_stable r with
+              | Ok summary ->
+                  Format.printf "run %d: %s@." i summary;
+                  false
+              | Error d ->
+                  Format.eprintf "run %d: DIVERGED at step %d: %s@." i
+                    d.Bbng_dynamics.Replay.at_step
+                    d.Bbng_dynamics.Replay.reason;
+                  true)
+            runs
+        in
+        if List.exists Fun.id failures then Stdlib.exit 1 else `Ok ()
+  in
+  let info =
+    Cmd.info "replay"
+      ~doc:
+        "Re-apply a recorded dynamics run move by move, verifying every \
+         recorded cost and the final outcome; exits non-zero at the \
+         first divergence."
+  in
+  Cmd.v info Term.(ret (const run $ obs_term $ input $ no_stable))
+
 let main_cmd =
   let info =
     Cmd.info "bbng" ~version:"1.0.0"
@@ -481,6 +664,6 @@ let main_cmd =
   in
   Cmd.group info
     [ construct_cmd; verify_cmd; dynamics_cmd; opt_cmd; kcenter_cmd; census_cmd;
-      export_cmd; fip_cmd; report_cmd ]
+      export_cmd; fip_cmd; report_cmd; replay_cmd ]
 
 let () = exit (Cmd.eval main_cmd)

@@ -17,6 +17,27 @@ dune build
 echo "== dune runtest =="
 dune runtest
 
+echo "== audit artifacts (golden set) =="
+# every checked-in certificate must independently re-verify, and every
+# checked-in flight recording must replay divergence-free — the
+# serialization formats and replay semantics are load-bearing
+# (regenerate with `make artifacts` after an intentional change)
+found_golden=0
+for f in test/golden/CERT_*.json; do
+  [ -e "$f" ] || continue
+  found_golden=1
+  dune exec bin/bbng_cli.exe -- verify "$f"
+done
+for f in test/golden/DYN_*.jsonl; do
+  [ -e "$f" ] || continue
+  found_golden=1
+  dune exec bin/bbng_cli.exe -- replay "$f"
+done
+if [ "$found_golden" = 0 ]; then
+  echo "check: no golden artifacts found (run 'make artifacts')"
+  exit 1
+fi
+
 echo "== bench smoke =="
 # snapshot the pre-run baseline before --smoke overwrites it
 baseline=""

@@ -48,6 +48,49 @@ val first_improving_swap : Game.t -> Strategy.t -> int -> move option
 (** First strict improvement by a single swap, scan order: owned arcs
     increasing, replacement targets increasing. *)
 
+(** {1 Audited checks}
+
+    The equilibrium certifier's evidence-producing layer: the same
+    pruning ladder as {!exact_improvement} / {!first_improving_swap},
+    but returning {e what was checked} — which tier decided, how many
+    candidates were evaluated, and the cheapest candidate seen — so a
+    certificate written to disk can later be re-verified without
+    re-running the search (see [Equilibrium.verify_certificate]). *)
+
+type tier =
+  | Cost_floor       (** current cost equals the Lemma 2.2 floor; no scan *)
+  | Lemma_2_2_tier   (** Lemma 2.2's structural condition held; no scan *)
+  | Exhaustive       (** all [C(n-1,b)] strategies were enumerated *)
+  | Swap_exhaustive  (** all [b(n-1-b)] single-arc swaps were enumerated *)
+
+val tier_name : tier -> string
+(** Stable on-disk names: ["cost-floor"], ["lemma-2.2"], ["exact"],
+    ["swap"]. *)
+
+val tier_of_name : string -> tier option
+
+type audit = {
+  tier : tier;
+  scanned : int;          (** candidate strategies actually evaluated *)
+  current : int;          (** the player's cost under the profile *)
+  best : move option;     (** cheapest candidate seen ([None] when pruned) *)
+  improving : move option;
+      (** a strictly improving candidate; [None] iff the player is
+          playing a best response (under the tier's notion) *)
+}
+
+val audit_exact : Game.t -> Strategy.t -> int -> audit
+(** Audited exact check.  Prunes exactly like {!exact_improvement}
+    (and agrees with it on [improving = None]); when no pruning fires
+    and no improvement exists, the scan is complete — [scanned =
+    C(n-1,b)] and [best.cost = current] (the current strategy is among
+    the candidates).  A refutation stops at the first improvement
+    found, like the plain certifier. *)
+
+val audit_swap : Game.t -> Strategy.t -> int -> audit
+(** Audited swap-stability check (cost-floor pruning only; Lemma 2.2
+    is about exact best responses). *)
+
 val greedy : Game.t -> Strategy.t -> int -> move
 (** Heuristic response: pick the [b] targets one at a time, each time
     adding the target that minimizes the player's cost with the partial

@@ -1,7 +1,10 @@
 module Combinatorics = Bbng_graph.Combinatorics
+module Json = Bbng_obs.Json
 
 let c_players = Bbng_obs.Counter.make "equilibrium.players_certified"
 let c_early_exits = Bbng_obs.Counter.make "equilibrium.early_exits"
+let c_certificates = Bbng_obs.Counter.make "equilibrium.certificates_produced"
+let c_verified = Bbng_obs.Counter.make "equilibrium.certificates_verified"
 
 (* Every per-player best-response check in a certification funnels
    through here: one span (coarse enough for the mutex-protected span
@@ -66,6 +69,470 @@ let is_swap_stable game profile = certify_swap game profile = Equilibrium
 let digraph_is_nash version g =
   let profile = Strategy.of_digraph g in
   is_nash (Game.make version (Strategy.budgets profile)) profile
+
+(* --- certificates: the audited variants, serialized evidence --- *)
+
+type mode = Exact_mode | Swap_mode
+
+let mode_name = function Exact_mode -> "exact" | Swap_mode -> "swap"
+
+let mode_of_name = function
+  | "exact" -> Some Exact_mode
+  | "swap" -> Some Swap_mode
+  | _ -> None
+
+type certificate = {
+  cert_version : Cost.version;
+  cert_mode : mode;
+  cert_profile : Strategy.t;
+  cert_evidence : (int * Best_response.audit) list;
+}
+
+let certificate_verdict cert =
+  match
+    List.find_opt
+      (fun (_, (a : Best_response.audit)) -> a.Best_response.improving <> None)
+      cert.cert_evidence
+  with
+  | Some (player, a) ->
+      Refuted
+        {
+          player;
+          better = Option.get a.Best_response.improving;
+          current_cost = a.Best_response.current;
+        }
+  | None -> Equilibrium
+
+let audited_player auditor game profile player =
+  Bbng_obs.Counter.bump c_players;
+  Bbng_obs.Span.time "equilibrium.certify_player" (fun () ->
+      auditor game profile player)
+
+let certify_cert_with auditor mode game profile =
+  Bbng_obs.Counter.bump c_certificates;
+  let n = Game.n game in
+  let rec scan player acc =
+    if player >= n then List.rev acc
+    else
+      let a = audited_player auditor game profile player in
+      if a.Best_response.improving <> None then List.rev ((player, a) :: acc)
+      else scan (player + 1) ((player, a) :: acc)
+  in
+  {
+    cert_version = Game.version game;
+    cert_mode = mode;
+    cert_profile = profile;
+    cert_evidence = scan 0 [];
+  }
+
+let certify_cert game profile =
+  certify_cert_with Best_response.audit_exact Exact_mode game profile
+
+let certify_swap_cert game profile =
+  certify_cert_with Best_response.audit_swap Swap_mode game profile
+
+let certify_parallel_cert ?domains game profile =
+  Bbng_obs.Counter.bump c_certificates;
+  let n = Game.n game in
+  let audits =
+    Parallel.map ?domains ~n (fun player ->
+        audited_player Best_response.audit_exact game profile player)
+  in
+  (* truncate after the first (lowest-player) refutation so the
+     evidence shape — and the witness — matches the sequential
+     certifier, which makes the parallel variant deterministic where
+     [certify_parallel] is first-to-finish *)
+  let rec collect player acc =
+    if player >= n then List.rev acc
+    else
+      let a = audits.(player) in
+      if a.Best_response.improving <> None then List.rev ((player, a) :: acc)
+      else collect (player + 1) ((player, a) :: acc)
+  in
+  {
+    cert_version = Game.version game;
+    cert_mode = Exact_mode;
+    cert_profile = profile;
+    cert_evidence = collect 0 [];
+  }
+
+(* --- certificate (de)serialization through the artifact envelope --- *)
+
+let certificate_kind = "bbng.equilibrium-certificate"
+
+let int_array_json a =
+  Json.List (Array.to_list (Array.map (fun i -> Json.Int i) a))
+
+let move_fields prefix (m : Best_response.move) =
+  [
+    (prefix ^ "_targets", int_array_json m.Best_response.targets);
+    (prefix ^ "_cost", Json.Int m.Best_response.cost);
+  ]
+
+let evidence_to_json (player, (a : Best_response.audit)) =
+  Json.Obj
+    ([
+       ("player", Json.Int player);
+       ("tier", Json.Str (Best_response.tier_name a.Best_response.tier));
+       ("scanned", Json.Int a.Best_response.scanned);
+       ("current_cost", Json.Int a.Best_response.current);
+     ]
+    @ (match a.Best_response.best with
+      | None -> []
+      | Some m -> move_fields "best" m)
+    @
+    match a.Best_response.improving with
+    | None -> []
+    | Some m -> move_fields "improving" m)
+
+let certificate_to_artifact cert =
+  Bbng_obs.Certificate.make ~kind:certificate_kind
+    [
+      ("version", Json.Str (Cost.version_name cert.cert_version));
+      ("mode", Json.Str (mode_name cert.cert_mode));
+      ( "budgets",
+        int_array_json (Budget.to_array (Strategy.budgets cert.cert_profile)) );
+      ("profile", Json.Str (Strategy.to_string cert.cert_profile));
+      ( "verdict",
+        Json.Str
+          (match certificate_verdict cert with
+          | Equilibrium -> "equilibrium"
+          | Refuted _ -> "refuted") );
+      ("players", Json.List (List.map evidence_to_json cert.cert_evidence));
+    ]
+
+let int_field k j =
+  match Json.member k j with Some (Json.Int i) -> Some i | _ -> None
+
+let str_field k j =
+  match Json.member k j with Some (Json.Str s) -> Some s | _ -> None
+
+let int_array_field k j =
+  match Json.member k j with
+  | Some (Json.List l) when List.for_all (function Json.Int _ -> true | _ -> false) l
+    ->
+      Some (Array.of_list (List.map (function Json.Int i -> i | _ -> 0) l))
+  | _ -> None
+
+let move_of_json prefix j =
+  match (int_array_field (prefix ^ "_targets") j, int_field (prefix ^ "_cost") j)
+  with
+  | Some targets, Some cost -> Some { Best_response.targets; cost }
+  | _ -> None
+
+let evidence_of_json j =
+  match
+    ( int_field "player" j,
+      Option.bind (str_field "tier" j) Best_response.tier_of_name,
+      int_field "scanned" j,
+      int_field "current_cost" j )
+  with
+  | Some player, Some tier, Some scanned, Some current ->
+      Ok
+        ( player,
+          {
+            Best_response.tier;
+            scanned;
+            current;
+            best = move_of_json "best" j;
+            improving = move_of_json "improving" j;
+          } )
+  | _ -> Error "certificate: malformed player evidence"
+
+let ( let* ) = Result.bind
+
+let certificate_of_artifact (art : Bbng_obs.Certificate.t) =
+  if art.Bbng_obs.Certificate.kind <> certificate_kind then
+    Error
+      (Printf.sprintf "not an equilibrium certificate (kind %S)"
+         art.Bbng_obs.Certificate.kind)
+  else
+    let body = Json.Obj art.Bbng_obs.Certificate.body in
+    let* version =
+      match str_field "version" body with
+      | Some "MAX" -> Ok Cost.Max
+      | Some "SUM" -> Ok Cost.Sum
+      | Some v -> Error (Printf.sprintf "certificate: unknown version %S" v)
+      | None -> Error "certificate: missing version"
+    in
+    let* mode =
+      match Option.bind (str_field "mode" body) mode_of_name with
+      | Some m -> Ok m
+      | None -> Error "certificate: missing or unknown mode"
+    in
+    let* budgets =
+      match int_array_field "budgets" body with
+      | Some b -> Ok b
+      | None -> Error "certificate: missing budgets"
+    in
+    let* profile =
+      match str_field "profile" body with
+      | None -> Error "certificate: missing profile"
+      | Some s -> (
+          match Strategy.of_string s with
+          | exception Invalid_argument msg ->
+              Error (Printf.sprintf "certificate: bad profile: %s" msg)
+          | p -> Ok p)
+    in
+    let* () =
+      if Budget.to_array (Strategy.budgets profile) = budgets then Ok ()
+      else Error "certificate: recorded budgets disagree with the profile"
+    in
+    let* evidence =
+      match Json.member "players" body with
+      | Some (Json.List l) ->
+          List.fold_left
+            (fun acc j ->
+              let* acc = acc in
+              let* e = evidence_of_json j in
+              Ok (e :: acc))
+            (Ok []) l
+          |> Result.map List.rev
+      | _ -> Error "certificate: missing players evidence"
+    in
+    let cert =
+      {
+        cert_version = version;
+        cert_mode = mode;
+        cert_profile = profile;
+        cert_evidence = evidence;
+      }
+    in
+    let* () =
+      let recorded = str_field "verdict" body in
+      let derived =
+        match certificate_verdict cert with
+        | Equilibrium -> "equilibrium"
+        | Refuted _ -> "refuted"
+      in
+      if recorded = Some derived then Ok ()
+      else
+        Error
+          (Printf.sprintf
+             "certificate: recorded verdict %s disagrees with its evidence \
+              (%s)"
+             (Option.value ~default:"(missing)" recorded)
+             derived)
+    in
+    Ok cert
+
+let write_certificate path cert =
+  Bbng_obs.Certificate.write path (certificate_to_artifact cert)
+
+let read_certificate path =
+  let* art = Bbng_obs.Certificate.read path in
+  certificate_of_artifact art
+
+(* --- independent certificate verification --- *)
+
+(* Candidate re-evaluation goes through [Game.deviation_cost], the
+   generic evaluator — deliberately NOT the incremental
+   [Deviation_eval] context the certifier itself searched with, so a
+   bug in the fast path cannot both produce and bless a certificate. *)
+
+let sample_subset rng n player b =
+  let candidates = Array.init (n - 1) (fun i -> if i < player then i else i + 1) in
+  for k = 0 to b - 1 do
+    let j = k + Random.State.int rng (Array.length candidates - k) in
+    let tmp = candidates.(k) in
+    candidates.(k) <- candidates.(j);
+    candidates.(j) <- tmp
+  done;
+  let s = Array.sub candidates 0 b in
+  Array.sort compare s;
+  s
+
+let sample_swap rng owned n player =
+  let drop = Random.State.int rng (Array.length owned) in
+  let is_owned v = Array.exists (fun w -> w = v) owned in
+  let rec fresh () =
+    let v = Random.State.int rng n in
+    if v = player || is_owned v then fresh () else v
+  in
+  let targets = Array.mapi (fun i w -> if i = drop then fresh () else w) owned in
+  Array.sort compare targets;
+  targets
+
+let verify_certificate ?(samples = 32) cert =
+  Bbng_obs.Counter.bump c_verified;
+  let profile = cert.cert_profile in
+  let budgets = Strategy.budgets profile in
+  let game = Game.make cert.cert_version budgets in
+  let n = Game.n game in
+  let fail fmt = Printf.ksprintf (fun msg -> Error msg) fmt in
+  let reprice player targets =
+    (* validates the targets (range, budget, no self/duplicates) before
+       pricing them *)
+    match Strategy.with_strategy profile ~player ~targets with
+    | exception Invalid_argument msg -> Error msg
+    | _ -> Ok (Game.deviation_cost game profile ~player ~targets)
+  in
+  let in_degree player =
+    let count = ref 0 in
+    for i = 0 to n - 1 do
+      if i <> player && Array.exists (fun v -> v = player) (Strategy.strategy profile i)
+      then incr count
+    done;
+    !count
+  in
+  let check_move player what (m : Best_response.move) =
+    match reprice player m.Best_response.targets with
+    | Error msg -> fail "player %d: invalid %s targets (%s)" player what msg
+    | Ok cost when cost <> m.Best_response.cost ->
+        fail "player %d: recorded %s cost %d, re-evaluated %d" player what
+          m.Best_response.cost cost
+    | Ok _ -> Ok ()
+  in
+  let spot_check player budget current make_sample count =
+    let rng = Random.State.make [| 0xCE27; n; player |] in
+    let rec go i =
+      if i >= count then Ok ()
+      else
+        let targets = make_sample rng in
+        match reprice player targets with
+        | Error msg -> fail "player %d: sampler produced bad targets (%s)" player msg
+        | Ok cost when cost < current ->
+            fail
+              "player %d: spot-check found an unrecorded improvement (cost %d < \
+               %d)"
+              player cost current
+        | Ok _ -> go (i + 1)
+    in
+    if budget = 0 then Ok () else go 0
+  in
+  let check_evidence (player, (a : Best_response.audit)) =
+    if player < 0 || player >= n then fail "evidence for player %d of %d" player n
+    else
+      let budget = Budget.get budgets player in
+      let current = Game.player_cost game profile player in
+      if a.Best_response.current <> current then
+        fail "player %d: recorded current cost %d, re-evaluated %d" player
+          a.Best_response.current current
+      else
+        let* () =
+          match a.Best_response.improving with
+          | None -> Ok ()
+          | Some m ->
+              let* () = check_move player "improving" m in
+              if m.Best_response.cost >= current then
+                fail "player %d: recorded improvement does not improve (%d >= %d)"
+                  player m.Best_response.cost current
+              else Ok ()
+        in
+        match a.Best_response.tier with
+        | Best_response.Cost_floor ->
+            let floor =
+              Cost.cost_floor cert.cert_version ~n ~budget
+                ~in_degree:(in_degree player)
+            in
+            if a.Best_response.improving <> None then
+              fail "player %d: cost-floor tier cannot carry an improvement" player
+            else if current > floor then
+              fail "player %d: cost %d is above the recomputed floor %d" player
+                current floor
+            else Ok ()
+        | Best_response.Lemma_2_2_tier ->
+            if cert.cert_mode <> Exact_mode then
+              fail "player %d: lemma-2.2 tier in a swap certificate" player
+            else if a.Best_response.improving <> None then
+              fail "player %d: lemma-2.2 tier cannot carry an improvement" player
+            else if not (Best_response.satisfies_lemma_2_2 profile player) then
+              fail "player %d: Lemma 2.2's condition does not hold" player
+            else Ok ()
+        | Best_response.Exhaustive -> (
+            if cert.cert_mode <> Exact_mode then
+              fail "player %d: exact tier in a swap certificate" player
+            else
+              let expected = Combinatorics.binomial (n - 1) budget in
+              match a.Best_response.improving with
+              | Some _ ->
+                  if a.Best_response.scanned > expected then
+                    fail "player %d: scanned %d of %d candidates" player
+                      a.Best_response.scanned expected
+                  else Ok ()
+              | None -> (
+                  if a.Best_response.scanned <> expected then
+                    fail
+                      "player %d: complete scan claimed but scanned %d of %d \
+                       candidates"
+                      player a.Best_response.scanned expected
+                  else
+                    match a.Best_response.best with
+                    | None -> fail "player %d: complete scan without a best" player
+                    | Some m ->
+                        let* () = check_move player "best" m in
+                        if m.Best_response.cost < current then
+                          fail
+                            "player %d: best candidate %d beats the current cost \
+                             %d yet no improvement was recorded"
+                            player m.Best_response.cost current
+                        else
+                          spot_check player budget current
+                            (fun rng -> sample_subset rng n player budget)
+                            samples))
+        | Best_response.Swap_exhaustive -> (
+            if cert.cert_mode <> Swap_mode then
+              fail "player %d: swap tier in an exact certificate" player
+            else
+              let expected = budget * (n - 1 - budget) in
+              match a.Best_response.improving with
+              | Some _ ->
+                  if a.Best_response.scanned > expected then
+                    fail "player %d: scanned %d of %d swaps" player
+                      a.Best_response.scanned expected
+                  else Ok ()
+              | None ->
+                  if a.Best_response.scanned <> expected then
+                    fail "player %d: complete swap scan claimed but scanned %d of %d"
+                      player a.Best_response.scanned expected
+                  else
+                    let* () =
+                      match a.Best_response.best with
+                      | None when expected = 0 -> Ok ()
+                      | None -> fail "player %d: complete scan without a best" player
+                      | Some m ->
+                          let* () = check_move player "best" m in
+                          if m.Best_response.cost < current then
+                            fail
+                              "player %d: best swap %d beats the current cost %d \
+                               yet no improvement was recorded"
+                              player m.Best_response.cost current
+                          else Ok ()
+                    in
+                    if expected = 0 then Ok ()
+                    else
+                      spot_check player budget current
+                        (fun rng ->
+                          sample_swap rng (Strategy.strategy profile player) n
+                            player)
+                        samples)
+  in
+  (* evidence must be players 0..k in order; an equilibrium claim needs
+     every player, a refutation needs clean evidence up to its witness *)
+  let rec structure expected = function
+    | [] ->
+        if expected = n then Ok ()
+        else begin
+          match certificate_verdict cert with
+          | Equilibrium ->
+              fail "equilibrium claimed but only players 0..%d have evidence"
+                (expected - 1)
+          | Refuted _ -> Ok ()
+        end
+    | (player, (a : Best_response.audit)) :: rest ->
+        if player <> expected then
+          fail "evidence out of order: expected player %d, found %d" expected
+            player
+        else if a.Best_response.improving <> None && rest <> [] then
+          fail "player %d: refutation evidence must close the certificate" player
+        else structure (expected + 1) rest
+  in
+  let* () = structure 0 cert.cert_evidence in
+  List.fold_left
+    (fun acc e ->
+      let* () = acc in
+      check_evidence e)
+    (Ok ()) cert.cert_evidence
 
 let pp_verdict ppf = function
   | Equilibrium -> Format.fprintf ppf "equilibrium"

@@ -47,6 +47,76 @@ val digraph_is_nash : Cost.version -> Bbng_graph.Digraph.t -> bool
 
 val pp_verdict : Format.formatter -> verdict -> unit
 
+(** {1 Certificates: auditable on-disk evidence}
+
+    A certificate is the audit trail of one certification: per player,
+    which tier decided (exact scan / Lemma 2.2 / cost floor / swap
+    scan), how many candidates were evaluated, and the best deviation
+    found.  It is serialized through {!Bbng_obs.Certificate} to a
+    single-line JSON artifact, and {!verify_certificate} re-checks it
+    {e independently} — game rebuilt from the recorded budgets and
+    arcs, every recorded deviation re-priced through the generic
+    evaluator (not the incremental one the search used), pruning tiers
+    re-derived, and a seeded sample of non-recorded candidates
+    re-scanned — so "this profile passed NE(exact)" becomes a checkable
+    file instead of an ephemeral boolean. *)
+
+type mode = Exact_mode | Swap_mode
+
+val mode_name : mode -> string
+val mode_of_name : string -> mode option
+
+type certificate = {
+  cert_version : Cost.version;
+  cert_mode : mode;
+  cert_profile : Strategy.t;
+  cert_evidence : (int * Best_response.audit) list;
+      (** players in increasing order; a refutation, if any, is the
+          last entry *)
+}
+
+val certify_cert : Game.t -> Strategy.t -> certificate
+(** Certificate-producing {!certify}: same scan order, same pruning,
+    same verdict, plus evidence. *)
+
+val certify_swap_cert : Game.t -> Strategy.t -> certificate
+(** Certificate-producing {!certify_swap}. *)
+
+val certify_parallel_cert : ?domains:int -> Game.t -> Strategy.t -> certificate
+(** Certificate-producing {!certify_parallel}.  Unlike
+    [certify_parallel], the result is deterministic: every player's
+    audit is computed and the evidence is truncated at the
+    lowest-index refutation, so the certificate equals the sequential
+    one. *)
+
+val certificate_verdict : certificate -> verdict
+
+val certificate_kind : string
+(** ["bbng.equilibrium-certificate"] — the artifact [kind]. *)
+
+val certificate_to_artifact : certificate -> Bbng_obs.Certificate.t
+
+val certificate_of_artifact :
+  Bbng_obs.Certificate.t -> (certificate, string) result
+(** Structural validation: header fields present, profile parses and
+    matches the recorded budgets, evidence well-formed, and the
+    recorded verdict agrees with the evidence. *)
+
+val write_certificate : string -> certificate -> unit
+
+val read_certificate : string -> (certificate, string) result
+
+val verify_certificate : ?samples:int -> certificate -> (unit, string) result
+(** Independent re-check (default [samples = 32] random non-recorded
+    candidates per exhaustively-scanned player, seeded
+    deterministically).  [Ok ()] means: every recorded cost re-evaluates
+    to itself, every pruning tier's condition really holds, complete
+    scans have the right candidate count, the recorded best never beats
+    the current cost without a recorded improvement, a recorded
+    refutation really improves, and no sampled candidate improves on a
+    player certified optimal.  Any mismatch is an [Error] naming the
+    player and the discrepancy. *)
+
 (** {1 Exhaustive enumeration (small instances)} *)
 
 val iter_profiles : Budget.t -> (Strategy.t -> unit) -> unit

@@ -35,6 +35,27 @@ let for_all ?domains ~n f =
     not (Atomic.get failed)
   end
 
+let map ?domains ~n f =
+  let k = min n (match domains with Some d -> max 1 d | None -> recommended_domains ()) in
+  if k <= 1 || n <= 1 then Array.init n f
+  else begin
+    let results = Array.make n None in
+    let worker d () =
+      let i = ref d in
+      while !i < n do
+        results.(!i) <- Some (f !i);
+        i := !i + k
+      done
+    in
+    let spawned = List.init (k - 1) (fun d -> Domain.spawn (worker (d + 1))) in
+    Bbng_obs.Counter.add c_spawned (k - 1);
+    worker 0 ();
+    List.iter Domain.join spawned;
+    Array.map
+      (function Some r -> r | None -> assert false (* every index visited *))
+      results
+  end
+
 let find_map ?domains ~n f =
   let k = min n (match domains with Some d -> max 1 d | None -> recommended_domains ()) in
   if k <= 1 || n <= 1 then begin

@@ -28,6 +28,13 @@ val for_all : ?domains:int -> n:int -> (int -> bool) -> bool
     or confined to its own mutable state).  Falls back to a sequential
     scan when [domains <= 1] or [n <= 1]. *)
 
+val map : ?domains:int -> n:int -> (int -> 'a) -> 'a array
+(** [map ~n f] is [[| f 0; ...; f (n-1) |]] with the indices fanned out
+    block-cyclically over domains.  No early exit: every index is
+    evaluated — this is what certificate production uses, where the
+    whole point is keeping every player's evidence (deterministic
+    output, unlike {!find_map}). *)
+
 val find_map : ?domains:int -> n:int -> (int -> 'a option) -> 'a option
 (** First-ish [Some] produced by any index, or [None].  "First-ish":
     with several domains the winner is the first to {e finish}, not

@@ -9,6 +9,13 @@ let rule_name = function
   | Best_swap -> "best-swap"
   | First_swap -> "first-swap"
 
+let rule_of_name = function
+  | "exact-best" -> Some Exact_best
+  | "first-improving" -> Some First_improving
+  | "best-swap" -> Some Best_swap
+  | "first-swap" -> Some First_swap
+  | _ -> None
+
 let mover rule game profile player =
   (* one span per best-response probe: its p50/p99 is the per-player
      move-selection latency distribution of the whole dynamics run *)
@@ -46,6 +53,8 @@ type trace_entry = {
   old_cost : int;
   new_cost : int;
   social_cost : int;
+  old_targets : int array;
+  new_targets : int array;
 }
 
 module Profile_key = struct
@@ -57,6 +66,9 @@ let c_steps = Obs.Counter.make "dynamics.steps_applied"
 let c_runs = Obs.Counter.make "dynamics.runs"
 let h_improvement = Obs.Histogram.make "dynamics.step_improvement"
 
+let json_targets a =
+  Obs.Json.List (Array.to_list (Array.map (fun t -> Obs.Json.Int t) a))
+
 let emit_entry e =
   Obs.Sink.emit "dynamics.step"
     [
@@ -65,38 +77,57 @@ let emit_entry e =
       ("old_cost", Obs.Json.Int e.old_cost);
       ("new_cost", Obs.Json.Int e.new_cost);
       ("social_cost", Obs.Json.Int e.social_cost);
+      ("old_targets", json_targets e.old_targets);
+      ("new_targets", json_targets e.new_targets);
     ]
 
-(* The final event names the rule and the outcome so a run's JSONL is
-   self-describing even when read in isolation. *)
-let emit_outcome game rule outcome =
+(* The final event names the rule, the outcome and the final profile so
+   a run's JSONL is a self-contained flight recording: [Replay.check]
+   can re-apply it without any context beyond the file.  The sink treats
+   "dynamics.outcome" as a flush milestone, so even a buffered report is
+   a valid JSONL prefix the moment the run closes. *)
+let emit_outcome game ~schedule ~meta rule outcome =
   Obs.Sink.emit "dynamics.outcome"
     (List.concat
        [
          [
            ("rule", Obs.Json.Str (rule_name rule));
+           ("schedule", Obs.Json.Str (Schedule.name schedule));
            ("outcome", Obs.Json.Str (outcome_name outcome));
            ("steps", Obs.Json.Int (steps outcome));
            ( "social_cost",
              Obs.Json.Int (Game.social_cost game (final_profile outcome)) );
+           ("profile", Obs.Json.Str (Strategy.to_string (final_profile outcome)));
          ];
          (match outcome with
          | Cycle { period; _ } -> [ ("period", Obs.Json.Int period) ]
          | Converged _ | Step_limit _ -> []);
+         meta;
        ])
 
-let run ?(max_steps = 10_000) ?(detect_cycles = true) ?on_step game ~schedule
-    ~rule start =
+let run ?(max_steps = 10_000) ?(detect_cycles = true) ?(meta = []) ?on_step game
+    ~schedule ~rule start =
   let n = Game.n game in
   Obs.Counter.bump c_runs;
   if Obs.Sink.active () then
     Obs.Sink.emit "dynamics.start"
-      [
-        ("rule", Obs.Json.Str (rule_name rule));
-        ("players", Obs.Json.Int n);
-        ("max_steps", Obs.Json.Int max_steps);
-        ("social_cost", Obs.Json.Int (Game.social_cost game start));
-      ];
+      ([
+         ("rule", Obs.Json.Str (rule_name rule));
+         ("schedule", Obs.Json.Str (Schedule.name schedule));
+         ( "version",
+           Obs.Json.Str (Cost.version_name (Game.version game)) );
+         ( "budgets",
+           Obs.Json.List
+             (Array.to_list
+                (Array.map
+                   (fun b -> Obs.Json.Int b)
+                   (Budget.to_array (Game.budgets game)))) );
+         ("profile", Obs.Json.Str (Strategy.to_string start));
+         ("players", Obs.Json.Int n);
+         ("max_steps", Obs.Json.Int max_steps);
+         ("social_cost", Obs.Json.Int (Game.social_cost game start));
+       ]
+      @ meta);
   let seen : (Profile_key.t, int) Hashtbl.t = Hashtbl.create 256 in
   let remember step profile =
     if detect_cycles then begin
@@ -111,7 +142,7 @@ let run ?(max_steps = 10_000) ?(detect_cycles = true) ?on_step game ~schedule
   in
   ignore (remember 0 start);
   let finish outcome =
-    emit_outcome game rule outcome;
+    emit_outcome game ~schedule ~meta rule outcome;
     outcome
   in
   let rec loop sched_state profile step =
@@ -140,6 +171,7 @@ let run ?(max_steps = 10_000) ?(detect_cycles = true) ?on_step game ~schedule
           | None -> assert false (* the schedule only returns improvers *)
           | Some m ->
               let old_cost = Game.player_cost game profile player in
+              let old_targets = Strategy.strategy profile player in
               let profile =
                 Strategy.with_strategy profile ~player ~targets:m.Best_response.targets
               in
@@ -156,6 +188,8 @@ let run ?(max_steps = 10_000) ?(detect_cycles = true) ?on_step game ~schedule
                     old_cost;
                     new_cost = m.Best_response.cost;
                     social_cost = Game.social_cost game profile;
+                    old_targets;
+                    new_targets = m.Best_response.targets;
                   }
                 in
                 (match on_step with Some f -> f entry | None -> ());

@@ -17,6 +17,10 @@ type rule =
 
 val rule_name : rule -> string
 
+val rule_of_name : string -> rule option
+(** Inverse of {!rule_name} (used by the replay checker to re-derive
+    the move rule from a recording). *)
+
 type outcome =
   | Converged of {
       profile : Strategy.t;
@@ -38,12 +42,15 @@ type trace_entry = {
   player : int;
   old_cost : int;
   new_cost : int;
-  social_cost : int;  (** diameter after the move *)
+  social_cost : int;        (** diameter after the move *)
+  old_targets : int array;  (** the player's arcs before the move *)
+  new_targets : int array;  (** the arcs applied *)
 }
 
 val run :
   ?max_steps:int ->
   ?detect_cycles:bool ->
+  ?meta:(string * Bbng_obs.Json.t) list ->
   ?on_step:(trace_entry -> unit) ->
   Game.t -> schedule:Schedule.t -> rule:rule -> Strategy.t -> outcome
 (** [run game ~schedule ~rule start] iterates until one of the outcomes
@@ -52,12 +59,16 @@ val run :
     Cycle detection compares full profiles, so a reported [Cycle] is a
     genuine best-response loop, not a hash collision.
 
-    Observability: when a {!Bbng_obs.Sink} is active, every applied
-    move is also emitted as a [dynamics.step] event (same payload as
-    {!type-trace_entry}), bracketed by a [dynamics.start] event and a
-    final self-describing [dynamics.outcome] event carrying
-    {!rule_name} and {!outcome_name} — so [--trace] (pretty sink) and
-    [--report] (JSONL sink) always agree. *)
+    Observability / flight recording: when a {!Bbng_obs.Sink} is
+    active, every applied move is emitted as a [dynamics.step] event
+    (same payload as {!type-trace_entry}, including the full move),
+    bracketed by a [dynamics.start] event carrying everything needed to
+    reconstruct the game (version, budgets, start profile, rule,
+    schedule, [max_steps], plus the caller's [?meta] fields — seed and
+    friends) and a final [dynamics.outcome] event carrying the final
+    profile.  The resulting [--report] JSONL is a complete flight
+    recording that {!Replay.check_run} (and [bbng_cli replay]) can
+    re-apply and verify move by move. *)
 
 val stable : Game.t -> rule -> Strategy.t -> bool
 (** No player has a move under the rule: post-condition of

@@ -1,0 +1,217 @@
+open Bbng_core
+module Obs = Bbng_obs
+module R = Bbng_obs.Replay
+
+type divergence = { at_step : int; reason : string }
+
+let c_replayed = Obs.Counter.make "replay.steps_replayed"
+let c_divergences = Obs.Counter.make "replay.divergences"
+
+let diverge at_step fmt =
+  Printf.ksprintf
+    (fun reason ->
+      Obs.Counter.bump c_divergences;
+      Error { at_step; reason })
+    fmt
+
+let ( let* ) = Result.bind
+
+let targets_to_string a =
+  "[" ^ String.concat "," (Array.to_list (Array.map string_of_int a)) ^ "]"
+
+(* Rebuild the game from the recorded header.  The recording is the
+   only input: nothing about the original process survives except what
+   the dynamics.start event wrote down. *)
+let reconstruct (run : R.run) =
+  let* budgets =
+    match run.R.budgets with
+    | Some b -> Ok b
+    | None -> diverge 0 "recording has no budgets (dynamics.start missing?)"
+  in
+  let* version =
+    match run.R.version with
+    | Some "MAX" -> Ok Cost.Max
+    | Some "SUM" -> Ok Cost.Sum
+    | Some v -> diverge 0 "recording has unknown version %S" v
+    | None -> diverge 0 "recording has no cost version"
+  in
+  let* start =
+    match run.R.start_profile with
+    | None -> diverge 0 "recording has no start profile"
+    | Some s -> (
+        match Strategy.of_string s with
+        | p -> Ok p
+        | exception Invalid_argument msg ->
+            diverge 0 "start profile does not parse: %s" msg)
+  in
+  let* budget_vec =
+    match Budget.of_array budgets with
+    | b -> Ok b
+    | exception Invalid_argument msg -> diverge 0 "bad budgets: %s" msg
+  in
+  if not (Budget.to_array (Strategy.budgets start) = budgets) then
+    diverge 0 "start profile budgets disagree with recorded budgets"
+  else Ok (Game.make version budget_vec, start)
+
+let check_step game profile (s : R.step) ~expected_index =
+  let n = Game.n game in
+  if s.R.index <> expected_index then
+    diverge s.R.index "step index %d, expected %d" s.R.index expected_index
+  else if s.R.player < 0 || s.R.player >= n then
+    diverge s.R.index "player %d out of range [0,%d)" s.R.player n
+  else begin
+    let player = s.R.player in
+    let old_cost = Game.player_cost game profile player in
+    if old_cost <> s.R.old_cost then
+      diverge s.R.index "player %d old_cost: recorded %d, replayed %d" player
+        s.R.old_cost old_cost
+    else begin
+      let* () =
+        match s.R.old_targets with
+        | None -> Ok ()
+        | Some recorded ->
+            let actual = Strategy.strategy profile player in
+            if recorded = actual then Ok ()
+            else
+              diverge s.R.index
+                "player %d old_targets: recorded %s, replayed state has %s"
+                player (targets_to_string recorded) (targets_to_string actual)
+      in
+      let* targets =
+        match s.R.new_targets with
+        | Some t -> Ok t
+        | None ->
+            diverge s.R.index
+              "step has no new_targets (pre-audit recording?): cannot re-apply"
+      in
+      let* profile =
+        match Strategy.with_strategy profile ~player ~targets with
+        | p -> Ok p
+        | exception Invalid_argument msg ->
+            diverge s.R.index "player %d new_targets rejected: %s" player msg
+      in
+      let new_cost = Game.player_cost game profile player in
+      if new_cost <> s.R.new_cost then
+        diverge s.R.index "player %d new_cost: recorded %d, replayed %d" player
+          s.R.new_cost new_cost
+      else if new_cost >= s.R.old_cost then
+        diverge s.R.index "player %d move does not improve (%d -> %d)" player
+          s.R.old_cost new_cost
+      else
+        let social = Game.social_cost game profile in
+        if social <> s.R.social_cost then
+          diverge s.R.index "social_cost after step: recorded %d, replayed %d"
+            s.R.social_cost social
+        else begin
+          Obs.Counter.bump c_replayed;
+          Ok profile
+        end
+    end
+  end
+
+let check_outcome game ~seen ~total profile (o : R.outcome) ~check_stable
+    ~rule_name:rname =
+  let* () =
+    if o.R.total_steps <> total then
+      diverge total "outcome records %d steps, replay applied %d"
+        o.R.total_steps total
+    else Ok ()
+  in
+  let* () =
+    match o.R.final_profile with
+    | None -> Ok ()
+    | Some s ->
+        if s = Strategy.to_string profile then Ok ()
+        else
+          diverge total "final profile: recorded %S, replayed %S" s
+            (Strategy.to_string profile)
+  in
+  let* () =
+    match o.R.final_social_cost with
+    | None -> Ok ()
+    | Some c ->
+        let actual = Game.social_cost game profile in
+        if c = actual then Ok ()
+        else diverge total "final social_cost: recorded %d, replayed %d" c actual
+  in
+  match o.R.outcome with
+  | "cycle" -> (
+      let* period =
+        match o.R.period with
+        | Some p when p >= 1 -> Ok p
+        | Some p -> diverge total "cycle with nonsensical period %d" p
+        | None -> diverge total "cycle outcome without a period"
+      in
+      (* [seen] holds first occurrences; the final profile itself was
+         entered at step [total], so a genuine recurrence means its
+         first occurrence is strictly earlier *)
+      match Hashtbl.find_opt seen (Strategy.to_string profile) with
+      | Some earlier when earlier < total && total - earlier = period -> Ok ()
+      | Some earlier when earlier < total ->
+          diverge total
+            "cycle period: recorded %d, but profile previously occurred at \
+             step %d (distance %d)"
+            period earlier (total - earlier)
+      | _ ->
+          diverge total
+            "outcome says cycle (period %d) but the final profile never \
+             occurred earlier in the replay"
+            period)
+  | "converged" -> (
+      if not check_stable then Ok ()
+      else
+        match Option.bind rname Dynamics.rule_of_name with
+        | None ->
+            (* no rule recorded: stability is unverifiable, accept the
+               structural checks above *)
+            Ok ()
+        | Some rule ->
+            if Dynamics.stable game rule profile then Ok ()
+            else
+              diverge total
+                "outcome says converged but a player still has an improving \
+                 move under rule %s"
+                (Option.get rname))
+  | "step-limit" ->
+      (* structural checks above suffice: the limit itself is recorder
+         configuration (max_steps in the header is provenance, not a
+         replayable invariant) *)
+      Ok ()
+  | other -> diverge total "unknown outcome %S" other
+
+let check_run ?(check_stable = true) (run : R.run) =
+  Obs.Span.with_ "replay.check_run" (fun () ->
+      let* game, start = reconstruct run in
+      (* First-occurrence history, exactly like the recorder's cycle
+         detector: needed to independently confirm a recorded Cycle's
+         period. *)
+      let seen : (string, int) Hashtbl.t = Hashtbl.create 256 in
+      Hashtbl.replace seen (Strategy.to_string start) 0;
+      let rec apply profile count = function
+        | [] -> Ok (profile, count)
+        | s :: rest ->
+            let* profile =
+              check_step game profile s ~expected_index:(count + 1)
+            in
+            let key = Strategy.to_string profile in
+            if not (Hashtbl.mem seen key) then
+              Hashtbl.replace seen key (count + 1);
+            apply profile (count + 1) rest
+      in
+      let* profile, total = apply start 0 run.R.steps in
+      match run.R.run_outcome with
+      | None ->
+          Ok
+            (Printf.sprintf
+               "replayed %d step%s (recording interrupted before an outcome)"
+               total
+               (if total = 1 then "" else "s"))
+      | Some o ->
+          let* () =
+            check_outcome game ~seen ~total profile o ~check_stable
+              ~rule_name:run.R.rule
+          in
+          Ok
+            (Printf.sprintf "replayed %d step%s, outcome %s verified" total
+               (if total = 1 then "" else "s")
+               o.R.outcome))

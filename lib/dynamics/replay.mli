@@ -1,0 +1,38 @@
+(** Deterministic replay of recorded dynamics runs.
+
+    A [--report] JSONL stream records every applied move in full
+    (player, old arcs, new arcs — see {!Dynamics.run}).  This module is
+    the checking half of that flight recorder: given the typed view
+    from {!Bbng_obs.Replay}, it rebuilds the game from the recorded
+    header (cost version + budgets + start profile), re-applies every
+    recorded move, and verifies each recorded number against the
+    replayed state — [old_cost], [new_cost], the post-move
+    [social_cost], strict improvement, and finally the recorded outcome
+    (final profile, converged-means-stable, a cycle's period against an
+    independently rebuilt occurrence history).
+
+    The replay never re-runs the best-response {e search}: it only
+    re-prices the recorded moves.  That is what makes it a check — a
+    bug in the search that recorded a non-improving or mispriced move
+    is exactly what replay catches, and a recording from one machine
+    replays bit-identically on another. *)
+
+type divergence = {
+  at_step : int;  (** 1-based step where replay and recording part ways;
+                      0 for header-level problems *)
+  reason : string;
+}
+
+val check_run :
+  ?check_stable:bool -> Bbng_obs.Replay.run -> (string, divergence) result
+(** Replay one recorded run.  [Ok summary] means every recorded step
+    re-applied with identical costs and the outcome verified; the
+    summary is a short human-readable line ("replayed 17 steps, outcome
+    converged verified").  A recording interrupted before its outcome
+    (a valid prefix) replays its steps and reports the truncation in
+    the summary rather than failing.
+
+    [check_stable] (default [true]) additionally re-verifies a
+    [converged] outcome by confirming no player has an improving move
+    under the recorded rule — the expensive part; disable it for huge
+    exact-rule instances. *)

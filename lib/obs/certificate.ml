@@ -1,0 +1,62 @@
+let format_version = 1
+
+type t = {
+  kind : string;
+  format : int;
+  body : (string * Json.t) list;
+}
+
+let make ~kind body =
+  { kind; format = format_version; body = body @ Stats.provenance_fields () }
+
+let field k t = List.assoc_opt k t.body
+
+let to_json t =
+  Json.Obj
+    (("kind", Json.Str t.kind) :: ("format", Json.Int t.format) :: t.body)
+
+let of_json = function
+  | Json.Obj fields -> (
+      match
+        (List.assoc_opt "kind" fields, List.assoc_opt "format" fields)
+      with
+      | Some (Json.Str kind), Some (Json.Int format) ->
+          if format > format_version then
+            Error
+              (Printf.sprintf
+                 "artifact format %d is newer than this binary understands (%d)"
+                 format format_version)
+          else
+            Ok
+              {
+                kind;
+                format;
+                body =
+                  List.filter
+                    (fun (k, _) -> k <> "kind" && k <> "format")
+                    fields;
+              }
+      | _ -> Error "artifact lacks a \"kind\"/\"format\" header")
+  | _ -> Error "artifact is not a JSON object"
+
+let write path t =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (Json.to_string (to_json t));
+      output_char oc '\n')
+
+let read path =
+  match open_in path with
+  | exception Sys_error e -> Error e
+  | ic ->
+      let text =
+        Fun.protect
+          ~finally:(fun () -> close_in_noerr ic)
+          (fun () -> really_input_string ic (in_channel_length ic))
+      in
+      (match Json.of_string (String.trim text) with
+      | exception Json.Parse_error e ->
+          Error (Printf.sprintf "%s: %s" path e)
+      | json -> of_json json)

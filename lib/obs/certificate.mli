@@ -1,0 +1,46 @@
+(** Artifact envelope for on-disk audit evidence.
+
+    An {e artifact} is a single-line JSON object with a self-describing
+    header — [kind] (a reverse-dotted name such as
+    ["bbng.equilibrium-certificate"]) and [format] (an integer schema
+    version) — followed by producer-specific body fields plus the
+    standard provenance stamp ([argv], [ocaml_version], [word_size])
+    from {!Stats.provenance_fields}.
+
+    The envelope is deliberately dumb: it knows how to frame, persist
+    and re-read artifacts, and how to refuse ones written by a newer
+    format, but the semantic payload (what an equilibrium certificate
+    {e means}) lives with its producer, which also owns the independent
+    re-checking logic.  This mirrors the proof-search / proof-checking
+    split: the expensive computation writes evidence once, any later
+    process can re-validate it cheaply. *)
+
+type t = {
+  kind : string;
+  format : int;
+  body : (string * Json.t) list;  (** payload + provenance, order kept *)
+}
+
+val format_version : int
+
+val make : kind:string -> (string * Json.t) list -> t
+(** Frame a body, appending the provenance stamp of the producing
+    process. *)
+
+val field : string -> t -> Json.t option
+
+val to_json : t -> Json.t
+
+val of_json : Json.t -> (t, string) result
+(** Rejects non-objects, missing headers, and artifacts written by a
+    {e newer} format than this binary understands.  Older formats are
+    accepted (the reader is responsible for defaulting absent
+    fields). *)
+
+val write : string -> t -> unit
+(** One line of JSON plus a trailing newline, overwriting. *)
+
+val read : string -> (t, string) result
+(** Read and parse a file written by {!write}; all failure modes
+    (unreadable file, malformed JSON, bad header) come back as
+    [Error]. *)

@@ -1,0 +1,51 @@
+(** Flight-recorder parsing: typed views of recorded dynamics runs.
+
+    A [--report] JSONL stream doubles as a flight recording: every
+    applied move is a [dynamics.step] event carrying the full move
+    (player, old arcs, new arcs, costs), bracketed by a
+    [dynamics.start] event (game reconstruction data: version, budgets,
+    start profile, rule, schedule) and a [dynamics.outcome] event (final
+    profile and verdict).  This module extracts those events back into
+    plain records — ints, strings and arrays only, no game types — so
+    the replay checker in [Bbng_dynamics.Replay] (which owns the game
+    semantics) can re-apply and re-verify them.
+
+    Parsing is deliberately lenient where recording may have been cut
+    short: a run whose [dynamics.outcome] never arrived is returned
+    with [run_outcome = None] (a valid prefix is still replayable), and
+    unknown events are ignored. *)
+
+type step = {
+  index : int;           (** 1-based step counter *)
+  player : int;
+  old_cost : int;
+  new_cost : int;
+  social_cost : int;     (** diameter after the move *)
+  old_targets : int array option;  (** arcs before (absent in pre-audit recordings) *)
+  new_targets : int array option;  (** arcs applied *)
+}
+
+type outcome = {
+  outcome : string;              (** {!Bbng_dynamics.Dynamics.outcome_name} *)
+  total_steps : int;
+  period : int option;           (** cycles only *)
+  final_social_cost : int option;
+  final_profile : string option; (** serialized final profile *)
+}
+
+type run = {
+  version : string option;       (** ["MAX"] / ["SUM"] *)
+  budgets : int array option;
+  start_profile : string option;
+  rule : string option;
+  schedule : string option;
+  max_steps : int option;
+  meta : (string * Json.t) list; (** recorder-supplied provenance, e.g. seed *)
+  steps : step list;             (** in application order *)
+  run_outcome : outcome option;  (** [None] = recording was interrupted *)
+}
+
+val runs_of_events : Json.t list -> run list
+(** Split an event stream (as returned by {!Trace_export.read_events})
+    into its recorded dynamics runs, in order.  Non-dynamics events are
+    skipped; a trailing run without an outcome is kept. *)

@@ -7,10 +7,39 @@ let sinks : t list Atomic.t = Atomic.make []
 let out_mutex = Mutex.create ()
 
 let normalize = List.filter (fun s -> s <> Null)
-let set s = Atomic.set sinks (normalize [ s ])
+
+(* A closed report channel (the CLI closes it in its own at_exit) must
+   not make the process-exit flush raise. *)
+let flush_sink = function
+  | Null | Stderr_pretty -> ()
+  | Jsonl oc -> ( try flush oc with Sys_error _ -> ())
+
+let flush_all () =
+  Mutex.protect out_mutex (fun () -> List.iter flush_sink (Atomic.get sinks))
+
+(* Uninstalling a JSONL sink flushes it first, so the channel holds a
+   complete line-delimited prefix the moment it leaves the sink list. *)
+let set s =
+  flush_all ();
+  Atomic.set sinks (normalize [ s ])
+
 let add s = Atomic.set sinks (normalize (s :: Atomic.get sinks))
 let installed () = Atomic.get sinks
 let active () = Atomic.get sinks <> []
+
+let scoped s f =
+  let previous = Atomic.get sinks in
+  Atomic.set sinks (normalize (s :: previous));
+  Fun.protect
+    ~finally:(fun () ->
+      Mutex.protect out_mutex (fun () -> flush_sink s);
+      Atomic.set sinks previous)
+    f
+
+(* Interrupted runs: whatever already reached the channel buffers is
+   drained at process exit, so a crashed --report run still leaves a
+   valid JSONL prefix. *)
+let () = at_exit flush_all
 
 (* event timestamps are microseconds since this module initialized, so
    every sink (and every span event) shares one clock origin *)
@@ -24,6 +53,12 @@ let pretty_field buf (k, v) =
   match v with
   | Json.Str s -> Buffer.add_string buf s
   | v -> Json.to_buffer buf v
+
+(* Milestone events close a logical unit of the stream: force them (and
+   everything buffered before them) to disk so a consumer tailing the
+   file always sees complete runs, even though ordinary events (e.g.
+   thousands of dynamics.step lines) stay buffered for throughput. *)
+let is_milestone name = name = "dynamics.outcome" || name = "run.summary"
 
 let deliver sink name fields =
   match sink with
@@ -46,7 +81,7 @@ let deliver sink name fields =
       let line = Json.to_string (Json.Obj (("event", Json.Str name) :: fields)) in
       output_string oc line;
       output_char oc '\n';
-      flush oc
+      if is_milestone name then flush oc
 
 let emit name fields =
   match Atomic.get sinks with

@@ -8,8 +8,13 @@
       immediate return, so instrumentation stays compiled-in for free;
     - [Stderr_pretty]: one human-readable line per event on stderr
       (this is what [--trace] routes through);
-    - [Jsonl oc]: one JSON object per line on [oc], flushed per event
-      so a crashed run still leaves a parseable prefix.
+    - [Jsonl oc]: one JSON object per line on [oc].  Output is
+      buffered for throughput (a dynamics run emits one line per step);
+      line-delimited prefix validity is preserved anyway because the
+      channel is flushed at every milestone event ([dynamics.outcome],
+      [run.summary]), whenever the sink is uninstalled ({!set},
+      {!scoped} exit), on {!flush_all}, and in an [at_exit] hook — so
+      an interrupted [--report] run still leaves a parseable prefix.
 
     Several sinks can be active at once ([--trace --report f.jsonl]
     installs both), and they all see the same events — that is what
@@ -21,10 +26,24 @@ type t =
   | Jsonl of out_channel
 
 val set : t -> unit
-(** Replace all installed sinks ([set Null] uninstalls everything). *)
+(** Replace all installed sinks ([set Null] uninstalls everything).
+    Previously installed JSONL sinks are flushed before being
+    dropped. *)
 
 val add : t -> unit
 (** Install an additional sink ([add Null] is a no-op). *)
+
+val scoped : t -> (unit -> 'a) -> 'a
+(** [scoped s f] installs [s] alongside the current sinks for the
+    duration of [f] and restores the previous sink list afterwards
+    (flushing [s] on the way out, even on raise).  This is how the
+    experiment harness records one dynamics run into one artifact file
+    without disturbing a surrounding [--report] stream. *)
+
+val flush_all : unit -> unit
+(** Flush every installed JSONL sink.  Also installed as an [at_exit]
+    hook, so buffered report lines survive normal process exit; a sink
+    whose channel was already closed is skipped silently. *)
 
 val installed : unit -> t list
 

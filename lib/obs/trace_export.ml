@@ -124,9 +124,10 @@ let summarize events oc =
   in
   List.iter (fun (k, v) -> Printf.fprintf oc "  %-24s %d\n" k v) counts;
   (* dynamics outcomes are the run's headline *)
-  List.iter
-    (fun j ->
-      if event_name j = "dynamics.outcome" then
+  let outcomes = List.filter (fun j -> event_name j = "dynamics.outcome") events in
+  if List.length outcomes <= 5 then
+    List.iter
+      (fun j ->
         Printf.fprintf oc "outcome: %s (rule %s) after %s steps, social cost %s\n"
           (Option.value ~default:"?" (str_field "outcome" j))
           (Option.value ~default:"?" (str_field "rule" j))
@@ -136,7 +137,68 @@ let summarize events oc =
           (match Json.member "social_cost" j with
           | Some (Json.Int i) -> string_of_int i
           | _ -> "?"))
-    events;
+      outcomes;
+  if outcomes <> [] then begin
+    (* aggregated dynamics section: outcome tally by rule, steps shape *)
+    Printf.fprintf oc "dynamics (%d recorded run%s):\n" (List.length outcomes)
+      (if List.length outcomes = 1 then "" else "s");
+    let tally = Hashtbl.create 8 in
+    List.iter
+      (fun j ->
+        let key =
+          ( Option.value ~default:"?" (str_field "rule" j),
+            Option.value ~default:"?" (str_field "outcome" j) )
+        in
+        Hashtbl.replace tally key
+          (1 + Option.value ~default:0 (Hashtbl.find_opt tally key)))
+      outcomes;
+    let rows =
+      List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) tally [])
+    in
+    List.iter
+      (fun ((rule, outcome), count) ->
+        Printf.fprintf oc "  %-28s %d\n" (rule ^ "/" ^ outcome) count)
+      rows;
+    let steps =
+      List.filter_map
+        (fun j ->
+          match Json.member "steps" j with
+          | Some (Json.Int i) -> Some i
+          | _ -> None)
+        outcomes
+    in
+    (match steps with
+    | [] -> ()
+    | _ :: _ ->
+        let n_runs = List.length steps in
+        let total = List.fold_left ( + ) 0 steps in
+        Printf.fprintf oc "  steps: min %d / mean %.1f / max %d (total %d)\n"
+          (List.fold_left min max_int steps)
+          (float_of_int total /. float_of_int n_runs)
+          (List.fold_left max 0 steps)
+          total;
+        (* power-of-two step buckets: a coarse shape is all that is
+           needed to tell "everything converged instantly" from "the
+           step limit was doing the work" *)
+        let bucket s =
+          if s <= 0 then 0
+          else
+            let rec go b lo = if s < 2 * lo then b else go (b + 1) (2 * lo) in
+            go 1 1
+        in
+        let nbuckets = 1 + List.fold_left (fun a s -> max a (bucket s)) 0 steps in
+        let hist = Array.make nbuckets 0 in
+        List.iter (fun s -> hist.(bucket s) <- hist.(bucket s) + 1) steps;
+        Printf.fprintf oc "  steps histogram:";
+        Array.iteri
+          (fun b c ->
+            if c > 0 then
+              if b = 0 then Printf.fprintf oc "  0:%d" c
+              else
+                Printf.fprintf oc "  [%d,%d):%d" (1 lsl (b - 1)) (1 lsl b) c)
+          hist;
+        Printf.fprintf oc "\n")
+  end;
   (* the final run.summary, re-rendered *)
   (match List.find_opt (fun j -> event_name j = "run.summary") events with
   | None -> Printf.fprintf oc "(no run.summary event — truncated run?)\n"

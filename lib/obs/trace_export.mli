@@ -24,5 +24,8 @@ val to_chrome : Json.t list -> Json.t
 
 val summarize : Json.t list -> out_channel -> unit
 (** Pretty-print a recorded run: event tally, time range, dynamics
-    outcomes, and the final [run.summary] re-rendered (provenance,
-    counters by count, spans by total time, GC delta). *)
+    outcomes (individually when at most five, and always as an
+    aggregated section — outcome counts by rule, step statistics and a
+    power-of-two steps histogram), and the final [run.summary]
+    re-rendered (provenance, counters by count, spans by total time,
+    GC delta). *)

@@ -306,6 +306,158 @@ let test_jsonl_one_event_per_line () =
             "tricky \"quoted\\path\"\nline2" s
       | _ -> Alcotest.fail "text field missing")
 
+let read_lines file =
+  let ic = open_in file in
+  let lines = ref [] in
+  (try
+     while true do
+       lines := input_line ic :: !lines
+     done
+   with End_of_file -> close_in ic);
+  List.rev !lines
+
+let test_sink_scoped_restores () =
+  let file = Filename.temp_file "bbng_obs" ".jsonl" in
+  let oc = open_out file in
+  Fun.protect
+    ~finally:(fun () ->
+      close_out_noerr oc;
+      Sys.remove file)
+    (fun () ->
+      check_false "inactive before" (Sink.active ());
+      Sink.scoped (Sink.Jsonl oc) (fun () ->
+          check_true "active inside the scope" (Sink.active ());
+          Sink.emit "scoped.event" []);
+      check_false "restored after" (Sink.active ());
+      Sink.emit "after.event" [] (* must go nowhere *);
+      (* scoped flushes on exit, so the event is on disk already *)
+      check_int "exactly the scoped event" 1 (List.length (read_lines file)));
+  (* the scope also restores on raise *)
+  let raised =
+    match Sink.scoped Sink.Null (fun () -> failwith "boom") with
+    | () -> false
+    | exception Failure _ -> true
+  in
+  check_true "exception propagates" raised;
+  check_false "restored after raise" (Sink.active ())
+
+let test_jsonl_buffered_until_milestone () =
+  let file = Filename.temp_file "bbng_obs" ".jsonl" in
+  let oc = open_out file in
+  Sink.set (Sink.Jsonl oc);
+  Fun.protect
+    ~finally:(fun () ->
+      Sink.set Sink.Null;
+      close_out_noerr oc;
+      Sys.remove file)
+    (fun () ->
+      Sink.emit "dynamics.step" [ ("step", Json.Int 1) ];
+      (* ordinary events may sit in the channel buffer... *)
+      Sink.flush_all ();
+      check_int "flush_all makes the prefix visible" 1
+        (List.length (read_lines file));
+      Sink.emit "dynamics.step" [ ("step", Json.Int 2) ];
+      Sink.emit "dynamics.outcome" [ ("outcome", Json.Str "converged") ];
+      (* ...but a milestone event flushes without any explicit call:
+         an interrupted --report still ends on a complete run *)
+      check_int "dynamics.outcome is a flush milestone" 3
+        (List.length (read_lines file)))
+
+let test_certificate_envelope_roundtrip () =
+  let module C = Bbng_obs.Certificate in
+  let art =
+    C.make ~kind:"bbng.test-artifact"
+      [ ("payload", Json.Int 42); ("name", Json.Str "x") ]
+  in
+  check_int "format version recorded" C.format_version art.C.format;
+  (match C.of_json (C.to_json art) with
+  | Ok art' ->
+      Alcotest.(check string) "kind survives" "bbng.test-artifact" art'.C.kind;
+      check_true "payload survives" (C.field "payload" art' = Some (Json.Int 42))
+  | Error msg -> Alcotest.failf "round trip: %s" msg);
+  (match C.of_json (Json.Str "nope") with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "non-object accepted");
+  let file = Filename.temp_file "bbng_cert" ".json" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove file)
+    (fun () ->
+      C.write file art;
+      match C.read file with
+      | Ok art' -> Alcotest.(check string) "file round trip" art.C.kind art'.C.kind
+      | Error msg -> Alcotest.failf "read: %s" msg)
+
+let test_replay_parses_runs () =
+  let ev name fields = Json.Obj (("event", Json.Str name) :: fields) in
+  let events =
+    [
+      ev "run.meta" [];
+      ev "dynamics.start"
+        [ ("rule", Json.Str "first-swap"); ("version", Json.Str "SUM");
+          ("budgets", Json.List [ Json.Int 1; Json.Int 1 ]);
+          ("profile", Json.Str "1;0"); ("seed", Json.Int 9) ];
+      ev "dynamics.step"
+        [ ("step", Json.Int 1); ("player", Json.Int 0);
+          ("old_cost", Json.Int 3); ("new_cost", Json.Int 2);
+          ("social_cost", Json.Int 2);
+          ("old_targets", Json.List [ Json.Int 1 ]);
+          ("new_targets", Json.List [ Json.Int 1 ]) ];
+      ev "dynamics.outcome"
+        [ ("outcome", Json.Str "converged"); ("steps", Json.Int 1) ];
+      ev "dynamics.start" [ ("rule", Json.Str "exact-best") ];
+      ev "dynamics.step"
+        [ ("step", Json.Int 1); ("player", Json.Int 1);
+          ("old_cost", Json.Int 5); ("new_cost", Json.Int 4);
+          ("social_cost", Json.Int 4) ];
+      (* second run interrupted: no outcome *)
+    ]
+  in
+  match Bbng_obs.Replay.runs_of_events events with
+  | [ complete; interrupted ] ->
+      Alcotest.(check (option string))
+        "rule" (Some "first-swap") complete.Bbng_obs.Replay.rule;
+      check_true "meta keeps non-structural fields"
+        (List.assoc_opt "seed" complete.Bbng_obs.Replay.meta = Some (Json.Int 9));
+      check_int "steps parsed" 1 (List.length complete.Bbng_obs.Replay.steps);
+      check_true "outcome closed"
+        (complete.Bbng_obs.Replay.run_outcome <> None);
+      check_true "trailing run kept open"
+        (interrupted.Bbng_obs.Replay.run_outcome = None);
+      let s = List.hd interrupted.Bbng_obs.Replay.steps in
+      check_true "pre-audit step has no targets"
+        (s.Bbng_obs.Replay.old_targets = None
+        && s.Bbng_obs.Replay.new_targets = None)
+  | runs -> Alcotest.failf "expected 2 runs, got %d" (List.length runs)
+
+let test_summarize_dynamics_section () =
+  let ev name fields = Json.Obj (("event", Json.Str name) :: fields) in
+  let events =
+    List.concat_map
+      (fun (rule, outcome, steps) ->
+        [
+          ev "dynamics.start" [ ("rule", Json.Str rule) ];
+          ev "dynamics.outcome"
+            [ ("rule", Json.Str rule); ("outcome", Json.Str outcome);
+              ("steps", Json.Int steps) ];
+        ])
+      [ ("exact-best", "converged", 3); ("exact-best", "converged", 12);
+        ("first-swap", "cycle", 40) ]
+  in
+  let file = Filename.temp_file "bbng_obs" ".txt" in
+  let oc = open_out file in
+  Bbng_obs.Trace_export.summarize events oc;
+  close_out oc;
+  let text = String.concat "\n" (read_lines file) in
+  Sys.remove file;
+  let contains needle =
+    let nl = String.length needle and hl = String.length text in
+    let rec go i = i + nl <= hl && (String.sub text i nl = needle || go (i + 1)) in
+    go 0
+  in
+  check_true "aggregates runs" (contains "3 recorded runs");
+  check_true "tallies rule/outcome" (contains "exact-best/converged");
+  check_true "steps stats present" (contains "steps:")
+
 let test_sink_active () =
   check_false "no sink by default here" (Sink.active ());
   Sink.add Sink.Null;
@@ -537,6 +689,11 @@ let suite =
     case "histogram parallel recording" test_histogram_parallel_record;
     case "gcstats delta" test_gcstats_delta;
     case "jsonl sink one event per line" test_jsonl_one_event_per_line;
+    case "sink scoped install/restore" test_sink_scoped_restores;
+    case "jsonl buffering and milestones" test_jsonl_buffered_until_milestone;
+    case "certificate envelope round trip" test_certificate_envelope_roundtrip;
+    case "replay run parsing" test_replay_parses_runs;
+    case "summarize aggregates dynamics runs" test_summarize_dynamics_section;
     case "sink activity" test_sink_active;
     case "span quantiles and gc attribution" test_span_quantiles_and_gc;
     case "span emits event when sinked" test_span_emits_event_when_sinked;
