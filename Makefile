@@ -1,4 +1,4 @@
-.PHONY: build test bench smoke check fmt bench-baseline artifacts
+.PHONY: build test bench smoke fault-smoke check fmt bench-baseline artifacts
 
 build:
 	dune build
@@ -12,6 +12,11 @@ bench:
 smoke:
 	dune exec bench/main.exe -- --smoke
 	dune exec bench/main.exe -- --validate BENCH_smoke.json
+
+# crash-safety matrix: SIGKILL / raise / deadline / malformed-input
+# injections against the CLI, asserting artifact and exit-code contracts
+fault-smoke:
+	sh bin/fault_smoke.sh
 
 # build + tests + bench smoke + report-format validation + bench diff
 check:

@@ -77,6 +77,7 @@ let certify_scaled ?(exact_limit = 400_000_000) ?(swap_limit = 300_000_000)
     match Equilibrium.certificate_verdict cert with
     | Equilibrium.Equilibrium -> "NE(exact)"
     | Equilibrium.Refuted _ -> "NOT-NE"
+    | Equilibrium.Degraded _ -> "NE(degraded)"
   end
   else if swap_work <= swap_limit then begin
     let cert = Equilibrium.certify_swap_cert game profile in
@@ -84,6 +85,7 @@ let certify_scaled ?(exact_limit = 400_000_000) ?(swap_limit = 300_000_000)
     match Equilibrium.certificate_verdict cert with
     | Equilibrium.Equilibrium -> "swap-stable"
     | Equilibrium.Refuted _ -> "NOT-swap-stable"
+    | Equilibrium.Degraded _ -> "swap-stable(degraded)"
   end
   else begin
     let step = max 1 (n / sample) in
@@ -99,15 +101,19 @@ let certify_scaled ?(exact_limit = 400_000_000) ?(swap_limit = 300_000_000)
 
 (* Run [f] with a JSONL flight recorder capturing every dynamics event
    into artifacts/DYN_<name>.jsonl; the recording replays with
-   `bbng_cli replay`. *)
+   `bbng_cli replay`.  The stream goes through the crash-safe partial
+   protocol: a run killed mid-write leaves any previous recording
+   untouched and a DYN_<name>.jsonl.partial holding a replayable
+   prefix. *)
 let record_dynamics ~name f =
   let path = artifact_path (Printf.sprintf "DYN_%s.jsonl" name) in
-  let oc = open_out path in
+  let oc = Bbng_obs.Atomic_io.open_stream path in
   let result =
     Fun.protect
-      ~finally:(fun () -> close_out oc)
+      ~finally:(fun () -> close_out_noerr oc)
       (fun () -> Bbng_obs.Sink.scoped (Bbng_obs.Sink.Jsonl oc) f)
   in
+  Bbng_obs.Atomic_io.commit_stream path;
   note "wrote %s" path;
   result
 
@@ -144,8 +150,9 @@ let write_bench_report ~name fields =
       @ [ ("gc", Bbng_obs.Gcstats.to_json (Bbng_obs.Gcstats.since_start ())) ]
       @ Bbng_obs.Stats.provenance_fields ())
   in
-  let oc = open_out path in
-  output_string oc (Json.to_string json);
-  output_char oc '\n';
-  close_out oc;
+  (* temp + atomic rename: a crashed run never leaves a torn BENCH
+     report for --diff to choke on *)
+  Bbng_obs.Atomic_io.write_file path (fun oc ->
+      output_string oc (Json.to_string json);
+      output_char oc '\n');
   note "wrote %s" path

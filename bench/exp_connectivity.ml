@@ -57,7 +57,8 @@ let via_dynamics () =
       let concl =
         match outcome with
         | Dynamics.Converged _ -> verdict_cell r.Bounds.theorem_7_2_ok
-        | Dynamics.Cycle _ | Dynamics.Step_limit _ -> "(not an equilibrium)"
+        | Dynamics.Cycle _ | Dynamics.Step_limit _ | Dynamics.Interrupted _ ->
+            "(not an equilibrium)"
       in
       Table.add_row t
         [ string_of_int seed; string_of_int n; string_of_int k;

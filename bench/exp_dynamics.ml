@@ -29,7 +29,7 @@ let run_batch version budgets schedule rule =
         if steps > !max_steps_seen then max_steps_seen := steps;
         final_diameters := Cost.social_cost (Strategy.underlying profile) :: !final_diameters
     | Dynamics.Cycle _ -> incr cycles
-    | Dynamics.Step_limit _ -> incr limited
+    | Dynamics.Step_limit _ | Dynamics.Interrupted _ -> incr limited
   done;
   let avg =
     if !converged = 0 then 0.0

@@ -72,6 +72,14 @@ let validate file =
   Printf.printf "%s: ok\n" file
 
 let () =
+  (* fault probes work in the harness too: BBNG_FAULT can crash any
+     experiment at a chosen artifact-write or sink event, which is how
+     bin/fault_smoke.sh checks bench crash-safety out of process *)
+  (match Bbng_obs.Fault.init_from_env () with
+  | Ok () -> ()
+  | Error msg ->
+      Printf.eprintf "bench: bad %s spec: %s\n" Bbng_obs.Fault.env_var msg;
+      exit 124);
   (match Array.to_list Sys.argv with
   | _ :: "--smoke" :: _ ->
       Perf.smoke ();

@@ -17,6 +17,15 @@ module Obs = Bbng_obs
 
 (* --- shared term fragments --- *)
 
+(* [die] is exit-on-error: unlike a clean exit it leaves an open
+   --report stream as FILE.partial (a replayable prefix announcing an
+   aborted run) instead of committing it over the previous FILE. *)
+let exiting_dirty = ref false
+
+let die code =
+  exiting_dirty := true;
+  Stdlib.exit code
+
 (* Observability setup, shared by every subcommand: [--stats] prints a
    counter/span summary to stderr on exit; [--report FILE.jsonl]
    streams structured events to FILE and appends a final [run.summary]
@@ -41,36 +50,97 @@ let obs_term =
              $(b,bbng_cli dynamics --report - | bbng_cli report \
              --summarize -).")
   in
-  let setup stats report =
-    if stats || report <> None then Obs.Span.set_enabled true;
-    let result =
-      match report with
-      | None -> Ok ()
-      | Some "-" ->
-          Obs.Sink.add (Obs.Sink.Jsonl stdout);
-          at_exit (fun () ->
-              Obs.Sink.emit "run.summary" (Obs.Stats.summary_fields ());
-              flush stdout);
-          Ok ()
-      | Some file -> (
-          (* Fail before any work runs: an unwritable --report path is a
-             usage error, not something to discover after minutes of
-             dynamics. *)
-          match open_out file with
-          | exception Sys_error e ->
-              Error (Printf.sprintf "cannot open report file %S: %s" file e)
-          | oc ->
-              Obs.Sink.add (Obs.Sink.Jsonl oc);
+  let fault =
+    Arg.(
+      value & opt_all string []
+      & info [ "fault" ] ~docv:"POINT@ACTION[@N]"
+          ~doc:
+            "Arm a fault-injection probe (repeatable).  ACTION is one of \
+             raise, kill, exit:N, delay:MS — e.g. $(b,--fault \
+             sink.dynamics.step@kill@20) SIGKILLs the process as the 20th \
+             dynamics step is emitted.  The $(b,BBNG_FAULT) environment \
+             variable takes the same specs, comma-separated.")
+  in
+  let setup stats report faults =
+    let rec arm = function
+      | [] -> Ok ()
+      | s :: rest -> (
+          match Obs.Fault.parse s with
+          | Ok spec ->
+              Obs.Fault.arm spec;
+              arm rest
+          | Error msg -> Error (Printf.sprintf "bad --fault spec: %s" msg))
+    in
+    match arm faults with
+    | Error _ as e -> e
+    | Ok () ->
+        if stats || report <> None then Obs.Span.set_enabled true;
+        let result =
+          match report with
+          | None -> Ok ()
+          | Some "-" ->
+              Obs.Sink.add (Obs.Sink.Jsonl stdout);
               at_exit (fun () ->
                   Obs.Sink.emit "run.summary" (Obs.Stats.summary_fields ());
-                  Obs.Sink.flush_all ();
-                  close_out oc);
-              Ok ())
-    in
-    if stats then at_exit (fun () -> Obs.Stats.print stderr);
-    result
+                  flush stdout);
+              Ok ()
+          | Some file -> (
+              (* Fail before any work runs: an unwritable --report path
+                 is a usage error, not something to discover after
+                 minutes of dynamics.
+
+                 The stream lands in FILE.partial and is atomically
+                 promoted to FILE on exit, so a crashed or SIGKILLed run
+                 leaves any previous FILE untouched and the partial as a
+                 valid replayable JSONL prefix (resumable with
+                 [dynamics --resume]). *)
+              match Obs.Atomic_io.open_stream file with
+              | exception Sys_error e ->
+                  Error (Printf.sprintf "cannot open report file %S: %s" file e)
+              | oc ->
+                  Obs.Sink.add (Obs.Sink.Jsonl oc);
+                  at_exit (fun () ->
+                      Obs.Sink.emit "run.summary" (Obs.Stats.summary_fields ());
+                      Obs.Sink.flush_all ();
+                      close_out_noerr oc;
+                      if not !exiting_dirty then Obs.Atomic_io.commit_stream file);
+                  Ok ())
+        in
+        if stats then at_exit (fun () -> Obs.Stats.print stderr);
+        result
   in
-  Term.term_result' Term.(const setup $ stats $ report)
+  Term.term_result' Term.(const setup $ stats $ report $ fault)
+
+(* Deadline/work-budget flags, shared by the deadline-aware
+   subcommands.  Absent flags yield the shared unlimited token, which
+   costs nothing in the hot loops. *)
+let budget_term =
+  let deadline =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "deadline-ms" ] ~docv:"MS"
+          ~doc:
+            "Wall-clock budget in milliseconds.  When it expires, exact \
+             searches degrade to typed partial results (degraded \
+             certificates, interrupted dynamics) instead of running \
+             unboundedly.")
+  in
+  let max_work =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "max-work" ] ~docv:"UNITS"
+          ~doc:
+            "Work budget in vertex-visit units (one BFS costs about n).  \
+             Deterministic counterpart of $(b,--deadline-ms).")
+  in
+  let make deadline_ms work_limit =
+    match (deadline_ms, work_limit) with
+    | None, None -> Obs.Budgeted.unlimited
+    | _ -> Obs.Budgeted.create ?deadline_ms ?work_limit ()
+  in
+  Term.(const make $ deadline $ max_work)
 
 let version_term =
   let parse = function
@@ -100,6 +170,43 @@ let budgets_term =
     required
     & opt (some (conv (parse, print))) None
     & info [ "budgets"; "b" ] ~docv:"B1,B2,..." ~doc:"Budget vector.")
+
+(* Optional variant for subcommands where the instance can come from
+   elsewhere (dynamics --resume reads it out of the recording). *)
+let budgets_opt_term =
+  let parse s =
+    try
+      Ok
+        (Budget.of_list
+           (List.map int_of_string (String.split_on_char ',' (String.trim s))))
+    with _ -> Error (`Msg "budgets must look like 0,1,2,1")
+  in
+  let print ppf b = Budget.pp ppf b in
+  Arg.(
+    value
+    & opt (some (conv (parse, print))) None
+    & info [ "budgets"; "b" ] ~docv:"B1,B2,..."
+        ~doc:"Budget vector (not needed with --resume).")
+
+(* Shared flight-recording reader: '-' is stdin; open failures are IO
+   errors (4), never backtraces. *)
+let read_events_or_exit input =
+  let events, skipped =
+    if input = "-" then Obs.Trace_export.read_events stdin
+    else
+      match open_in input with
+      | exception Sys_error e ->
+          Printf.eprintf "bbng: cannot open recording: %s\n" e;
+          die Obs.Exit_code.io_error
+      | ic ->
+          Fun.protect
+            ~finally:(fun () -> close_in_noerr ic)
+            (fun () -> Obs.Trace_export.read_events ic)
+  in
+  if skipped > 0 then
+    Printf.eprintf "bbng: skipped %d non-event line%s\n" skipped
+      (if skipped = 1 then "" else "s");
+  events
 
 let report_profile version profile =
   let game = Game.make version (Strategy.budgets profile) in
@@ -193,7 +300,7 @@ let pp_evidence_summary ppf (cert : Equilibrium.certificate) =
         match Hashtbl.find_opt tally t with
         | Some c -> Some (Printf.sprintf "%s: %d" t c)
         | None -> None)
-      [ "exact"; "swap"; "lemma-2.2"; "cost-floor" ]
+      [ "exact"; "swap"; "lemma-2.2"; "cost-floor"; "degraded" ]
   in
   Format.fprintf ppf "%d player%s — %s; %d candidate%s scanned"
     (List.length cert.Equilibrium.cert_evidence)
@@ -246,7 +353,12 @@ let verify_cmd =
   in
   let verify_artifact path samples =
     match Equilibrium.read_certificate path with
-    | Error msg -> `Error (false, Printf.sprintf "%s: %s" path msg)
+    | Error msg ->
+        (* a file that exists but doesn't parse as a certificate is bad
+           input, not CLI misuse: taxonomy code 2, message names the
+           file *)
+        Printf.eprintf "bbng: %s: %s\n" path msg;
+        die Obs.Exit_code.input_error
     | Ok cert -> (
         Format.printf "certificate: %s (mode %s, %s, %a)@." path
           (Equilibrium.mode_name cert.Equilibrium.cert_mode)
@@ -263,12 +375,12 @@ let verify_cmd =
             Format.eprintf "independent re-check FAILED: %s@." msg;
             Stdlib.exit 1)
   in
-  let certify_profile version profile cert_out swap par =
+  let certify_profile version profile cert_out swap par budget =
     let game = Game.make version (Strategy.budgets profile) in
     let cert =
-      if swap then Equilibrium.certify_swap_cert game profile
-      else if par then Equilibrium.certify_parallel_cert game profile
-      else Equilibrium.certify_cert game profile
+      if swap then Equilibrium.certify_swap_cert ~budget game profile
+      else if par then Equilibrium.certify_parallel_cert ~budget game profile
+      else Equilibrium.certify_cert ~budget game profile
     in
     Format.printf "profile:   %s@." (Strategy.to_string profile);
     Format.printf "graph:     %a@." Bbng_graph.Digraph.pp
@@ -285,12 +397,12 @@ let verify_cmd =
         Format.printf "wrote %s@." path);
     `Ok ()
   in
-  let run () version target cert_out swap par samples =
+  let run () version target cert_out swap par samples budget =
     if Sys.file_exists target then verify_artifact target samples
     else
       match Strategy.of_string target with
       | exception Invalid_argument msg -> `Error (false, msg)
-      | profile -> certify_profile version profile cert_out swap par
+      | profile -> certify_profile version profile cert_out swap par budget
   in
   let info =
     Cmd.info "verify"
@@ -302,7 +414,76 @@ let verify_cmd =
     Term.(
       ret
         (const run $ obs_term $ version_term $ target $ cert_out $ swap $ par
-        $ samples))
+        $ samples $ budget_term))
+
+(* --- certify: the profile-certification half of verify, with an
+   unambiguous positional (never interpreted as a file path) --- *)
+
+let certify_cmd =
+  let profile_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"PROFILE"
+          ~doc:"A serialized profile to certify, e.g. \"1,2;0;0\".")
+  in
+  let cert_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "cert" ] ~docv:"OUT.json"
+          ~doc:
+            "Write the evidence as a single-line JSON certificate \
+             artifact (crash-safe: temp file + atomic rename).  A \
+             deadline-degraded certificate carries a $(i,degraded) \
+             provenance field and still passes $(b,bbng_cli verify).")
+  in
+  let swap =
+    Arg.(
+      value & flag
+      & info [ "swap" ]
+          ~doc:"Certify swap stability instead of exact Nash (polynomial).")
+  in
+  let par =
+    Arg.(
+      value & flag
+      & info [ "parallel" ]
+          ~doc:"Fan the per-player checks out over domains (same certificate).")
+  in
+  let run () version profile_str cert_out swap par budget =
+    match Strategy.of_string profile_str with
+    | exception Invalid_argument msg -> `Error (false, msg)
+    | profile ->
+        let game = Game.make version (Strategy.budgets profile) in
+        let cert =
+          if swap then Equilibrium.certify_swap_cert ~budget game profile
+          else if par then
+            Equilibrium.certify_parallel_cert ~budget game profile
+          else Equilibrium.certify_cert ~budget game profile
+        in
+        Format.printf "profile:   %s@." (Strategy.to_string profile);
+        Format.printf "verdict:   %a@." Equilibrium.pp_verdict
+          (Equilibrium.certificate_verdict cert);
+        Format.printf "evidence:  %a@." pp_evidence_summary cert;
+        (match cert_out with
+        | None -> ()
+        | Some path ->
+            Equilibrium.write_certificate path cert;
+            Format.printf "wrote %s@." path);
+        `Ok ()
+  in
+  let info =
+    Cmd.info "certify"
+      ~doc:
+        "Certify a serialized profile under an optional deadline/work \
+         budget; an expired budget yields a degraded certificate (typed \
+         partial evidence), never a crash."
+  in
+  Cmd.v info
+    Term.(
+      ret
+        (const run $ obs_term $ version_term $ profile_arg $ cert_out $ swap
+        $ par $ budget_term))
 
 (* --- dynamics --- *)
 
@@ -334,30 +515,91 @@ let dynamics_cmd =
             "Show every improving move (routed through the pretty event \
              sink, so it matches --report's JSONL line for line).")
   in
-  let run () version budgets seed steps rule trace =
-    (* --trace is just the pretty sink: the same dynamics.step events a
-       --report file receives, rendered for humans on stderr. *)
-    if trace then Obs.Sink.add Obs.Sink.Stderr_pretty;
-    let game = Game.make version budgets in
-    let start = Strategy.random (Random.State.make [| seed |]) budgets in
-    Format.printf "start: %s (diameter %d)@."
-      (Strategy.to_string start)
-      (Game.social_cost game start);
+  let resume =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "resume" ] ~docv:"REPORT.jsonl"
+          ~doc:
+            "Resume a recorded run: re-apply (and verify) the recorded \
+             step prefix, then continue the dynamics from its last \
+             consistent state.  Accepts interrupted runs and \
+             crash-truncated .partial recordings; version, budgets and \
+             rule come from the recording.")
+  in
+  let finish_run game rule budget steps seed extra_meta start =
     let outcome =
-      Bbng_dynamics.Dynamics.run ~max_steps:steps
-        ~meta:[ ("seed", Obs.Json.Int seed) ]
+      Bbng_dynamics.Dynamics.run ~max_steps:steps ~budget
+        ~meta:(("seed", Obs.Json.Int seed) :: extra_meta)
         game ~schedule:Bbng_dynamics.Schedule.Round_robin ~rule start
     in
     Format.printf "outcome: %s after %d steps@."
       (Bbng_dynamics.Dynamics.outcome_name outcome)
       (Bbng_dynamics.Dynamics.steps outcome);
-    report_profile version (Bbng_dynamics.Dynamics.final_profile outcome)
+    report_profile (Game.version game)
+      (Bbng_dynamics.Dynamics.final_profile outcome);
+    `Ok ()
   in
-  let info = Cmd.info "dynamics" ~doc:"Run best-response dynamics from a random start." in
+  let run () version budgets seed steps rule trace resume budget =
+    (* --trace is just the pretty sink: the same dynamics.step events a
+       --report file receives, rendered for humans on stderr. *)
+    if trace then Obs.Sink.add Obs.Sink.Stderr_pretty;
+    match resume with
+    | Some file -> (
+        let events = read_events_or_exit file in
+        match Obs.Replay.runs_of_events events with
+        | [] ->
+            Printf.eprintf "bbng: %s: no recorded dynamics runs\n" file;
+            die Obs.Exit_code.input_error
+        | runs -> (
+            (* the last run is the one a crash truncated *)
+            let r = List.nth runs (List.length runs - 1) in
+            match Bbng_dynamics.Replay.resume_state r with
+            | Error d ->
+                Printf.eprintf
+                  "bbng: %s: recorded prefix diverges at step %d: %s\n" file
+                  d.Bbng_dynamics.Replay.at_step d.Bbng_dynamics.Replay.reason;
+                die Obs.Exit_code.input_error
+            | Ok (game, profile, done_steps) ->
+                let rule =
+                  match
+                    Option.bind r.Obs.Replay.rule
+                      Bbng_dynamics.Dynamics.rule_of_name
+                  with
+                  | Some recorded -> recorded
+                  | None -> rule
+                in
+                Format.printf "resumed: %s at step %d, profile %s@." file
+                  done_steps
+                  (Strategy.to_string profile);
+                finish_run game rule budget steps seed
+                  [
+                    ("resumed_from", Obs.Json.Str file);
+                    ("resumed_at_step", Obs.Json.Int done_steps);
+                  ]
+                  profile))
+    | None -> (
+        match budgets with
+        | None -> `Error (true, "either --budgets or --resume is required")
+        | Some budgets ->
+            let game = Game.make version budgets in
+            let start = Strategy.random (Random.State.make [| seed |]) budgets in
+            Format.printf "start: %s (diameter %d)@."
+              (Strategy.to_string start)
+              (Game.social_cost game start);
+            finish_run game rule budget steps seed [] start)
+  in
+  let info =
+    Cmd.info "dynamics"
+      ~doc:
+        "Run best-response dynamics from a random start, or resume a \
+         recorded run."
+  in
   Cmd.v info
     Term.(
-      const run $ obs_term $ version_term $ budgets_term $ seed_term $ steps $ rule
-      $ trace)
+      ret
+        (const run $ obs_term $ version_term $ budgets_opt_term $ seed_term
+        $ steps $ rule $ trace $ resume $ budget_term))
 
 (* --- opt --- *)
 
@@ -382,27 +624,73 @@ let kcenter_cmd =
   let n = Arg.(value & opt int 10 & info [ "n" ] ~docv:"N" ~doc:"Vertices.") in
   let p = Arg.(value & opt float 0.3 & info [ "p" ] ~docv:"P" ~doc:"Edge probability.") in
   let k = Arg.(value & opt int 2 & info [ "k" ] ~docv:"K" ~doc:"Centers.") in
-  let run () n p k seed =
+  let graph_file =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "graph" ] ~docv:"FILE"
+          ~doc:
+            "Read the instance from an edge-list file (header \"graph N\", \
+             one \"u v\" edge per line, # comments) instead of sampling \
+             G(n,p); see $(b,bbng_cli export -f text).")
+  in
+  let load_graph file =
+    let text =
+      match open_in file with
+      | exception Sys_error e ->
+          Printf.eprintf "bbng: cannot read graph file: %s\n" e;
+          die Obs.Exit_code.io_error
+      | ic ->
+          Fun.protect
+            ~finally:(fun () -> close_in_noerr ic)
+            (fun () -> really_input_string ic (in_channel_length ic))
+    in
+    match Bbng_graph.Serialize.Undirected_io.of_text text with
+    | exception Invalid_argument msg ->
+        (* taxonomy: malformed input names the file, exits 2 — never a
+           backtrace *)
+        Printf.eprintf "bbng: %s: malformed graph file: %s\n" file msg;
+        die Obs.Exit_code.input_error
+    | g -> g
+  in
+  let run () n p k seed graph_file budget =
     let g =
-      Bbng_graph.Generators.random_connected_gnp (Random.State.make [| seed |]) ~n ~p
+      match graph_file with
+      | Some file -> load_graph file
+      | None ->
+          Bbng_graph.Generators.random_connected_gnp
+            (Random.State.make [| seed |])
+            ~n ~p
     in
     Format.printf "graph: %a@." Bbng_graph.Undirected.pp g;
-    let direct = Bbng_solvers.K_center.exact g ~k in
-    let via = Bbng_solvers.Reduction.solve_center_via_game g ~k in
     let show tag (s : Bbng_solvers.K_center.solution) =
-      Format.printf "%s: radius %d, centers {%s}@." tag s.Bbng_solvers.K_center.radius
+      Format.printf "%s: radius %d, centers {%s}@." tag
+        s.Bbng_solvers.K_center.radius
         (String.concat ","
            (List.map string_of_int (Array.to_list s.Bbng_solvers.K_center.centers)))
     in
-    show "direct solver     " direct;
-    show "via best response " via;
-    Format.printf "agreement (Theorem 2.1): %b@."
-      (direct.Bbng_solvers.K_center.radius = via.Bbng_solvers.K_center.radius)
+    match Bbng_solvers.K_center.exact_within ~budget g ~k with
+    | Obs.Budgeted.Exhausted ->
+        Printf.eprintf
+          "bbng: k-center budget exhausted before any candidate was priced\n";
+        die Obs.Exit_code.exhausted
+    | Obs.Budgeted.Degraded s ->
+        show "degraded solver   " s;
+        Format.printf
+          "(budget expired: radius %d is an upper bound, not proven optimal)@."
+          s.Bbng_solvers.K_center.radius
+    | Obs.Budgeted.Complete direct ->
+        let via = Bbng_solvers.Reduction.solve_center_via_game g ~k in
+        show "direct solver     " direct;
+        show "via best response " via;
+        Format.printf "agreement (Theorem 2.1): %b@."
+          (direct.Bbng_solvers.K_center.radius = via.Bbng_solvers.K_center.radius)
   in
   let info =
     Cmd.info "kcenter" ~doc:"Solve k-center through the Theorem 2.1 reduction."
   in
-  Cmd.v info Term.(const run $ obs_term $ n $ p $ k $ seed_term)
+  Cmd.v info
+    Term.(const run $ obs_term $ n $ p $ k $ seed_term $ graph_file $ budget_term)
 
 (* --- fip: improvement-graph analysis --- *)
 
@@ -537,26 +825,10 @@ let report_cmd =
              when --to-chrome-trace is absent.")
   in
   let run () input chrome summarize =
-    let read_in () =
-      if input = "-" then Obs.Trace_export.read_events stdin
-      else begin
-        let ic =
-          try open_in input
-          with Sys_error e ->
-            Printf.eprintf "bbng: cannot open report: %s\n" e;
-            Stdlib.exit 1
-        in
-        Fun.protect ~finally:(fun () -> close_in_noerr ic) (fun () ->
-            Obs.Trace_export.read_events ic)
-      end
-    in
-    let events, skipped = read_in () in
-    if skipped > 0 then
-      Printf.eprintf "bbng: skipped %d non-event line%s\n" skipped
-        (if skipped = 1 then "" else "s");
+    let events = read_events_or_exit input in
     if events = [] then begin
       Printf.eprintf "bbng: no events in %s\n" input;
-      Stdlib.exit 1
+      die Obs.Exit_code.input_error
     end;
     (match chrome with
     | None -> ()
@@ -571,14 +843,11 @@ let report_cmd =
           flush stdout
         end
         else begin
-          let oc =
-            try open_out out
-            with Sys_error e ->
-              Printf.eprintf "bbng: cannot open output: %s\n" e;
-              Stdlib.exit 1
-          in
-          write oc;
-          close_out oc;
+          (match Obs.Atomic_io.write_file out write with
+          | () -> ()
+          | exception Sys_error e ->
+              Printf.eprintf "bbng: cannot write output: %s\n" e;
+              die Obs.Exit_code.io_error);
           Printf.eprintf "wrote %s (%d events)\n" out (List.length events)
         end);
     if summarize || chrome = None then Obs.Trace_export.summarize events stdout;
@@ -613,23 +882,11 @@ let replay_cmd =
              the recorded rule (the expensive part on exact-rule runs).")
   in
   let run () input no_stable =
-    let events, skipped =
-      if input = "-" then Obs.Trace_export.read_events stdin
-      else
-        match open_in input with
-        | exception Sys_error e ->
-            Printf.eprintf "bbng: cannot open recording: %s\n" e;
-            Stdlib.exit 1
-        | ic ->
-            Fun.protect
-              ~finally:(fun () -> close_in_noerr ic)
-              (fun () -> Obs.Trace_export.read_events ic)
-    in
-    if skipped > 0 then
-      Printf.eprintf "bbng: skipped %d non-event line%s\n" skipped
-        (if skipped = 1 then "" else "s");
+    let events = read_events_or_exit input in
     match Obs.Replay.runs_of_events events with
-    | [] -> `Error (false, Printf.sprintf "no recorded dynamics runs in %s" input)
+    | [] ->
+        Printf.eprintf "bbng: no recorded dynamics runs in %s\n" input;
+        die Obs.Exit_code.input_error
     | runs ->
         let check_stable = not no_stable in
         let failures =
@@ -663,7 +920,29 @@ let main_cmd =
       ~doc:"Bounded budget network creation games (SPAA 2011 reproduction)."
   in
   Cmd.group info
-    [ construct_cmd; verify_cmd; dynamics_cmd; opt_cmd; kcenter_cmd; census_cmd;
-      export_cmd; fip_cmd; report_cmd; replay_cmd ]
+    [ construct_cmd; verify_cmd; certify_cmd; dynamics_cmd; opt_cmd;
+      kcenter_cmd; census_cmd; export_cmd; fip_cmd; report_cmd; replay_cmd ]
 
-let () = exit (Cmd.eval main_cmd)
+(* Structured failure: every exception class the engine can legitimately
+   raise maps to a documented exit code (Exit_code) with a one-line
+   message naming the problem; only genuinely unknown exceptions (bugs)
+   get a backtrace, under the internal-error code.  [~catch:false] keeps
+   cmdliner from swallowing exceptions before we classify them. *)
+let () =
+  (match Obs.Fault.init_from_env () with
+  | Ok () -> ()
+  | Error msg ->
+      Printf.eprintf "bbng: bad %s spec: %s\n" Obs.Fault.env_var msg;
+      exit Obs.Exit_code.cli_error);
+  match Cmd.eval ~catch:false main_cmd with
+  | 0 -> exit 0
+  | code -> die code
+  | exception e -> (
+      match Obs.Exit_code.of_exn e with
+      | Some (code, msg) ->
+          Printf.eprintf "bbng: %s\n" msg;
+          die code
+      | None ->
+          Printf.eprintf "bbng: internal error: %s\n%s" (Printexc.to_string e)
+            (Printexc.get_backtrace ());
+          die Obs.Exit_code.internal_error)

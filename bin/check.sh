@@ -38,6 +38,12 @@ if [ "$found_golden" = 0 ]; then
   exit 1
 fi
 
+echo "== fault-matrix smoke =="
+# out-of-process crash-safety: SIGKILL/raise/deadline injections must
+# leave only artifacts that verify or replay cleanly, and malformed
+# inputs must exit with their taxonomy codes (see bin/fault_smoke.sh)
+sh bin/fault_smoke.sh
+
 echo "== bench smoke =="
 # snapshot the pre-run baseline before --smoke overwrites it
 baseline=""

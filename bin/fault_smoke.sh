@@ -1,0 +1,106 @@
+#!/bin/sh
+# Fault-matrix smoke: out-of-process checks of the crash-safety and
+# exit-code contracts that test/test_fault.ml cannot exercise in
+# process (SIGKILL runs no cleanup; exit codes are process-level).
+#
+# Contract under test (see README "Resilience & limits"):
+#   - killing a run mid-artifact-write leaves the previous artifact
+#     byte-identical and still verifying;
+#   - killing a run mid-flight-recording leaves the previous report
+#     untouched and a .partial prefix that replays and resumes cleanly;
+#   - an injected raise maps to exit 5 (fault), a deadline to a
+#     degraded-but-verifying certificate, malformed input to exit 2.
+set -eu
+cd "$(dirname "$0")/.."
+
+dune build bin/bbng_cli.exe bench/main.exe
+CLI="$(pwd)/_build/default/bin/bbng_cli.exe"
+BENCH="$(pwd)/_build/default/bench/main.exe"
+
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT INT TERM
+cd "$tmp"
+
+fail() {
+  echo "fault-smoke: FAIL: $*" >&2
+  exit 1
+}
+
+# an 8-player MAX equilibrium whose certification needs the real scan
+PROFILE="1,7;;3,7;;5,7;;;"
+DYNB=2,2,2,2,2,2,2,2,2,2,2,2
+
+echo "== 1. kill mid-certificate-write: previous artifact survives =="
+"$CLI" certify "$PROFILE" -c max --cert CERT.json > /dev/null
+cp CERT.json CERT.before.json
+rc=0
+"$CLI" certify "$PROFILE" -c max --cert CERT.json \
+  --fault artifact.mid_write@kill > /dev/null 2>&1 || rc=$?
+[ "$rc" = 137 ] || fail "expected SIGKILL exit 137, got $rc"
+cmp -s CERT.before.json CERT.json || fail "previous certificate was torn"
+"$CLI" verify CERT.json > /dev/null || fail "previous certificate no longer verifies"
+
+echo "== 2. kill mid-flight-recording: partial prefix replays and resumes =="
+"$CLI" dynamics -b "$DYNB" --seed 3 --report RUN.jsonl > /dev/null
+cp RUN.jsonl RUN.before.jsonl
+rc=0
+"$CLI" dynamics -b "$DYNB" --seed 3 --report RUN.jsonl \
+  --fault sink.dynamics.step@kill@5 > /dev/null 2>&1 || rc=$?
+[ "$rc" = 137 ] || fail "expected SIGKILL exit 137, got $rc"
+cmp -s RUN.before.jsonl RUN.jsonl || fail "previous report was torn"
+[ -s RUN.jsonl.partial ] || fail "no .partial prefix left behind"
+"$CLI" replay RUN.jsonl.partial > /dev/null || fail "partial prefix does not replay"
+"$CLI" dynamics --resume RUN.jsonl.partial > /dev/null \
+  || fail "partial prefix does not resume"
+
+echo "== 3. injected raise maps to the fault exit code =="
+rc=0
+"$CLI" dynamics -b "$DYNB" --seed 3 --report RUN2.jsonl \
+  --fault span.dynamics.select_move@raise@3 > /dev/null 2>&1 || rc=$?
+[ "$rc" = 5 ] || fail "expected fault exit 5, got $rc"
+# the interrupted recording is still a replayable prefix
+[ -s RUN2.jsonl.partial ] || fail "raise left no .partial prefix"
+"$CLI" replay RUN2.jsonl.partial > /dev/null || fail "raise-interrupted prefix does not replay"
+
+echo "== 4. deadline degrades the certificate, and it still verifies =="
+"$CLI" certify "$PROFILE" -c max --deadline-ms 0.001 --cert DEG.json > out.txt
+grep -q degraded out.txt || fail "deadline did not degrade the verdict"
+grep -q '"degraded":true' DEG.json || fail "degraded provenance missing from artifact"
+"$CLI" verify DEG.json > /dev/null || fail "degraded certificate rejected by verify"
+
+echo "== 5. input taxonomy: malformed inputs exit 2, never a backtrace =="
+echo 'this is not json' > bad.json
+rc=0
+"$CLI" verify bad.json > /dev/null 2> err.txt || rc=$?
+[ "$rc" = 2 ] || fail "malformed certificate: expected exit 2, got $rc"
+grep -q "Raised at" err.txt && fail "malformed certificate leaked a backtrace"
+echo 'not an edge list' > bad.graph
+rc=0
+"$CLI" kcenter --graph bad.graph -k 2 > /dev/null 2> err.txt || rc=$?
+[ "$rc" = 2 ] || fail "malformed graph file: expected exit 2, got $rc"
+grep -q "bad.graph" err.txt || fail "graph error does not name the input file"
+
+echo "== 6. env-armed fault specs are validated up front =="
+rc=0
+BBNG_FAULT="nonsense spec" "$CLI" construct tripod -k 1 > /dev/null 2>&1 || rc=$?
+[ "$rc" = 124 ] || fail "bad BBNG_FAULT: expected exit 124, got $rc"
+
+echo "== 7. SIGKILL a bench experiment mid-write: every artifact verifies or replays =="
+"$BENCH" artifacts > /dev/null
+rc=0
+BBNG_FAULT="artifact.mid_write@kill@2" "$BENCH" artifacts > /dev/null 2>&1 || rc=$?
+[ "$rc" = 137 ] || fail "bench kill: expected exit 137, got $rc"
+for f in artifacts/CERT_*.json; do
+  [ -e "$f" ] || fail "bench kill wiped the certificates"
+  "$CLI" verify "$f" > /dev/null || fail "$f no longer verifies after bench kill"
+done
+for f in artifacts/DYN_*.jsonl; do
+  [ -e "$f" ] || continue
+  "$CLI" replay "$f" > /dev/null || fail "$f no longer replays after bench kill"
+done
+for f in artifacts/DYN_*.jsonl.partial; do
+  [ -e "$f" ] || continue
+  "$CLI" replay "$f" > /dev/null || fail "$f is not a replayable prefix"
+done
+
+echo "fault-smoke: all green"

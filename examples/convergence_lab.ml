@@ -67,7 +67,7 @@ let sampled_tier () =
         with
         | Dynamics.Converged _ -> incr converged
         | Dynamics.Cycle _ -> incr cycled
-        | Dynamics.Step_limit _ -> ()
+        | Dynamics.Step_limit _ | Dynamics.Interrupted _ -> ()
       done;
       Printf.printf "  uniform(%d,%d): %d/%d converged, %d cycles\n" n b !converged
         runs !cycled)

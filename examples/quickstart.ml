@@ -37,8 +37,7 @@ let () =
   (* The certifier returns a profitable deviation as a witness. *)
   (match Equilibrium.certify game profile with
   | Equilibrium.Equilibrium -> Format.printf "Profile is a Nash equilibrium@."
-  | Equilibrium.Refuted _ as v ->
-      Format.printf "Certifier says: %a@." Equilibrium.pp_verdict v);
+  | v -> Format.printf "Certifier says: %a@." Equilibrium.pp_verdict v);
 
   (* Iterated best responses converge to an equilibrium here. *)
   let outcome =

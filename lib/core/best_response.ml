@@ -8,6 +8,7 @@ let c_candidates = Bbng_obs.Counter.make "br.candidates"
 let c_improving = Bbng_obs.Counter.make "br.improving_moves"
 let c_pruned_floor = Bbng_obs.Counter.make "br.pruned_floor"
 let c_pruned_lemma = Bbng_obs.Counter.make "br.pruned_lemma22"
+let c_degraded = Bbng_obs.Counter.make "br.degraded_scans"
 
 (* candidates evaluated per improvement/swap search — a pruned search
    records 0, so the distribution shows how often the floor and Lemma
@@ -28,7 +29,13 @@ type context = {
   current_cost : int;
 }
 
-let make_context game profile player =
+(* Context warm-up runs unlimited even when the caller hands us an
+   already-expired token: the current cost and the floor are what the
+   cheap fallback tiers (cost-floor, Lemma 2.2) compare against, and
+   those must stay available under any deadline.  The caller's token is
+   armed only after warm-up, so only the candidate scan can trip. *)
+let make_context ?(scan_budget = Bbng_obs.Budgeted.unlimited) game profile
+    player =
   let n = Game.n game in
   let budget = Budget.get (Game.budgets game) player in
   let eval_ctx = Deviation_eval.make (Game.version game) profile ~player in
@@ -44,6 +51,7 @@ let make_context game profile player =
     Cost.cost_floor (Game.version game) ~n ~budget ~in_degree
   in
   let current_cost = Deviation_eval.current_cost eval_ctx in
+  Deviation_eval.set_budget eval_ctx scan_budget;
   { game; profile; player; eval_ctx; budget; in_degree; floor; current_cost }
 
 let eval ctx targets =
@@ -62,8 +70,8 @@ let satisfies_lemma_2_2 profile player =
   | None -> false
   | Some e -> e = 1 || (e <= 2 && not (Digraph.in_some_brace g player))
 
-let exact game profile player =
-  let ctx = make_context game profile player in
+let exact ?budget game profile player =
+  let ctx = make_context ?scan_budget:budget game profile player in
   let n = Game.n game in
   match
     Combinatorics.fold_best ~n:(n - 1) ~k:ctx.budget
@@ -117,11 +125,15 @@ let scan_for_improvement ctx ~stop_at_first =
     result
   end
 
-let exact_improvement game profile player =
-  scan_for_improvement (make_context game profile player) ~stop_at_first:true
+let exact_improvement ?budget game profile player =
+  scan_for_improvement
+    (make_context ?scan_budget:budget game profile player)
+    ~stop_at_first:true
 
-let best_improvement game profile player =
-  scan_for_improvement (make_context game profile player) ~stop_at_first:false
+let best_improvement ?budget game profile player =
+  scan_for_improvement
+    (make_context ?scan_budget:budget game profile player)
+    ~stop_at_first:false
 
 let swap_candidates ctx =
   (* (kept-set, replacement) pairs: drop each owned arc in turn, try
@@ -176,27 +188,38 @@ let swap_scan ctx ~stop_at_first =
     result
   end
 
-let swap_best game profile player =
-  swap_scan (make_context game profile player) ~stop_at_first:false
+let swap_best ?budget game profile player =
+  swap_scan
+    (make_context ?scan_budget:budget game profile player)
+    ~stop_at_first:false
 
-let first_improving_swap game profile player =
-  swap_scan (make_context game profile player) ~stop_at_first:true
+let first_improving_swap ?budget game profile player =
+  swap_scan
+    (make_context ?scan_budget:budget game profile player)
+    ~stop_at_first:true
 
 (* --- audited checks: the same ladder, with evidence --- *)
 
-type tier = Cost_floor | Lemma_2_2_tier | Exhaustive | Swap_exhaustive
+type tier =
+  | Cost_floor
+  | Lemma_2_2_tier
+  | Exhaustive
+  | Swap_exhaustive
+  | Degraded_scan
 
 let tier_name = function
   | Cost_floor -> "cost-floor"
   | Lemma_2_2_tier -> "lemma-2.2"
   | Exhaustive -> "exact"
   | Swap_exhaustive -> "swap"
+  | Degraded_scan -> "degraded"
 
 let tier_of_name = function
   | "cost-floor" -> Some Cost_floor
   | "lemma-2.2" -> Some Lemma_2_2_tier
   | "exact" -> Some Exhaustive
   | "swap" -> Some Swap_exhaustive
+  | "degraded" -> Some Degraded_scan
   | _ -> None
 
 type audit = {
@@ -218,6 +241,7 @@ let audit_candidates ctx ~tier iter_targets =
   let best = ref None in
   let improving = ref None in
   let scanned = ref 0 in
+  let interrupted = ref false in
   (try
      iter_targets (fun targets ->
          incr scanned;
@@ -230,13 +254,23 @@ let audit_candidates ctx ~tier iter_targets =
            improving := Some { targets; cost };
            raise Exit
          end)
-   with Exit -> ());
+   with
+  | Exit -> ()
+  | Bbng_obs.Budgeted.Expired ->
+      (* the raising candidate was never evaluated: don't count it, and
+         don't trust [best] beyond what was actually priced *)
+      decr scanned;
+      interrupted := true;
+      Bbng_obs.Counter.bump c_degraded);
   record_search_size !scanned;
   {
-    tier;
+    tier = (if !interrupted then Degraded_scan else tier);
     scanned = !scanned;
     current = ctx.current_cost;
     best = !best;
+    (* a found improvement always escapes via Exit before any further
+       eval, so an interrupted scan has [improving = None] by
+       construction *)
     improving = !improving;
   }
 
@@ -244,8 +278,8 @@ let pruned_audit ctx tier =
   record_search_size 0;
   { tier; scanned = 0; current = ctx.current_cost; best = None; improving = None }
 
-let audit_exact game profile player =
-  let ctx = make_context game profile player in
+let audit_exact ?budget game profile player =
+  let ctx = make_context ?scan_budget:budget game profile player in
   if ctx.current_cost <= ctx.floor then begin
     Bbng_obs.Counter.bump c_pruned_floor;
     pruned_audit ctx Cost_floor
@@ -260,8 +294,8 @@ let audit_exact game profile player =
         Combinatorics.iter_combinations ~n:(n - 1) ~k:ctx.budget (fun c ->
             f (unshift ctx.player c)))
 
-let audit_swap game profile player =
-  let ctx = make_context game profile player in
+let audit_swap ?budget game profile player =
+  let ctx = make_context ?scan_budget:budget game profile player in
   if ctx.current_cost <= ctx.floor then begin
     Bbng_obs.Counter.bump c_pruned_floor;
     pruned_audit ctx Cost_floor
@@ -270,8 +304,8 @@ let audit_swap game profile player =
     audit_candidates ctx ~tier:Swap_exhaustive (fun f ->
         List.iter f (swap_candidates ctx))
 
-let greedy game profile player =
-  let ctx = make_context game profile player in
+let greedy ?budget game profile player =
+  let ctx = make_context ?scan_budget:budget game profile player in
   let n = Game.n game in
   let chosen = ref [] in
   let is_chosen v = List.mem v !chosen in

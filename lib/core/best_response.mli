@@ -11,7 +11,15 @@
       deviations of Alon et al., used inside the paper's own proofs
       (Theorems 3.3, 4.x, 6.x) and as scalable dynamics moves;
     - {!greedy}: an incremental heuristic (build the target set one arc
-      at a time), the workhorse for large dynamics workloads. *)
+      at a time), the workhorse for large dynamics workloads.
+
+    Every search takes an optional {!Bbng_obs.Budgeted.t} cancellation
+    token ([?budget], default unlimited).  Context construction and the
+    cheap fallback tiers always complete regardless of the token; only
+    the candidate scan honours it.  The plain finders let
+    {!Bbng_obs.Budgeted.Expired} propagate (their callers own the
+    degradation policy); the audited checks convert interruption into a
+    typed {!Degraded_scan} audit instead. *)
 
 type move = {
   targets : int array;  (** the (sorted) improving strategy *)
@@ -23,30 +31,40 @@ val satisfies_lemma_2_2 : Strategy.t -> int -> bool
     versions (Lemma 2.2): [c_MAX(u) = 1], or [c_MAX(u) <= 2] and [u] is
     in no brace. *)
 
-val exact : Game.t -> Strategy.t -> int -> move
+val exact :
+  ?budget:Bbng_obs.Budgeted.t -> Game.t -> Strategy.t -> int -> move
 (** The true best response of a player (ties broken toward the
     lexicographically smallest target set; the player's current strategy
     wins ties only if itself lexicographically smallest).  Exponential in
-    the budget. *)
+    the budget.
+    @raise Bbng_obs.Budgeted.Expired if the token trips mid-scan. *)
 
-val exact_improvement : Game.t -> Strategy.t -> int -> move option
+val exact_improvement :
+  ?budget:Bbng_obs.Budgeted.t -> Game.t -> Strategy.t -> int -> move option
 (** [Some m] with [m.cost < current cost] if the player can improve
     (the search stops at the first strict improvement found after
     checking the Lemma 2.2 shortcut and the cost floor); [None] iff the
-    player is playing a best response. *)
+    player is playing a best response.
+    @raise Bbng_obs.Budgeted.Expired if the token trips mid-scan. *)
 
-val best_improvement : Game.t -> Strategy.t -> int -> move option
+val best_improvement :
+  ?budget:Bbng_obs.Budgeted.t -> Game.t -> Strategy.t -> int -> move option
 (** Like {!exact_improvement} but scans everything: the {e best}
-    deviation, or [None] if already optimal. *)
+    deviation, or [None] if already optimal.
+    @raise Bbng_obs.Budgeted.Expired if the token trips mid-scan. *)
 
-val swap_best : Game.t -> Strategy.t -> int -> move option
+val swap_best :
+  ?budget:Bbng_obs.Budgeted.t -> Game.t -> Strategy.t -> int -> move option
 (** Best strict improvement obtainable by replacing exactly one owned
     arc (keeping the other [b - 1]); [None] if no swap improves.
-    O(b * n) cost evaluations. *)
+    O(b * n) cost evaluations.
+    @raise Bbng_obs.Budgeted.Expired if the token trips mid-scan. *)
 
-val first_improving_swap : Game.t -> Strategy.t -> int -> move option
+val first_improving_swap :
+  ?budget:Bbng_obs.Budgeted.t -> Game.t -> Strategy.t -> int -> move option
 (** First strict improvement by a single swap, scan order: owned arcs
-    increasing, replacement targets increasing. *)
+    increasing, replacement targets increasing.
+    @raise Bbng_obs.Budgeted.Expired if the token trips mid-scan. *)
 
 (** {1 Audited checks}
 
@@ -62,10 +80,14 @@ type tier =
   | Lemma_2_2_tier   (** Lemma 2.2's structural condition held; no scan *)
   | Exhaustive       (** all [C(n-1,b)] strategies were enumerated *)
   | Swap_exhaustive  (** all [b(n-1-b)] single-arc swaps were enumerated *)
+  | Degraded_scan
+      (** the scan was interrupted by an expired cancellation token:
+          [scanned] candidates were evaluated, none improving — partial
+          evidence, not a best-response proof *)
 
 val tier_name : tier -> string
 (** Stable on-disk names: ["cost-floor"], ["lemma-2.2"], ["exact"],
-    ["swap"]. *)
+    ["swap"], ["degraded"]. *)
 
 val tier_of_name : string -> tier option
 
@@ -79,19 +101,31 @@ type audit = {
           playing a best response (under the tier's notion) *)
 }
 
-val audit_exact : Game.t -> Strategy.t -> int -> audit
+val audit_exact :
+  ?budget:Bbng_obs.Budgeted.t -> Game.t -> Strategy.t -> int -> audit
 (** Audited exact check.  Prunes exactly like {!exact_improvement}
     (and agrees with it on [improving = None]); when no pruning fires
     and no improvement exists, the scan is complete — [scanned =
     C(n-1,b)] and [best.cost = current] (the current strategy is among
     the candidates).  A refutation stops at the first improvement
-    found, like the plain certifier. *)
+    found, like the plain certifier.
 
-val audit_swap : Game.t -> Strategy.t -> int -> audit
+    Under an expired [?budget] the scan stops between candidate
+    evaluations and the audit comes back with [tier = Degraded_scan],
+    [scanned] = candidates actually priced, [improving = None], and
+    [best] = cheapest candidate seen so far — never an exception.  The
+    cheap tiers ([Cost_floor], [Lemma_2_2_tier]) still classify players
+    regardless of the token, so a deadline degrades only the players
+    that genuinely needed the exponential scan. *)
+
+val audit_swap :
+  ?budget:Bbng_obs.Budgeted.t -> Game.t -> Strategy.t -> int -> audit
 (** Audited swap-stability check (cost-floor pruning only; Lemma 2.2
-    is about exact best responses). *)
+    is about exact best responses).  Degrades under an expired
+    [?budget] exactly like {!audit_exact}. *)
 
-val greedy : Game.t -> Strategy.t -> int -> move
+val greedy :
+  ?budget:Bbng_obs.Budgeted.t -> Game.t -> Strategy.t -> int -> move
 (** Heuristic response: pick the [b] targets one at a time, each time
     adding the target that minimizes the player's cost with the partial
     set (a k-center/k-median-style greedy).  Not necessarily improving,

@@ -15,9 +15,15 @@ type t = {
   dist : int array;
   queue : int array;
   comp_seen : int array;         (* second stamp space for kappa *)
+  (* cooperative cancellation: each evaluation checkpoints the token on
+     entry and charges the reached-vertex count after, so a deadline or
+     work limit stops a candidate scan between evaluations (a single
+     eval is O(n + m) and bounded).  Mutable so a context can be warmed
+     up unlimited and budgeted afterwards. *)
+  mutable budget : Bbng_obs.Budgeted.t;
 }
 
-let make version profile ~player =
+let make ?(budget = Bbng_obs.Budgeted.unlimited) version profile ~player =
   Bbng_obs.Counter.bump c_contexts;
   let n = Strategy.n profile in
   if player < 0 || player >= n then invalid_arg "Deviation_eval.make: bad player";
@@ -54,10 +60,13 @@ let make version profile ~player =
     dist = Array.make n 0;
     queue = Array.make (max n 1) 0;
     comp_seen = Array.make n 0;
+    budget;
   }
 
 let player t = t.player
 let version t = t.version
+let budget t = t.budget
+let set_budget t budget = t.budget <- budget
 
 (* Count connected components among vertices not reached by the last
    BFS, walking only static adjacency (correct: no static edge joins a
@@ -89,6 +98,7 @@ let unreached_components t =
   !comps
 
 let cost t targets =
+  Bbng_obs.Budgeted.checkpoint t.budget;
   Bbng_obs.Counter.bump c_evals;
   Array.iter
     (fun v ->
@@ -121,6 +131,7 @@ let cost t targets =
     end
   done;
   let reached = !tail in
+  Bbng_obs.Budgeted.spend t.budget reached;
   let inf = t.n * t.n in
   match t.version with
   | Cost.Sum ->

@@ -22,18 +22,35 @@
 
 type t
 
-val make : Cost.version -> Strategy.t -> player:int -> t
-(** Captures the fixed part.  O(n + m). *)
+val make :
+  ?budget:Bbng_obs.Budgeted.t -> Cost.version -> Strategy.t -> player:int -> t
+(** Captures the fixed part.  O(n + m).  [?budget] (default unlimited)
+    is the cancellation token every subsequent {!cost} call honours. *)
 
 val player : t -> int
 val version : t -> Cost.version
+
+val budget : t -> Bbng_obs.Budgeted.t
+
+val set_budget : t -> Bbng_obs.Budgeted.t -> unit
+(** Swap the cancellation token.  Used to warm a context up unlimited
+    (so the cheap fallback tiers always have a current cost to compare
+    against) and only then arm the caller's deadline for the expensive
+    scan. *)
 
 val cost : t -> int array -> int
 (** [cost ctx targets] is the player's cost if it plays [targets]
     (sorted or not; duplicates and self-targets are rejected).  Budget
     length is {e not} enforced here — the evaluator is also used on
     partial target sets by the greedy heuristic.
-    @raise Invalid_argument on a self-target or out-of-range vertex. *)
+
+    Honours the context's cancellation token: checkpoints it on entry
+    (raising {!Bbng_obs.Budgeted.Expired} once the token has tripped)
+    and charges the reached-vertex count as work after each evaluation,
+    so interruption lands {e between} candidate evaluations, never
+    mid-BFS.
+    @raise Invalid_argument on a self-target or out-of-range vertex.
+    @raise Bbng_obs.Budgeted.Expired once the token has expired. *)
 
 val current_cost : t -> int
 (** Cost of the player's actual strategy in the captured profile. *)

@@ -20,7 +20,10 @@ type refutation = {
   current_cost : int;
 }
 
-type verdict = Equilibrium | Refuted of refutation
+type verdict =
+  | Equilibrium
+  | Refuted of refutation
+  | Degraded of int list
 
 let certify_with deviation_finder game profile =
   let n = Game.n game in
@@ -101,7 +104,24 @@ let certificate_verdict cert =
           better = Option.get a.Best_response.improving;
           current_cost = a.Best_response.current;
         }
-  | None -> Equilibrium
+  | None -> (
+      (* no improvement found anywhere; the claim is an equilibrium
+         only if every scan ran to completion *)
+      match
+        List.filter_map
+          (fun (player, (a : Best_response.audit)) ->
+            if a.Best_response.tier = Best_response.Degraded_scan then
+              Some player
+            else None)
+          cert.cert_evidence
+      with
+      | [] -> Equilibrium
+      | unresolved -> Degraded unresolved)
+
+let verdict_name = function
+  | Equilibrium -> "equilibrium"
+  | Refuted _ -> "refuted"
+  | Degraded _ -> "degraded"
 
 let audited_player auditor game profile player =
   Bbng_obs.Counter.bump c_players;
@@ -125,18 +145,18 @@ let certify_cert_with auditor mode game profile =
     cert_evidence = scan 0 [];
   }
 
-let certify_cert game profile =
-  certify_cert_with Best_response.audit_exact Exact_mode game profile
+let certify_cert ?budget game profile =
+  certify_cert_with (Best_response.audit_exact ?budget) Exact_mode game profile
 
-let certify_swap_cert game profile =
-  certify_cert_with Best_response.audit_swap Swap_mode game profile
+let certify_swap_cert ?budget game profile =
+  certify_cert_with (Best_response.audit_swap ?budget) Swap_mode game profile
 
-let certify_parallel_cert ?domains game profile =
+let certify_parallel_cert ?domains ?budget game profile =
   Bbng_obs.Counter.bump c_certificates;
   let n = Game.n game in
   let audits =
     Parallel.map ?domains ~n (fun player ->
-        audited_player Best_response.audit_exact game profile player)
+        audited_player (Best_response.audit_exact ?budget) game profile player)
   in
   (* truncate after the first (lowest-player) refutation so the
      evidence shape — and the witness — matches the sequential
@@ -186,20 +206,28 @@ let evidence_to_json (player, (a : Best_response.audit)) =
     | Some m -> move_fields "improving" m)
 
 let certificate_to_artifact cert =
+  let verdict = certificate_verdict cert in
   Bbng_obs.Certificate.make ~kind:certificate_kind
-    [
-      ("version", Json.Str (Cost.version_name cert.cert_version));
-      ("mode", Json.Str (mode_name cert.cert_mode));
-      ( "budgets",
-        int_array_json (Budget.to_array (Strategy.budgets cert.cert_profile)) );
-      ("profile", Json.Str (Strategy.to_string cert.cert_profile));
-      ( "verdict",
-        Json.Str
-          (match certificate_verdict cert with
-          | Equilibrium -> "equilibrium"
-          | Refuted _ -> "refuted") );
-      ("players", Json.List (List.map evidence_to_json cert.cert_evidence));
-    ]
+    ([
+       ("version", Json.Str (Cost.version_name cert.cert_version));
+       ("mode", Json.Str (mode_name cert.cert_mode));
+       ( "budgets",
+         int_array_json (Budget.to_array (Strategy.budgets cert.cert_profile)) );
+       ("profile", Json.Str (Strategy.to_string cert.cert_profile));
+       ("verdict", Json.Str (verdict_name verdict));
+     ]
+    @ (match verdict with
+      (* degraded provenance: the flag plus the unresolved players,
+         explicit in the artifact so downstream tooling never mistakes
+         partial evidence for an equilibrium proof *)
+      | Degraded unresolved ->
+          [
+            ("degraded", Json.Bool true);
+            ( "unresolved_players",
+              Json.List (List.map (fun p -> Json.Int p) unresolved) );
+          ]
+      | Equilibrium | Refuted _ -> [])
+    @ [ ("players", Json.List (List.map evidence_to_json cert.cert_evidence)) ])
 
 let int_field k j =
   match Json.member k j with Some (Json.Int i) -> Some i | _ -> None
@@ -298,13 +326,10 @@ let certificate_of_artifact (art : Bbng_obs.Certificate.t) =
         cert_evidence = evidence;
       }
     in
+    let derived_verdict = certificate_verdict cert in
     let* () =
       let recorded = str_field "verdict" body in
-      let derived =
-        match certificate_verdict cert with
-        | Equilibrium -> "equilibrium"
-        | Refuted _ -> "refuted"
-      in
+      let derived = verdict_name derived_verdict in
       if recorded = Some derived then Ok ()
       else
         Error
@@ -313,6 +338,39 @@ let certificate_of_artifact (art : Bbng_obs.Certificate.t) =
               (%s)"
              (Option.value ~default:"(missing)" recorded)
              derived)
+    in
+    (* the [degraded] provenance flag must agree with the evidence both
+       ways: a degraded verdict without the flag, or the flag on a
+       complete certificate, is a tampered/miswritten artifact *)
+    let* () =
+      let flagged =
+        match Json.member "degraded" body with
+        | Some (Json.Bool b) -> b
+        | Some _ | None -> false
+      in
+      match (derived_verdict, flagged) with
+      | Degraded _, true | (Equilibrium | Refuted _), false -> Ok ()
+      | Degraded _, false ->
+          Error
+            "certificate: degraded evidence without the degraded provenance \
+             flag"
+      | (Equilibrium | Refuted _), true ->
+          Error
+            "certificate: degraded provenance flag on non-degraded evidence"
+    in
+    let* () =
+      match derived_verdict with
+      | Equilibrium | Refuted _ -> Ok ()
+      | Degraded unresolved -> (
+          match Json.member "unresolved_players" body with
+          | None -> Ok () (* optional detail; the flag is the contract *)
+          | Some (Json.List l)
+            when List.map (fun p -> Json.Int p) unresolved = l ->
+              Ok ()
+          | Some _ ->
+              Error
+                "certificate: recorded unresolved players disagree with the \
+                 evidence")
     in
     Ok cert
 
@@ -506,6 +564,41 @@ let verify_certificate ?(samples = 32) cert =
                           sample_swap rng (Strategy.strategy profile player) n
                             player)
                         samples)
+        | Best_response.Degraded_scan -> (
+            (* partial evidence: the scan was interrupted, so the only
+               checkable claims are (a) it stopped short of a complete
+               scan, (b) it found no improvement, and (c) whatever
+               candidate it recorded as cheapest re-prices correctly
+               and does not secretly improve.  No spot-check: absence
+               of improvement over unscanned candidates is exactly what
+               a degraded tier does NOT claim. *)
+            let expected =
+              match cert.cert_mode with
+              | Exact_mode -> Combinatorics.binomial (n - 1) budget
+              | Swap_mode -> budget * (n - 1 - budget)
+            in
+            if a.Best_response.improving <> None then
+              fail
+                "player %d: degraded tier cannot carry an improvement (a \
+                 found improvement always completes the audit as a \
+                 refutation)"
+                player
+            else if a.Best_response.scanned >= expected then
+              fail
+                "player %d: degraded tier claims an interrupted scan but \
+                 scanned %d of %d candidates"
+                player a.Best_response.scanned expected
+            else
+              match a.Best_response.best with
+              | None -> Ok ()
+              | Some m ->
+                  let* () = check_move player "best" m in
+                  if m.Best_response.cost < current then
+                    fail
+                      "player %d: best candidate %d beats the current cost %d \
+                       yet no improvement was recorded"
+                      player m.Best_response.cost current
+                  else Ok ())
   in
   (* evidence must be players 0..k in order; an equilibrium claim needs
      every player, a refutation needs clean evidence up to its witness *)
@@ -514,8 +607,12 @@ let verify_certificate ?(samples = 32) cert =
         if expected = n then Ok ()
         else begin
           match certificate_verdict cert with
-          | Equilibrium ->
-              fail "equilibrium claimed but only players 0..%d have evidence"
+          | Equilibrium | Degraded _ ->
+              (* both claims quantify over every player — equilibrium
+                 outright, degraded as "no improvement found and these
+                 are the players still open" — so partial coverage
+                 invalidates either *)
+              fail "full coverage claimed but only players 0..%d have evidence"
                 (expected - 1)
           | Refuted _ -> Ok ()
         end
@@ -544,6 +641,15 @@ let pp_verdict ppf = function
            ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ",")
            Format.pp_print_int)
         r.better.Best_response.targets
+  | Degraded unresolved ->
+      Format.fprintf ppf
+        "degraded: no improvement found, but the scan for player%s %a was \
+         cut short by the deadline/work budget"
+        (match unresolved with [ _ ] -> "" | _ -> "s")
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ",")
+           Format.pp_print_int)
+        unresolved
 
 let iter_profiles budgets f =
   let n = Budget.n budgets in

@@ -20,6 +20,13 @@ type refutation = {
 type verdict =
   | Equilibrium
   | Refuted of refutation
+  | Degraded of int list
+      (** certificate-only outcome: no improving deviation was found,
+          but the listed players' scans were interrupted by an expired
+          {!Bbng_obs.Budgeted.t} token, so "equilibrium" is not proven.
+          The plain certifiers ({!certify} and friends) never return
+          this — it arises only from {!certificate_verdict} on a
+          deadline-degraded certificate. *)
 
 val certify : Game.t -> Strategy.t -> verdict
 (** Exact Nash check.  Players are scanned in increasing order and the
@@ -75,14 +82,32 @@ type certificate = {
           last entry *)
 }
 
-val certify_cert : Game.t -> Strategy.t -> certificate
+val certify_cert :
+  ?budget:Bbng_obs.Budgeted.t -> Game.t -> Strategy.t -> certificate
 (** Certificate-producing {!certify}: same scan order, same pruning,
-    same verdict, plus evidence. *)
+    same verdict, plus evidence.
 
-val certify_swap_cert : Game.t -> Strategy.t -> certificate
-(** Certificate-producing {!certify_swap}. *)
+    [?budget] (default unlimited) bounds the work: once the token
+    trips, each remaining player still gets the cheap tiers
+    (cost-floor, Lemma 2.2) but any player needing the exponential scan
+    degrades to a [Degraded_scan] audit instead of raising.  The
+    resulting certificate carries verdict {!Degraded} (with the
+    unresolved players), is stamped with a [degraded] provenance field
+    on disk, and still passes {!verify_certificate} — which re-checks
+    exactly the weaker claim it makes.  Never raises
+    [Budgeted.Expired]. *)
 
-val certify_parallel_cert : ?domains:int -> Game.t -> Strategy.t -> certificate
+val certify_swap_cert :
+  ?budget:Bbng_obs.Budgeted.t -> Game.t -> Strategy.t -> certificate
+(** Certificate-producing {!certify_swap}.  [?budget] as in
+    {!certify_cert}. *)
+
+val certify_parallel_cert :
+  ?domains:int ->
+  ?budget:Bbng_obs.Budgeted.t ->
+  Game.t ->
+  Strategy.t ->
+  certificate
 (** Certificate-producing {!certify_parallel}.  Unlike
     [certify_parallel], the result is deterministic: every player's
     audit is computed and the evidence is truncated at the
@@ -115,7 +140,15 @@ val verify_certificate : ?samples:int -> certificate -> (unit, string) result
     the current cost without a recorded improvement, a recorded
     refutation really improves, and no sampled candidate improves on a
     player certified optimal.  Any mismatch is an [Error] naming the
-    player and the discrepancy. *)
+    player and the discrepancy.
+
+    Degraded evidence is verified against the {e weaker} claim it
+    makes: a [Degraded_scan] audit must carry no improvement, must have
+    scanned strictly fewer candidates than a complete scan, and its
+    recorded best must re-price correctly without improving — but gets
+    no spot-check, since "no unscanned candidate improves" is exactly
+    what an interrupted scan does not claim.  Both [Equilibrium] and
+    [Degraded] verdicts require evidence for every player. *)
 
 (** {1 Exhaustive enumeration (small instances)} *)
 

@@ -16,7 +16,7 @@ let rule_of_name = function
   | "first-swap" -> Some First_swap
   | _ -> None
 
-let mover rule game profile player =
+let mover ?budget rule game profile player =
   (* one span per best-response probe: its p50/p99 is the per-player
      move-selection latency distribution of the whole dynamics run *)
   Obs.Span.with_ "dynamics.select_move" (fun () ->
@@ -25,27 +25,37 @@ let mover rule game profile player =
           (* Both rules apply an exact improving move; Exact_best prefers
              the best one. *)
           if rule = Exact_best then
-            Best_response.best_improvement game profile player
-          else Best_response.exact_improvement game profile player
-      | Best_swap -> Best_response.swap_best game profile player
-      | First_swap -> Best_response.first_improving_swap game profile player)
+            Best_response.best_improvement ?budget game profile player
+          else Best_response.exact_improvement ?budget game profile player
+      | Best_swap -> Best_response.swap_best ?budget game profile player
+      | First_swap ->
+          Best_response.first_improving_swap ?budget game profile player)
 
 type outcome =
   | Converged of { profile : Strategy.t; steps : int }
   | Cycle of { profile : Strategy.t; steps : int; period : int }
   | Step_limit of { profile : Strategy.t; steps : int }
+  | Interrupted of { profile : Strategy.t; steps : int }
 
 let outcome_name = function
   | Converged _ -> "converged"
   | Cycle _ -> "cycle"
   | Step_limit _ -> "step-limit"
+  | Interrupted _ -> "interrupted"
 
 let final_profile = function
-  | Converged { profile; _ } | Cycle { profile; _ } | Step_limit { profile; _ } ->
+  | Converged { profile; _ }
+  | Cycle { profile; _ }
+  | Step_limit { profile; _ }
+  | Interrupted { profile; _ } ->
       profile
 
 let steps = function
-  | Converged { steps; _ } | Cycle { steps; _ } | Step_limit { steps; _ } -> steps
+  | Converged { steps; _ }
+  | Cycle { steps; _ }
+  | Step_limit { steps; _ }
+  | Interrupted { steps; _ } ->
+      steps
 
 type trace_entry = {
   step : int;
@@ -101,12 +111,12 @@ let emit_outcome game ~schedule ~meta rule outcome =
          ];
          (match outcome with
          | Cycle { period; _ } -> [ ("period", Obs.Json.Int period) ]
-         | Converged _ | Step_limit _ -> []);
+         | Converged _ | Step_limit _ | Interrupted _ -> []);
          meta;
        ])
 
-let run ?(max_steps = 10_000) ?(detect_cycles = true) ?(meta = []) ?on_step game
-    ~schedule ~rule start =
+let run ?(max_steps = 10_000) ?(detect_cycles = true) ?(meta = []) ?on_step
+    ?(budget = Obs.Budgeted.unlimited) game ~schedule ~rule start =
   let n = Game.n game in
   Obs.Counter.bump c_runs;
   if Obs.Sink.active () then
@@ -147,6 +157,11 @@ let run ?(max_steps = 10_000) ?(detect_cycles = true) ?(meta = []) ?on_step game
   in
   let rec loop sched_state profile step =
     if step >= max_steps then finish (Step_limit { profile; steps = step })
+    else if Obs.Budgeted.expired budget then
+      (* checked between steps as well as inside the move search, so a
+         token cancelled from outside stops the run even when every
+         individual move is cheap *)
+      finish (Interrupted { profile; steps = step })
     else begin
       (* The schedule probes players through this memoized move lookup,
          so Max_gain's n probes and the final application share work. *)
@@ -155,7 +170,7 @@ let run ?(max_steps = 10_000) ?(detect_cycles = true) ?(meta = []) ?on_step game
         match Hashtbl.find_opt cache p with
         | Some m -> m
         | None ->
-            let m = mover rule game profile p in
+            let m = mover ~budget rule game profile p in
             Hashtbl.add cache p m;
             m
       in
@@ -164,9 +179,19 @@ let run ?(max_steps = 10_000) ?(detect_cycles = true) ?(meta = []) ?on_step game
         | None -> None
         | Some m -> Some (Game.player_cost game profile p - m.Best_response.cost)
       in
-      match Schedule.next_player sched_state ~improving with
-      | None -> finish (Converged { profile; steps = step })
-      | Some (player, sched_state) -> (
+      (* the probe is where the budgeted best-response search runs; an
+         expiry mid-probe lands here, is converted to the typed outcome
+         (the step was not applied, so [profile]/[step] are the last
+         consistent state), and the recording still closes with a
+         [dynamics.outcome] event — the report stays replayable *)
+      let probed =
+        try `Next (Schedule.next_player sched_state ~improving)
+        with Obs.Budgeted.Expired -> `Expired
+      in
+      match probed with
+      | `Expired -> finish (Interrupted { profile; steps = step })
+      | `Next None -> finish (Converged { profile; steps = step })
+      | `Next (Some (player, sched_state)) -> (
           match move_of player with
           | None -> assert false (* the schedule only returns improvers *)
           | Some m ->

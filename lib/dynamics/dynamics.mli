@@ -32,8 +32,18 @@ type outcome =
       period : int;          (** distance since its previous occurrence *)
     }
   | Step_limit of { profile : Strategy.t; steps : int }
+  | Interrupted of {
+      profile : Strategy.t;  (** last consistent profile; the step whose
+                                 search tripped was {e not} applied *)
+      steps : int;
+    }
+      (** the run's cancellation token (deadline / work limit /
+          explicit cancel) expired; the recording still closes with a
+          [dynamics.outcome] event and remains replayable *)
 
 val outcome_name : outcome -> string
+(** ["converged"], ["cycle"], ["step-limit"], ["interrupted"]. *)
+
 val final_profile : outcome -> Strategy.t
 val steps : outcome -> int
 
@@ -52,12 +62,20 @@ val run :
   ?detect_cycles:bool ->
   ?meta:(string * Bbng_obs.Json.t) list ->
   ?on_step:(trace_entry -> unit) ->
+  ?budget:Bbng_obs.Budgeted.t ->
   Game.t -> schedule:Schedule.t -> rule:rule -> Strategy.t -> outcome
 (** [run game ~schedule ~rule start] iterates until one of the outcomes
     above.  Defaults: [max_steps = 10_000], [detect_cycles = true]
     (profiles are hashed; memory grows with the trajectory length).
     Cycle detection compares full profiles, so a reported [Cycle] is a
     genuine best-response loop, not a hash collision.
+
+    [?budget] (default unlimited) makes the whole run cancellable: the
+    token is threaded into every best-response search and checked
+    between steps, and expiry yields the typed [Interrupted] outcome
+    (never an exception) with the last consistent profile — every step
+    already emitted stays valid, so the recording is a replayable
+    prefix that [bbng_cli dynamics --resume] can continue from.
 
     Observability / flight recording: when a {!Bbng_obs.Sink} is
     active, every applied move is emitted as a [dynamics.step] event

@@ -177,7 +177,31 @@ let check_outcome game ~seen ~total profile (o : R.outcome) ~check_stable
          configuration (max_steps in the header is provenance, not a
          replayable invariant) *)
       Ok ()
+  | "interrupted" ->
+      (* a deadline/work-budget expiry: like step-limit, the cut point
+         is runtime circumstance, not a property of the trajectory —
+         the structural checks above are the whole claim *)
+      Ok ()
   | other -> diverge total "unknown outcome %S" other
+
+(* Verified-prefix reconstruction for resumption: same checks as
+   [check_run] on every recorded step, but no outcome requirement — an
+   interrupted or even torn recording is exactly the input this is
+   for.  The caller gets back the state a continued run should start
+   from. *)
+let resume_state (run : R.run) =
+  Obs.Span.with_ "replay.resume_state" (fun () ->
+      let* game, start = reconstruct run in
+      let rec apply profile count = function
+        | [] -> Ok (profile, count)
+        | s :: rest ->
+            let* profile =
+              check_step game profile s ~expected_index:(count + 1)
+            in
+            apply profile (count + 1) rest
+      in
+      let* profile, total = apply start 0 run.R.steps in
+      Ok (game, profile, total))
 
 let check_run ?(check_stable = true) (run : R.run) =
   Obs.Span.with_ "replay.check_run" (fun () ->

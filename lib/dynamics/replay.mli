@@ -36,3 +36,16 @@ val check_run :
     [converged] outcome by confirming no player has an improving move
     under the recorded rule — the expensive part; disable it for huge
     exact-rule instances. *)
+
+val resume_state :
+  Bbng_obs.Replay.run ->
+  (Bbng_core.Game.t * Bbng_core.Strategy.t * int, divergence) result
+(** Rebuild the state a continued run should start from: reconstruct
+    the game from the recorded header and re-apply (with full
+    per-step verification, as in {!check_run}) every recorded step.
+    [Ok (game, profile, steps)] is the last consistent state of the
+    recording; no outcome event is required, so an [interrupted] run, a
+    crash-truncated [.partial] report, or a SIGKILL-torn prefix all
+    resume cleanly — this is what [bbng_cli dynamics --resume] builds
+    on.  A step that fails verification returns the divergence instead:
+    a corrupt recording is refused, not silently continued. *)

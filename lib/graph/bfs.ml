@@ -5,8 +5,15 @@ let c_popped = Bbng_obs.Counter.make "bfs.vertices_popped"
 let h_popped = Bbng_obs.Histogram.make "bfs.popped_per_run"
 
 (* The queue is a preallocated ring over at most n vertices, so each BFS
-   allocates exactly two arrays. *)
-let bfs_core g sources ~record_parent =
+   allocates exactly two arrays.
+
+   Budget accounting is per-traversal: one checkpoint before the work
+   (an expired token stops a search between BFS runs, never mid-run —
+   a single run is O(n + m) and bounded) and one spend of the popped
+   count after, so work units line up with vertex visits across every
+   evaluator. *)
+let bfs_core ?(budget = Bbng_obs.Budgeted.unlimited) g sources ~record_parent =
+  Bbng_obs.Budgeted.checkpoint budget;
   let n = Undirected.n g in
   let dist = Array.make n unreachable in
   let parent = if record_parent then Array.make n (-1) else [||] in
@@ -40,14 +47,15 @@ let bfs_core g sources ~record_parent =
      atomic load otherwise) *)
   Bbng_obs.Counter.bump c_runs;
   Bbng_obs.Counter.add c_popped !head;
+  Bbng_obs.Budgeted.spend budget !head;
   if Bbng_obs.Span.enabled () then Bbng_obs.Histogram.record h_popped !head;
   (dist, parent)
 
-let distances g src = fst (bfs_core g [ src ] ~record_parent:false)
+let distances ?budget g src = fst (bfs_core ?budget g [ src ] ~record_parent:false)
 
-let distances_from_set g sources =
+let distances_from_set ?budget g sources =
   if sources = [] then invalid_arg "Bfs.distances_from_set: empty source set";
-  fst (bfs_core g sources ~record_parent:false)
+  fst (bfs_core ?budget g sources ~record_parent:false)
 
 let distance g u v =
   if u = v then Some 0

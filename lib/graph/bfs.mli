@@ -8,13 +8,21 @@
 val unreachable : int
 (** [-1], the sentinel for "no path". *)
 
-val distances : Undirected.t -> int -> int array
+val distances :
+  ?budget:Bbng_obs.Budgeted.t -> Undirected.t -> int -> int array
 (** [distances g src] is the array of hop distances from [src];
-    [unreachable] where there is no path. *)
+    [unreachable] where there is no path.
 
-val distances_from_set : Undirected.t -> int list -> int array
+    [?budget] (default unlimited) makes the traversal cancellable at
+    run granularity: the popped-vertex count is charged as work, and a
+    call on an expired token raises {!Bbng_obs.Budgeted.Expired} before
+    doing any work — budget-aware search loops (the solvers' exact
+    enumerations) catch it at their boundary and degrade. *)
+
+val distances_from_set :
+  ?budget:Bbng_obs.Budgeted.t -> Undirected.t -> int list -> int array
 (** Multi-source BFS: distance to the nearest source.  The paper's
-    [dist(u, A)].  All sources get 0.
+    [dist(u, A)].  All sources get 0.  [?budget] as in {!distances}.
     @raise Invalid_argument if the source list is empty. *)
 
 val distance : Undirected.t -> int -> int -> int option

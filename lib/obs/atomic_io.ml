@@ -1,0 +1,37 @@
+let c_writes = Counter.make "atomic_io.commits"
+
+let tmp_path path = Printf.sprintf "%s.tmp.%d" path (Unix.getpid ())
+
+let write_file path f =
+  let tmp = tmp_path path in
+  let oc = open_out tmp in
+  (* anything that raises before the rename — the producer, an injected
+     fault, the rename itself — must not leave a stray temp file, and
+     must never have touched [path].  Only a hard kill (which runs no
+     cleanup by design) can leave the temp behind. *)
+  (match
+     Fault.hit "artifact.open";
+     f oc;
+     Fault.hit "artifact.mid_write";
+     close_out oc;
+     Sys.rename tmp path
+   with
+  | () -> ()
+  | exception e ->
+      close_out_noerr oc;
+      (try Sys.remove tmp with Sys_error _ -> ());
+      raise e);
+  Counter.bump c_writes;
+  Fault.hit "artifact.commit"
+
+let partial_path path = path ^ ".partial"
+
+let open_stream path = open_out (partial_path path)
+
+let commit_stream path =
+  Sys.rename (partial_path path) path;
+  Counter.bump c_writes;
+  Fault.hit "artifact.commit"
+
+let discard_stream path =
+  try Sys.remove (partial_path path) with Sys_error _ -> ()

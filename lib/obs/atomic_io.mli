@@ -1,0 +1,42 @@
+(** Crash-safe artifact IO: temp file + atomic rename.
+
+    Two commit protocols, matching the two artifact shapes:
+
+    - {!write_file}: whole-file artifacts (certificates, BENCH_*.json
+      reports).  The payload lands in [path ^ ".tmp.<pid>"] and is
+      renamed over [path] only once fully written, so a crash — or an
+      injected {!Fault} kill — at any moment leaves the previous
+      artifact byte-identical.  A raising producer removes its temp
+      file and never touches [path].
+
+    - {!open_stream} / {!commit_stream}: append-style JSONL streams
+      (--report files, dynamics flight recordings).  The stream is
+      written to [path ^ ".partial"] and renamed to [path] on clean
+      completion.  A killed run therefore leaves the previous [path]
+      untouched {e and} a [.partial] file holding a valid line-delimited
+      prefix — replayable with [bbng_cli replay], resumable with
+      [bbng_cli dynamics --resume].
+
+    Fault probes: [artifact.open] (temp file created),
+    [artifact.mid_write] (payload written, nothing committed),
+    [artifact.commit] (rename done). *)
+
+val write_file : string -> (out_channel -> unit) -> unit
+(** [write_file path f] runs [f] on a temp channel in [path]'s
+    directory, then atomically renames it to [path]. *)
+
+val tmp_path : string -> string
+(** The temp name {!write_file} uses ([path.tmp.<pid>]). *)
+
+val partial_path : string -> string
+(** [path ^ ".partial"]. *)
+
+val open_stream : string -> out_channel
+(** Open {!partial_path} for writing (truncating any stale partial). *)
+
+val commit_stream : string -> unit
+(** Atomically promote {!partial_path}[ path] to [path].  Call after
+    closing the channel. *)
+
+val discard_stream : string -> unit
+(** Remove a leftover partial, ignoring a missing file. *)

@@ -1,0 +1,102 @@
+exception Expired
+
+type why = Deadline | Work_limit | Cancelled
+
+let why_name = function
+  | Deadline -> "deadline"
+  | Work_limit -> "work-limit"
+  | Cancelled -> "cancelled"
+
+type t = {
+  deadline : float;            (* absolute Unix time; infinity = none *)
+  work_limit : int;            (* max_int = none *)
+  work : int Atomic.t;
+  cancelled : bool Atomic.t;
+  (* latched on first observation so every caller sees one stable
+     verdict (and post-expiry probes never touch the clock again) *)
+  tripped : why option Atomic.t;
+  limited : bool;              (* false for the shared unlimited token *)
+}
+
+let c_tokens = Counter.make "budgeted.tokens"
+let c_expirations = Counter.make "budgeted.expirations"
+
+let unlimited =
+  {
+    deadline = infinity;
+    work_limit = max_int;
+    work = Atomic.make 0;
+    cancelled = Atomic.make false;
+    tripped = Atomic.make None;
+    limited = false;
+  }
+
+let create ?deadline_ms ?work_limit () =
+  Counter.bump c_tokens;
+  let deadline =
+    match deadline_ms with
+    | None -> infinity
+    | Some ms -> Unix.gettimeofday () +. (ms /. 1e3)
+  in
+  {
+    deadline;
+    work_limit = (match work_limit with None -> max_int | Some w -> max 0 w);
+    work = Atomic.make 0;
+    cancelled = Atomic.make false;
+    tripped = Atomic.make None;
+    limited = deadline < infinity || work_limit <> None;
+  }
+
+let is_unlimited t = not t.limited
+let work_done t = Atomic.get t.work
+let cancel t = if t.limited || t != unlimited then Atomic.set t.cancelled true
+
+let trip t why =
+  if Atomic.compare_and_set t.tripped None (Some why) then
+    Counter.bump c_expirations
+
+let expired t =
+  match Atomic.get t.tripped with
+  | Some _ -> true
+  | None ->
+      if Atomic.get t.cancelled then begin
+        trip t Cancelled;
+        true
+      end
+      else if not t.limited then false
+      else if Atomic.get t.work > t.work_limit then begin
+        trip t Work_limit;
+        true
+      end
+      else if t.deadline < infinity && Unix.gettimeofday () > t.deadline then begin
+        trip t Deadline;
+        true
+      end
+      else false
+
+let why t = Atomic.get t.tripped
+
+let spend t cost = if t.limited then ignore (Atomic.fetch_and_add t.work cost)
+
+let checkpoint ?(cost = 0) t =
+  if t.limited || Atomic.get t.cancelled then begin
+    if cost > 0 then spend t cost;
+    if expired t then raise Expired
+  end
+
+let guard t f = if expired t then None else try Some (f ()) with Expired -> None
+
+(* Typed search results for budget-aware solvers: [Complete] finished
+   the whole search, [Degraded] carries the best answer found before
+   the token expired, [Exhausted] means the token expired before any
+   candidate was evaluated. *)
+type 'a outcome = Complete of 'a | Degraded of 'a | Exhausted
+
+let outcome_name = function
+  | Complete _ -> "complete"
+  | Degraded _ -> "degraded"
+  | Exhausted -> "exhausted"
+
+let outcome_value = function
+  | Complete v | Degraded v -> Some v
+  | Exhausted -> None

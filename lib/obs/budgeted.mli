@@ -1,0 +1,81 @@
+(** Cooperative cancellation: wall-clock deadlines, work budgets and
+    explicit cancel, threaded through the engine's unbounded searches.
+
+    Best response in a [(b1,...,bn)-BG] is NP-hard (Theorem 2.1), so
+    the exact paths in [Best_response], [Equilibrium.certify*] and the
+    [lib/solvers] enumerations have no a-priori runtime bound.  A
+    {e token} gives them one: hot loops call {!checkpoint} at candidate
+    granularity; when the token expires the checkpoint raises
+    {!Expired}, and the search boundary catches it and returns a typed
+    degraded outcome instead of hanging or crashing (see
+    [Best_response.Degraded_scan], [Dynamics.Interrupted],
+    {!type:outcome}).
+
+    Tokens are safe to share across {!Bbng_core.Parallel} domains: all
+    state is atomic, and the first expiry observation latches so every
+    domain sees the same verdict.  Work is counted in {e vertex-visit}
+    units (one BFS pops roughly [n] of them), so limits are comparable
+    across the evaluators.  The shared {!unlimited} token makes all
+    budget parameters optional at zero cost: its checkpoints reduce to
+    one boolean load. *)
+
+exception Expired
+(** Raised by {!checkpoint} on an expired token.  Internal control
+    flow: public search APIs catch it at the search boundary and
+    return typed [Degraded]/[Exhausted]/[Interrupted] results — it
+    should only escape through code that opted into a token and is
+    documented to let it through. *)
+
+type why = Deadline | Work_limit | Cancelled
+
+val why_name : why -> string
+(** ["deadline"] / ["work-limit"] / ["cancelled"]. *)
+
+type t
+
+val unlimited : t
+(** The shared never-expiring token (the default everywhere). *)
+
+val create : ?deadline_ms:float -> ?work_limit:int -> unit -> t
+(** A fresh token expiring [deadline_ms] from now and/or after
+    [work_limit] units of {!spend}; omitting both yields a token that
+    only {!cancel} can expire. *)
+
+val cancel : t -> unit
+(** Explicit cancellation; idempotent, takes effect at the next
+    {!expired}/{!checkpoint}.  Cancelling {!unlimited} is a no-op. *)
+
+val expired : t -> bool
+(** Whether the token has expired (cancelled, over its work limit, or
+    past its deadline).  The first [true] latches: later calls are one
+    atomic load, and {!why} reports the recorded cause. *)
+
+val why : t -> why option
+(** Cause of expiry, once {!expired} has observed it. *)
+
+val spend : t -> int -> unit
+(** Charge work units (no expiry check; free on {!unlimited}). *)
+
+val checkpoint : ?cost:int -> t -> unit
+(** [checkpoint ~cost t] charges [cost] (default 0) and raises
+    {!Expired} if the token has expired.  This is the one call hot
+    loops make. *)
+
+val guard : t -> (unit -> 'a) -> 'a option
+(** [guard t f] is [Some (f ())], or [None] if the token was already
+    expired or [f] raised {!Expired}. *)
+
+val is_unlimited : t -> bool
+val work_done : t -> int
+
+(** {1 Typed budgeted-search outcomes} *)
+
+type 'a outcome =
+  | Complete of 'a   (** the search finished *)
+  | Degraded of 'a   (** expired mid-search: best answer found so far *)
+  | Exhausted        (** expired before evaluating anything *)
+
+val outcome_name : 'a outcome -> string
+(** ["complete"] / ["degraded"] / ["exhausted"]. *)
+
+val outcome_value : 'a outcome -> 'a option

@@ -39,11 +39,10 @@ let of_json = function
       | _ -> Error "artifact lacks a \"kind\"/\"format\" header")
   | _ -> Error "artifact is not a JSON object"
 
+(* temp + atomic rename (Atomic_io): a crash or injected kill at any
+   point leaves the previous artifact at [path] byte-identical *)
 let write path t =
-  let oc = open_out path in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () ->
+  Atomic_io.write_file path (fun oc ->
       output_string oc (Json.to_string (to_json t));
       output_char oc '\n')
 

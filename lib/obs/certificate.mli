@@ -38,7 +38,9 @@ val of_json : Json.t -> (t, string) result
     fields). *)
 
 val write : string -> t -> unit
-(** One line of JSON plus a trailing newline, overwriting. *)
+(** One line of JSON plus a trailing newline, written crash-safely
+    through {!Atomic_io.write_file}: an interrupted write never
+    corrupts an existing artifact at the same path. *)
 
 val read : string -> (t, string) result
 (** Read and parse a file written by {!write}; all failure modes

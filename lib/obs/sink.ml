@@ -54,11 +54,16 @@ let pretty_field buf (k, v) =
   | Json.Str s -> Buffer.add_string buf s
   | v -> Json.to_buffer buf v
 
-(* Milestone events close a logical unit of the stream: force them (and
-   everything buffered before them) to disk so a consumer tailing the
-   file always sees complete runs, even though ordinary events (e.g.
-   thousands of dynamics.step lines) stay buffered for throughput. *)
-let is_milestone name = name = "dynamics.outcome" || name = "run.summary"
+(* Milestone events are forced (with everything buffered before them)
+   to disk.  All dynamics.* events are milestones: each step line is
+   one applied best-response move, whose search dwarfs a flush, and
+   durability per step is what makes a SIGKILLed --report run leave
+   every applied move in the .partial prefix (the crash-safety
+   contract bin/fault_smoke.sh checks).  High-rate non-dynamics events
+   stay buffered for throughput. *)
+let is_milestone name =
+  name = "run.summary"
+  || String.length name >= 9 && String.sub name 0 9 = "dynamics."
 
 let deliver sink name fields =
   match sink with
@@ -87,6 +92,10 @@ let emit name fields =
   match Atomic.get sinks with
   | [] -> ()
   | installed ->
+      (* fault probe ("sink.<event>"): lets tests and the smoke matrix
+         crash a run at a chosen event — e.g. mid-flight-recording —
+         and then assert the artifact is still a valid prefix *)
+      if Fault.armed () then Fault.hit ("sink." ^ name);
       let fields = ("ts_us", Json.Float (now_us ())) :: fields in
       Mutex.protect out_mutex (fun () ->
           List.iter (fun s -> deliver s name fields) installed)

@@ -9,12 +9,14 @@
     - [Stderr_pretty]: one human-readable line per event on stderr
       (this is what [--trace] routes through);
     - [Jsonl oc]: one JSON object per line on [oc].  Output is
-      buffered for throughput (a dynamics run emits one line per step);
-      line-delimited prefix validity is preserved anyway because the
-      channel is flushed at every milestone event ([dynamics.outcome],
-      [run.summary]), whenever the sink is uninstalled ({!set},
+      buffered for throughput, except that milestone events — every
+      [dynamics.*] event and [run.summary] — are flushed as they are
+      written (each dynamics step is one applied best-response move,
+      so the flush is noise next to the search that produced it).  The
+      channel is also flushed whenever the sink is uninstalled ({!set},
       {!scoped} exit), on {!flush_all}, and in an [at_exit] hook — so
-      an interrupted [--report] run still leaves a parseable prefix.
+      an interrupted or even SIGKILLed [--report] run leaves a
+      parseable prefix holding every applied step.
 
     Several sinks can be active at once ([--trace --report f.jsonl]
     installs both), and they all see the same events — that is what

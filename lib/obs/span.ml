@@ -65,7 +65,10 @@ let record name ns ~gc =
       | None -> ());
       Histogram.record cell.hist ns)
 
+(* span entry doubles as a fault probe point ("span.<name>"): one
+   atomic load when nothing is armed *)
 let enter name =
+  if Fault.armed () then Fault.hit ("span." ^ name);
   if not (Atomic.get enabled_flag) then Disabled
   else
     Open
@@ -90,7 +93,10 @@ let exit = function
       end
 
 let with_ name f =
-  if not (Atomic.get enabled_flag) then f ()
+  if not (Atomic.get enabled_flag) then begin
+    if Fault.armed () then Fault.hit ("span." ^ name);
+    f ()
+  end
   else begin
     let h = enter name in
     Fun.protect ~finally:(fun () -> exit h) f

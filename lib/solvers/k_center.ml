@@ -4,10 +4,12 @@ module Combinatorics = Bbng_graph.Combinatorics
 
 type solution = { centers : int array; radius : int }
 
-let evaluate g centers =
+let c_degraded = Bbng_obs.Counter.make "kcenter.degraded_solves"
+
+let evaluate ?budget g centers =
   if Array.length centers = 0 then invalid_arg "K_center.evaluate: empty centers";
   let n = Undirected.n g in
-  let dist = Bfs.distances_from_set g (Array.to_list centers) in
+  let dist = Bfs.distances_from_set ?budget g (Array.to_list centers) in
   Array.fold_left
     (fun acc d -> max acc (if d = Bfs.unreachable then n else d))
     0 dist
@@ -46,6 +48,41 @@ let gonzalez ?(seed = 0) g ~k =
   let centers = Array.of_list !chosen in
   Array.sort compare centers;
   { centers; radius = evaluate g centers }
+
+(* Same enumeration as [exact], but candidate BFS calls carry the
+   caller's cancellation token.  On expiry the best center set priced
+   so far is returned as a typed [Degraded] result (an upper bound on
+   the optimum, not a proof of optimality); [Exhausted] means not even
+   one candidate was fully priced.  Ties break toward the earlier
+   (lexicographically smaller) set, matching [exact]. *)
+let exact_within ?(budget = Bbng_obs.Budgeted.unlimited) g ~k =
+  check_k g k;
+  let n = Undirected.n g in
+  let best = ref None in
+  let consider c r =
+    match !best with
+    | Some (_, br) when br <= r -> ()
+    | _ -> best := Some (Array.copy c, r)
+  in
+  let finished =
+    try
+      Combinatorics.iter_combinations ~n ~k (fun c ->
+          let r = evaluate ~budget g c in
+          consider c r;
+          if r = 0 then raise Exit);
+      true
+    with
+    | Exit -> true
+    | Bbng_obs.Budgeted.Expired -> false
+  in
+  match (finished, !best) with
+  | true, Some (centers, radius) ->
+      Bbng_obs.Budgeted.Complete { centers; radius }
+  | true, None -> assert false (* k >= 1 always yields candidates *)
+  | false, Some (centers, radius) ->
+      Bbng_obs.Counter.bump c_degraded;
+      Bbng_obs.Budgeted.Degraded { centers; radius }
+  | false, None -> Bbng_obs.Budgeted.Exhausted
 
 exception Found of int array
 

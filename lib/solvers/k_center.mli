@@ -16,14 +16,28 @@ type solution = {
   radius : int;         (** [max_v dist(v, centers)] *)
 }
 
-val evaluate : Bbng_graph.Undirected.t -> int array -> int
-(** Radius of an explicit center set.
-    @raise Invalid_argument on an empty center set. *)
+val evaluate :
+  ?budget:Bbng_obs.Budgeted.t -> Bbng_graph.Undirected.t -> int array -> int
+(** Radius of an explicit center set.  [?budget] (default unlimited) is
+    checkpointed by the underlying BFS.
+    @raise Invalid_argument on an empty center set.
+    @raise Bbng_obs.Budgeted.Expired once the token has expired. *)
 
 val exact : Bbng_graph.Undirected.t -> k:int -> solution
 (** Optimal solution by subset enumeration with an early-exit at radius
     0/1 floors.  [C(n, k)] multi-source BFS calls.
     @raise Invalid_argument unless [1 <= k <= n]. *)
+
+val exact_within :
+  ?budget:Bbng_obs.Budgeted.t ->
+  Bbng_graph.Undirected.t ->
+  k:int ->
+  solution Bbng_obs.Budgeted.outcome
+(** Deadline-aware {!exact}: [Complete s] with the optimum when the
+    enumeration finishes inside the budget, [Degraded s] with the best
+    center set priced before the token tripped (an upper bound on the
+    optimal radius), [Exhausted] if not even one candidate was priced.
+    Never raises on expiry. *)
 
 val gonzalez : ?seed:int -> Bbng_graph.Undirected.t -> k:int -> solution
 (** Farthest-point traversal: a 2-approximation on connected graphs

@@ -4,10 +4,12 @@ module Combinatorics = Bbng_graph.Combinatorics
 
 type solution = { centers : int array; cost : int }
 
-let evaluate g centers =
+let c_degraded = Bbng_obs.Counter.make "kmedian.degraded_solves"
+
+let evaluate ?budget g centers =
   if Array.length centers = 0 then invalid_arg "K_median.evaluate: empty centers";
   let n = Undirected.n g in
-  let dist = Bfs.distances_from_set g (Array.to_list centers) in
+  let dist = Bfs.distances_from_set ?budget g (Array.to_list centers) in
   Array.fold_left
     (fun acc d -> acc + if d = Bfs.unreachable then n else d)
     0 dist
@@ -22,6 +24,32 @@ let exact g ~k =
   match Combinatorics.fold_best ~n ~k ~score:(fun c -> evaluate g c) () with
   | Some (centers, cost) -> { centers; cost }
   | None -> assert false
+
+(* Budget-honouring [exact]; see K_center.exact_within for the
+   contract (identical, with cost in place of radius and no radius-0
+   early exit — a sum can legitimately be beaten until the very last
+   candidate). *)
+let exact_within ?(budget = Bbng_obs.Budgeted.unlimited) g ~k =
+  check_k g k;
+  let n = Undirected.n g in
+  let best = ref None in
+  let finished =
+    try
+      Combinatorics.iter_combinations ~n ~k (fun c ->
+          let cost = evaluate ~budget g c in
+          match !best with
+          | Some (_, bc) when bc <= cost -> ()
+          | _ -> best := Some (Array.copy c, cost));
+      true
+    with Bbng_obs.Budgeted.Expired -> false
+  in
+  match (finished, !best) with
+  | true, Some (centers, cost) -> Bbng_obs.Budgeted.Complete { centers; cost }
+  | true, None -> assert false (* k >= 1 always yields candidates *)
+  | false, Some (centers, cost) ->
+      Bbng_obs.Counter.bump c_degraded;
+      Bbng_obs.Budgeted.Degraded { centers; cost }
+  | false, None -> Bbng_obs.Budgeted.Exhausted
 
 let local_search ?(seed = 0) g ~k =
   check_k g k;

@@ -12,13 +12,27 @@ type solution = {
   cost : int;           (** [sum_v dist(v, centers)] *)
 }
 
-val evaluate : Bbng_graph.Undirected.t -> int array -> int
-(** Cost of an explicit center set.
-    @raise Invalid_argument on an empty center set. *)
+val evaluate :
+  ?budget:Bbng_obs.Budgeted.t -> Bbng_graph.Undirected.t -> int array -> int
+(** Cost of an explicit center set.  [?budget] (default unlimited) is
+    checkpointed by the underlying BFS.
+    @raise Invalid_argument on an empty center set.
+    @raise Bbng_obs.Budgeted.Expired once the token has expired. *)
 
 val exact : Bbng_graph.Undirected.t -> k:int -> solution
 (** Optimal solution by subset enumeration.
     @raise Invalid_argument unless [1 <= k <= n]. *)
+
+val exact_within :
+  ?budget:Bbng_obs.Budgeted.t ->
+  Bbng_graph.Undirected.t ->
+  k:int ->
+  solution Bbng_obs.Budgeted.outcome
+(** Deadline-aware {!exact}: [Complete s] with the optimum when the
+    enumeration finishes inside the budget, [Degraded s] with the best
+    center set priced before the token tripped (an upper bound on the
+    optimal cost), [Exhausted] if not even one candidate was priced.
+    Never raises on expiry. *)
 
 val local_search : ?seed:int -> Bbng_graph.Undirected.t -> k:int -> solution
 (** Start from the [seed]-rotated first [k] vertices and apply

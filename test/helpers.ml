@@ -39,8 +39,10 @@ let assert_equilibrium name version profile =
 
 let assert_not_equilibrium name version profile =
   match certify version profile with
-  | Equilibrium.Equilibrium -> Alcotest.failf "%s: unexpectedly an equilibrium" name
   | Equilibrium.Refuted _ -> ()
+  | v ->
+      Alcotest.failf "%s: expected a refutation, got %a" name
+        Equilibrium.pp_verdict v
 
 let diameter_exn g =
   match Bbng_graph.Distances.diameter g with

@@ -204,6 +204,8 @@ let test_swap_cert_agrees_with_certify_swap () =
         match Equilibrium.certificate_verdict cert with
         | Equilibrium.Equilibrium -> true
         | Equilibrium.Refuted _ -> false
+        | Equilibrium.Degraded _ ->
+            Alcotest.fail "unbudgeted certification cannot degrade"
       in
       check_bool "swap cert verdict" plain_stable cert_stable)
     [ (Cost.Max, sun8); (Cost.Max, path3); (Cost.Sum, tripod2) ]

@@ -27,7 +27,8 @@ let test_convergence_reaches_nash () =
         | Dynamics.Converged { profile; _ } ->
             check_true "converged to Nash" (Equilibrium.is_nash game profile)
         | Dynamics.Cycle _ -> () (* a genuine BR cycle is a valid outcome *)
-        | Dynamics.Step_limit _ -> Alcotest.fail "step limit on a tiny game"
+        | Dynamics.Step_limit _ | Dynamics.Interrupted _ ->
+            Alcotest.fail "step limit on a tiny game"
       done)
     Cost.all_versions
 
@@ -79,7 +80,8 @@ let test_schedules_agree_on_stability () =
             (Printf.sprintf "nash under %s" (Schedule.name schedule))
             (Equilibrium.is_nash game profile)
       | Dynamics.Cycle _ -> ()
-      | Dynamics.Step_limit _ -> Alcotest.fail "step limit")
+      | Dynamics.Step_limit _ | Dynamics.Interrupted _ ->
+          Alcotest.fail "step limit")
     [ Schedule.Round_robin; Schedule.Random_order 4; Schedule.Max_gain ]
 
 let test_max_gain_picks_largest () =
@@ -116,7 +118,8 @@ let test_cycle_detection_no_false_positives () =
     | Dynamics.Cycle { period; _ } -> check_true "positive period" (period > 0)
     | Dynamics.Converged { profile; _ } ->
         check_true "swap stable" (Equilibrium.is_swap_stable game profile)
-    | Dynamics.Step_limit _ -> Alcotest.fail "unexpected step limit"
+    | Dynamics.Step_limit _ | Dynamics.Interrupted _ ->
+        Alcotest.fail "unexpected step limit"
   done
 
 let test_outcome_accessors () =
@@ -144,7 +147,7 @@ let prop_convergence_on_small_tree_instances =
       match run ~max_steps:2_000 game Schedule.Round_robin Dynamics.Exact_best p with
       | Dynamics.Converged { profile; _ } -> Equilibrium.is_nash game profile
       | Dynamics.Cycle _ -> true
-      | Dynamics.Step_limit _ -> false)
+      | Dynamics.Step_limit _ | Dynamics.Interrupted _ -> false)
 
 let suite =
   [

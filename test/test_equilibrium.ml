@@ -25,6 +25,7 @@ let test_certify_refutation_witness () =
           ~targets:r.Equilibrium.better.Best_response.targets
       in
       check_int "witness cost is honest" r.Equilibrium.better.Best_response.cost replay
+  | Equilibrium.Degraded _ -> Alcotest.fail "unbudgeted certify cannot degrade"
 
 let test_swap_stability_weaker () =
   (* every Nash equilibrium is swap stable *)

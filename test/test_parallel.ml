@@ -87,6 +87,7 @@ let test_parallel_certification_agrees () =
       in
       check_int "parallel witness honest" r.Equilibrium.better.Best_response.cost replay;
       check_true "strictly better" (replay < r.Equilibrium.current_cost)
+  | Equilibrium.Degraded _ -> Alcotest.fail "unbudgeted certify cannot degrade"
 
 let prop_parallel_matches_sequential =
   qcheck ~count:40 "parallel is_nash == sequential is_nash"
