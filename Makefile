@@ -22,14 +22,18 @@ fault-smoke:
 check:
 	sh bin/check.sh
 
-# regenerate the local BENCH_micro.json / BENCH_smoke.json baselines
-# (gitignored: ns/run is machine-specific) that bin/check.sh diffs
-# subsequent runs against
+# regenerate the BENCH_micro.json / BENCH_smoke.json baselines and
+# promote them to bench/baselines/ (tracked), so bin/check.sh's
+# --diff always has a real reference even on a fresh clone; the
+# in-tree copies are refreshed too and win when present, since ns/run
+# is machine-specific and a local baseline diffs cleaner
 bench-baseline:
 	dune exec bench/main.exe -- perf
 	dune exec bench/main.exe -- --smoke
 	dune exec bench/main.exe -- --validate BENCH_micro.json
 	dune exec bench/main.exe -- --validate BENCH_smoke.json
+	mkdir -p bench/baselines
+	cp BENCH_micro.json BENCH_smoke.json bench/baselines/
 	@echo "baselines refreshed: next 'make check' diffs against them"
 
 # regenerate the golden audit artifacts (equilibrium certificates +

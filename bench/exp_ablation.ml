@@ -25,7 +25,7 @@ let pruning () =
       let game = Game.make Cost.Sum budgets in
       let raw_evals =
         Array.fold_left
-          (fun acc b -> acc + Bbng_graph.Combinatorics.binomial (n - 1) b)
+          (fun acc b -> acc + Bbng_graph.Combinatorics.binomial_sat (n - 1) b)
           0 (Budget.to_array budgets)
       in
       let _, pruned_t = time_it (fun () -> Equilibrium.is_nash game p) in

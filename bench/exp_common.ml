@@ -58,7 +58,7 @@ let certify_scaled ?(exact_limit = 400_000_000) ?(swap_limit = 300_000_000)
   let exact_work =
     Array.fold_left
       (fun acc b ->
-        let c = Bbng_graph.Combinatorics.binomial (n - 1) b in
+        let c = Bbng_graph.Combinatorics.binomial_sat (n - 1) b in
         sat_add acc (if c > max_int / bfs_cost then max_int else c * bfs_cost))
       0 (Budget.to_array budgets)
   in

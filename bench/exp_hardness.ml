@@ -48,7 +48,7 @@ let exponential_scaling () =
     (fun (n, b) ->
       let g = Generators.random_connected_gnp (rng (100 + n)) ~n ~p:0.15 in
       let inst = Reduction.of_median_instance g ~k:b in
-      let count = Bbng_graph.Combinatorics.binomial n b in
+      let count = Bbng_graph.Combinatorics.binomial_sat n b in
       (* the honest exponential: evaluate every one of the C(n, b)
          strategies of the new player (it is the last index, so subsets
          of 0..n-1 are directly valid target sets) *)

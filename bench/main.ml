@@ -10,7 +10,7 @@
      dune exec bench/main.exe -- --diff OLD.json NEW.json   # regression gate
    Known experiment names: table1 figures hardness existence weighted
    connectivity dynamics baselines expansion census extremal ablation
-   artifacts perf. *)
+   engines artifacts perf. *)
 
 let experiments =
   [
@@ -26,6 +26,7 @@ let experiments =
     ("census", Exp_census.run);
     ("extremal", Exp_extremal.run);
     ("ablation", Exp_ablation.run);
+    ("engines", Exp_engines.run);
     ("artifacts", Exp_artifacts.run);
     ("perf", Perf.run);
   ]

@@ -14,6 +14,22 @@ let sun_game = Game.make Cost.Sum (Strategy.budgets sun30)
 let tripod8 = Bbng_constructions.Tripod.profile ~k:8
 let tripod_game = Game.make Cost.Max (Strategy.budgets tripod8)
 
+(* Engine head-to-head: exhaustive best response on a circulant profile
+   (i -> {i+1, i+2} mod n) sized so neither the cost floor nor Lemma 2.2
+   prunes — the scan really prices all C(n-1, b) candidate strategies,
+   which is what separates the overlay-BFS engine from the
+   distance-row engine. *)
+let circ30 =
+  let n = 30 in
+  Strategy.make
+    (Budget.uniform ~n ~budget:2)
+    (Array.init n (fun i ->
+         let s = [| (i + 1) mod n; (i + 2) mod n |] in
+         Array.sort compare s;
+         s))
+
+let circ_game = Game.make Cost.Sum (Strategy.budgets circ30)
+
 let tests =
   Test.make_grouped ~name:"bbng" ~fmt:"%s/%s"
     [
@@ -40,6 +56,20 @@ let tests =
       Test.make ~name:"deviation-incremental-sun30"
         (let ctx = Deviation_eval.make Cost.Sum sun30 ~player:5 in
          Staged.stage (fun () -> ignore (Deviation_eval.cost ctx [| 7 |])));
+      (* engine head-to-head on the same full C(29,2) = 406 scan — the
+         report derives rows_vs_bfs_speedup from this pair *)
+      Test.make ~name:"br-exact-bfs-n30b2"
+        (Staged.stage (fun () ->
+             ignore
+               (Best_response.best_improvement
+                  ~engine:(Deviation_eval.Fixed Deviation_eval.Bfs_overlay)
+                  circ_game circ30 0)));
+      Test.make ~name:"br-exact-rows-n30b2"
+        (Staged.stage (fun () ->
+             ignore
+               (Best_response.best_improvement
+                  ~engine:(Deviation_eval.Fixed Deviation_eval.Rows)
+                  circ_game circ30 0)));
     ]
 
 type result = {
@@ -102,11 +132,25 @@ let print_table results =
     results;
   Bbng_analysis.Table.print table
 
+(* rows-engine speedup on the exhaustive best-response pair, derived
+   from the measured pair rather than re-timed, so the recorded ratio
+   matches the ns/run figures in the same report *)
+let rows_vs_bfs_speedup results =
+  let ns name =
+    List.find_map
+      (fun r -> if r.test = "bbng/" ^ name then r.ns else None)
+      results
+  in
+  match (ns "br-exact-bfs-n30b2", ns "br-exact-rows-n30b2") with
+  | Some bfs, Some rows when rows > 0. -> Some (bfs /. rows)
+  | _ -> None
+
 let report ~name results =
   let module Json = Bbng_obs.Json in
   let num = function Some v -> Json.Float v | None -> Json.Null in
   Exp_common.write_bench_report ~name
     [
+      ("rows_vs_bfs_speedup", num (rows_vs_bfs_speedup results));
       ( "results",
         Json.List
           (List.map
@@ -127,6 +171,11 @@ let run_with ~report_name ~quota () =
     "PERF — Bechamel micro-benchmarks (monotonic clock + minor/major allocations)";
   let results = measure ~quota in
   print_table results;
+  (match rows_vs_bfs_speedup results with
+  | Some s ->
+      Exp_common.note
+        "rows vs overlay-BFS speedup (exhaustive best response, n=30 b=2): %.1fx" s
+  | None -> ());
   report ~name:report_name results
 
 let run () = run_with ~report_name:"micro" ~quota:0.25 ()

@@ -17,6 +17,8 @@ module Obs = Bbng_obs
 
 (* --- shared term fragments --- *)
 
+let ( let* ) = Result.bind
+
 (* [die] is exit-on-error: unlike a clean exit it leaves an open
    --report stream as FILE.partial (a replayable prefix announcing an
    aborted run) instead of committing it over the previous FILE. *)
@@ -61,7 +63,19 @@ let obs_term =
              dynamics step is emitted.  The $(b,BBNG_FAULT) environment \
              variable takes the same specs, comma-separated.")
   in
-  let setup stats report faults =
+  let engine =
+    Arg.(
+      value & opt string "auto"
+      & info [ "eval-engine" ] ~docv:"bfs|rows|auto"
+          ~doc:
+            "Deviation pricing engine for exact searches: $(b,bfs) runs one \
+             BFS per candidate strategy, $(b,rows) combines cached \
+             per-target distance rows in O(b*n) per candidate, $(b,auto) \
+             (default) picks rows for players with budget >= 2.  Both \
+             engines are exact; certificates record which one priced them \
+             and $(b,verify) re-prices through the other.")
+  in
+  let setup stats report faults engine =
     let rec arm = function
       | [] -> Ok ()
       | s :: rest -> (
@@ -71,7 +85,17 @@ let obs_term =
               arm rest
           | Error msg -> Error (Printf.sprintf "bad --fault spec: %s" msg))
     in
-    match arm faults with
+    match
+      let* () = arm faults in
+      match Bbng_core.Deviation_eval.choice_of_name engine with
+      | Some choice ->
+          Bbng_core.Deviation_eval.set_default_choice choice;
+          Ok ()
+      | None ->
+          Error
+            (Printf.sprintf "bad --eval-engine %S (expected bfs, rows or auto)"
+               engine)
+    with
     | Error _ as e -> e
     | Ok () ->
         if stats || report <> None then Obs.Span.set_enabled true;
@@ -109,7 +133,7 @@ let obs_term =
         if stats then at_exit (fun () -> Obs.Stats.print stderr);
         result
   in
-  Term.term_result' Term.(const setup $ stats $ report $ fault)
+  Term.term_result' Term.(const setup $ stats $ report $ fault $ engine)
 
 (* Deadline/work-budget flags, shared by the deadline-aware
    subcommands.  Absent flags yield the shared unlimited token, which

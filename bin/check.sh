@@ -45,12 +45,16 @@ echo "== fault-matrix smoke =="
 sh bin/fault_smoke.sh
 
 echo "== bench smoke =="
-# snapshot the pre-run baseline before --smoke overwrites it
+# snapshot the pre-run baseline before --smoke overwrites it; on a
+# fresh clone (no local run yet) fall back to the committed reference
+# under bench/baselines/ so the diff always compares something real
 baseline=""
 if [ -f BENCH_smoke.json ]; then
   mkdir -p _build
   cp BENCH_smoke.json _build/BENCH_smoke.baseline.json
   baseline=_build/BENCH_smoke.baseline.json
+elif [ -f bench/baselines/BENCH_smoke.json ]; then
+  baseline=bench/baselines/BENCH_smoke.json
 fi
 dune exec bench/main.exe -- --smoke
 

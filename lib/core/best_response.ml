@@ -33,12 +33,17 @@ type context = {
    already-expired token: the current cost and the floor are what the
    cheap fallback tiers (cost-floor, Lemma 2.2) compare against, and
    those must stay available under any deadline.  The caller's token is
-   armed only after warm-up, so only the candidate scan can trip. *)
-let make_context ?(scan_budget = Bbng_obs.Budgeted.unlimited) game profile
-    player =
+   armed only after warm-up, so only the candidate scan can trip.
+
+   [?engine] picks the pricing engine (default: the process-wide
+   choice, see Deviation_eval.set_default_choice).  Contexts are
+   per-search state, so parallel certification naturally gets one
+   context — and one private row cache — per domain. *)
+let make_context ?(scan_budget = Bbng_obs.Budgeted.unlimited) ?engine game
+    profile player =
   let n = Game.n game in
   let budget = Budget.get (Game.budgets game) player in
-  let eval_ctx = Deviation_eval.make (Game.version game) profile ~player in
+  let eval_ctx = Deviation_eval.make ?engine (Game.version game) profile ~player in
   let in_degree =
     let count = ref 0 in
     for i = 0 to n - 1 do
@@ -63,19 +68,66 @@ let eval ctx targets =
 let unshift player c =
   Array.map (fun i -> if i < player then i else i + 1) c
 
-let satisfies_lemma_2_2 profile player =
-  let g = Strategy.realize profile in
-  let u = Strategy.underlying profile in
-  match Bbng_graph.Distances.eccentricity u player with
-  | None -> false
-  | Some e -> e = 1 || (e <= 2 && not (Digraph.in_some_brace g player))
+(* In-place variant for the scan hot loops: pricing C(n-1, b)
+   candidates makes a per-candidate allocation measurable against the
+   rows engine's O(b n) combine, so the shifted candidate lives in one
+   reusable buffer ([Deviation_eval.cost] only reads it) and escapes by
+   copy only when a candidate is actually kept. *)
+let unshift_into buf player c =
+  for i = 0 to Array.length c - 1 do
+    let x = c.(i) in
+    buf.(i) <- (if x < player then x else x + 1)
+  done
 
-let exact ?budget game profile player =
-  let ctx = make_context ?scan_budget:budget game profile player in
+(* Lemma 2.2 needs only the player's eccentricity clipped at 2 and its
+   brace membership, both readable straight off the profile in
+   O(n + m) — realizing the digraph and its undirected projection here
+   would put two graph constructions on the certifier's per-player hot
+   path.  [mark]: 1 = adjacent to the player, 2 = within distance 2. *)
+let satisfies_lemma_2_2 profile player =
+  let n = Strategy.n profile in
+  let own = Strategy.strategy profile player in
+  let targets_player i =
+    Array.exists (fun w -> w = player) (Strategy.strategy profile i)
+  in
+  let mark = Array.make n 0 in
+  mark.(player) <- 2;
+  Array.iter (fun v -> mark.(v) <- 1) own;
+  for i = 0 to n - 1 do
+    if i <> player && targets_player i then mark.(i) <- 1
+  done;
+  let neighbors = ref 0 in
+  for v = 0 to n - 1 do
+    if mark.(v) = 1 then incr neighbors
+  done;
+  if !neighbors = n - 1 then true (* c_MAX(u) = 1 *)
+  else if Array.exists targets_player own then false (* braced, c_MAX > 1 *)
+  else begin
+    (* distance-2 reach: an undirected edge into the level-1 set comes
+       from an arc in either direction; level-1 marks never change in
+       this pass, so one sweep settles every vertex *)
+    for i = 0 to n - 1 do
+      if mark.(i) = 1 then
+        Array.iter
+          (fun w -> if mark.(w) = 0 then mark.(w) <- 2)
+          (Strategy.strategy profile i)
+      else if
+        mark.(i) = 0
+        && Array.exists (fun w -> mark.(w) = 1) (Strategy.strategy profile i)
+      then mark.(i) <- 2
+    done;
+    not (Array.exists (fun m -> m = 0) mark)
+  end
+
+let exact ?budget ?engine game profile player =
+  let ctx = make_context ?scan_budget:budget ?engine game profile player in
   let n = Game.n game in
+  let buf = Array.make ctx.budget 0 in
   match
     Combinatorics.fold_best ~n:(n - 1) ~k:ctx.budget
-      ~score:(fun c -> eval ctx (unshift player c))
+      ~score:(fun c ->
+        unshift_into buf player c;
+        eval ctx buf)
       ~stop_at:ctx.floor ()
   with
   | Some (c, cost) -> { targets = unshift player c; cost }
@@ -101,19 +153,20 @@ let scan_for_improvement ctx ~stop_at_first =
     let n = Game.n ctx.game in
     let best = ref None in
     let evals = ref 0 in
+    let buf = Array.make ctx.budget 0 in
     let result =
       try
         Combinatorics.iter_combinations ~n:(n - 1) ~k:ctx.budget (fun c ->
-            let targets = unshift ctx.player c in
+            unshift_into buf ctx.player c;
             incr evals;
-            let cost = eval ctx targets in
+            let cost = eval ctx buf in
             if cost < ctx.current_cost then begin
               Bbng_obs.Counter.bump c_improving;
               let better_than_best =
                 match !best with None -> true | Some m -> cost < m.cost
               in
               if better_than_best then begin
-                let m = { targets; cost } in
+                let m = { targets = Array.copy buf; cost } in
                 if stop_at_first || cost <= ctx.floor then raise (Found m);
                 best := Some m
               end
@@ -125,14 +178,14 @@ let scan_for_improvement ctx ~stop_at_first =
     result
   end
 
-let exact_improvement ?budget game profile player =
+let exact_improvement ?budget ?engine game profile player =
   scan_for_improvement
-    (make_context ?scan_budget:budget game profile player)
+    (make_context ?scan_budget:budget ?engine game profile player)
     ~stop_at_first:true
 
-let best_improvement ?budget game profile player =
+let best_improvement ?budget ?engine game profile player =
   scan_for_improvement
-    (make_context ?scan_budget:budget game profile player)
+    (make_context ?scan_budget:budget ?engine game profile player)
     ~stop_at_first:false
 
 let swap_candidates ctx =
@@ -188,14 +241,14 @@ let swap_scan ctx ~stop_at_first =
     result
   end
 
-let swap_best ?budget game profile player =
+let swap_best ?budget ?engine game profile player =
   swap_scan
-    (make_context ?scan_budget:budget game profile player)
+    (make_context ?scan_budget:budget ?engine game profile player)
     ~stop_at_first:false
 
-let first_improving_swap ?budget game profile player =
+let first_improving_swap ?budget ?engine game profile player =
   swap_scan
-    (make_context ?scan_budget:budget game profile player)
+    (make_context ?scan_budget:budget ?engine game profile player)
     ~stop_at_first:true
 
 (* --- audited checks: the same ladder, with evidence --- *)
@@ -224,7 +277,9 @@ let tier_of_name = function
 
 type audit = {
   tier : tier;
+  engine : Deviation_eval.engine;
   scanned : int;
+  candidates : Combinatorics.count;
   current : int;
   best : move option;
   improving : move option;
@@ -236,8 +291,11 @@ type audit = {
    [best] witnesses "nothing beats the current strategy" (the current
    strategy itself is among the exact-tier candidates, hence
    [best.cost = current] at an equilibrium), while a refutation audit
-   stops as early as the plain certifier would. *)
-let audit_candidates ctx ~tier iter_targets =
+   stops as early as the plain certifier would.  [~candidates] is the
+   size of the space the tier set out to scan — it stays on the audit
+   even when the scan degrades, so a verifier can compare it against
+   its own re-count. *)
+let audit_candidates ctx ~tier ~candidates iter_targets =
   let best = ref None in
   let improving = ref None in
   let scanned = ref 0 in
@@ -265,7 +323,9 @@ let audit_candidates ctx ~tier iter_targets =
   record_search_size !scanned;
   {
     tier = (if !interrupted then Degraded_scan else tier);
+    engine = Deviation_eval.engine ctx.eval_ctx;
     scanned = !scanned;
+    candidates;
     current = ctx.current_cost;
     best = !best;
     (* a found improvement always escapes via Exit before any further
@@ -276,10 +336,18 @@ let audit_candidates ctx ~tier iter_targets =
 
 let pruned_audit ctx tier =
   record_search_size 0;
-  { tier; scanned = 0; current = ctx.current_cost; best = None; improving = None }
+  {
+    tier;
+    engine = Deviation_eval.engine ctx.eval_ctx;
+    scanned = 0;
+    candidates = Combinatorics.Exact 0;
+    current = ctx.current_cost;
+    best = None;
+    improving = None;
+  }
 
-let audit_exact ?budget game profile player =
-  let ctx = make_context ?scan_budget:budget game profile player in
+let audit_exact ?budget ?engine game profile player =
+  let ctx = make_context ?scan_budget:budget ?engine game profile player in
   if ctx.current_cost <= ctx.floor then begin
     Bbng_obs.Counter.bump c_pruned_floor;
     pruned_audit ctx Cost_floor
@@ -290,22 +358,26 @@ let audit_exact ?budget game profile player =
   end
   else
     let n = Game.n ctx.game in
-    audit_candidates ctx ~tier:Exhaustive (fun f ->
+    audit_candidates ctx ~tier:Exhaustive
+      ~candidates:(Combinatorics.binomial (n - 1) ctx.budget)
+      (fun f ->
         Combinatorics.iter_combinations ~n:(n - 1) ~k:ctx.budget (fun c ->
             f (unshift ctx.player c)))
 
-let audit_swap ?budget game profile player =
-  let ctx = make_context ?scan_budget:budget game profile player in
+let audit_swap ?budget ?engine game profile player =
+  let ctx = make_context ?scan_budget:budget ?engine game profile player in
   if ctx.current_cost <= ctx.floor then begin
     Bbng_obs.Counter.bump c_pruned_floor;
     pruned_audit ctx Cost_floor
   end
   else
-    audit_candidates ctx ~tier:Swap_exhaustive (fun f ->
-        List.iter f (swap_candidates ctx))
+    let n = Game.n ctx.game in
+    audit_candidates ctx ~tier:Swap_exhaustive
+      ~candidates:(Combinatorics.Exact (ctx.budget * (n - 1 - ctx.budget)))
+      (fun f -> List.iter f (swap_candidates ctx))
 
-let greedy ?budget game profile player =
-  let ctx = make_context ?scan_budget:budget game profile player in
+let greedy ?budget ?engine game profile player =
+  let ctx = make_context ?scan_budget:budget ?engine game profile player in
   let n = Game.n game in
   let chosen = ref [] in
   let is_chosen v = List.mem v !chosen in

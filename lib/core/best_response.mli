@@ -19,7 +19,14 @@
     the candidate scan honours it.  The plain finders let
     {!Bbng_obs.Budgeted.Expired} propagate (their callers own the
     degradation policy); the audited checks convert interruption into a
-    typed {!Degraded_scan} audit instead. *)
+    typed {!Degraded_scan} audit instead.
+
+    Every search also takes an optional [?engine] picking the pricing
+    engine ({!Deviation_eval.choice}; default is the process-wide
+    choice): the overlay-BFS engine or the distance-row engine.  Both
+    are exact, so every result below is engine-independent; audits
+    record which engine priced them so a certificate verifier can
+    re-price through the other one. *)
 
 type move = {
   targets : int array;  (** the (sorted) improving strategy *)
@@ -32,7 +39,9 @@ val satisfies_lemma_2_2 : Strategy.t -> int -> bool
     in no brace. *)
 
 val exact :
-  ?budget:Bbng_obs.Budgeted.t -> Game.t -> Strategy.t -> int -> move
+  ?budget:Bbng_obs.Budgeted.t ->
+  ?engine:Deviation_eval.choice ->
+  Game.t -> Strategy.t -> int -> move
 (** The true best response of a player (ties broken toward the
     lexicographically smallest target set; the player's current strategy
     wins ties only if itself lexicographically smallest).  Exponential in
@@ -40,7 +49,9 @@ val exact :
     @raise Bbng_obs.Budgeted.Expired if the token trips mid-scan. *)
 
 val exact_improvement :
-  ?budget:Bbng_obs.Budgeted.t -> Game.t -> Strategy.t -> int -> move option
+  ?budget:Bbng_obs.Budgeted.t ->
+  ?engine:Deviation_eval.choice ->
+  Game.t -> Strategy.t -> int -> move option
 (** [Some m] with [m.cost < current cost] if the player can improve
     (the search stops at the first strict improvement found after
     checking the Lemma 2.2 shortcut and the cost floor); [None] iff the
@@ -48,20 +59,26 @@ val exact_improvement :
     @raise Bbng_obs.Budgeted.Expired if the token trips mid-scan. *)
 
 val best_improvement :
-  ?budget:Bbng_obs.Budgeted.t -> Game.t -> Strategy.t -> int -> move option
+  ?budget:Bbng_obs.Budgeted.t ->
+  ?engine:Deviation_eval.choice ->
+  Game.t -> Strategy.t -> int -> move option
 (** Like {!exact_improvement} but scans everything: the {e best}
     deviation, or [None] if already optimal.
     @raise Bbng_obs.Budgeted.Expired if the token trips mid-scan. *)
 
 val swap_best :
-  ?budget:Bbng_obs.Budgeted.t -> Game.t -> Strategy.t -> int -> move option
+  ?budget:Bbng_obs.Budgeted.t ->
+  ?engine:Deviation_eval.choice ->
+  Game.t -> Strategy.t -> int -> move option
 (** Best strict improvement obtainable by replacing exactly one owned
     arc (keeping the other [b - 1]); [None] if no swap improves.
     O(b * n) cost evaluations.
     @raise Bbng_obs.Budgeted.Expired if the token trips mid-scan. *)
 
 val first_improving_swap :
-  ?budget:Bbng_obs.Budgeted.t -> Game.t -> Strategy.t -> int -> move option
+  ?budget:Bbng_obs.Budgeted.t ->
+  ?engine:Deviation_eval.choice ->
+  Game.t -> Strategy.t -> int -> move option
 (** First strict improvement by a single swap, scan order: owned arcs
     increasing, replacement targets increasing.
     @raise Bbng_obs.Budgeted.Expired if the token trips mid-scan. *)
@@ -93,7 +110,14 @@ val tier_of_name : string -> tier option
 
 type audit = {
   tier : tier;
+  engine : Deviation_eval.engine;
+      (** which pricing engine evaluated the candidates — recorded so a
+          verifier can re-price through the other one *)
   scanned : int;          (** candidate strategies actually evaluated *)
+  candidates : Bbng_graph.Combinatorics.count;
+      (** size of the space the tier set out to scan ([Exact 0] for the
+          no-scan tiers); [Saturated] when [C(n-1,b)] overflows, which
+          is an explicit marker, never a clamped number *)
   current : int;          (** the player's cost under the profile *)
   best : move option;     (** cheapest candidate seen ([None] when pruned) *)
   improving : move option;
@@ -102,7 +126,9 @@ type audit = {
 }
 
 val audit_exact :
-  ?budget:Bbng_obs.Budgeted.t -> Game.t -> Strategy.t -> int -> audit
+  ?budget:Bbng_obs.Budgeted.t ->
+  ?engine:Deviation_eval.choice ->
+  Game.t -> Strategy.t -> int -> audit
 (** Audited exact check.  Prunes exactly like {!exact_improvement}
     (and agrees with it on [improving = None]); when no pruning fires
     and no improvement exists, the scan is complete — [scanned =
@@ -119,13 +145,17 @@ val audit_exact :
     that genuinely needed the exponential scan. *)
 
 val audit_swap :
-  ?budget:Bbng_obs.Budgeted.t -> Game.t -> Strategy.t -> int -> audit
+  ?budget:Bbng_obs.Budgeted.t ->
+  ?engine:Deviation_eval.choice ->
+  Game.t -> Strategy.t -> int -> audit
 (** Audited swap-stability check (cost-floor pruning only; Lemma 2.2
     is about exact best responses).  Degrades under an expired
     [?budget] exactly like {!audit_exact}. *)
 
 val greedy :
-  ?budget:Bbng_obs.Budgeted.t -> Game.t -> Strategy.t -> int -> move
+  ?budget:Bbng_obs.Budgeted.t ->
+  ?engine:Deviation_eval.choice ->
+  Game.t -> Strategy.t -> int -> move
 (** Heuristic response: pick the [b] targets one at a time, each time
     adding the target that minimizes the player's cost with the partial
     set (a k-center/k-median-style greedy).  Not necessarily improving,

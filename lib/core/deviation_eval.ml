@@ -2,13 +2,54 @@ module Bfs = Bbng_graph.Bfs
 
 let c_contexts = Bbng_obs.Counter.make "deveval.contexts"
 let c_evals = Bbng_obs.Counter.make "deveval.incremental_evals"
+let c_rows_built = Bbng_obs.Counter.make "deveval.rows_built"
+let c_rows_evicted = Bbng_obs.Counter.make "deveval.rows_evicted"
+let c_row_hits = Bbng_obs.Counter.make "deveval.row_hits"
+
+type engine = Bfs_overlay | Rows
+
+let engine_name = function Bfs_overlay -> "bfs" | Rows -> "rows"
+
+let engine_of_name = function
+  | "bfs" -> Some Bfs_overlay
+  | "rows" -> Some Rows
+  | _ -> None
+
+type choice = Fixed of engine | Auto
+
+let choice_name = function Fixed e -> engine_name e | Auto -> "auto"
+
+let choice_of_name = function
+  | "auto" -> Some Auto
+  | s -> Option.map (fun e -> Fixed e) (engine_of_name s)
+
+(* Process-wide default, set once by the CLI/bench --eval-engine flag
+   before any context exists; contexts resolve it at [make] time, so
+   domains spawned later inherit it without signature churn. *)
+let default = Atomic.make Auto
+let set_default_choice c = Atomic.set default c
+let default_choice () = Atomic.get default
+
+(* Distance rows of the player-deleted static graph, built lazily one
+   BFS at a time.  [rows.(v)] caches dist_{G∖player}(v, ·); [base] is
+   the single multi-source row min over staticN(player).  FIFO eviction
+   under [cap] keeps the worst case at O(cap · n) ints. *)
+type rows_state = {
+  cap : int;
+  rows : int array option array;
+  order : int Queue.t;          (* build order of live cached rows *)
+  mutable live : int;
+  mutable base : int array option;
+}
 
 type t = {
   version : Cost.version;
   player : int;
   n : int;
+  engine : engine;
   static_adj : int array array;  (* all arcs except the player's owned ones *)
   own : int array;               (* the player's strategy in the profile *)
+  rows_state : rows_state option;  (* Some iff engine = Rows *)
   (* reusable scratch: [seen.(v) = stamp] marks validity of [dist.(v)] *)
   mutable stamp : int;
   seen : int array;
@@ -16,14 +57,23 @@ type t = {
   queue : int array;
   comp_seen : int array;         (* second stamp space for kappa *)
   (* cooperative cancellation: each evaluation checkpoints the token on
-     entry and charges the reached-vertex count after, so a deadline or
-     work limit stops a candidate scan between evaluations (a single
-     eval is O(n + m) and bounded).  Mutable so a context can be warmed
-     up unlimited and budgeted afterwards. *)
+     entry and charges its work after, so a deadline or work limit
+     stops a candidate scan between evaluations (a single eval is
+     bounded).  Mutable so a context can be warmed up unlimited and
+     budgeted afterwards. *)
   mutable budget : Bbng_obs.Budgeted.t;
 }
 
-let make ?(budget = Bbng_obs.Budgeted.unlimited) version profile ~player =
+(* Rows beat the overlay BFS once a candidate scan re-visits targets,
+   which C(n-1, b) enumeration does heavily for b >= 2; at b <= 1 every
+   row is used once and the overlay's single BFS is already optimal. *)
+let resolve_choice choice ~budget_size =
+  match choice with
+  | Fixed e -> e
+  | Auto -> if budget_size >= 2 then Rows else Bfs_overlay
+
+let make ?(budget = Bbng_obs.Budgeted.unlimited) ?engine ?row_cache_cap version
+    profile ~player =
   Bbng_obs.Counter.bump c_contexts;
   let n = Strategy.n profile in
   if player < 0 || player >= n then invalid_arg "Deviation_eval.make: bad player";
@@ -49,12 +99,39 @@ let make ?(budget = Bbng_obs.Budgeted.unlimited) version profile ~player =
           add j i)
         (Strategy.strategy profile i)
   done;
+  let own = Array.copy (Strategy.strategy profile player) in
+  let choice =
+    match engine with Some c -> c | None -> Atomic.get default
+  in
+  let engine = resolve_choice choice ~budget_size:(Array.length own) in
+  let rows_state =
+    match engine with
+    | Bfs_overlay -> None
+    | Rows ->
+        (* default cap: whole-row cache up to ~8M ints (64 MB), never
+           below 16 rows — at paper scales this never evicts *)
+        let cap =
+          match row_cache_cap with
+          | Some c -> max 1 c
+          | None -> max 16 (8_388_608 / max n 1)
+        in
+        Some
+          {
+            cap;
+            rows = Array.make n None;
+            order = Queue.create ();
+            live = 0;
+            base = None;
+          }
+  in
   {
     version;
     player;
     n;
+    engine;
     static_adj;
-    own = Array.copy (Strategy.strategy profile player);
+    own;
+    rows_state;
     stamp = 0;
     seen = Array.make n 0;
     dist = Array.make n 0;
@@ -65,12 +142,15 @@ let make ?(budget = Bbng_obs.Budgeted.unlimited) version profile ~player =
 
 let player t = t.player
 let version t = t.version
+let engine t = t.engine
 let budget t = t.budget
 let set_budget t budget = t.budget <- budget
 
 (* Count connected components among vertices not reached by the last
-   BFS, walking only static adjacency (correct: no static edge joins a
-   reached and an unreached vertex — see the interface comment). *)
+   evaluation, walking only static adjacency (correct: no static edge
+   joins a reached and an unreached vertex — see the interface
+   comment).  Both engines mark their reach set into [seen] under the
+   current [stamp] before calling this. *)
 let unreached_components t =
   let comps = ref 0 in
   let stamp = t.stamp in
@@ -97,14 +177,22 @@ let unreached_components t =
   done;
   !comps
 
-let cost t targets =
-  Bbng_obs.Budgeted.checkpoint t.budget;
-  Bbng_obs.Counter.bump c_evals;
-  Array.iter
-    (fun v ->
-      if v < 0 || v >= t.n then invalid_arg "Deviation_eval.cost: target out of range";
-      if v = t.player then invalid_arg "Deviation_eval.cost: self target")
-    targets;
+let validate_targets t targets =
+  let b = Array.length targets in
+  for i = 0 to b - 1 do
+    let v = targets.(i) in
+    if v < 0 || v >= t.n then invalid_arg "Deviation_eval.cost: target out of range";
+    if v = t.player then invalid_arg "Deviation_eval.cost: self target";
+    (* a duplicate under-spends the budget while pricing as if legal;
+       b is tiny, so the quadratic check is cheaper than sorting *)
+    for j = i + 1 to b - 1 do
+      if targets.(j) = v then invalid_arg "Deviation_eval.cost: duplicate target"
+    done
+  done
+
+(* --- overlay engine: one fresh BFS per candidate --- *)
+
+let overlay_cost t targets =
   t.stamp <- t.stamp + 1;
   let stamp = t.stamp in
   let head = ref 0 and tail = ref 0 in
@@ -153,5 +241,205 @@ let cost t targets =
         let kappa = 1 + unreached_components t in
         inf + ((kappa - 1) * inf)
       end
+
+(* --- rows engine: per-target distance rows, O(b·n) combine --- *)
+
+(* One BFS of the player-deleted static graph from [sources]; the row
+   maps every vertex to its distance from the nearest source (the
+   sentinel n² elsewhere, including at the player).  The cache is only
+   updated after the BFS completes, so an exception (budget expiry, an
+   injected fault) or a SIGKILL mid-build never leaves a torn row. *)
+let build_row t sources =
+  Bbng_obs.Fault.hit "deveval.row_build";
+  Bbng_obs.Counter.bump c_rows_built;
+  let inf = t.n * t.n in
+  let row = Array.make t.n inf in
+  let head = ref 0 and tail = ref 0 in
+  Array.iter
+    (fun s ->
+      if s <> t.player && row.(s) = inf then begin
+        row.(s) <- 0;
+        t.queue.(!tail) <- s;
+        incr tail
+      end)
+    sources;
+  while !head < !tail do
+    let u = t.queue.(!head) in
+    incr head;
+    let du = row.(u) in
+    Array.iter
+      (fun v ->
+        if v <> t.player && row.(v) = inf then begin
+          row.(v) <- du + 1;
+          t.queue.(!tail) <- v;
+          incr tail
+        end)
+      t.static_adj.(u)
+  done;
+  Bbng_obs.Budgeted.spend t.budget !tail;
+  row
+
+let base_row t rs =
+  match rs.base with
+  | Some row -> row
+  | None ->
+      let row = build_row t t.static_adj.(t.player) in
+      rs.base <- Some row;
+      row
+
+let miss_row t rs target =
+  let row = build_row t [| target |] in
+  if rs.live >= rs.cap then begin
+    match Queue.take_opt rs.order with
+    | Some victim ->
+        rs.rows.(victim) <- None;
+        rs.live <- rs.live - 1;
+        Bbng_obs.Counter.bump c_rows_evicted
+    | None -> ()
+  end;
+  rs.rows.(target) <- Some row;
+  Queue.push target rs.order;
+  rs.live <- rs.live + 1;
+  row
+
+(* The (b+1)-way min-combine is the per-candidate hot path — a full
+   exhaustive scan runs it C(n-1, b) times — so the ubiquitous b <= 2
+   cases are unrolled: no trows allocation and no inner k-loop.  Two
+   more hot-path economies: every row holds the sentinel at the player
+   (build_row never relaxes it), so the combine needs no per-vertex
+   player test — the player falls out of the [m < inf] branch and is
+   pre-counted in [reached]; and cache-hit accounting is batched into
+   one atomic [Counter.add] per evaluation instead of one bump per
+   target.  The reach set is not marked here either: only the MAX
+   disconnection walk needs the mark, and that rare path re-derives it
+   from the cache-hot rows.  Rows are held by reference throughout: a
+   cache eviction while gathering the next row cannot invalidate one
+   already in hand. *)
+let rows_cost t rs targets =
+  let inf = t.n * t.n in
+  let base = base_row t rs in
+  let n = t.n in
+  let b = Array.length targets in
+  let reached = ref 1 in
+  let sum = ref 0 and mx = ref 0 in
+  let hits = ref 0 in
+  let row tg =
+    match rs.rows.(tg) with
+    | Some r ->
+        incr hits;
+        r
+    | None -> miss_row t rs tg
+  in
+  (match b with
+  | 0 ->
+      for v = 0 to n - 1 do
+        let m = base.(v) in
+        if m < inf then begin
+          let d = m + 1 in
+          incr reached;
+          sum := !sum + d;
+          if d > !mx then mx := d
+        end
+      done
+  | 1 ->
+      let r0 =
+        match rs.rows.(targets.(0)) with
+        | Some r ->
+            incr hits;
+            r
+        | None -> miss_row t rs targets.(0)
+      in
+      for v = 0 to n - 1 do
+        let m = base.(v) in
+        let d0 = r0.(v) in
+        let m = if d0 < m then d0 else m in
+        if m < inf then begin
+          let d = m + 1 in
+          incr reached;
+          sum := !sum + d;
+          if d > !mx then mx := d
+        end
+      done
+  | 2 ->
+      let r0 =
+        match rs.rows.(targets.(0)) with
+        | Some r ->
+            incr hits;
+            r
+        | None -> miss_row t rs targets.(0)
+      in
+      let r1 =
+        match rs.rows.(targets.(1)) with
+        | Some r ->
+            incr hits;
+            r
+        | None -> miss_row t rs targets.(1)
+      in
+      for v = 0 to n - 1 do
+        let m = base.(v) in
+        let d0 = r0.(v) in
+        let m = if d0 < m then d0 else m in
+        let d1 = r1.(v) in
+        let m = if d1 < m then d1 else m in
+        if m < inf then begin
+          let d = m + 1 in
+          incr reached;
+          sum := !sum + d;
+          if d > !mx then mx := d
+        end
+      done
+  | _ ->
+      let trows = Array.map row targets in
+      for v = 0 to n - 1 do
+        let m = ref base.(v) in
+        for k = 0 to b - 1 do
+          let d = trows.(k).(v) in
+          if d < !m then m := d
+        done;
+        if !m < inf then begin
+          let d = !m + 1 in
+          incr reached;
+          sum := !sum + d;
+          if d > !mx then mx := d
+        end
+      done);
+  Bbng_obs.Budgeted.spend t.budget ((b + 1) * n);
+  let result =
+    match t.version with
+    | Cost.Sum -> !sum + ((n - !reached) * inf)
+    | Cost.Max ->
+        if !reached = n then !mx
+        else begin
+          (* disconnected under MAX: mark the reach set for the
+             component walk.  Re-gathering the rows is a cache hit
+             (they were just combined; a rebuild after an eviction is
+             deterministic, so the mark equals the combine's reach set
+             either way). *)
+          let trows = Array.map row targets in
+          t.stamp <- t.stamp + 1;
+          let stamp = t.stamp in
+          t.seen.(t.player) <- stamp;
+          for v = 0 to n - 1 do
+            let m = ref base.(v) in
+            for k = 0 to b - 1 do
+              let d = trows.(k).(v) in
+              if d < !m then m := d
+            done;
+            if !m < inf then t.seen.(v) <- stamp
+          done;
+          let kappa = 1 + unreached_components t in
+          inf + ((kappa - 1) * inf)
+        end
+  in
+  if !hits > 0 then Bbng_obs.Counter.add c_row_hits !hits;
+  result
+
+let cost t targets =
+  Bbng_obs.Budgeted.checkpoint t.budget;
+  Bbng_obs.Counter.bump c_evals;
+  validate_targets t targets;
+  match t.rows_state with
+  | None -> overlay_cost t targets
+  | Some rs -> rows_cost t rs targets
 
 let current_cost t = cost t t.own

@@ -5,30 +5,89 @@
     The generic route ({!Game.deviation_cost}) rebuilds the whole
     digraph and its undirected view per candidate; this module builds
     the static part — every arc {e not} owned by the deviating player,
-    as undirected adjacency — once, and evaluates each candidate with a
-    single BFS that overlays the player's tentative arcs:
+    as undirected adjacency — once, and prices candidates with one of
+    two exact engines.
 
-    - a shortest path from the player never revisits the player, so an
-      edge [player - t] can only ever be the {e first} step: BFS from
-      the player with [neighbors(player) = static ∪ targets] and
-      [neighbors(v) = static(v)] elsewhere is exact;
-    - the vertices the BFS misses induce the same components as in the
-      static graph (none of their edges involve the player), so the
-      MAX version's [kappa] is recovered without rebuilding anything.
+    Both rest on the one-arc shortest-path lemma: a shortest path from
+    the player never revisits the player, so it uses {e at most one} of
+    the player's arcs, necessarily as its first edge.  Hence
 
-    The observable behaviour is {e identical} to the generic route
-    (a qcheck property in the test suite pins this); the win is the
-    per-candidate constant. *)
+    {v dist_i(v) = min over t in (targets ∪ staticN(i)) of
+                     1 + dist_{G∖i}(t, v) v}
+
+    where [G∖i] is the player-deleted static graph — a quantity that
+    does {e not} depend on the candidate at all.
+
+    - [Bfs_overlay] runs one fresh BFS per candidate, overlaying the
+      player's tentative arcs as first steps: O(n + m) per candidate.
+    - [Rows] precomputes one BFS row per first-hop vertex of [G∖i]
+      (lazily, cached under a configurable cap with eviction counters),
+      plus a single multi-source row for the static neighbors; each
+      candidate is then an O(b·n) min-combine over b+1 rows.  Over a
+      C(n-1, b) exhaustive scan this drops the total from
+      O(C(n-1,b)·(n+m)) to O(n·(n+m) + C(n-1,b)·b·n).
+
+    In both engines the vertices an evaluation misses induce the same
+    components as in the static graph (none of their edges involve the
+    player), so the MAX version's [kappa] is recovered without
+    rebuilding anything.
+
+    The observable behaviour of both engines is {e identical} to the
+    generic route (qcheck properties in the test suite pin
+    rows ≡ overlay ≡ generic); the win is the per-candidate constant. *)
 
 type t
 
+type engine = Bfs_overlay | Rows
+(** The two exact pricing engines (see the module preamble). *)
+
+type choice = Fixed of engine | Auto
+(** Engine selection: [Auto] resolves per context to [Rows] when the
+    player's budget is ≥ 2 (rows amortize only when candidates share
+    first hops) and [Bfs_overlay] otherwise. *)
+
+val engine_name : engine -> string
+(** ["bfs"] or ["rows"] — the stable names certificates record. *)
+
+val engine_of_name : string -> engine option
+
+val choice_name : choice -> string
+(** ["bfs"], ["rows"] or ["auto"]. *)
+
+val choice_of_name : string -> choice option
+
+val set_default_choice : choice -> unit
+(** Process-wide default used when {!make} gets no [?engine]; set once
+    by the [--eval-engine] CLI/bench flag.  Contexts resolve it at
+    {!make} time, so parallel domains spawned later inherit it. *)
+
+val default_choice : unit -> choice
+
 val make :
-  ?budget:Bbng_obs.Budgeted.t -> Cost.version -> Strategy.t -> player:int -> t
+  ?budget:Bbng_obs.Budgeted.t ->
+  ?engine:choice ->
+  ?row_cache_cap:int ->
+  Cost.version ->
+  Strategy.t ->
+  player:int ->
+  t
 (** Captures the fixed part.  O(n + m).  [?budget] (default unlimited)
-    is the cancellation token every subsequent {!cost} call honours. *)
+    is the cancellation token every subsequent {!cost} call honours.
+    [?engine] overrides the process default ({!set_default_choice});
+    [?row_cache_cap] bounds how many distance rows the [Rows] engine
+    keeps live (FIFO eviction, clamped to ≥ 1; the default keeps the
+    cache under ~64 MB and never evicts at paper scales).  Cache
+    traffic is observable as the [deveval.rows_built] /
+    [deveval.row_hits] / [deveval.rows_evicted] counters.
+
+    A context is single-domain state: parallel certification gives each
+    domain its own context, rows are never shared across domains. *)
 
 val player : t -> int
 val version : t -> Cost.version
+
+val engine : t -> engine
+(** The engine this context resolved to ([Auto] already applied). *)
 
 val budget : t -> Bbng_obs.Budgeted.t
 
@@ -40,16 +99,22 @@ val set_budget : t -> Bbng_obs.Budgeted.t -> unit
 
 val cost : t -> int array -> int
 (** [cost ctx targets] is the player's cost if it plays [targets]
-    (sorted or not; duplicates and self-targets are rejected).  Budget
-    length is {e not} enforced here — the evaluator is also used on
-    partial target sets by the greedy heuristic.
+    (sorted or not; duplicates, self-targets and out-of-range vertices
+    are rejected).  Budget length is {e not} enforced here — the
+    evaluator is also used on partial target sets by the greedy
+    heuristic.
 
     Honours the context's cancellation token: checkpoints it on entry
     (raising {!Bbng_obs.Budgeted.Expired} once the token has tripped)
-    and charges the reached-vertex count as work after each evaluation,
-    so interruption lands {e between} candidate evaluations, never
-    mid-BFS.
-    @raise Invalid_argument on a self-target or out-of-range vertex.
+    and charges the work done after — the reached-vertex count per
+    overlay BFS, the popped count per row build, [(b+1)·n] cells per
+    combine — so interruption lands {e between} candidate evaluations,
+    never mid-BFS, and the row cache is never left with a torn row
+    (rows are installed only after their BFS completes; the
+    [deveval.row_build] fault probe sits before the build for the
+    crash-safety matrix).
+    @raise Invalid_argument on a self-target, a duplicate target or an
+    out-of-range vertex.
     @raise Bbng_obs.Budgeted.Expired once the token has expired. *)
 
 val current_cost : t -> int

@@ -145,18 +145,26 @@ let certify_cert_with auditor mode game profile =
     cert_evidence = scan 0 [];
   }
 
-let certify_cert ?budget game profile =
-  certify_cert_with (Best_response.audit_exact ?budget) Exact_mode game profile
+let certify_cert ?budget ?engine game profile =
+  certify_cert_with
+    (Best_response.audit_exact ?budget ?engine)
+    Exact_mode game profile
 
-let certify_swap_cert ?budget game profile =
-  certify_cert_with (Best_response.audit_swap ?budget) Swap_mode game profile
+let certify_swap_cert ?budget ?engine game profile =
+  certify_cert_with
+    (Best_response.audit_swap ?budget ?engine)
+    Swap_mode game profile
 
-let certify_parallel_cert ?domains ?budget game profile =
+let certify_parallel_cert ?domains ?budget ?engine game profile =
   Bbng_obs.Counter.bump c_certificates;
   let n = Game.n game in
   let audits =
+    (* each audit builds its own evaluation context, so every domain
+       owns its rows: nothing of the distance-row cache crosses domains *)
     Parallel.map ?domains ~n (fun player ->
-        audited_player (Best_response.audit_exact ?budget) game profile player)
+        audited_player
+          (Best_response.audit_exact ?budget ?engine)
+          game profile player)
   in
   (* truncate after the first (lowest-player) refutation so the
      evidence shape — and the witness — matches the sequential
@@ -189,12 +197,18 @@ let move_fields prefix (m : Best_response.move) =
     (prefix ^ "_cost", Json.Int m.Best_response.cost);
   ]
 
+let count_to_json = function
+  | Combinatorics.Exact c -> Json.Int c
+  | Combinatorics.Saturated -> Json.Str "saturated"
+
 let evidence_to_json (player, (a : Best_response.audit)) =
   Json.Obj
     ([
        ("player", Json.Int player);
        ("tier", Json.Str (Best_response.tier_name a.Best_response.tier));
+       ("engine", Json.Str (Deviation_eval.engine_name a.Best_response.engine));
        ("scanned", Json.Int a.Best_response.scanned);
+       ("candidates", count_to_json a.Best_response.candidates);
        ("current_cost", Json.Int a.Best_response.current);
      ]
     @ (match a.Best_response.best with
@@ -248,7 +262,30 @@ let move_of_json prefix j =
   | Some targets, Some cost -> Some { Best_response.targets; cost }
   | _ -> None
 
-let evidence_of_json j =
+let ( let* ) = Result.bind
+
+(* [~space] recomputes a tier's candidate-space size from the profile;
+   certificates written before the engine/candidates fields existed
+   fall back to it (and to the overlay engine), so old artifacts keep
+   verifying.  An explicit but unknown value is a hard error, never a
+   silent default. *)
+let evidence_of_json ~space j =
+  let engine =
+    match Json.member "engine" j with
+    | None -> Ok Deviation_eval.Bfs_overlay
+    | Some (Json.Str s) -> (
+        match Deviation_eval.engine_of_name s with
+        | Some e -> Ok e
+        | None -> Error (Printf.sprintf "certificate: unknown engine %S" s))
+    | Some _ -> Error "certificate: malformed engine field"
+  in
+  let candidates player tier =
+    match Json.member "candidates" j with
+    | None -> Ok (space player tier)
+    | Some (Json.Int c) when c >= 0 -> Ok (Combinatorics.Exact c)
+    | Some (Json.Str "saturated") -> Ok Combinatorics.Saturated
+    | Some _ -> Error "certificate: malformed candidates field"
+  in
   match
     ( int_field "player" j,
       Option.bind (str_field "tier" j) Best_response.tier_of_name,
@@ -256,18 +293,20 @@ let evidence_of_json j =
       int_field "current_cost" j )
   with
   | Some player, Some tier, Some scanned, Some current ->
+      let* engine = engine in
+      let* candidates = candidates player tier in
       Ok
         ( player,
           {
             Best_response.tier;
+            engine;
             scanned;
+            candidates;
             current;
             best = move_of_json "best" j;
             improving = move_of_json "improving" j;
           } )
   | _ -> Error "certificate: malformed player evidence"
-
-let ( let* ) = Result.bind
 
 let certificate_of_artifact (art : Bbng_obs.Certificate.t) =
   if art.Bbng_obs.Certificate.kind <> certificate_kind then
@@ -306,13 +345,30 @@ let certificate_of_artifact (art : Bbng_obs.Certificate.t) =
       if Budget.to_array (Strategy.budgets profile) = budgets then Ok ()
       else Error "certificate: recorded budgets disagree with the profile"
     in
+    let space player tier =
+      let n = Strategy.n profile in
+      let b =
+        if player >= 0 && player < n then
+          Budget.get (Strategy.budgets profile) player
+        else 0
+      in
+      match (tier : Best_response.tier) with
+      | Best_response.Cost_floor | Best_response.Lemma_2_2_tier ->
+          Combinatorics.Exact 0
+      | Best_response.Exhaustive -> Combinatorics.binomial (n - 1) b
+      | Best_response.Swap_exhaustive -> Combinatorics.Exact (b * (n - 1 - b))
+      | Best_response.Degraded_scan -> (
+          match mode with
+          | Exact_mode -> Combinatorics.binomial (n - 1) b
+          | Swap_mode -> Combinatorics.Exact (b * (n - 1 - b)))
+    in
     let* evidence =
       match Json.member "players" body with
       | Some (Json.List l) ->
           List.fold_left
             (fun acc j ->
               let* acc = acc in
-              let* e = evidence_of_json j in
+              let* e = evidence_of_json ~space j in
               Ok (e :: acc))
             (Ok []) l
           |> Result.map List.rev
@@ -383,10 +439,12 @@ let read_certificate path =
 
 (* --- independent certificate verification --- *)
 
-(* Candidate re-evaluation goes through [Game.deviation_cost], the
-   generic evaluator — deliberately NOT the incremental
-   [Deviation_eval] context the certifier itself searched with, so a
-   bug in the fast path cannot both produce and bless a certificate. *)
+(* Candidate re-evaluation deliberately avoids the engine that
+   produced the evidence, so a bug in one pricing path cannot both
+   produce and bless a certificate: overlay-BFS evidence is re-priced
+   through the distance-row engine, and rows evidence through
+   [Game.deviation_cost], the generic evaluator that rebuilds the
+   whole graph per candidate and shares nothing with the row cache. *)
 
 let sample_subset rng n player b =
   let candidates = Array.init (n - 1) (fun i -> if i < player then i else i + 1) in
@@ -418,13 +476,6 @@ let verify_certificate ?(samples = 32) cert =
   let game = Game.make cert.cert_version budgets in
   let n = Game.n game in
   let fail fmt = Printf.ksprintf (fun msg -> Error msg) fmt in
-  let reprice player targets =
-    (* validates the targets (range, budget, no self/duplicates) before
-       pricing them *)
-    match Strategy.with_strategy profile ~player ~targets with
-    | exception Invalid_argument msg -> Error msg
-    | _ -> Ok (Game.deviation_cost game profile ~player ~targets)
-  in
   let in_degree player =
     let count = ref 0 in
     for i = 0 to n - 1 do
@@ -433,35 +484,66 @@ let verify_certificate ?(samples = 32) cert =
     done;
     !count
   in
-  let check_move player what (m : Best_response.move) =
-    match reprice player m.Best_response.targets with
-    | Error msg -> fail "player %d: invalid %s targets (%s)" player what msg
-    | Ok cost when cost <> m.Best_response.cost ->
-        fail "player %d: recorded %s cost %d, re-evaluated %d" player what
-          m.Best_response.cost cost
-    | Ok _ -> Ok ()
-  in
-  let spot_check player budget current make_sample count =
-    let rng = Random.State.make [| 0xCE27; n; player |] in
-    let rec go i =
-      if i >= count then Ok ()
-      else
-        let targets = make_sample rng in
-        match reprice player targets with
-        | Error msg -> fail "player %d: sampler produced bad targets (%s)" player msg
-        | Ok cost when cost < current ->
-            fail
-              "player %d: spot-check found an unrecorded improvement (cost %d < \
-               %d)"
-              player cost current
-        | Ok _ -> go (i + 1)
-    in
-    if budget = 0 then Ok () else go 0
-  in
   let check_evidence (player, (a : Best_response.audit)) =
     if player < 0 || player >= n then fail "evidence for player %d of %d" player n
     else
       let budget = Budget.get budgets player in
+      (* cross-engine pricing: whichever engine produced the evidence,
+         re-price through the other one.  The context is lazy so pruned
+         tiers (which price nothing) never pay for it. *)
+      let price =
+        match a.Best_response.engine with
+        | Deviation_eval.Rows ->
+            fun targets -> Game.deviation_cost game profile ~player ~targets
+        | Deviation_eval.Bfs_overlay ->
+            let ctx =
+              lazy
+                (Deviation_eval.make
+                   ~engine:(Deviation_eval.Fixed Deviation_eval.Rows)
+                   cert.cert_version profile ~player)
+            in
+            fun targets -> Deviation_eval.cost (Lazy.force ctx) targets
+      in
+      let reprice targets =
+        (* validates the targets (range, budget, no self/duplicates)
+           before pricing them *)
+        match Strategy.with_strategy profile ~player ~targets with
+        | exception Invalid_argument msg -> Error msg
+        | _ -> Ok (price targets)
+      in
+      let check_move what (m : Best_response.move) =
+        match reprice m.Best_response.targets with
+        | Error msg -> fail "player %d: invalid %s targets (%s)" player what msg
+        | Ok cost when cost <> m.Best_response.cost ->
+            fail "player %d: recorded %s cost %d, re-evaluated %d" player what
+              m.Best_response.cost cost
+        | Ok _ -> Ok ()
+      in
+      let spot_check current make_sample count =
+        let rng = Random.State.make [| 0xCE27; n; player |] in
+        let rec go i =
+          if i >= count then Ok ()
+          else
+            let targets = make_sample rng in
+            match reprice targets with
+            | Error msg ->
+                fail "player %d: sampler produced bad targets (%s)" player msg
+            | Ok cost when cost < current ->
+                fail
+                  "player %d: spot-check found an unrecorded improvement (cost \
+                   %d < %d)"
+                  player cost current
+            | Ok _ -> go (i + 1)
+        in
+        if budget = 0 then Ok () else go 0
+      in
+      let check_candidates recomputed =
+        if a.Best_response.candidates <> recomputed then
+          fail "player %d: recorded candidate space %s, recomputed %s" player
+            (Combinatorics.count_to_string a.Best_response.candidates)
+            (Combinatorics.count_to_string recomputed)
+        else Ok ()
+      in
       let current = Game.player_cost game profile player in
       if a.Best_response.current <> current then
         fail "player %d: recorded current cost %d, re-evaluated %d" player
@@ -471,7 +553,7 @@ let verify_certificate ?(samples = 32) cert =
           match a.Best_response.improving with
           | None -> Ok ()
           | Some m ->
-              let* () = check_move player "improving" m in
+              let* () = check_move "improving" m in
               if m.Best_response.cost >= current then
                 fail "player %d: recorded improvement does not improve (%d >= %d)"
                   player m.Best_response.cost current
@@ -483,6 +565,7 @@ let verify_certificate ?(samples = 32) cert =
               Cost.cost_floor cert.cert_version ~n ~budget
                 ~in_degree:(in_degree player)
             in
+            let* () = check_candidates (Combinatorics.Exact 0) in
             if a.Best_response.improving <> None then
               fail "player %d: cost-floor tier cannot carry an improvement" player
             else if current > floor then
@@ -490,6 +573,7 @@ let verify_certificate ?(samples = 32) cert =
                 current floor
             else Ok ()
         | Best_response.Lemma_2_2_tier ->
+            let* () = check_candidates (Combinatorics.Exact 0) in
             if cert.cert_mode <> Exact_mode then
               fail "player %d: lemma-2.2 tier in a swap certificate" player
             else if a.Best_response.improving <> None then
@@ -502,37 +586,51 @@ let verify_certificate ?(samples = 32) cert =
               fail "player %d: exact tier in a swap certificate" player
             else
               let expected = Combinatorics.binomial (n - 1) budget in
+              let* () = check_candidates expected in
               match a.Best_response.improving with
-              | Some _ ->
-                  if a.Best_response.scanned > expected then
-                    fail "player %d: scanned %d of %d candidates" player
-                      a.Best_response.scanned expected
-                  else Ok ()
+              | Some _ -> (
+                  match expected with
+                  | Combinatorics.Exact e when a.Best_response.scanned > e ->
+                      fail "player %d: scanned %d of %d candidates" player
+                        a.Best_response.scanned e
+                  | Combinatorics.Exact _ | Combinatorics.Saturated -> Ok ())
               | None -> (
-                  if a.Best_response.scanned <> expected then
-                    fail
-                      "player %d: complete scan claimed but scanned %d of %d \
-                       candidates"
-                      player a.Best_response.scanned expected
-                  else
-                    match a.Best_response.best with
-                    | None -> fail "player %d: complete scan without a best" player
-                    | Some m ->
-                        let* () = check_move player "best" m in
-                        if m.Best_response.cost < current then
-                          fail
-                            "player %d: best candidate %d beats the current cost \
-                             %d yet no improvement was recorded"
-                            player m.Best_response.cost current
-                        else
-                          spot_check player budget current
-                            (fun rng -> sample_subset rng n player budget)
-                            samples))
+                  match expected with
+                  | Combinatorics.Saturated ->
+                      (* a saturated space has more than max_int
+                         candidates: no finite scan count can cover it,
+                         so a complete-scan claim is a lie on its face *)
+                      fail
+                        "player %d: complete scan claimed over a saturated \
+                         candidate space (more than max_int candidates)"
+                        player
+                  | Combinatorics.Exact e -> (
+                      if a.Best_response.scanned <> e then
+                        fail
+                          "player %d: complete scan claimed but scanned %d of \
+                           %d candidates"
+                          player a.Best_response.scanned e
+                      else
+                        match a.Best_response.best with
+                        | None ->
+                            fail "player %d: complete scan without a best" player
+                        | Some m ->
+                            let* () = check_move "best" m in
+                            if m.Best_response.cost < current then
+                              fail
+                                "player %d: best candidate %d beats the current \
+                                 cost %d yet no improvement was recorded"
+                                player m.Best_response.cost current
+                            else
+                              spot_check current
+                                (fun rng -> sample_subset rng n player budget)
+                                samples)))
         | Best_response.Swap_exhaustive -> (
             if cert.cert_mode <> Swap_mode then
               fail "player %d: swap tier in an exact certificate" player
             else
               let expected = budget * (n - 1 - budget) in
+              let* () = check_candidates (Combinatorics.Exact expected) in
               match a.Best_response.improving with
               | Some _ ->
                   if a.Best_response.scanned > expected then
@@ -549,7 +647,7 @@ let verify_certificate ?(samples = 32) cert =
                       | None when expected = 0 -> Ok ()
                       | None -> fail "player %d: complete scan without a best" player
                       | Some m ->
-                          let* () = check_move player "best" m in
+                          let* () = check_move "best" m in
                           if m.Best_response.cost < current then
                             fail
                               "player %d: best swap %d beats the current cost %d \
@@ -559,7 +657,7 @@ let verify_certificate ?(samples = 32) cert =
                     in
                     if expected = 0 then Ok ()
                     else
-                      spot_check player budget current
+                      spot_check current
                         (fun rng ->
                           sample_swap rng (Strategy.strategy profile player) n
                             player)
@@ -575,7 +673,15 @@ let verify_certificate ?(samples = 32) cert =
             let expected =
               match cert.cert_mode with
               | Exact_mode -> Combinatorics.binomial (n - 1) budget
-              | Swap_mode -> budget * (n - 1 - budget)
+              | Swap_mode -> Combinatorics.Exact (budget * (n - 1 - budget))
+            in
+            let* () = check_candidates expected in
+            let scan_completed =
+              (* an interrupted scan of a saturated space is trivially
+                 short: scanned is an int, the space is bigger than any *)
+              match expected with
+              | Combinatorics.Exact e -> a.Best_response.scanned >= e
+              | Combinatorics.Saturated -> false
             in
             if a.Best_response.improving <> None then
               fail
@@ -583,16 +689,17 @@ let verify_certificate ?(samples = 32) cert =
                  found improvement always completes the audit as a \
                  refutation)"
                 player
-            else if a.Best_response.scanned >= expected then
+            else if scan_completed then
               fail
                 "player %d: degraded tier claims an interrupted scan but \
-                 scanned %d of %d candidates"
-                player a.Best_response.scanned expected
+                 scanned %d of %s candidates"
+                player a.Best_response.scanned
+                (Combinatorics.count_to_string expected)
             else
               match a.Best_response.best with
               | None -> Ok ()
               | Some m ->
-                  let* () = check_move player "best" m in
+                  let* () = check_move "best" m in
                   if m.Best_response.cost < current then
                     fail
                       "player %d: best candidate %d beats the current cost %d \
@@ -671,7 +778,7 @@ let count_profiles budgets =
   let n = Budget.n budgets in
   let acc = ref 1 in
   for i = 0 to n - 1 do
-    let c = Combinatorics.binomial (n - 1) (Budget.get budgets i) in
+    let c = Combinatorics.binomial_sat (n - 1) (Budget.get budgets i) in
     acc := if !acc > 0 && c > max_int / !acc then max_int else !acc * c
   done;
   !acc

@@ -62,11 +62,14 @@ val pp_verdict : Format.formatter -> verdict -> unit
     found.  It is serialized through {!Bbng_obs.Certificate} to a
     single-line JSON artifact, and {!verify_certificate} re-checks it
     {e independently} — game rebuilt from the recorded budgets and
-    arcs, every recorded deviation re-priced through the generic
-    evaluator (not the incremental one the search used), pruning tiers
-    re-derived, and a seeded sample of non-recorded candidates
-    re-scanned — so "this profile passed NE(exact)" becomes a checkable
-    file instead of an ephemeral boolean. *)
+    arcs, every recorded deviation re-priced through the {e other}
+    pricing engine (evidence records which of the two exact engines
+    produced it: overlay-BFS evidence re-prices through the
+    distance-row engine, rows evidence through the generic evaluator),
+    pruning tiers re-derived, candidate-space sizes re-counted with
+    explicit overflow handling, and a seeded sample of non-recorded
+    candidates re-scanned — so "this profile passed NE(exact)" becomes
+    a checkable file instead of an ephemeral boolean. *)
 
 type mode = Exact_mode | Swap_mode
 
@@ -83,9 +86,13 @@ type certificate = {
 }
 
 val certify_cert :
-  ?budget:Bbng_obs.Budgeted.t -> Game.t -> Strategy.t -> certificate
+  ?budget:Bbng_obs.Budgeted.t ->
+  ?engine:Deviation_eval.choice ->
+  Game.t -> Strategy.t -> certificate
 (** Certificate-producing {!certify}: same scan order, same pruning,
-    same verdict, plus evidence.
+    same verdict, plus evidence.  [?engine] picks the pricing engine
+    (default: the process-wide choice); the evidence records the engine
+    each audit resolved to.
 
     [?budget] (default unlimited) bounds the work: once the token
     trips, each remaining player still gets the cheap tiers
@@ -98,13 +105,16 @@ val certify_cert :
     [Budgeted.Expired]. *)
 
 val certify_swap_cert :
-  ?budget:Bbng_obs.Budgeted.t -> Game.t -> Strategy.t -> certificate
-(** Certificate-producing {!certify_swap}.  [?budget] as in
-    {!certify_cert}. *)
+  ?budget:Bbng_obs.Budgeted.t ->
+  ?engine:Deviation_eval.choice ->
+  Game.t -> Strategy.t -> certificate
+(** Certificate-producing {!certify_swap}.  [?budget] and [?engine] as
+    in {!certify_cert}. *)
 
 val certify_parallel_cert :
   ?domains:int ->
   ?budget:Bbng_obs.Budgeted.t ->
+  ?engine:Deviation_eval.choice ->
   Game.t ->
   Strategy.t ->
   certificate
@@ -112,7 +122,8 @@ val certify_parallel_cert :
     [certify_parallel], the result is deterministic: every player's
     audit is computed and the evidence is truncated at the
     lowest-index refutation, so the certificate equals the sequential
-    one. *)
+    one.  Each domain builds its own evaluation context, so the
+    distance-row engine's caches are never shared across domains. *)
 
 val certificate_verdict : certificate -> verdict
 
@@ -125,7 +136,10 @@ val certificate_of_artifact :
   Bbng_obs.Certificate.t -> (certificate, string) result
 (** Structural validation: header fields present, profile parses and
     matches the recorded budgets, evidence well-formed, and the
-    recorded verdict agrees with the evidence. *)
+    recorded verdict agrees with the evidence.  Artifacts written
+    before the [engine] / [candidates] evidence fields existed read
+    back as overlay-BFS evidence with the candidate space recomputed
+    from the profile; explicit but malformed values are errors. *)
 
 val write_certificate : string -> certificate -> unit
 
@@ -135,12 +149,15 @@ val verify_certificate : ?samples:int -> certificate -> (unit, string) result
 (** Independent re-check (default [samples = 32] random non-recorded
     candidates per exhaustively-scanned player, seeded
     deterministically).  [Ok ()] means: every recorded cost re-evaluates
-    to itself, every pruning tier's condition really holds, complete
-    scans have the right candidate count, the recorded best never beats
-    the current cost without a recorded improvement, a recorded
-    refutation really improves, and no sampled candidate improves on a
-    player certified optimal.  Any mismatch is an [Error] naming the
-    player and the discrepancy.
+    to itself {e through the other engine} (see the section preamble),
+    every pruning tier's condition really holds, recorded
+    candidate-space sizes match an independent re-count (a complete
+    scan over a [Saturated] space is rejected outright — no finite
+    scan covers it), complete scans have the right candidate count,
+    the recorded best never beats the current cost without a recorded
+    improvement, a recorded refutation really improves, and no sampled
+    candidate improves on a player certified optimal.  Any mismatch is
+    an [Error] naming the player and the discrepancy.
 
     Degraded evidence is verified against the {e weaker} claim it
     makes: a [Degraded_scan] audit must carry no improvement, must have

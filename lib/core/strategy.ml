@@ -48,6 +48,12 @@ let with_strategy p ~player ~targets =
   strategies.(player) <- cleaned;
   { budgets = p.budgets; strategies }
 
+(* No [validate_strategy] pass here, deliberately: the [Digraph]
+   invariant (normalize_targets at every constructor) already
+   guarantees each out-neighbor array is sorted, duplicate-free, in
+   range and self-loop-free — exactly what validation would re-check.
+   Every other constructor ([make], [with_strategy], [of_string]) takes
+   unvalidated arrays and must go through [validate_strategy]. *)
 let of_digraph g =
   {
     budgets = Budget.of_digraph g;

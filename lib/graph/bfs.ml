@@ -57,24 +57,24 @@ let distances_from_set ?budget g sources =
   if sources = [] then invalid_arg "Bfs.distances_from_set: empty source set";
   fst (bfs_core ?budget g sources ~record_parent:false)
 
-let distance g u v =
+let distance ?budget g u v =
   if u = v then Some 0
   else
-    let dist = distances g u in
+    let dist = distances ?budget g u in
     if dist.(v) = unreachable then None else Some dist.(v)
 
-let parents g src = snd (bfs_core g [ src ] ~record_parent:true)
+let parents ?budget g src = snd (bfs_core ?budget g [ src ] ~record_parent:true)
 
-let shortest_path g u v =
-  let parent = parents g u in
+let shortest_path ?budget g u v =
+  let parent = parents ?budget g u in
   if parent.(v) = -1 then None
   else begin
     let rec walk acc x = if x = u then u :: acc else walk (x :: acc) parent.(x) in
     Some (walk [] v)
   end
 
-let level_sets g src =
-  let dist = distances g src in
+let level_sets ?budget g src =
+  let dist = distances ?budget g src in
   let ecc = Array.fold_left max 0 dist in
   let levels = Array.make (ecc + 1) [] in
   for v = Undirected.n g - 1 downto 0 do

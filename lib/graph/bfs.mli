@@ -25,18 +25,24 @@ val distances_from_set :
     [dist(u, A)].  All sources get 0.  [?budget] as in {!distances}.
     @raise Invalid_argument if the source list is empty. *)
 
-val distance : Undirected.t -> int -> int -> int option
-(** [distance g u v] is [Some d] or [None] if disconnected.  Early exits
-    once [v] is reached. *)
+val distance :
+  ?budget:Bbng_obs.Budgeted.t -> Undirected.t -> int -> int -> int option
+(** [distance g u v] is [Some d] or [None] if disconnected.
+    [u = v] answers [Some 0] without a traversal (and without touching
+    the token); [?budget] as in {!distances} otherwise. *)
 
-val parents : Undirected.t -> int -> int array
+val parents : ?budget:Bbng_obs.Budgeted.t -> Undirected.t -> int -> int array
 (** BFS tree parents; [parents.(src) = src]; [-1] for unreachable.  Ties
-    broken toward the smallest-index parent, so the tree is canonical. *)
+    broken toward the smallest-index parent, so the tree is canonical.
+    [?budget] as in {!distances}. *)
 
-val shortest_path : Undirected.t -> int -> int -> int list option
-(** A shortest [u -> v] vertex sequence including both endpoints. *)
+val shortest_path :
+  ?budget:Bbng_obs.Budgeted.t -> Undirected.t -> int -> int -> int list option
+(** A shortest [u -> v] vertex sequence including both endpoints.
+    [?budget] as in {!distances}. *)
 
-val level_sets : Undirected.t -> int -> int list array
+val level_sets :
+  ?budget:Bbng_obs.Budgeted.t -> Undirected.t -> int -> int list array
 (** [level_sets g src] groups vertices by distance: element [d] lists the
     vertices at distance exactly [d] (increasing index order).  The array
     length is [ecc+1] where [ecc] is the largest finite distance;

@@ -1,17 +1,38 @@
+type count = Exact of int | Saturated
+
+let count_to_string = function
+  | Exact c -> string_of_int c
+  | Saturated -> "saturated"
+
+let count_at_most limit = function Exact c -> c <= limit | Saturated -> false
+
+let rec gcd a b = if b = 0 then a else gcd b (a mod b)
+
 let binomial n k =
-  if k < 0 || k > n then 0
+  if k < 0 || k > n then Exact 0
   else begin
     let k = min k (n - k) in
     let rec go acc i =
-      if i > k then acc
+      if i > k then Exact acc
       else
-        (* acc * (n - k + i) / i is exact at every step. *)
+        (* acc * (n - k + i) / i is exact at every step; dividing the
+           reduced denominator out of acc *before* multiplying makes the
+           overflow check exact too — it trips iff the intermediate
+           C(n-k+i, i) itself exceeds max_int, and the intermediates
+           increase toward C(n, k), so Saturated means exactly "the true
+           value does not fit", never a false alarm on a large
+           numerator. *)
         let num = n - k + i in
-        if acc > max_int / num then max_int
-        else go (acc * num / i) (i + 1)
+        let d = gcd num i in
+        let num = num / d and den = i / d in
+        (* den | acc: acc * num is divisible by i and gcd(num, den) = 1 *)
+        let acc = acc / den in
+        if acc > max_int / num then Saturated else go (acc * num) (i + 1)
     in
     go 1 1
   end
+
+let binomial_sat n k = match binomial n k with Exact c -> c | Saturated -> max_int
 
 exception Stop
 

@@ -4,8 +4,28 @@
     [n-1] players, and the k-center / k-median exact solvers enumerate
     [k]-subsets of vertices, so subset iteration is shared substrate. *)
 
-val binomial : int -> int -> int
-(** [binomial n k], saturating at [max_int]; 0 when [k < 0] or [k > n]. *)
+type count = Exact of int | Saturated
+    (** A subset-space cardinality.  [Saturated] marks a value that
+        overflowed the native int range: it is an explicit "too many to
+        count" answer, never a silently wrong number.  Certificate
+        [candidates] fields carry this distinction so a verifier can tell
+        "scanned all 406" apart from "space too large to have scanned". *)
+
+val count_to_string : count -> string
+(** Decimal digits for [Exact], ["saturated"] otherwise. *)
+
+val count_at_most : int -> count -> bool
+(** [count_at_most limit c] is [true] iff [c] is exact and [<= limit].
+    A saturated count is never within any int limit. *)
+
+val binomial : int -> int -> count
+(** [binomial n k]; [Exact 0] when [k < 0] or [k > n]; [Saturated] when
+    the true value exceeds [max_int]. *)
+
+val binomial_sat : int -> int -> int
+(** Saturating convenience for work *estimates* (scheduling, progress
+    bars): [max_int] on overflow.  Anything user-visible or verified must
+    use [binomial] and handle [Saturated] explicitly. *)
 
 val iter_combinations : n:int -> k:int -> (int array -> unit) -> unit
 (** [iter_combinations ~n ~k f] calls [f] once per size-[k] subset of

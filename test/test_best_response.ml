@@ -111,6 +111,59 @@ let test_greedy_respects_budget () =
   let exact = Best_response.exact game p 0 in
   check_int "greedy optimal on star" exact.Best_response.cost m.Best_response.cost
 
+let test_engines_agree_and_are_recorded () =
+  (* both pricing engines are exact, so every finder must return the
+     identical move under either; the audits must record which engine
+     priced them and the size of the scanned candidate space *)
+  let bfs = Deviation_eval.Fixed Deviation_eval.Bfs_overlay in
+  let rows = Deviation_eval.Fixed Deviation_eval.Rows in
+  let _, p = fixture () in
+  List.iter
+    (fun version ->
+      let game = Game.make version (Strategy.budgets p) in
+      check_true "exact agrees"
+        (Best_response.exact ~engine:bfs game p 0
+        = Best_response.exact ~engine:rows game p 0);
+      check_true "best_improvement agrees"
+        (Best_response.best_improvement ~engine:bfs game p 0
+        = Best_response.best_improvement ~engine:rows game p 0);
+      check_true "swap_best agrees"
+        (Best_response.swap_best ~engine:bfs game p 0
+        = Best_response.swap_best ~engine:rows game p 0);
+      let ab = Best_response.audit_exact ~engine:bfs game p 0 in
+      let ar = Best_response.audit_exact ~engine:rows game p 0 in
+      check_true "bfs engine recorded"
+        (ab.Best_response.engine = Deviation_eval.Bfs_overlay);
+      check_true "rows engine recorded"
+        (ar.Best_response.engine = Deviation_eval.Rows);
+      check_true "audits agree up to the engine field"
+        (ab.Best_response.tier = ar.Best_response.tier
+        && ab.Best_response.scanned = ar.Best_response.scanned
+        && ab.Best_response.candidates = ar.Best_response.candidates
+        && ab.Best_response.best = ar.Best_response.best);
+      (* fixture: n = 5, b = 2, no pruning fires for player 0 *)
+      check_true "exhaustive candidate count"
+        (ab.Best_response.candidates = Bbng_graph.Combinatorics.Exact 6);
+      let sw = Best_response.audit_swap ~engine:rows game p 0 in
+      check_true "swap candidate count"
+        (sw.Best_response.candidates = Bbng_graph.Combinatorics.Exact 4))
+    Cost.all_versions
+
+let prop_engines_agree_on_random_profiles =
+  qcheck ~count:100 "best_improvement engine-independent"
+    (random_budget_gen ~n_min:2 ~n_max:7) (fun ((n, _, seed) as input) ->
+      let p = random_profile_of input in
+      let player = seed mod n in
+      List.for_all
+        (fun version ->
+          let game = Game.make version (Strategy.budgets p) in
+          Best_response.best_improvement
+            ~engine:(Deviation_eval.Fixed Deviation_eval.Bfs_overlay) game p
+            player
+          = Best_response.best_improvement
+              ~engine:(Deviation_eval.Fixed Deviation_eval.Rows) game p player)
+        Cost.all_versions)
+
 let prop_swap_never_beats_exact =
   qcheck "exact best <= best swap" (random_budget_gen ~n_min:2 ~n_max:6)
     (fun ((n, _, seed) as input) ->
@@ -154,6 +207,8 @@ let suite =
     case "swap = exact for unit budgets" test_swap_equals_exact_for_unit_budget;
     case "first improving swap" test_first_improving_swap_improves;
     case "greedy respects budget" test_greedy_respects_budget;
+    case "engines agree and are recorded" test_engines_agree_and_are_recorded;
+    prop_engines_agree_on_random_profiles;
     prop_swap_never_beats_exact;
     prop_exact_at_most_current;
     prop_greedy_never_beats_exact;

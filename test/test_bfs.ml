@@ -109,6 +109,33 @@ let prop_multi_source_is_min =
       done;
       !ok)
 
+(* ?budget threads through every one-shot walker: the token's
+   checkpoint precedes the traversal and the popped count is spent
+   after it, so a work_limit:0 token lets the first traversal finish
+   (tripping the token) and stops the second at its checkpoint. *)
+let test_budget_threads_through_walkers () =
+  let module Budgeted = Bbng_obs.Budgeted in
+  let first_runs_second_trips name f =
+    let budget = Budgeted.create ~work_limit:0 () in
+    f budget;
+    Alcotest.check_raises (name ^ ": second call trips") Budgeted.Expired
+      (fun () -> f budget)
+  in
+  first_runs_second_trips "distance" (fun budget ->
+      ignore (Bfs.distance ~budget path5 0 4));
+  first_runs_second_trips "parents" (fun budget ->
+      ignore (Bfs.parents ~budget path5 0));
+  first_runs_second_trips "shortest_path" (fun budget ->
+      ignore (Bfs.shortest_path ~budget path5 0 3));
+  first_runs_second_trips "level_sets" (fun budget ->
+      ignore (Bfs.level_sets ~budget path5 0));
+  (* the u = v early answer never touches the token *)
+  let budget = Budgeted.create ~work_limit:0 () in
+  check_int_option "self distance" (Some 0) (Bfs.distance ~budget path5 3 3);
+  check_int_option "token still fresh" (Some 4) (Bfs.distance ~budget path5 0 4);
+  Alcotest.check_raises "then trips" Budgeted.Expired (fun () ->
+      ignore (Bfs.distance ~budget path5 0 4))
+
 let suite =
   [
     case "path distances" test_path_distances;
@@ -123,6 +150,7 @@ let suite =
     case "shortest path minimal" test_shortest_path_is_shortest;
     case "level sets" test_level_sets;
     case "level sets skip unreachable" test_level_sets_skip_unreachable;
+    case "budget threads through walkers" test_budget_threads_through_walkers;
     prop_distances_triangle_inequality;
     prop_bfs_matches_path_length;
     prop_multi_source_is_min;

@@ -21,7 +21,9 @@ let same_cert a b =
   && List.for_all2
        (fun (p1, (a1 : Best_response.audit)) (p2, (a2 : Best_response.audit)) ->
          p1 = p2 && a1.Best_response.tier = a2.Best_response.tier
+         && a1.Best_response.engine = a2.Best_response.engine
          && a1.Best_response.scanned = a2.Best_response.scanned
+         && a1.Best_response.candidates = a2.Best_response.candidates
          && a1.Best_response.current = a2.Best_response.current
          && a1.Best_response.best = a2.Best_response.best
          && a1.Best_response.improving = a2.Best_response.improving)
@@ -138,6 +140,41 @@ let test_verify_accepts_honest_certs () =
         tripod2;
     ]
 
+let test_cross_engine_round_trip () =
+  (* a certificate produced by either engine records it, survives the
+     artifact round trip, and passes the verifier — which re-prices
+     every recorded move through the *other* engine *)
+  List.iter
+    (fun engine ->
+      List.iter
+        (fun (version, p) ->
+          let cert =
+            Equilibrium.certify_cert
+              ~engine:(Deviation_eval.Fixed engine)
+              (game version (Strategy.budgets p))
+              p
+          in
+          List.iter
+            (fun (_, a) ->
+              check_true "engine recorded" (a.Best_response.engine = engine))
+            cert.Equilibrium.cert_evidence;
+          (match
+             Equilibrium.certificate_of_artifact
+               (Equilibrium.certificate_to_artifact cert)
+           with
+          | Ok cert' ->
+              check_true "round trip keeps engine and candidates"
+                (same_cert cert cert')
+          | Error msg -> Alcotest.failf "round trip: %s" msg);
+          match Equilibrium.verify_certificate cert with
+          | Ok () -> ()
+          | Error msg ->
+              Alcotest.failf "%s cert rejected: %s"
+                (Deviation_eval.engine_name engine)
+                msg)
+        [ (Cost.Max, tripod2); (Cost.Sum, sun8); (Cost.Max, path3) ])
+    [ Deviation_eval.Bfs_overlay; Deviation_eval.Rows ]
+
 (* every recorded number is load-bearing: corrupting any of them must
    flip the verifier to Error *)
 let mutate_evidence cert f =
@@ -180,6 +217,25 @@ let test_verify_rejects_corrupted_scan_count () =
          if a.Best_response.scanned > 0 then
            { a with Best_response.scanned = a.Best_response.scanned / 2 }
          else a))
+
+let test_verify_rejects_corrupted_candidates () =
+  (* the recorded candidate-space size is checked against an
+     independent re-count on every tier *)
+  let cert = cert_of Cost.Max tripod2 in
+  expect_rejected "candidates + 1"
+    (mutate_evidence cert (fun a ->
+         {
+           a with
+           Best_response.candidates =
+             (match a.Best_response.candidates with
+             | Bbng_graph.Combinatorics.Exact c ->
+                 Bbng_graph.Combinatorics.Exact (c + 1)
+             | Bbng_graph.Combinatorics.Saturated ->
+                 Bbng_graph.Combinatorics.Exact 1);
+         }));
+  expect_rejected "candidates saturated"
+    (mutate_evidence cert (fun a ->
+         { a with Best_response.candidates = Bbng_graph.Combinatorics.Saturated }))
 
 let test_verify_rejects_corrupted_refutation () =
   let cert = cert_of Cost.Max path3 in
@@ -258,7 +314,9 @@ let suite =
     case "wrong kind rejected" test_wrong_kind_rejected;
     case "parallel = sequential" test_parallel_equals_sequential;
     case "verify accepts honest certificates" test_verify_accepts_honest_certs;
+    case "cross-engine round trip" test_cross_engine_round_trip;
     case "verify rejects corrupted current" test_verify_rejects_corrupted_current;
+    case "verify rejects corrupted candidates" test_verify_rejects_corrupted_candidates;
     case "verify rejects corrupted best" test_verify_rejects_corrupted_best;
     case "verify rejects corrupted scan count" test_verify_rejects_corrupted_scan_count;
     case "verify rejects corrupted refutation" test_verify_rejects_corrupted_refutation;

@@ -6,17 +6,34 @@ let collect ~n ~k =
   C.iter_combinations ~n ~k (fun c -> acc := Array.to_list c :: !acc);
   List.rev !acc
 
+let count = Alcotest.testable
+    (Fmt.of_to_string C.count_to_string)
+    (fun a b -> a = b)
+
+let check_count msg expected got = Alcotest.check count msg expected got
+
 let test_binomial () =
-  check_int "5 choose 2" 10 (C.binomial 5 2);
-  check_int "n choose 0" 1 (C.binomial 7 0);
-  check_int "n choose n" 1 (C.binomial 7 7);
-  check_int "k > n" 0 (C.binomial 3 5);
-  check_int "k < 0" 0 (C.binomial 3 (-1));
-  check_int "symmetry" (C.binomial 20 6) (C.binomial 20 14);
-  check_int "big exact" 184756 (C.binomial 20 10)
+  check_count "5 choose 2" (C.Exact 10) (C.binomial 5 2);
+  check_count "n choose 0" (C.Exact 1) (C.binomial 7 0);
+  check_count "n choose n" (C.Exact 1) (C.binomial 7 7);
+  check_count "k > n" (C.Exact 0) (C.binomial 3 5);
+  check_count "k < 0" (C.Exact 0) (C.binomial 3 (-1));
+  check_count "symmetry" (C.binomial 20 6) (C.binomial 20 14);
+  check_count "big exact" (C.Exact 184756) (C.binomial 20 10)
 
 let test_binomial_saturates () =
-  check_int "overflow clamps" max_int (C.binomial 200 100)
+  (* the boundary on 63-bit ints: C(64,32) ~ 1.8e18 still fits,
+     C(66,33) ~ 7.2e18 does not — the overflow is an explicit marker,
+     never a clamped number *)
+  check_count "C(64,32) exact" (C.Exact 1832624140942590534) (C.binomial 64 32);
+  check_count "C(66,33) saturates" C.Saturated (C.binomial 66 33);
+  check_count "way past the boundary" C.Saturated (C.binomial 200 100);
+  check_int "binomial_sat clamps for estimates" max_int (C.binomial_sat 200 100);
+  check_int "binomial_sat exact when exact" 10 (C.binomial_sat 5 2);
+  check_true "saturated is never within a limit"
+    (not (C.count_at_most max_int C.Saturated));
+  check_true "exact within its own value" (C.count_at_most 10 (C.Exact 10));
+  check_false "exact above a limit" (C.count_at_most 9 (C.Exact 10))
 
 let test_iter_enumerates_all () =
   let subsets = collect ~n:4 ~k:2 in
@@ -71,7 +88,7 @@ let prop_count_matches_binomial =
     (QCheck.make
        ~print:(fun (n, k) -> Printf.sprintf "n=%d k=%d" n k)
        QCheck.Gen.(pair (int_range 0 10) (int_range 0 10)))
-    (fun (n, k) -> List.length (collect ~n ~k) = C.binomial n k)
+    (fun (n, k) -> C.Exact (List.length (collect ~n ~k)) = C.binomial n k)
 
 let prop_subsets_sorted_distinct =
   qcheck "every subset is sorted and duplicate-free"

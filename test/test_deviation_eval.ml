@@ -81,6 +81,123 @@ let test_validation () =
     (Invalid_argument "Deviation_eval.cost: target out of range") (fun () ->
       ignore (Deviation_eval.cost c [| 9 |]))
 
+(* --- the distance-row engine --- *)
+
+let fixed e = Deviation_eval.Fixed e
+let rows_of ?budget ?row_cache_cap version p player =
+  Deviation_eval.make ?budget ?row_cache_cap
+    ~engine:(fixed Deviation_eval.Rows) version p ~player
+let bfs_of version p player =
+  Deviation_eval.make ~engine:(fixed Deviation_eval.Bfs_overlay) version p ~player
+
+let test_engine_names () =
+  List.iter
+    (fun e ->
+      check_true "engine name round trip"
+        (Deviation_eval.engine_of_name (Deviation_eval.engine_name e) = Some e))
+    [ Deviation_eval.Bfs_overlay; Deviation_eval.Rows ];
+  check_true "auto round trip"
+    (Deviation_eval.choice_of_name "auto" = Some Deviation_eval.Auto);
+  check_true "fixed round trip"
+    (Deviation_eval.choice_of_name "rows"
+    = Some (fixed Deviation_eval.Rows));
+  check_true "unknown rejected" (Deviation_eval.choice_of_name "fast" = None)
+
+let test_engine_resolution () =
+  (* Auto picks rows only once a scan can reuse rows across candidates,
+     i.e. player budget >= 2; Fixed always wins *)
+  let b = Budget.of_list [ 2; 1; 0; 0 ] in
+  let p = Strategy.make b [| [| 1; 2 |]; [| 0 |]; [||]; [||] |] in
+  let engine_of ?engine player =
+    Deviation_eval.engine (Deviation_eval.make ?engine Cost.Sum p ~player)
+  in
+  check_true "auto at b=2 is rows"
+    (engine_of ~engine:Deviation_eval.Auto 0 = Deviation_eval.Rows);
+  check_true "auto at b=1 is bfs"
+    (engine_of ~engine:Deviation_eval.Auto 1 = Deviation_eval.Bfs_overlay);
+  check_true "fixed bfs wins at b=2"
+    (engine_of ~engine:(fixed Deviation_eval.Bfs_overlay) 0
+    = Deviation_eval.Bfs_overlay);
+  check_true "fixed rows wins at b=1"
+    (engine_of ~engine:(fixed Deviation_eval.Rows) 1 = Deviation_eval.Rows)
+
+let test_duplicate_target_rejected () =
+  (* a duplicate under-spends the budget while pricing as if legal:
+     both engines must reject it, not silently deduplicate *)
+  let b = Budget.of_list [ 2; 0; 0; 0 ] in
+  let p = Strategy.make b [| [| 1; 2 |]; [||]; [||]; [||] |] in
+  List.iter
+    (fun c ->
+      Alcotest.check_raises "duplicate"
+        (Invalid_argument "Deviation_eval.cost: duplicate target") (fun () ->
+          ignore (Deviation_eval.cost c [| 3; 3 |])))
+    [ bfs_of Cost.Sum p 0; rows_of Cost.Sum p 0 ]
+
+let test_rows_eviction_keeps_answers_exact () =
+  (* a cap of 1 forces an eviction on nearly every evaluation; answers
+     must stay identical to the overlay engine throughout, and the
+     eviction counter must actually move *)
+  let p = Bbng_constructions.Tripod.profile ~k:3 in
+  let player = 0 in
+  List.iter
+    (fun version ->
+      let r = rows_of ~row_cache_cap:1 version p player in
+      let b = bfs_of version p player in
+      let n = Strategy.n p in
+      let evicted0 = Bbng_obs.Counter.find "deveval.rows_evicted" in
+      for u = 0 to n - 1 do
+        for v = 0 to n - 1 do
+          if u < v && u <> player && v <> player then
+            check_int
+              (Printf.sprintf "%s {%d,%d}" (Cost.version_name version) u v)
+              (Deviation_eval.cost b [| u; v |])
+              (Deviation_eval.cost r [| u; v |])
+        done
+      done;
+      check_true "evictions happened under cap 1"
+        (Bbng_obs.Counter.find "deveval.rows_evicted" > evicted0))
+    Cost.all_versions
+
+let test_rows_budget_charges_work () =
+  (* row builds and combines spend work: a work_limit:0 token lets the
+     first evaluation finish (checkpoint precedes any spend) and stops
+     the second at its checkpoint *)
+  let module Budgeted = Bbng_obs.Budgeted in
+  let b = Budget.of_list [ 2; 1; 1; 0 ] in
+  let p = Strategy.make b [| [| 1; 2 |]; [| 2 |]; [| 3 |]; [||] |] in
+  let budget = Budgeted.create ~work_limit:0 () in
+  let c = rows_of ~budget Cost.Sum p 0 in
+  ignore (Deviation_eval.cost c [| 1; 3 |]);
+  Alcotest.check_raises "second eval trips" Budgeted.Expired (fun () ->
+      ignore (Deviation_eval.cost c [| 1; 3 |]))
+
+let prop_rows_equals_bfs =
+  (* the tentpole exactness oracle: on random (frequently disconnected)
+     profiles, the distance-row engine prices every candidate exactly
+     like the overlay BFS, for MAX and SUM, full and partial target
+     sets, with rows reused across evaluations of one context *)
+  qcheck ~count:200 "rows engine == overlay BFS engine"
+    (random_budget_gen ~n_min:2 ~n_max:9) (fun ((n, _, seed) as input) ->
+      let p = random_profile_of input in
+      let st = rng (seed + 23) in
+      let player = Random.State.int st n in
+      let candidates =
+        List.init 4 (fun _ ->
+            let alt = Strategy.random st (Strategy.budgets p) in
+            let targets = Strategy.strategy alt player in
+            let keep = Random.State.int st (Array.length targets + 1) in
+            Array.sub targets 0 keep)
+      in
+      List.for_all
+        (fun version ->
+          let r = rows_of version p player in
+          let b = bfs_of version p player in
+          List.for_all
+            (fun targets ->
+              Deviation_eval.cost r targets = Deviation_eval.cost b targets)
+            candidates)
+        Cost.all_versions)
+
 let prop_equivalent_to_generic =
   qcheck ~count:200 "incremental evaluator == generic deviation cost"
     (random_budget_gen ~n_min:2 ~n_max:9) (fun ((n, _, seed) as input) ->
@@ -117,6 +234,12 @@ let suite =
     case "partial target sets" test_partial_targets;
     case "scratch reuse" test_reuse_across_calls;
     case "validation" test_validation;
+    case "engine names" test_engine_names;
+    case "engine resolution" test_engine_resolution;
+    case "duplicate target rejected" test_duplicate_target_rejected;
+    case "rows eviction stays exact" test_rows_eviction_keeps_answers_exact;
+    case "rows budget charges work" test_rows_budget_charges_work;
+    prop_rows_equals_bfs;
     prop_equivalent_to_generic;
     prop_current_cost_equivalent;
   ]

@@ -215,6 +215,32 @@ let test_env_init () =
       | Ok () -> Alcotest.fail "malformed env spec accepted"
       | Error _ -> ())
 
+(* --- the distance-row engine's build probe --- *)
+
+let test_row_build_fault_leaves_no_torn_row () =
+  let b = Budget.of_list [ 2; 1; 1; 0 ] in
+  let p = Strategy.make b [| [| 1; 2 |]; [| 2 |]; [| 3 |]; [||] |] in
+  let c =
+    Deviation_eval.make
+      ~engine:(Deviation_eval.Fixed Deviation_eval.Rows)
+      Cost.Sum p ~player:0
+  in
+  with_faults [ "deveval.row_build@raise" ] (fun () ->
+      match Deviation_eval.cost c [| 1; 3 |] with
+      | _ -> Alcotest.fail "armed row build must raise"
+      | exception Fault.Injected point ->
+          Alcotest.(check string) "fired at the row probe" "deveval.row_build"
+            point);
+  (* the interrupted build installed nothing: the same context must
+     still price exactly after disarm *)
+  let game = Game.make Cost.Sum b in
+  List.iter
+    (fun targets ->
+      check_int "context exact after the fault"
+        (Game.deviation_cost game p ~player:0 ~targets)
+        (Deviation_eval.cost c targets))
+    [ [| 1; 3 |]; [| 2; 3 |]; [| 1; 2 |] ]
+
 let suite =
   [
     case "parse specs" test_parse_specs;
@@ -226,5 +252,6 @@ let suite =
     slow_case "faulted stream leaves replayable partial"
       test_faulted_stream_leaves_replayable_partial;
     case "fault matrix over probe points" test_fault_matrix_over_probe_points;
+    case "row build fault leaves no torn row" test_row_build_fault_leaves_no_torn_row;
     case "init from env" test_env_init;
   ]
