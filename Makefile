@@ -1,4 +1,4 @@
-.PHONY: build test bench smoke fault-smoke check fmt bench-baseline artifacts
+.PHONY: build test bench smoke fault-smoke check fmt bench-baseline artifacts top-demo
 
 build:
 	dune build
@@ -48,6 +48,17 @@ artifacts:
 	mkdir -p test/golden
 	cd artifacts && cp $(GOLDEN_ARTIFACTS) ../test/golden/
 	@echo "golden set refreshed: 'make check' now gates on it"
+
+# record a short dynamics run with a fast heartbeat ticker, then render
+# the recording with the live viewer — a ten-second look at what
+# `bbng_cli top` shows against a run in flight
+top-demo:
+	BBNG_HEARTBEAT_MS=5 dune exec bin/bbng_cli.exe -- dynamics \
+	  -b 2,2,2,2,2,2,2,2,2,2 --seed 7 \
+	  --report _build/TOPDEMO.jsonl --metrics-out _build/TOPDEMO.prom \
+	  > /dev/null
+	dune exec bin/bbng_cli.exe -- top _build/TOPDEMO.jsonl --once --no-clear
+	@echo "(metrics snapshot: _build/TOPDEMO.prom)"
 
 # no-op unless ocamlformat is configured; kept dune-native so CI can
 # opt in with a .ocamlformat file

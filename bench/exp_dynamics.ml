@@ -18,19 +18,26 @@ let run_batch version budgets schedule rule =
   let converged = ref 0 and cycles = ref 0 and limited = ref 0 in
   let total_steps = ref 0 and max_steps_seen = ref 0 in
   let final_diameters = ref [] in
-  for seed = 1 to trials do
-    let start = Strategy.random (rng (1000 + seed)) budgets in
-    match
-      Dynamics.run ~max_steps:2_000 game ~schedule ~rule start
-    with
-    | Dynamics.Converged { steps; profile } ->
-        incr converged;
-        total_steps := !total_steps + steps;
-        if steps > !max_steps_seen then max_steps_seen := steps;
-        final_diameters := Cost.social_cost (Strategy.underlying profile) :: !final_diameters
-    | Dynamics.Cycle _ -> incr cycles
-    | Dynamics.Step_limit _ | Dynamics.Interrupted _ -> incr limited
-  done;
+  (* batch-level heartbeat (one unit per trial) on top of the per-run
+     task Dynamics.run starts itself — a long experiment with a
+     --metrics-out / BBNG_METRICS_OUT scrape file shows both levels *)
+  Bbng_obs.Progress.with_task ~total:trials "bench.dynamics_trials"
+    (fun progress ->
+      for seed = 1 to trials do
+        let start = Strategy.random (rng (1000 + seed)) budgets in
+        (match
+           Dynamics.run ~max_steps:2_000 game ~schedule ~rule start
+         with
+        | Dynamics.Converged { steps; profile } ->
+            incr converged;
+            total_steps := !total_steps + steps;
+            if steps > !max_steps_seen then max_steps_seen := steps;
+            final_diameters :=
+              Cost.social_cost (Strategy.underlying profile) :: !final_diameters
+        | Dynamics.Cycle _ -> incr cycles
+        | Dynamics.Step_limit _ | Dynamics.Interrupted _ -> incr limited);
+        Bbng_obs.Progress.step progress
+      done);
   let avg =
     if !converged = 0 then 0.0
     else float_of_int !total_steps /. float_of_int !converged

@@ -7,6 +7,7 @@
      dune exec bench/main.exe -- table1 figures   # a selection
      dune exec bench/main.exe -- --smoke          # seconds-long bench sanity pass
      dune exec bench/main.exe -- --validate BENCH_smoke.json
+     dune exec bench/main.exe -- --validate-metrics METRICS.prom
      dune exec bench/main.exe -- --diff OLD.json NEW.json   # regression gate
    Known experiment names: table1 figures hardness existence weighted
    connectivity dynamics baselines expansion census extremal ablation
@@ -72,6 +73,40 @@ let validate file =
   | _ -> fail "missing \"counters\" snapshot");
   Printf.printf "%s: ok\n" file
 
+(* Check that a --metrics-out snapshot is a well-formed OpenMetrics
+   exposition: families typed and HELP'd before their samples, counter
+   samples suffixed and non-negative, histogram buckets cumulative with
+   the +Inf bucket equal to _count, and a closing # EOF.  This is the
+   out-of-process validator bin/check.sh and bin/fault_smoke.sh point
+   at the files a live (or SIGKILLed) run leaves behind. *)
+let validate_metrics file =
+  let fail fmt =
+    Printf.ksprintf
+      (fun msg ->
+        Printf.eprintf "%s: INVALID — %s\n" file msg;
+        exit 1)
+      fmt
+  in
+  let text =
+    match open_in_bin file with
+    | exception Sys_error e -> fail "%s" e
+    | ic ->
+        Fun.protect
+          ~finally:(fun () -> close_in_noerr ic)
+          (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  match Bbng_obs.Openmetrics.validate text with
+  | Error msg -> fail "%s" msg
+  | Ok families ->
+      let samples =
+        List.fold_left
+          (fun acc f ->
+            acc + List.length f.Bbng_obs.Openmetrics.samples)
+          0 families
+      in
+      Printf.printf "%s: ok (%d metric families, %d samples)\n" file
+        (List.length families) samples
+
 let () =
   (* fault probes work in the harness too: BBNG_FAULT can crash any
      experiment at a chosen artifact-write or sink event, which is how
@@ -90,6 +125,12 @@ let () =
       exit 0
   | _ :: "--validate" :: [] ->
       Printf.eprintf "--validate needs a file argument\n";
+      exit 2
+  | _ :: "--validate-metrics" :: file :: _ ->
+      validate_metrics file;
+      exit 0
+  | _ :: "--validate-metrics" :: [] ->
+      Printf.eprintf "--validate-metrics needs a file argument\n";
       exit 2
   | _ :: "--diff" :: old_file :: new_file :: _ ->
       Diff.run old_file new_file;

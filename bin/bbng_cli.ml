@@ -75,7 +75,20 @@ let obs_term =
              engines are exact; certificates record which one priced them \
              and $(b,verify) re-prices through the other.")
   in
-  let setup stats report faults engine =
+  let metrics_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics-out" ] ~docv:"FILE.prom"
+          ~doc:
+            "Maintain an OpenMetrics/Prometheus text snapshot of the live \
+             counter, gauge and histogram registries at $(docv), rewritten \
+             atomically on every progress heartbeat ($(b,BBNG_HEARTBEAT_MS) \
+             tunes the cadence, default 1000).  The file is always a \
+             complete, parseable exposition — scrape it, or watch the run \
+             with $(b,bbng_cli top).")
+  in
+  let setup stats report faults engine metrics_out =
     let rec arm = function
       | [] -> Ok ()
       | s :: rest -> (
@@ -99,12 +112,30 @@ let obs_term =
     | Error _ as e -> e
     | Ok () ->
         if stats || report <> None then Obs.Span.set_enabled true;
+        let metrics_result =
+          match metrics_out with
+          | None -> Ok ()
+          | Some path -> (
+              (* arm the heartbeat scrape file, and write the first
+                 snapshot right now: an unwritable path fails before
+                 any work runs, and the file exists from the first
+                 moment a scraper could look *)
+              Obs.Progress.set_metrics_out (Some path);
+              match Obs.Openmetrics.write path with
+              | () -> Ok ()
+              | exception Sys_error e ->
+                  Error (Printf.sprintf "cannot write metrics file %S: %s" path e))
+        in
         let result =
+          let* () = metrics_result in
           match report with
           | None -> Ok ()
           | Some "-" ->
               Obs.Sink.add (Obs.Sink.Jsonl stdout);
               at_exit (fun () ->
+                  (* closing heartbeats first, so they land inside the
+                     stream before the summary line ends it *)
+                  Obs.Progress.finalize ();
                   Obs.Sink.emit "run.summary" (Obs.Stats.summary_fields ());
                   flush stdout);
               Ok ()
@@ -124,6 +155,7 @@ let obs_term =
               | oc ->
                   Obs.Sink.add (Obs.Sink.Jsonl oc);
                   at_exit (fun () ->
+                      Obs.Progress.finalize ();
                       Obs.Sink.emit "run.summary" (Obs.Stats.summary_fields ());
                       Obs.Sink.flush_all ();
                       close_out_noerr oc;
@@ -133,7 +165,8 @@ let obs_term =
         if stats then at_exit (fun () -> Obs.Stats.print stderr);
         result
   in
-  Term.term_result' Term.(const setup $ stats $ report $ fault $ engine)
+  Term.term_result'
+    Term.(const setup $ stats $ report $ fault $ engine $ metrics_out)
 
 (* Deadline/work-budget flags, shared by the deadline-aware
    subcommands.  Absent flags yield the shared unlimited token, which
@@ -938,6 +971,101 @@ let replay_cmd =
   in
   Cmd.v info Term.(ret (const run $ obs_term $ input $ no_stable))
 
+(* --- top: refreshing live view over a (possibly in-flight) recording --- *)
+
+let top_cmd =
+  let input =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"RUN.jsonl[.partial]"
+          ~doc:
+            "A --report recording to watch — final, or the .partial of a \
+             run still in flight.  Either name works: the viewer follows \
+             the stream across its .partial → final commit rename.")
+  in
+  let interval =
+    Arg.(
+      value & opt float 500.
+      & info [ "interval-ms" ] ~docv:"MS"
+          ~doc:"Polling/refresh interval (default 500).")
+  in
+  let frames =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "frames" ] ~docv:"N"
+          ~doc:"Render at most $(docv) frames, then exit (for scripting).")
+  in
+  let once =
+    Arg.(
+      value & flag
+      & info [ "once" ] ~doc:"Render a single frame and exit (--frames 1).")
+  in
+  let no_clear =
+    Arg.(
+      value & flag
+      & info [ "no-clear" ]
+          ~doc:
+            "Do not clear the terminal between frames — frames append, \
+             which keeps the output a plain readable log under redirection.")
+  in
+  let sibling p =
+    if Filename.check_suffix p ".partial" then Filename.chop_suffix p ".partial"
+    else p ^ ".partial"
+  in
+  let run () input interval frames once no_clear =
+    let path =
+      if Sys.file_exists input then input
+      else if Sys.file_exists (sibling input) then sibling input
+      else begin
+        Printf.eprintf "bbng: no recording at %s (or %s)\n" input
+          (sibling input);
+        die Obs.Exit_code.input_error
+      end
+    in
+    let limit = if once then Some 1 else frames in
+    let st = Obs.Live_view.create_state () in
+    let tail = Obs.Live_view.open_tail path in
+    let current = ref path in
+    let rec loop frame =
+      (* a writer that exits cleanly commit-renames .partial over the
+         final name; the bytes are identical, so just retarget the tail *)
+      if
+        (not (Sys.file_exists !current))
+        && Sys.file_exists (sibling !current)
+      then begin
+        current := sibling !current;
+        Obs.Live_view.retarget tail !current
+      end;
+      ignore (Obs.Live_view.poll tail st);
+      if not no_clear then print_string "\027[2J\027[H";
+      print_string (Obs.Live_view.render st ~source:!current);
+      flush stdout;
+      let stop =
+        Obs.Live_view.finished st
+        || (match limit with Some l -> frame + 1 >= l | None -> false)
+      in
+      if not stop then begin
+        Unix.sleepf (Float.max 0.01 (interval /. 1e3));
+        loop (frame + 1)
+      end
+    in
+    loop 0;
+    `Ok ()
+  in
+  let info =
+    Cmd.info "top"
+      ~doc:
+        "Tail a --report recording — live, via its .partial — and render \
+         a refreshing view of the run: current phase, heartbeat rate and \
+         ETA, top counters, span latency quantiles.  Exits when the \
+         recording ends with run.summary (or after --frames N)."
+  in
+  Cmd.v info
+    Term.(
+      ret (const run $ obs_term $ input $ interval $ frames $ once $ no_clear))
+
 let main_cmd =
   let info =
     Cmd.info "bbng" ~version:"1.0.0"
@@ -945,7 +1073,8 @@ let main_cmd =
   in
   Cmd.group info
     [ construct_cmd; verify_cmd; certify_cmd; dynamics_cmd; opt_cmd;
-      kcenter_cmd; census_cmd; export_cmd; fip_cmd; report_cmd; replay_cmd ]
+      kcenter_cmd; census_cmd; export_cmd; fip_cmd; report_cmd; replay_cmd;
+      top_cmd ]
 
 (* Structured failure: every exception class the engine can legitimately
    raise maps to a documented exit code (Exit_code) with a one-line

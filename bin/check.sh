@@ -44,6 +44,22 @@ echo "== fault-matrix smoke =="
 # inputs must exit with their taxonomy codes (see bin/fault_smoke.sh)
 sh bin/fault_smoke.sh
 
+echo "== live telemetry: heartbeats, OpenMetrics snapshot, top =="
+# a dynamics run with a fast ticker must leave a heartbeat-bearing
+# report, a parseable OpenMetrics snapshot, and a recording the live
+# viewer renders — format regressions in the telemetry layer fail here
+mkdir -p _build
+BBNG_HEARTBEAT_MS=1 dune exec bin/bbng_cli.exe -- dynamics -b 2,2,2,2,2,2,2,2 \
+  --seed 3 --report _build/TELEMETRY.jsonl --metrics-out _build/TELEMETRY.prom \
+  > /dev/null
+dune exec bench/main.exe -- --validate-metrics _build/TELEMETRY.prom
+grep -q progress.heartbeat _build/TELEMETRY.jsonl || {
+  echo "check: no progress.heartbeat in the telemetry report"
+  exit 1
+}
+dune exec bin/bbng_cli.exe -- top _build/TELEMETRY.jsonl --once --no-clear \
+  > /dev/null
+
 echo "== bench smoke =="
 # snapshot the pre-run baseline before --smoke overwrites it; on a
 # fresh clone (no local run yet) fall back to the committed reference

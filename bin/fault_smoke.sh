@@ -9,7 +9,10 @@
 #   - killing a run mid-flight-recording leaves the previous report
 #     untouched and a .partial prefix that replays and resumes cleanly;
 #   - an injected raise maps to exit 5 (fault), a deadline to a
-#     degraded-but-verifying certificate, malformed input to exit 2.
+#     degraded-but-verifying certificate, malformed input to exit 2;
+#   - killing a run between heartbeats leaves a parseable OpenMetrics
+#     snapshot and a .partial whose last heartbeat is at most one tick
+#     old, still replayable and renderable by `bbng_cli top`.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -116,5 +119,23 @@ cmp -s ROWS.before.json ROWS.json || fail "previous rows certificate was torn"
 # provenance block matches too: run it from a sibling directory)
 mkdir rows2 && (cd rows2 && "$CLI" certify "$PROFILE" -c max --eval-engine rows --cert ROWS.json > /dev/null)
 cmp -s ROWS.json rows2/ROWS.json || fail "rows certify is not deterministic after the kill"
+
+echo "== 9. SIGKILL between heartbeats: fresh .prom survives, .partial carries the beats =="
+# BBNG_HEARTBEAT_MS=0 beats at every step, so the 4th progress.tick
+# probe fires after three complete heartbeats reached the report and
+# three snapshots reached the .prom (plus the arm-time snapshot)
+rc=0
+BBNG_HEARTBEAT_MS=0 "$CLI" dynamics -b "$DYNB" --seed 3 --report HB.jsonl \
+  --metrics-out HB.prom --fault progress.tick@kill@4 > /dev/null 2>&1 || rc=$?
+[ "$rc" = 137 ] || fail "expected SIGKILL exit 137, got $rc"
+"$BENCH" --validate-metrics HB.prom > /dev/null \
+  || fail "killed run left an invalid OpenMetrics snapshot"
+[ -s HB.jsonl.partial ] || fail "heartbeat kill left no .partial prefix"
+grep -q progress.heartbeat HB.jsonl.partial \
+  || fail "no heartbeat reached the .partial before the kill"
+"$CLI" replay HB.jsonl.partial > /dev/null \
+  || fail "heartbeat-laced prefix does not replay"
+"$CLI" top HB.jsonl.partial --once --no-clear | grep -q "heartbeat: dynamics" \
+  || fail "top cannot render the killed run's last heartbeat"
 
 echo "fault-smoke: all green"

@@ -23,20 +23,27 @@ let run ?limit game =
   let diameter_histogram =
     List.sort compare (Hashtbl.fold (fun d c acc -> (d, c) :: acc) histogram [])
   in
-  (* group by realization isomorphism; keep one profile per class *)
+  (* group by realization isomorphism; keep one profile per class.
+     The pairwise isomorphism checks dominate on equilibrium-rich
+     games, so this is its own heartbeat task (enumerate_equilibria
+     already beat through the profile sweep above). *)
   let iso_classes =
-    let rec go kept = function
-      | [] -> List.rev kept
-      | p :: rest ->
-          let g = Strategy.realize p in
-          if
-            List.exists
-              (fun q -> Isomorphism.digraph_isomorphic (Strategy.realize q) g)
-              kept
-          then go kept rest
-          else go (p :: kept) rest
-    in
-    go [] eqs
+    Bbng_obs.Progress.with_task ~total:(List.length eqs) "census.iso"
+      (fun progress ->
+        let rec go kept = function
+          | [] -> List.rev kept
+          | p :: rest ->
+              Bbng_obs.Progress.step progress;
+              let g = Strategy.realize p in
+              if
+                List.exists
+                  (fun q ->
+                    Isomorphism.digraph_isomorphic (Strategy.realize q) g)
+                  kept
+              then go kept rest
+              else go (p :: kept) rest
+        in
+        go [] eqs)
   in
   {
     game;

@@ -128,30 +128,54 @@ let audited_player auditor game profile player =
   Bbng_obs.Span.time "equilibrium.certify_player" (fun () ->
       auditor game profile player)
 
-let certify_cert_with auditor mode game profile =
+(* Work-total estimate for a certification's heartbeat: the sum of the
+   per-player candidate spaces, saturating — [max_int] reads as
+   "unknown" in {!Bbng_obs.Progress}, so a saturated space simply
+   drops total/ETA from the beats instead of faking a number.  Audits
+   step by their [scanned] count, so done/total use the same unit. *)
+let certify_work_total game =
+  let n = Game.n game in
+  let budgets = Game.budgets game in
+  let acc = ref 0 in
+  for p = 0 to n - 1 do
+    let c = Combinatorics.binomial_sat (n - 1) (Budget.get budgets p) in
+    acc := (if c = max_int || !acc > max_int - c then max_int else !acc + c)
+  done;
+  !acc
+
+(* pruned tiers scan 0 candidates but still certify a player; count
+   them as one unit so the heartbeat advances through lemma-covered
+   prefixes too *)
+let progress_audit progress (a : Best_response.audit) =
+  Bbng_obs.Progress.step ~n:(max 1 a.Best_response.scanned) progress
+
+let certify_cert_with ?budget auditor mode game profile =
   Bbng_obs.Counter.bump c_certificates;
   let n = Game.n game in
-  let rec scan player acc =
-    if player >= n then List.rev acc
-    else
-      let a = audited_player auditor game profile player in
-      if a.Best_response.improving <> None then List.rev ((player, a) :: acc)
-      else scan (player + 1) ((player, a) :: acc)
-  in
-  {
-    cert_version = Game.version game;
-    cert_mode = mode;
-    cert_profile = profile;
-    cert_evidence = scan 0 [];
-  }
+  Bbng_obs.Progress.with_task ?budget ~total:(certify_work_total game)
+    "certify" (fun progress ->
+      let rec scan player acc =
+        if player >= n then List.rev acc
+        else
+          let a = audited_player auditor game profile player in
+          progress_audit progress a;
+          if a.Best_response.improving <> None then List.rev ((player, a) :: acc)
+          else scan (player + 1) ((player, a) :: acc)
+      in
+      {
+        cert_version = Game.version game;
+        cert_mode = mode;
+        cert_profile = profile;
+        cert_evidence = scan 0 [];
+      })
 
 let certify_cert ?budget ?engine game profile =
-  certify_cert_with
+  certify_cert_with ?budget
     (Best_response.audit_exact ?budget ?engine)
     Exact_mode game profile
 
 let certify_swap_cert ?budget ?engine game profile =
-  certify_cert_with
+  certify_cert_with ?budget
     (Best_response.audit_swap ?budget ?engine)
     Swap_mode game profile
 
@@ -160,11 +184,19 @@ let certify_parallel_cert ?domains ?budget ?engine game profile =
   let n = Game.n game in
   let audits =
     (* each audit builds its own evaluation context, so every domain
-       owns its rows: nothing of the distance-row cache crosses domains *)
-    Parallel.map ?domains ~n (fun player ->
-        audited_player
-          (Best_response.audit_exact ?budget ?engine)
-          game profile player)
+       owns its rows: nothing of the distance-row cache crosses domains.
+       The progress task IS shared: every worker steps it by its scan
+       count, and the ticker's CAS elects one beat emitter at a time. *)
+    Bbng_obs.Progress.with_task ?budget ~total:(certify_work_total game)
+      "certify" (fun progress ->
+        Parallel.map ?domains ~n (fun player ->
+            let a =
+              audited_player
+                (Best_response.audit_exact ?budget ?engine)
+                game profile player
+            in
+            progress_audit progress a;
+            a))
   in
   (* truncate after the first (lowest-player) refutation so the
      evidence shape — and the witness — matches the sequential
@@ -788,26 +820,36 @@ exception Limit_reached
 let enumerate_equilibria ?limit game =
   let found = ref [] in
   let count = ref 0 in
-  (try
-     iter_profiles (Game.budgets game) (fun profile ->
-         if is_nash game profile then begin
-           found := profile :: !found;
-           incr count;
-           match limit with
-           | Some l when !count >= l -> raise Limit_reached
-           | Some _ | None -> ()
-         end)
-   with Limit_reached -> ());
-  List.rev !found
+  (* heartbeat over the profile space; [count_profiles] saturates to
+     max_int, which Progress reads as "unknown total" *)
+  Bbng_obs.Progress.with_task
+    ~total:(count_profiles (Game.budgets game))
+    "enumerate" (fun progress ->
+      (try
+         iter_profiles (Game.budgets game) (fun profile ->
+             Bbng_obs.Progress.step progress;
+             if is_nash game profile then begin
+               found := profile :: !found;
+               incr count;
+               match limit with
+               | Some l when !count >= l -> raise Limit_reached
+               | Some _ | None -> ()
+             end)
+       with Limit_reached -> ());
+      List.rev !found)
 
 let equilibrium_diameter_range game =
   let range = ref None in
-  iter_profiles (Game.budgets game) (fun profile ->
-      if is_nash game profile then begin
-        let d = Game.social_cost game profile in
-        range :=
-          match !range with
-          | None -> Some (d, d)
-          | Some (lo, hi) -> Some (min lo d, max hi d)
-      end);
-  !range
+  Bbng_obs.Progress.with_task
+    ~total:(count_profiles (Game.budgets game))
+    "enumerate" (fun progress ->
+      iter_profiles (Game.budgets game) (fun profile ->
+          Bbng_obs.Progress.step progress;
+          if is_nash game profile then begin
+            let d = Game.social_cost game profile in
+            range :=
+              match !range with
+              | None -> Some (d, d)
+              | Some (lo, hi) -> Some (min lo d, max hi d)
+          end);
+      !range)

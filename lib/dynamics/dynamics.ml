@@ -138,6 +138,9 @@ let run ?(max_steps = 10_000) ?(detect_cycles = true) ?(meta = []) ?on_step
          ("social_cost", Obs.Json.Int (Game.social_cost game start));
        ]
       @ meta);
+  (* heartbeat task: one unit per applied step, bounded by max_steps,
+     carrying the run's budget headroom into each beat *)
+  let progress = Obs.Progress.start ~total:max_steps ~budget "dynamics" in
   let seen : (Profile_key.t, int) Hashtbl.t = Hashtbl.create 256 in
   let remember step profile =
     if detect_cycles then begin
@@ -152,6 +155,7 @@ let run ?(max_steps = 10_000) ?(detect_cycles = true) ?(meta = []) ?on_step
   in
   ignore (remember 0 start);
   let finish outcome =
+    Obs.Progress.finish progress;
     emit_outcome game ~schedule ~meta rule outcome;
     outcome
   in
@@ -202,6 +206,7 @@ let run ?(max_steps = 10_000) ?(detect_cycles = true) ?(meta = []) ?on_step
               in
               let step = step + 1 in
               Obs.Counter.bump c_steps;
+              Obs.Progress.step progress;
               if Obs.Span.enabled () then
                 Obs.Histogram.record h_improvement
                   (old_cost - m.Best_response.cost);
@@ -225,7 +230,11 @@ let run ?(max_steps = 10_000) ?(detect_cycles = true) ?(meta = []) ?on_step
               | None -> loop sched_state profile step))
     end
   in
-  loop (Schedule.start schedule ~n) start 0
+  (* [finish] already closed the task on every typed outcome; the
+     protect covers raise paths (idempotent, so no double beat) *)
+  Fun.protect
+    ~finally:(fun () -> Obs.Progress.finish progress)
+    (fun () -> loop (Schedule.start schedule ~n) start 0)
 
 let stable game rule profile =
   let n = Game.n game in

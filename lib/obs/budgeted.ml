@@ -76,6 +76,16 @@ let expired t =
 
 let why t = Atomic.get t.tripped
 
+(* Remaining headroom, for telemetry (progress heartbeats): [None]
+   means the corresponding limit was never set. *)
+let deadline_ms_remaining t =
+  if t.deadline = infinity then None
+  else Some (Float.max 0. ((t.deadline -. Unix.gettimeofday ()) *. 1e3))
+
+let work_remaining t =
+  if t.work_limit = max_int then None
+  else Some (max 0 (t.work_limit - Atomic.get t.work))
+
 let spend t cost = if t.limited then ignore (Atomic.fetch_and_add t.work cost)
 
 let checkpoint ?(cost = 0) t =

@@ -68,6 +68,16 @@ val guard : t -> (unit -> 'a) -> 'a option
 val is_unlimited : t -> bool
 val work_done : t -> int
 
+val deadline_ms_remaining : t -> float option
+(** Milliseconds of wall clock left before the deadline trips (clamped
+    at 0); [None] when the token has no deadline.  Telemetry only — an
+    un-expired token may still trip between this read and the next
+    checkpoint. *)
+
+val work_remaining : t -> int option
+(** Work units left under the work limit (clamped at 0); [None] when
+    the token has no work limit. *)
+
 (** {1 Typed budgeted-search outcomes} *)
 
 type 'a outcome =

@@ -56,6 +56,20 @@ let count t = Atomic.get t.count
 let total t = Atomic.get t.total
 let max_value t = Atomic.get t.max_v
 
+let bucket_count () = n_buckets
+
+let bucket_counts t = Array.init n_buckets (fun i -> Atomic.get t.buckets.(i))
+
+let merge_counts histograms =
+  let acc = Array.make n_buckets 0 in
+  List.iter
+    (fun t ->
+      for i = 0 to n_buckets - 1 do
+        acc.(i) <- acc.(i) + Atomic.get t.buckets.(i)
+      done)
+    histograms;
+  acc
+
 let quantile t q =
   let n = Atomic.get t.count in
   if n = 0 then 0.

@@ -35,6 +35,22 @@ val total : t -> int
 val max_value : t -> int
 (** Exact maximum recorded value (0 when empty). *)
 
+val bucket_count : unit -> int
+(** Number of buckets every histogram has (64). *)
+
+val bucket_bounds : int -> int * int
+(** [(lo, hi)] inclusive value range of bucket [i]: [(0, 0)] for bucket
+    0, [(2^(i-1), 2^i - 1)] otherwise. *)
+
+val bucket_counts : t -> int array
+(** Per-bucket observation counts, index-aligned with
+    {!bucket_bounds}.  A fresh array; reading is atomic per bucket but
+    not across buckets (concurrent writers may land between reads). *)
+
+val merge_counts : t list -> int array
+(** Element-wise sum of {!bucket_counts} over several histograms — how
+    per-domain shards aggregate into one distribution. *)
+
 val quantile : t -> float -> float
 (** [quantile t q] for [q] in [[0, 1]]: estimated [q]-quantile of the
     recorded values, within a factor of two of the exact sample

@@ -63,6 +63,10 @@ let pretty_field buf (k, v) =
    stay buffered for throughput. *)
 let is_milestone name =
   name = "run.summary"
+  || name = "progress.heartbeat"
+     (* heartbeats exist to be tailed live (bbng_cli top) and to date a
+        SIGKILLed run's .partial: both need the line on disk the moment
+        it is emitted, and the ticker already rate-limits them *)
   || String.length name >= 9 && String.sub name 0 9 = "dynamics."
 
 let deliver sink name fields =

@@ -10,8 +10,8 @@
       (this is what [--trace] routes through);
     - [Jsonl oc]: one JSON object per line on [oc].  Output is
       buffered for throughput, except that milestone events — every
-      [dynamics.*] event and [run.summary] — are flushed as they are
-      written (each dynamics step is one applied best-response move,
+      [dynamics.*] event, [progress.heartbeat] and [run.summary] — are
+      flushed as they are written (each dynamics step is one applied best-response move,
       so the flush is noise next to the search that produced it).  The
       channel is also flushed whenever the sink is uninstalled ({!set},
       {!scoped} exit), on {!flush_all}, and in an [at_exit] hook — so

@@ -19,8 +19,10 @@ val provenance_fields : unit -> (string * Json.t) list
 
 val summary_fields : unit -> (string * Json.t) list
 (** Provenance plus [("counters", ...); ("spans", ...);
-    ("histograms", ...); ("gc", ...)] — the payload of a final
-    [run.summary] event or a bench report. *)
+    ("histograms", ...); ("metrics", ...); ("gc", ...)] — the payload
+    of a final [run.summary] event or a bench report.  The [metrics]
+    object is {!Metrics.to_json}: the sharded registry aggregated
+    across domains. *)
 
 val print : out_channel -> unit
 (** Human-readable summary (the [--stats] output).  Counters at zero

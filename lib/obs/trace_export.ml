@@ -24,6 +24,9 @@ let num_field k j =
 
 let ts_us j = num_field "ts_us" j
 
+let str_field k j =
+  match Json.member k j with Some (Json.Str s) -> Some s | _ -> None
+
 (* --- Chrome trace-event conversion --- *)
 
 let common ~name ~ph ~ts ~dur rest =
@@ -68,13 +71,25 @@ let convert_event j =
           [ ("s", Json.Str "g"); ("args", args_of j) ]
       in
       (* dynamics steps additionally feed a Chrome counter track, so the
-         social-cost trajectory draws itself in the trace viewer *)
+         social-cost trajectory draws itself in the trace viewer; and
+         heartbeats feed a per-task work-done track, so a long run's
+         progress curve sits next to its spans *)
       let extra =
-        match (name, Json.member "social_cost" j) with
-        | "dynamics.step", Some v ->
+        match (name, Json.member "social_cost" j, Json.member "done" j) with
+        | "dynamics.step", Some v, _ ->
             [
               common ~name:"social_cost" ~ph:"C" ~ts ~dur:0.
                 [ ("args", Json.Obj [ ("social_cost", v) ]) ];
+            ]
+        | "progress.heartbeat", _, Some v ->
+            let track =
+              match str_field "task" j with
+              | Some task -> "work_done:" ^ task
+              | None -> "work_done"
+            in
+            [
+              common ~name:track ~ph:"C" ~ts ~dur:0.
+                [ ("args", Json.Obj [ ("done", v) ]) ];
             ]
         | _ -> []
       in
@@ -92,9 +107,6 @@ let to_chrome events =
     ]
 
 (* --- offline pretty summary of a recorded run --- *)
-
-let str_field k j =
-  match Json.member k j with Some (Json.Str s) -> Some s | _ -> None
 
 let summarize events oc =
   let n = List.length events in
@@ -198,6 +210,43 @@ let summarize events oc =
                 Printf.fprintf oc "  [%d,%d):%d" (1 lsl (b - 1)) (1 lsl b) c)
           hist;
         Printf.fprintf oc "\n")
+  end;
+  (* telemetry: the last heartbeat per task, with the achieved overall
+     rate — on a truncated .partial this line dates the death *)
+  let beats =
+    List.filter (fun j -> event_name j = "progress.heartbeat") events
+  in
+  if beats <> [] then begin
+    let last = Hashtbl.create 4 in
+    let order = ref [] in
+    List.iter
+      (fun j ->
+        let task = Option.value ~default:"?" (str_field "task" j) in
+        if not (Hashtbl.mem last task) then order := task :: !order;
+        Hashtbl.replace last task j)
+      beats;
+    Printf.fprintf oc "heartbeats (%d recorded; last per task):\n"
+      (List.length beats);
+    List.iter
+      (fun task ->
+        let j = Hashtbl.find last task in
+        let done_ = Option.value ~default:0. (num_field "done" j) in
+        let progress =
+          match num_field "total" j with
+          | Some total -> Printf.sprintf "%.0f/%.0f" done_ total
+          | None -> Printf.sprintf "%.0f" done_
+        in
+        let achieved =
+          (* overall rate over the task's lifetime, not the last
+             window: done / elapsed *)
+          match num_field "elapsed_ms" j with
+          | Some ms when ms > 0. -> done_ /. ms *. 1e3
+          | _ -> Option.value ~default:0. (num_field "rate_per_s" j)
+        in
+        Printf.fprintf oc "  %-24s %s done · %.1f/s achieved · last beat +%.3fms\n"
+          task progress achieved
+          (Option.value ~default:0. (ts_us j) /. 1e3))
+      (List.rev !order)
   end;
   (* the final run.summary, re-rendered *)
   (match List.find_opt (fun j -> event_name j = "run.summary") events with

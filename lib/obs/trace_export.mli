@@ -19,13 +19,17 @@ val to_chrome : Json.t list -> Json.t
     carries [name]/[ph]/[ts]/[dur] (plus [pid]/[tid]/[args]): ["span"]
     events become [ph:"X"] complete slices positioned by their close
     timestamp minus duration, every other event becomes a [ph:"i"]
-    instant, and [dynamics.step] events additionally feed a
-    [ph:"C"] [social_cost] counter track. *)
+    instant, [dynamics.step] events additionally feed a [ph:"C"]
+    [social_cost] counter track, and [progress.heartbeat] events feed
+    a per-task [work_done:<task>] counter track — the run's progress
+    curve next to its spans. *)
 
 val summarize : Json.t list -> out_channel -> unit
 (** Pretty-print a recorded run: event tally, time range, dynamics
     outcomes (individually when at most five, and always as an
     aggregated section — outcome counts by rule, step statistics and a
-    power-of-two steps histogram), and the final [run.summary]
-    re-rendered (provenance, counters by count, spans by total time,
-    GC delta). *)
+    power-of-two steps histogram), the last [progress.heartbeat] per
+    task with its achieved overall rate (on a crash-truncated
+    [.partial] this dates the death to within one tick), and the final
+    [run.summary] re-rendered (provenance, counters by count, spans by
+    total time, GC delta). *)

@@ -1,0 +1,352 @@
+(* Live telemetry: the per-domain sharded metrics registry, the
+   OpenMetrics exposition round trip, progress heartbeats, and the
+   viewer behind `bbng_cli top`.
+
+   The load-bearing properties: sharded aggregation is exact (a
+   multi-domain total equals the single-domain total for the same
+   work), the renderer and parser agree byte-for-byte (escaping,
+   cumulative buckets), heartbeats land in the report stream without
+   confusing the replay checker, and the tail parser survives any
+   truncation a SIGKILL can produce. *)
+
+open Helpers
+open Bbng_core
+module Metrics = Bbng_obs.Metrics
+module Openmetrics = Bbng_obs.Openmetrics
+module Progress = Bbng_obs.Progress
+module Live_view = Bbng_obs.Live_view
+module Sink = Bbng_obs.Sink
+module Json = Bbng_obs.Json
+module Dynamics = Bbng_dynamics.Dynamics
+module Schedule = Bbng_dynamics.Schedule
+
+let contains ~needle haystack =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec go i = i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1)) in
+  go 0
+
+(* --- sharded registry --- *)
+
+let test_counter_find_or_create () =
+  let c = Metrics.counter "test.metrics.basics" in
+  let base = Metrics.counter_value c in
+  Metrics.incr c;
+  Metrics.add c 41;
+  check_int "incr + add" (base + 42) (Metrics.counter_value c);
+  let c' = Metrics.counter "test.metrics.basics" in
+  check_int "same name, same cells" (base + 42) (Metrics.counter_value c');
+  Metrics.incr c';
+  check_int "bump through the alias counts" (base + 43) (Metrics.counter_value c)
+
+let test_shard_values_sum () =
+  let c = Metrics.counter "test.metrics.shardsum" in
+  Metrics.add c 7;
+  let shards = Metrics.counter_shard_values c in
+  check_int "one cell per shard" Metrics.shards (Array.length shards);
+  check_int "shards sum to the aggregate"
+    (Metrics.counter_value c)
+    (Array.fold_left ( + ) 0 shards)
+
+(* the ISSUE's acceptance property: totals recorded from many domains
+   aggregate to exactly what one domain records for the same work *)
+let test_sharded_equals_unsharded =
+  qcheck ~count:20 "multi-domain total == single-domain total"
+    QCheck.(int_range 1 2_000)
+    (fun n ->
+      let seq = Metrics.counter "test.metrics.seq"
+      and par = Metrics.counter "test.metrics.par" in
+      let seq0 = Metrics.counter_value seq
+      and par0 = Metrics.counter_value par in
+      for _ = 1 to n do
+        Metrics.incr seq
+      done;
+      assert (Parallel.for_all ~domains:4 ~n (fun _ ->
+                  Metrics.incr par;
+                  true));
+      Metrics.counter_value seq - seq0 = n
+      && Metrics.counter_value par - par0 = n)
+
+let test_histogram_multi_domain_aggregation () =
+  let h = Metrics.histogram "test.metrics.hist_par" in
+  let before = Metrics.histogram_snapshot h in
+  let n = 500 in
+  check_true "all observers succeed"
+    (Parallel.for_all ~domains:4 ~n (fun i ->
+         Metrics.observe h (i + 1);
+         true));
+  let after = Metrics.histogram_snapshot h in
+  check_int "every observation counted" n
+    (after.Metrics.hs_count - before.Metrics.hs_count);
+  check_int "sum aggregates exactly" (n * (n + 1) / 2)
+    (after.Metrics.hs_sum - before.Metrics.hs_sum);
+  check_int "bucket counts cover the count"
+    after.Metrics.hs_count
+    (Array.fold_left ( + ) 0 after.Metrics.hs_buckets)
+
+let test_gauge_labels () =
+  let g = Metrics.gauge ~labels:[ ("task", "a") ] "test.metrics.g" in
+  let g' = Metrics.gauge ~labels:[ ("task", "b") ] "test.metrics.g" in
+  Metrics.set g 1.5;
+  Metrics.set_int g' 3;
+  check_true "labelled gauges are distinct cells"
+    (Metrics.gauge_value g = 1.5 && Metrics.gauge_value g' = 3.0);
+  let g'' = Metrics.gauge ~labels:[ ("task", "a") ] "test.metrics.g" in
+  Metrics.set g'' 2.0;
+  check_true "same (name, labels) is the same cell" (Metrics.gauge_value g = 2.0)
+
+(* --- OpenMetrics exposition --- *)
+
+let test_escape_roundtrip =
+  qcheck ~count:200 "unescape ∘ escape_label_value = id" QCheck.string
+    (fun s -> Openmetrics.unescape (Openmetrics.escape_label_value s) = s)
+
+let test_help_escape_roundtrip =
+  qcheck ~count:200 "unescape ∘ escape_help = id" QCheck.string
+    (fun s -> Openmetrics.unescape (Openmetrics.escape_help s) = s)
+
+let find_family families name =
+  match List.find_opt (fun f -> f.Openmetrics.fam_name = name) families with
+  | Some f -> f
+  | None -> Alcotest.failf "family %S missing from exposition" name
+
+let test_render_validate_roundtrip () =
+  let c = Metrics.counter ~help:"help with \\ and \nnewline" "test.metrics.rt" in
+  Metrics.add c 5;
+  let g =
+    Metrics.gauge
+      ~labels:[ ("task", "quote\" slash\\ nl\n") ]
+      "test.metrics.rt_gauge"
+  in
+  Metrics.set g 2.5;
+  let h = Metrics.histogram "test.metrics.rt_hist" in
+  List.iter (Metrics.observe h) [ 1; 10; 100; 1_000; 1_000_000 ];
+  let text = Openmetrics.render () in
+  check_true "ends with the EOF terminator" (contains ~needle:"# EOF" text);
+  let families =
+    match Openmetrics.validate text with
+    | Ok fs -> fs
+    | Error e -> Alcotest.failf "rendered exposition invalid: %s" e
+  in
+  let cf = find_family families "bbng_test_metrics_rt" in
+  check_true "counter value survives"
+    (List.exists
+       (fun s ->
+         s.Openmetrics.value >= 5.0
+         && contains ~needle:"_total" s.Openmetrics.sample_name)
+       cf.Openmetrics.samples);
+  let gf = find_family families "bbng_test_metrics_rt_gauge" in
+  check_true "nasty label value round-trips unescaped"
+    (List.exists
+       (fun s ->
+         List.mem_assoc "task" s.Openmetrics.labels
+         && List.assoc "task" s.Openmetrics.labels = "quote\" slash\\ nl\n")
+       gf.Openmetrics.samples)
+
+let test_histogram_buckets_cumulative =
+  qcheck ~count:20 "rendered histogram buckets validate as cumulative"
+    QCheck.(list_of_size Gen.(int_range 1 50) (int_range 0 1_000_000))
+    (fun values ->
+      let h = Metrics.histogram "test.metrics.cumul" in
+      List.iter (Metrics.observe h) values;
+      (* validate enforces: non-decreasing in le order, +Inf == _count,
+         _sum/_count present — any violation fails the property *)
+      match Openmetrics.validate (Openmetrics.render ()) with
+      | Ok _ -> true
+      | Error _ -> false)
+
+(* --- heartbeats --- *)
+
+(* run [f] with a zero heartbeat interval and a JSONL sink on a temp
+   file; return the recorded events *)
+let with_recording f =
+  let path = Filename.temp_file "bbng_metrics" ".jsonl" in
+  let old = Progress.interval_ms () in
+  Progress.set_interval_ms 0.;
+  let result =
+    Fun.protect
+      ~finally:(fun () -> Progress.set_interval_ms old)
+      (fun () ->
+        let oc = open_out path in
+        Fun.protect
+          ~finally:(fun () -> close_out oc)
+          (fun () -> Sink.scoped (Sink.Jsonl oc) f))
+  in
+  let ic = open_in path in
+  let events, _skipped =
+    Fun.protect
+      ~finally:(fun () ->
+        close_in_noerr ic;
+        Sys.remove path)
+      (fun () -> Bbng_obs.Trace_export.read_events ic)
+  in
+  (result, events)
+
+let heartbeats_of events =
+  List.filter
+    (fun e -> Json.member "event" e = Some (Json.Str "progress.heartbeat"))
+    events
+
+let test_heartbeat_fields () =
+  let (), events =
+    with_recording (fun () ->
+        Progress.with_task ~total:5 "test.hb" (fun t ->
+            for _ = 1 to 5 do
+              Progress.step t
+            done))
+  in
+  let beats =
+    List.filter
+      (fun e -> Json.member "task" e = Some (Json.Str "test.hb"))
+      (heartbeats_of events)
+  in
+  check_true "at least one heartbeat per task" (beats <> []);
+  let last = List.nth beats (List.length beats - 1) in
+  check_true "final beat reports all work done"
+    (Json.member "done" last = Some (Json.Int 5));
+  check_true "declared total present"
+    (Json.member "total" last = Some (Json.Int 5));
+  check_true "rate present"
+    (match Json.member "rate_per_s" last with
+    | Some (Json.Float _) | Some (Json.Int _) -> true
+    | _ -> false);
+  check_true "embedded counter snapshot is an object"
+    (match Json.member "counters" last with
+    | Some (Json.Obj _) -> true
+    | _ -> false)
+
+let test_heartbeat_saturated_total () =
+  (* a saturated Combinatorics estimate maps to "unknown": no
+     total/pct/eta in the beats *)
+  let (), events =
+    with_recording (fun () ->
+        Progress.with_task ~total:max_int "test.hb_sat" (fun t ->
+            for _ = 1 to 3 do
+              Progress.step t
+            done))
+  in
+  let beats =
+    List.filter
+      (fun e -> Json.member "task" e = Some (Json.Str "test.hb_sat"))
+      (heartbeats_of events)
+  in
+  check_true "beats still emitted" (beats <> []);
+  List.iter
+    (fun b ->
+      check_true "no total for saturated estimates"
+        (Json.member "total" b = None && Json.member "eta_s" b = None))
+    beats
+
+let test_replay_ignores_heartbeats () =
+  (* a flight recording laced with telemetry must replay untouched:
+     Dynamics.run heartbeats at every step with a zero interval *)
+  let b = Budget.unit_budgets 6 in
+  let g = game Cost.Max b in
+  let start = Strategy.random (rng 2) b in
+  let outcome, events =
+    with_recording (fun () ->
+        Dynamics.run ~max_steps:500 g ~schedule:Schedule.Round_robin
+          ~rule:Dynamics.Exact_best start)
+  in
+  check_true "heartbeats interleave the recording" (heartbeats_of events <> []);
+  match Bbng_obs.Replay.runs_of_events events with
+  | [ run ] -> (
+      check_int "every applied step recorded" (Dynamics.steps outcome)
+        (List.length run.Bbng_obs.Replay.steps);
+      match Bbng_dynamics.Replay.check_run run with
+      | Ok _ -> ()
+      | Error d ->
+          Alcotest.failf "telemetry broke replay at step %d: %s"
+            d.Bbng_dynamics.Replay.at_step d.Bbng_dynamics.Replay.reason)
+  | runs -> Alcotest.failf "expected 1 recorded run, got %d" (List.length runs)
+
+(* --- the top viewer --- *)
+
+let test_feed_line_truncation_tolerant () =
+  let st = Live_view.create_state () in
+  (* every way a SIGKILL can tear the last line of a .partial *)
+  List.iter (Live_view.feed_line st)
+    [
+      "";
+      "   ";
+      "{\"event\":\"dynamics.step\",\"ts_us\":1.0,\"step\":3";
+      "not json at all";
+      "{\"no_event_field\":true}";
+      "{\"event\":";
+      "\255\254 binary junk \000";
+    ];
+  check_int "nothing parsed as an event" 0 (Live_view.events st);
+  (* blank lines are ignored, the five torn/garbage lines count *)
+  check_int "every torn line counted" 5 (Live_view.skipped st);
+  let frame = Live_view.render st ~source:"torn.jsonl.partial" in
+  check_true "renderer survives an all-skip state"
+    (contains ~needle:"torn.jsonl.partial" frame)
+
+let test_tail_consumes_only_complete_lines () =
+  let path = Filename.temp_file "bbng_tail" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let st = Live_view.create_state () in
+      let tail = Live_view.open_tail path in
+      let append s =
+        let oc =
+          open_out_gen [ Open_append; Open_binary ] 0o644 path
+        in
+        output_string oc s;
+        close_out oc
+      in
+      append "{\"event\":\"progress.heartbeat\",\"ts_us\":1.0,\"task\":\"t\",\"done\":1}\n";
+      append "{\"event\":\"progress.he";
+      check_int "only the complete line is fed" 1 (Live_view.poll tail st);
+      check_int "one event so far" 1 (Live_view.events st);
+      check_int "half-written line stays buffered" 0 (Live_view.skipped st);
+      append "artbeat\",\"ts_us\":2.0,\"task\":\"t\",\"done\":2}\n";
+      check_int "finishing the line releases it" 1 (Live_view.poll tail st);
+      check_int "both heartbeats folded in" 2 (Live_view.heartbeats st);
+      check_false "no summary yet" (Live_view.finished st);
+      append "{\"event\":\"run.summary\",\"ts_us\":3.0}\n";
+      ignore (Live_view.poll tail st);
+      check_true "run.summary finishes the view" (Live_view.finished st))
+
+let test_tail_retarget_keeps_offset () =
+  (* the .partial → final commit rename: same bytes, new name *)
+  let partial = Filename.temp_file "bbng_retarget" ".jsonl.partial" in
+  let final = Filename.chop_suffix partial ".partial" in
+  Fun.protect
+    ~finally:(fun () ->
+      if Sys.file_exists partial then Sys.remove partial;
+      if Sys.file_exists final then Sys.remove final)
+    (fun () ->
+      let oc = open_out partial in
+      output_string oc "{\"event\":\"dynamics.start\",\"ts_us\":1.0}\n";
+      close_out oc;
+      let st = Live_view.create_state () in
+      let tail = Live_view.open_tail partial in
+      check_int "first poll reads the prefix" 1 (Live_view.poll tail st);
+      Sys.rename partial final;
+      let oc = open_out_gen [ Open_append; Open_binary ] 0o644 final in
+      output_string oc "{\"event\":\"run.summary\",\"ts_us\":2.0}\n";
+      close_out oc;
+      Live_view.retarget tail final;
+      check_int "retarget resumes at the old offset, not 0" 1
+        (Live_view.poll tail st);
+      check_int "no event replayed twice" 2 (Live_view.events st))
+
+let suite =
+  [
+    case "counter find-or-create" test_counter_find_or_create;
+    case "shard values sum to the aggregate" test_shard_values_sum;
+    test_sharded_equals_unsharded;
+    case "histogram aggregates across domains" test_histogram_multi_domain_aggregation;
+    case "labelled gauges" test_gauge_labels;
+    test_escape_roundtrip;
+    test_help_escape_roundtrip;
+    case "render → validate round trip" test_render_validate_roundtrip;
+    test_histogram_buckets_cumulative;
+    case "heartbeat fields" test_heartbeat_fields;
+    case "saturated totals suppress total/eta" test_heartbeat_saturated_total;
+    case "replay ignores heartbeats" test_replay_ignores_heartbeats;
+    case "feed_line tolerates torn lines" test_feed_line_truncation_tolerant;
+    case "tail consumes only complete lines" test_tail_consumes_only_complete_lines;
+    case "retarget keeps the read offset" test_tail_retarget_keeps_offset;
+  ]
