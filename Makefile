@@ -1,4 +1,4 @@
-.PHONY: build test bench smoke fault-smoke check fmt bench-baseline artifacts top-demo
+.PHONY: build test bench smoke fault-smoke check fmt bench-baseline artifacts top-demo flame-demo
 
 build:
 	dune build
@@ -59,6 +59,24 @@ top-demo:
 	  > /dev/null
 	dune exec bin/bbng_cli.exe -- top _build/TOPDEMO.jsonl --once --no-clear
 	@echo "(metrics snapshot: _build/TOPDEMO.prom)"
+
+# record a dynamics run with call-path profiling on, reconstruct the
+# same folded stacks offline from the recording, and sanity-grep the
+# known hot path in both — the files are ready for flamegraph.pl or
+# speedscope (see README "Profiling a run")
+flame-demo:
+	dune exec bin/bbng_cli.exe -- dynamics \
+	  -b 2,2,2,2,2,2,2,2,2,2 --seed 7 \
+	  --report _build/FLAMEDEMO.jsonl --profile _build/FLAMEDEMO.folded \
+	  > /dev/null
+	dune exec bin/bbng_cli.exe -- flame _build/FLAMEDEMO.jsonl \
+	  -o _build/FLAMEDEMO.offline.folded
+	grep -q "^dynamics.run;dynamics.select_move " _build/FLAMEDEMO.folded
+	grep -q "^dynamics.run;dynamics.select_move " _build/FLAMEDEMO.offline.folded
+	@echo "folded stacks: _build/FLAMEDEMO.folded (wall ns)," \
+	  "_build/FLAMEDEMO.alloc.folded (minor words)," \
+	  "_build/FLAMEDEMO.offline.folded (offline, from the recording)"
+	@echo "render: flamegraph.pl _build/FLAMEDEMO.folded > flame.svg"
 
 # no-op unless ocamlformat is configured; kept dune-native so CI can
 # opt in with a .ocamlformat file

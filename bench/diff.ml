@@ -20,7 +20,7 @@ let read_file file =
   close_in ic;
   text
 
-type row = { ns : float option; words : float option }
+type row = { ns : float option; words : float option; r2 : float option }
 
 let num = function
   | Some (Json.Float f) -> Some f
@@ -45,6 +45,7 @@ let results_of file =
                   {
                     ns = num (Json.member "ns_per_run" r);
                     words = num (Json.member "minor_words_per_run" r);
+                    r2 = num (Json.member "r_square_time" r);
                   } )
           | _ -> None)
         results
@@ -121,6 +122,14 @@ let run old_file new_file =
                 "REGRESSED"
             | Faster, _ | _, Faster -> "faster"
             | _ -> "ok"
+          in
+          (* a bad OLS fit on either side means the ns figures are not
+             trustworthy enough to call a 25% swing real — say so *)
+          let bad_fit = function Some r -> r < 0.8 | None -> false in
+          let verdict =
+            if bad_fit old_row.r2 || bad_fit new_row.r2 then
+              verdict ^ " (noisy fit)"
+            else verdict
           in
           Bbng_analysis.Table.add_row table
             [

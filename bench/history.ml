@@ -1,0 +1,138 @@
+(* Append-only bench trajectory: every perf run adds one JSON line to
+   BENCH_history.jsonl — provenance, per-bench ns/words/r², and a
+   digest of the engine counters — so `bench --trend` has a recorded
+   history to gate against instead of a single overwritten report.
+
+   The file is append-only on purpose: runs from different machines or
+   branches coexist, and the robust median/MAD in Trend absorbs the
+   odd outlier line.  Reading tolerates torn or alien lines (a crash
+   mid-append loses at most its own line). *)
+
+module Json = Bbng_obs.Json
+
+let file = "BENCH_history.jsonl"
+
+type bench = {
+  name : string;
+  ns : float option;
+  minor : float option;
+  major : float option;
+  r2 : float option;
+}
+
+type entry = {
+  ts : string;
+  report : string;
+  benches : bench list;
+  counters_digest : string;
+}
+
+let utc_timestamp () =
+  let t = Unix.gmtime (Unix.gettimeofday ()) in
+  Printf.sprintf "%04d-%02d-%02dT%02d:%02d:%02dZ" (t.Unix.tm_year + 1900)
+    (t.Unix.tm_mon + 1) t.Unix.tm_mday t.Unix.tm_hour t.Unix.tm_min
+    t.Unix.tm_sec
+
+(* one digest line instead of the full counter snapshot: enough to tell
+   "same work executed" apart from "the engines took different paths",
+   without bloating every history line *)
+let counters_digest () =
+  Digest.to_hex
+    (Digest.string (Json.to_string (Bbng_obs.Stats.counters_json ())))
+
+let num = function Some v -> Json.Float v | None -> Json.Null
+
+let entry_json ~report benches =
+  Json.Obj
+    ([
+       ("ts", Json.Str (utc_timestamp ()));
+       ("report", Json.Str report);
+       ( "results",
+         Json.List
+           (List.map
+              (fun b ->
+                Json.Obj
+                  [
+                    ("name", Json.Str b.name);
+                    ("ns_per_run", num b.ns);
+                    ("minor_words_per_run", num b.minor);
+                    ("major_words_per_run", num b.major);
+                    ("r_square_time", num b.r2);
+                  ])
+              benches) );
+       ("counters_digest", Json.Str (counters_digest ()));
+     ]
+    @ Bbng_obs.Stats.provenance_fields ())
+
+let append ?(file = file) ~report benches =
+  let line = Json.to_string (entry_json ~report benches) in
+  let oc = open_out_gen [ Open_append; Open_creat ] 0o644 file in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      output_string oc line;
+      output_char oc '\n')
+
+(* --- reading --- *)
+
+let float_field k j =
+  match Json.member k j with
+  | Some (Json.Float f) -> Some f
+  | Some (Json.Int i) -> Some (float_of_int i)
+  | _ -> None
+
+let str_field k j =
+  match Json.member k j with Some (Json.Str s) -> Some s | _ -> None
+
+let entry_of_json j =
+  match (str_field "report" j, Json.member "results" j) with
+  | Some report, Some (Json.List results) ->
+      let benches =
+        List.filter_map
+          (fun r ->
+            match str_field "name" r with
+            | Some name ->
+                Some
+                  {
+                    name;
+                    ns = float_field "ns_per_run" r;
+                    minor = float_field "minor_words_per_run" r;
+                    major = float_field "major_words_per_run" r;
+                    r2 = float_field "r_square_time" r;
+                  }
+            | None -> None)
+          results
+      in
+      Some
+        {
+          ts = Option.value ~default:"?" (str_field "ts" j);
+          report;
+          benches;
+          counters_digest =
+            Option.value ~default:"" (str_field "counters_digest" j);
+        }
+  | _ -> None
+
+(* skipped lines are counted, not fatal: a torn tail (crash mid-append)
+   or a hand-edited line must never wedge the trend gate *)
+let load ?(file = file) () =
+  match open_in file with
+  | exception Sys_error _ -> ([], 0)
+  | ic ->
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () ->
+          let entries = ref [] and skipped = ref 0 in
+          (try
+             while true do
+               let line = input_line ic in
+               if String.trim line <> "" then
+                 match Json.of_string line with
+                 | j -> (
+                     match entry_of_json j with
+                     | Some e -> entries := e :: !entries
+                     | None -> incr skipped)
+                 | exception Json.Parse_error _ -> incr skipped
+             done
+           with End_of_file -> ());
+          (List.rev !entries, !skipped))

@@ -9,6 +9,8 @@
      dune exec bench/main.exe -- --validate BENCH_smoke.json
      dune exec bench/main.exe -- --validate-metrics METRICS.prom
      dune exec bench/main.exe -- --diff OLD.json NEW.json   # regression gate
+     dune exec bench/main.exe -- --trend [HISTORY.jsonl]    # gate vs recorded history
+     dune exec bench/main.exe -- --profile OUT.folded perf  # folded stacks of a run
    Known experiment names: table1 figures hardness existence weighted
    connectivity dynamics baselines expansion census extremal ablation
    engines artifacts perf. *)
@@ -61,11 +63,20 @@ let validate file =
   | Some (Json.List (_ :: _ as results)) ->
       List.iter
         (fun r ->
-          match (Json.member "name" r, Json.member "ns_per_run" r) with
+          (match (Json.member "name" r, Json.member "ns_per_run" r) with
           | Some (Json.Str _), Some (Json.Float ns) when ns > 0. -> ()
           | Some (Json.Str _), Some (Json.Int ns) when ns > 0 -> ()
           | Some (Json.Str name), _ -> fail "no ns_per_run for %S" name
-          | _ -> fail "result entry without a name")
+          | _ -> fail "result entry without a name");
+          (* a bad OLS fit is a warning, not invalidity: the figures
+             parse fine, but they are too noisy to trust in a diff or
+             to let silently pollute the recorded history *)
+          (match (Json.member "name" r, Json.member "r_square_time" r) with
+          | Some (Json.Str name), Some (Json.Float r2) when r2 < 0.8 ->
+              Printf.printf
+                "%s: warning: %s r_square_time %.3f < 0.8 (noisy fit)\n" file
+                name r2
+          | _ -> ()))
         results
   | _ -> fail "missing or empty \"results\"");
   (match Json.member "counters" json with
@@ -116,7 +127,27 @@ let () =
   | Error msg ->
       Printf.eprintf "bench: bad %s spec: %s\n" Bbng_obs.Fault.env_var msg;
       exit 124);
-  (match Array.to_list Sys.argv with
+  let profile_out, argv =
+    let rec strip acc = function
+      | "--profile" :: path :: rest -> (Some path, List.rev_append acc rest)
+      | "--profile" :: [] ->
+          Printf.eprintf "--profile needs a FILE.folded argument\n";
+          exit 2
+      | x :: rest -> strip (x :: acc) rest
+      | [] -> (None, List.rev acc)
+    in
+    strip [] (Array.to_list Sys.argv)
+  in
+  (* --profile FILE.folded works on any experiment selection: enable
+     call-path attribution now, export folded stacks (wall + alloc
+     flavors) at exit — the bench twin of the CLI flag *)
+  (match profile_out with
+  | None -> ()
+  | Some path ->
+      Bbng_obs.Span.set_enabled true;
+      Bbng_obs.Profile.set_enabled true;
+      at_exit (fun () -> Bbng_obs.Profile.write_folded path));
+  (match argv with
   | _ :: "--smoke" :: _ ->
       Perf.smoke ();
       exit 0
@@ -138,9 +169,18 @@ let () =
   | _ :: "--diff" :: _ ->
       Printf.eprintf "--diff needs OLD.json and NEW.json arguments\n";
       exit 2
+  | _ :: "--trend" :: rest ->
+      (* optional positional: an alternate history file *)
+      let file =
+        match rest with
+        | f :: _ when String.length f > 0 && f.[0] <> '-' -> Some f
+        | _ -> None
+      in
+      Trend.run ?file ();
+      exit 0
   | _ -> ());
   let requested =
-    match Array.to_list Sys.argv with
+    match argv with
     | _ :: (_ :: _ as names) -> names
     | _ -> List.map fst experiments
   in

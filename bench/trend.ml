@@ -1,0 +1,142 @@
+(* `bench --trend`: gate the latest recorded run of BENCH_history.jsonl
+   against the robust median/MAD of the runs before it.  Direction
+   arrows per bench, non-zero exit on a significant regression —
+   wired warn-only into bin/check.sh the same way --diff is.
+
+   Robustness over the whole history (Bbng_analysis.Robust): the
+   median baseline shrugs off a one-off slow machine in the record,
+   and the MAD-derived gate adapts to each bench's own noise; the
+   --diff percentage threshold (BBNG_BENCH_DIFF_THRESHOLD) and the
+   same absolute floors bound it from below. *)
+
+module Robust = Bbng_analysis.Robust
+
+let arrow = function
+  | Some Robust.Regressed -> "↑ REGRESSED"
+  | Some Robust.Improved -> "↓ improved"
+  | Some Robust.Steady -> "→ steady"
+  | None -> "?"
+
+let cell = function Some v -> Printf.sprintf "%.0f" v | None -> "?"
+
+let pct m latest =
+  match (m, latest) with
+  | Some m, Some l when m > 0. -> Printf.sprintf "%+.1f%%" ((l -. m) /. m *. 100.)
+  | _ -> "?"
+
+let z_cell ~history latest =
+  match latest with
+  | None -> "?"
+  | Some l -> (
+      match Robust.sigma_score ~history l with
+      | Some z -> Printf.sprintf "%+.1f" z
+      | None -> "-")
+
+let run ?file () =
+  let file = Option.value ~default:History.file file in
+  let entries, skipped = History.load ~file () in
+  if skipped > 0 then
+    Printf.printf "bench --trend: skipped %d unparseable line%s in %s\n" skipped
+      (if skipped = 1 then "" else "s")
+      file;
+  match List.rev entries with
+  | [] ->
+      Printf.printf
+        "bench --trend: no history in %s (run `bench perf` or `bench --smoke` \
+         to record one)\n"
+        file;
+      exit 0
+  | latest :: earlier_rev -> (
+      (* baseline = every earlier run of the same report flavor, so a
+         smoke run never gates against micro-quota figures *)
+      let history_entries =
+        List.rev
+          (List.filter (fun e -> e.History.report = latest.History.report)
+             earlier_rev)
+      in
+      match history_entries with
+      | [] ->
+          Printf.printf
+            "bench --trend: only one %S run recorded in %s — nothing to gate \
+             against yet\n"
+            latest.History.report file;
+          exit 0
+      | _ ->
+          let threshold = Diff.threshold_pct () in
+          Printf.printf
+            "bench trend: latest %S run (%s) vs %d earlier run%s in %s \
+             (threshold %.0f%%)\n"
+            latest.History.report latest.History.ts
+            (List.length history_entries)
+            (if List.length history_entries = 1 then "" else "s")
+            file threshold;
+          let table =
+            Bbng_analysis.Table.make
+              ~headers:
+                [
+                  "benchmark"; "ns med"; "ns new"; "ns d%"; "ns z";
+                  "mw med"; "mw new"; "trend";
+                ]
+          in
+          let regressions = ref 0 in
+          List.iter
+            (fun (b : History.bench) ->
+              let series select =
+                List.filter_map
+                  (fun e ->
+                    List.find_map
+                      (fun (h : History.bench) ->
+                        if h.History.name = b.History.name then
+                          select h
+                        else None)
+                      e.History.benches)
+                  history_entries
+              in
+              let ns_hist = series (fun h -> h.History.ns) in
+              let mw_hist = series (fun h -> h.History.minor) in
+              let classify ~floor history latest =
+                match (history, latest) with
+                | [], _ | _, None -> None
+                | _, Some l ->
+                    Robust.classify ~threshold_pct:threshold ~floor
+                      ~history l
+              in
+              (* same absolute floors as --diff: sub-100ns and sub-64-word
+                 figures are measurement noise *)
+              let ns_trend = classify ~floor:Diff.ns_floor ns_hist b.History.ns in
+              let mw_trend =
+                classify ~floor:Diff.words_floor mw_hist b.History.minor
+              in
+              let worst =
+                match (ns_trend, mw_trend) with
+                | Some Robust.Regressed, _ | _, Some Robust.Regressed ->
+                    incr regressions;
+                    Some Robust.Regressed
+                | Some Robust.Improved, _ | _, Some Robust.Improved ->
+                    Some Robust.Improved
+                | Some Robust.Steady, _ -> Some Robust.Steady
+                | None, t -> t
+              in
+              Bbng_analysis.Table.add_row table
+                [
+                  b.History.name;
+                  cell (Robust.median ns_hist);
+                  cell b.History.ns;
+                  pct (Robust.median ns_hist) b.History.ns;
+                  z_cell ~history:ns_hist b.History.ns;
+                  cell (Robust.median mw_hist);
+                  cell b.History.minor;
+                  arrow worst;
+                ])
+            latest.History.benches;
+          Bbng_analysis.Table.print table;
+          if !regressions > 0 then begin
+            Printf.printf
+              "%d bench%s regressed past the robust gate (median + max(3*MAD \
+               sigma, %.0f%%, floor))\n"
+              !regressions
+              (if !regressions = 1 then "" else "es")
+              threshold;
+            exit 1
+          end
+          else Printf.printf "trend: no significant regressions\n")

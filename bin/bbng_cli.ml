@@ -88,7 +88,19 @@ let obs_term =
              complete, parseable exposition — scrape it, or watch the run \
              with $(b,bbng_cli top).")
   in
-  let setup stats report faults engine metrics_out =
+  let profile_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "profile" ] ~docv:"FILE.folded"
+          ~doc:
+            "Write call-path folded stacks on exit: self-time (wall ns) to \
+             $(docv) and self-allocation (minor words) to \
+             $(i,FILE.alloc.folded), both flamegraph.pl/speedscope \
+             compatible.  Implies span collection; see also $(b,bbng_cli \
+             flame) for profiling an already-recorded report.")
+  in
+  let setup stats report faults engine metrics_out profile_out =
     let rec arm = function
       | [] -> Ok ()
       | s :: rest -> (
@@ -111,7 +123,13 @@ let obs_term =
     with
     | Error _ as e -> e
     | Ok () ->
-        if stats || report <> None then Obs.Span.set_enabled true;
+        if stats || report <> None || profile_out <> None then begin
+          Obs.Span.set_enabled true;
+          (* call-path attribution rides on the same span enter/exit
+             points; enabling it with spans keeps --stats' self-time
+             top-10 and --profile's folded output in agreement *)
+          Obs.Profile.set_enabled true
+        end;
         let metrics_result =
           match metrics_out with
           | None -> Ok ()
@@ -162,11 +180,33 @@ let obs_term =
                       if not !exiting_dirty then Obs.Atomic_io.commit_stream file);
                   Ok ())
         in
+        let result =
+          let* () = result in
+          match profile_out with
+          | None -> Ok ()
+          | Some path -> (
+              (* fail-fast writability probe on the temp name, so an
+                 unusable path never clobbers an existing .folded *)
+              let tmp = Obs.Atomic_io.tmp_path path in
+              match open_out tmp with
+              | exception Sys_error e ->
+                  Error (Printf.sprintf "cannot write profile file %S: %s" path e)
+              | oc ->
+                  close_out_noerr oc;
+                  (try Sys.remove tmp with Sys_error _ -> ());
+                  (* registered after the report hook, so at_exit's LIFO
+                     order exports the profile before the report stream
+                     commits: a crash mid-export leaves the report as a
+                     replayable .partial *)
+                  at_exit (fun () -> Obs.Profile.write_folded path);
+                  Ok ())
+        in
         if stats then at_exit (fun () -> Obs.Stats.print stderr);
         result
   in
   Term.term_result'
-    Term.(const setup $ stats $ report $ fault $ engine $ metrics_out)
+    Term.(
+      const setup $ stats $ report $ fault $ engine $ metrics_out $ profile_out)
 
 (* Deadline/work-budget flags, shared by the deadline-aware
    subcommands.  Absent flags yield the shared unlimited token, which
@@ -918,6 +958,77 @@ let report_cmd =
   in
   Cmd.v info Term.(ret (const run $ obs_term $ input $ chrome $ summarize))
 
+(* --- flame: offline folded stacks from a recorded run --- *)
+
+let flame_cmd =
+  let input =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"REPORT.jsonl[.partial]"
+          ~doc:
+            "A --report JSONL recording (final or the .partial prefix of \
+             an interrupted run; torn trailing lines are skipped); '-' \
+             reads stdin.")
+  in
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "out" ] ~docv:"OUT.folded"
+          ~doc:
+            "Write the folded stacks to $(docv) (atomic write) instead of \
+             stdout.")
+  in
+  let alloc =
+    Arg.(
+      value & flag
+      & info [ "alloc" ]
+          ~doc:
+            "Emit self minor-words (allocation) values instead of \
+             self-time nanoseconds.")
+  in
+  let run () input out alloc =
+    let events = read_events_or_exit input in
+    (* re-nest the recorded span closes into per-domain call paths —
+       the same attribution a live --profile run accumulates *)
+    let snap = Obs.Profile.of_events events in
+    if snap = [] then begin
+      Printf.eprintf "bbng: no span events in %s (was it recorded with --report?)\n"
+        input;
+      die Obs.Exit_code.input_error
+    end;
+    let flavor = if alloc then Obs.Profile.Minor_words else Obs.Profile.Wall_ns in
+    let lines = Obs.Profile.folded_lines flavor snap in
+    (match out with
+    | None ->
+        List.iter print_endline lines;
+        flush stdout
+    | Some path ->
+        (match
+           Obs.Atomic_io.write_file path (fun oc ->
+               List.iter
+                 (fun l ->
+                   output_string oc l;
+                   output_char oc '\n')
+                 lines)
+         with
+        | () -> ()
+        | exception Sys_error e ->
+            Printf.eprintf "bbng: cannot write output: %s\n" e;
+            die Obs.Exit_code.io_error);
+        Printf.eprintf "wrote %s (%d stacks)\n" path (List.length lines));
+    `Ok ()
+  in
+  let info =
+    Cmd.info "flame"
+      ~doc:
+        "Reconstruct flamegraph.pl/speedscope folded stacks (self-time, \
+         or self-allocation with --alloc) from a recorded --report run, \
+         per recording domain, merged."
+  in
+  Cmd.v info Term.(ret (const run $ obs_term $ input $ out $ alloc))
+
 (* --- replay: re-apply a recorded dynamics run and verify it --- *)
 
 let replay_cmd =
@@ -1073,7 +1184,8 @@ let main_cmd =
   in
   Cmd.group info
     [ construct_cmd; verify_cmd; certify_cmd; dynamics_cmd; opt_cmd;
-      kcenter_cmd; census_cmd; export_cmd; fip_cmd; report_cmd; replay_cmd;
+      kcenter_cmd; census_cmd; export_cmd; fip_cmd; report_cmd; flame_cmd;
+      replay_cmd;
       top_cmd ]
 
 (* Structured failure: every exception class the engine can legitimately

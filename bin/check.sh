@@ -60,6 +60,47 @@ grep -q progress.heartbeat _build/TELEMETRY.jsonl || {
 dune exec bin/bbng_cli.exe -- top _build/TELEMETRY.jsonl --once --no-clear \
   > /dev/null
 
+echo "== profiling: live --profile and offline flame agree =="
+# a recorded dynamics run must profile identically live (--profile) and
+# offline (flame on the report), both carrying the known hot call path,
+# and the allocation flavor must ride along
+mkdir -p _build
+dune exec bin/bbng_cli.exe -- dynamics -b 2,2,2,2,2,2,2,2 --seed 3 \
+  --report _build/PROF.jsonl --profile _build/PROF.folded > /dev/null
+grep -q "^dynamics.run;dynamics.select_move " _build/PROF.folded || {
+  echo "check: live profile lost the dynamics call path"
+  exit 1
+}
+[ -s _build/PROF.alloc.folded ] || {
+  echo "check: no allocation-flavor folded stacks"
+  exit 1
+}
+dune exec bin/bbng_cli.exe -- flame _build/PROF.jsonl -o _build/PROF.offline.folded
+cmp -s _build/PROF.folded _build/PROF.offline.folded || {
+  echo "check: offline flame disagrees with the live profile"
+  exit 1
+}
+
+echo "== bench trend self-test (synthetic history) =="
+# the gate itself is gated: a steady synthetic history must pass and an
+# injected 2.5x slowdown must exit non-zero
+mkdir -p _build
+: > _build/TREND_selftest.jsonl
+for ns in 1000 1010 990 1005; do
+  printf '%s\n' "{\"ts\":\"t\",\"report\":\"selftest\",\"results\":[{\"name\":\"bbng/x\",\"ns_per_run\":$ns,\"minor_words_per_run\":500,\"major_words_per_run\":0,\"r_square_time\":0.99}],\"counters_digest\":\"d\"}" \
+    >> _build/TREND_selftest.jsonl
+done
+dune exec bench/main.exe -- --trend _build/TREND_selftest.jsonl > /dev/null || {
+  echo "check: trend flagged a steady synthetic history"
+  exit 1
+}
+printf '%s\n' "{\"ts\":\"t\",\"report\":\"selftest\",\"results\":[{\"name\":\"bbng/x\",\"ns_per_run\":2500,\"minor_words_per_run\":500,\"major_words_per_run\":0,\"r_square_time\":0.99}],\"counters_digest\":\"d\"}" \
+  >> _build/TREND_selftest.jsonl
+if dune exec bench/main.exe -- --trend _build/TREND_selftest.jsonl > /dev/null; then
+  echo "check: trend missed an injected 2.5x slowdown"
+  exit 1
+fi
+
 echo "== bench smoke =="
 # snapshot the pre-run baseline before --smoke overwrites it; on a
 # fresh clone (no local run yet) fall back to the committed reference
@@ -87,6 +128,19 @@ if [ -n "$baseline" ]; then
   else
     echo "check: bench diff WARNING only (set BBNG_BENCH_STRICT=1 to fail on regressions)"
   fi
+fi
+
+echo "== bench trend vs recorded history =="
+# the smoke run above appended to BENCH_history.jsonl; gate the latest
+# run against the robust median/MAD of the recorded trajectory.
+# Warn-only like --diff (BBNG_BENCH_STRICT=1 makes it fail the gate).
+if dune exec bench/main.exe -- --trend; then
+  :
+elif [ "${BBNG_BENCH_STRICT:-0}" = "1" ]; then
+  echo "check: bench trend regression (BBNG_BENCH_STRICT=1)"
+  exit 1
+else
+  echo "check: bench trend WARNING only (set BBNG_BENCH_STRICT=1 to fail on regressions)"
 fi
 
 echo "check: all green"

@@ -12,7 +12,9 @@
 #     degraded-but-verifying certificate, malformed input to exit 2;
 #   - killing a run between heartbeats leaves a parseable OpenMetrics
 #     snapshot and a .partial whose last heartbeat is at most one tick
-#     old, still replayable and renderable by `bbng_cli top`.
+#     old, still replayable and renderable by `bbng_cli top`;
+#   - killing a run mid-profile-export leaves no torn .folded at all,
+#     and the report .partial still reconstructs folded stacks offline.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -137,5 +139,30 @@ grep -q progress.heartbeat HB.jsonl.partial \
   || fail "heartbeat-laced prefix does not replay"
 "$CLI" top HB.jsonl.partial --once --no-clear | grep -q "heartbeat: dynamics" \
   || fail "top cannot render the killed run's last heartbeat"
+
+echo "== 10. SIGKILL mid-profile-export: no torn .folded, the .partial still flames =="
+# control: a profiled, recorded run leaves both folded flavors and a
+# recording that reconstructs the same stacks offline
+"$CLI" dynamics -b "$DYNB" --seed 3 --report PR.jsonl --profile PR.folded > /dev/null
+[ -s PR.folded ] || fail "control run left no folded stacks"
+[ -s PR.alloc.folded ] || fail "control run left no allocation folded stacks"
+"$CLI" flame PR.jsonl > /dev/null || fail "control recording does not flame"
+# killed at the export probe: the folded files must be absent entirely
+# (Atomic_io never exposes a partial write), and the report must remain
+# as a .partial prefix that still flames
+rc=0
+"$CLI" dynamics -b "$DYNB" --seed 3 --report PR2.jsonl --profile PR2.folded \
+  --fault profile.export@kill > /dev/null 2>&1 || rc=$?
+[ "$rc" = 137 ] || fail "expected SIGKILL exit 137, got $rc"
+[ -e PR2.folded ] && fail "kill mid-export left a torn PR2.folded"
+[ -e PR2.alloc.folded ] && fail "kill mid-export left a torn PR2.alloc.folded"
+[ -s PR2.jsonl.partial ] || fail "export kill left no .partial report"
+"$CLI" flame PR2.jsonl.partial > /dev/null \
+  || fail "killed run's .partial does not flame"
+# a half-written trailing line (what a SIGKILL mid-emit produces) is
+# skipped like `top` does, never fatal
+printf '{"event":"span","name":"torn","du' >> PR2.jsonl.partial
+"$CLI" flame PR2.jsonl.partial > /dev/null \
+  || fail "torn .partial line wedged flame"
 
 echo "fault-smoke: all green"

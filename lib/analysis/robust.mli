@@ -1,0 +1,32 @@
+(** Robust statistics for trend gating over recorded bench runs.
+
+    [bench --trend] compares the latest run of each benchmark against
+    the median of its recorded history, with a spread estimated by the
+    median absolute deviation (MAD): both are insensitive to the odd
+    outlier run that a mean/stddev gate would either absorb into the
+    baseline or false-positive on. *)
+
+val median : float list -> float option
+(** Sample median ([None] on an empty list; mean of the middle pair on
+    even lengths). *)
+
+val mad : float list -> float option
+(** Median absolute deviation from the median.  [1.4826 *. mad] is a
+    robust stand-in for the standard deviation. *)
+
+type trend = Regressed | Improved | Steady
+
+val classify :
+  ?threshold_pct:float -> ?floor:float -> history:float list -> float -> trend option
+(** [classify ~history latest] flags [latest] against the history's
+    median when it falls outside
+    [max (3 * 1.4826 * mad) (threshold_pct%% of median) floor] —
+    the MAD term adapts to per-bench noise, the percentage (default
+    25, matching [bench --diff]) covers MAD-0 histories, and the
+    absolute [floor] (default 0) silences sub-noise benches.  [None]
+    when the history is empty. *)
+
+val sigma_score : history:float list -> float -> float option
+(** [(latest - median) / (1.4826 * mad)] — how many robust standard
+    deviations the latest run sits from its history ([None] when the
+    MAD is zero or the history empty). *)

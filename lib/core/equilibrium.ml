@@ -150,6 +150,7 @@ let progress_audit progress (a : Best_response.audit) =
   Bbng_obs.Progress.step ~n:(max 1 a.Best_response.scanned) progress
 
 let certify_cert_with ?budget auditor mode game profile =
+  Bbng_obs.Span.time "equilibrium.certify" @@ fun () ->
   Bbng_obs.Counter.bump c_certificates;
   let n = Game.n game in
   Bbng_obs.Progress.with_task ?budget ~total:(certify_work_total game)
@@ -180,6 +181,7 @@ let certify_swap_cert ?budget ?engine game profile =
     Swap_mode game profile
 
 let certify_parallel_cert ?domains ?budget ?engine game profile =
+  Bbng_obs.Span.time "equilibrium.certify" @@ fun () ->
   Bbng_obs.Counter.bump c_certificates;
   let n = Game.n game in
   let audits =

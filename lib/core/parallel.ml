@@ -39,7 +39,15 @@ let for_all ?domains ~n f =
       done;
       Bbng_obs.Counter.add c_abandoned (abandoned_by ~n ~k !i)
     in
-    let spawned = List.init (k - 1) (fun d -> Domain.spawn (worker (d + 1))) in
+    (* spawned workers root their span paths under the caller's current
+       call path, so a parallel fan-out's spans fold into the same
+       flamegraph branch as the single-domain run's *)
+    let base = Bbng_obs.Profile.current_path () in
+    let spawned =
+      List.init (k - 1) (fun d ->
+          Domain.spawn (fun () ->
+              Bbng_obs.Profile.with_root base (worker (d + 1))))
+    in
     Bbng_obs.Counter.add c_spawned (k - 1);
     worker 0 ();
     List.iter Domain.join spawned;
@@ -62,7 +70,15 @@ let map ?domains ~n f =
         i := !i + k
       done
     in
-    let spawned = List.init (k - 1) (fun d -> Domain.spawn (worker (d + 1))) in
+    (* spawned workers root their span paths under the caller's current
+       call path, so a parallel fan-out's spans fold into the same
+       flamegraph branch as the single-domain run's *)
+    let base = Bbng_obs.Profile.current_path () in
+    let spawned =
+      List.init (k - 1) (fun d ->
+          Domain.spawn (fun () ->
+              Bbng_obs.Profile.with_root base (worker (d + 1))))
+    in
     Bbng_obs.Counter.add c_spawned (k - 1);
     worker 0 ();
     List.iter Domain.join spawned;
@@ -98,7 +114,15 @@ let find_map ?domains ~n f =
       done;
       Bbng_obs.Counter.add c_abandoned (abandoned_by ~n ~k !i)
     in
-    let spawned = List.init (k - 1) (fun d -> Domain.spawn (worker (d + 1))) in
+    (* spawned workers root their span paths under the caller's current
+       call path, so a parallel fan-out's spans fold into the same
+       flamegraph branch as the single-domain run's *)
+    let base = Bbng_obs.Profile.current_path () in
+    let spawned =
+      List.init (k - 1) (fun d ->
+          Domain.spawn (fun () ->
+              Bbng_obs.Profile.with_root base (worker (d + 1))))
+    in
     Bbng_obs.Counter.add c_spawned (k - 1);
     worker 0 ();
     List.iter Domain.join spawned;

@@ -3,9 +3,10 @@
 
     Probes are compiled into the hot seams of the engine — span
     boundaries ([span.<name>], see {!Span}), event emission
-    ([sink.<event>], see {!Sink}) and the artifact writer's
+    ([sink.<event>], see {!Sink}), the artifact writer's
     commit protocol ([artifact.open] / [artifact.mid_write] /
-    [artifact.commit], see {!Atomic_io}) — and cost one atomic load
+    [artifact.commit], see {!Atomic_io}) and the profile exporter
+    ([profile.export], see {!Profile}) — and cost one atomic load
     when nothing is armed.  Arming happens explicitly ({!arm}) in
     tests, or from the [BBNG_FAULT] environment variable / the CLI's
     [--fault] flag, so any run of any binary can be crashed at a chosen

@@ -70,19 +70,19 @@ let merge_counts histograms =
     histograms;
   acc
 
-let quantile t q =
-  let n = Atomic.get t.count in
+let quantile_of_counts ?max_value counts q =
+  let n = Array.fold_left ( + ) 0 counts in
   if n = 0 then 0.
   else begin
     let q = Float.min 1. (Float.max 0. q) in
     (* fractional rank into the sorted sequence of recorded values *)
     let rank = q *. float_of_int (n - 1) in
-    let maxv = Atomic.get t.max_v in
-    let result = ref (float_of_int maxv) in
+    let maxv = Option.value ~default:max_int max_value in
+    let result = ref (float_of_int (min maxv (1 lsl (n_buckets - 1)))) in
     let cum = ref 0. in
     (try
-       for i = 0 to n_buckets - 1 do
-         let c = Atomic.get t.buckets.(i) in
+       for i = 0 to min (n_buckets - 1) (Array.length counts - 1) do
+         let c = counts.(i) in
          if c > 0 then begin
            let cum' = !cum +. float_of_int c in
            if rank < cum' then begin
@@ -103,6 +103,10 @@ let quantile t q =
      with Stdlib.Exit -> ());
     !result
   end
+
+let quantile t q =
+  if Atomic.get t.count = 0 then 0.
+  else quantile_of_counts ~max_value:(Atomic.get t.max_v) (bucket_counts t) q
 
 let to_json t =
   let occupied = ref [] in

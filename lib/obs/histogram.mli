@@ -56,6 +56,13 @@ val quantile : t -> float -> float
     recorded values, within a factor of two of the exact sample
     quantile.  0 when empty; clamped to [[0, max_value]]. *)
 
+val quantile_of_counts : ?max_value:int -> int array -> float -> float
+(** {!quantile} over a raw bucket-count array (as produced by
+    {!bucket_counts} or {!merge_counts}) — how the sharded {!Span}
+    table estimates quantiles across per-domain histograms.
+    [max_value], when known, clamps the top occupied bucket's range
+    exactly as the per-histogram path does. *)
+
 val to_json : t -> Json.t
 (** [{"count": _, "total": _, "max": _, "p50": _, "p90": _, "p99": _,
      "buckets": [{"lo": _, "hi": _, "count": _}, ...]}] with only the

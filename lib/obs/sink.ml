@@ -45,6 +45,7 @@ let () = at_exit flush_all
    every sink (and every span event) shares one clock origin *)
 let t0 = Unix.gettimeofday ()
 let now_us () = (Unix.gettimeofday () -. t0) *. 1e6
+let to_us t = (t -. t0) *. 1e6
 
 let pretty_field buf (k, v) =
   Buffer.add_char buf ' ';

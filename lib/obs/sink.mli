@@ -58,6 +58,11 @@ val now_us : unit -> float
     origin every emitted [ts_us] field shares, so a report's timestamps
     are mutually comparable (and convertible to Chrome trace time). *)
 
+val to_us : float -> float
+(** Convert a [Unix.gettimeofday] reading onto the {!now_us} clock —
+    how {!Span} stamps a span's exact start ([t0_us]) on the same
+    origin as the close event's [ts_us]. *)
+
 val emit : string -> (string * Json.t) list -> unit
 (** [emit name fields] stamps the event with [ts_us] ({!now_us} at call
     time) and delivers it to every installed sink.  The JSONL rendering

@@ -15,13 +15,20 @@
     not change behavior either way.
 
     While a sink is active, every span close also {!Sink.emit}s a
-    ["span"] event carrying [name] and [dur_us] — together with the
-    stamped [ts_us] this is what {!Trace_export} turns into Chrome
-    trace complete slices.
+    ["span"] event carrying [name], [dur_us], the exact start stamp
+    [t0_us] (on the same {!Sink.now_us} clock as [ts_us]), the closing
+    domain [dom] and the minor-word delta [minor_w] — what
+    {!Trace_export} turns into Chrome trace complete slices and
+    {!Profile.of_events} re-nests into offline folded stacks.
 
-    The aggregate table is mutex-protected, so spans may close
-    concurrently from {!Bbng_core.Parallel} domains; keep spans coarse
-    (per player / per phase, not per vertex). *)
+    Every enter/exit pair also feeds {!Profile}: the profiler keeps a
+    per-domain stack of open spans and attributes self-time and
+    self-allocation to the full call path (see {!Profile}).
+
+    The aggregate table is sharded per domain (the {!Metrics} pattern),
+    so spans close concurrently from {!Bbng_core.Parallel} domains
+    without contending; keep spans coarse (per player / per phase, not
+    per vertex). *)
 
 type handle
 (** An open span.  Handles are affine: closing twice is a no-op, and a

@@ -98,6 +98,18 @@ let print oc =
             (msf s.Span.p99_ns) (ms s.Span.max_ns) s.Span.minor_words)
         spans
     end;
+    let hot = Profile.top (Profile.snapshot ()) in
+    if hot <> [] then begin
+      Printf.fprintf oc "self-time top %d (count / self ms / self minor words):\n"
+        (List.length hot);
+      List.iter
+        (fun (path, (p : Profile.stat)) ->
+          Printf.fprintf oc "  %-*s %d / %.3f / %.0f\n" width path
+            p.Profile.count
+            (ms p.Profile.self_ns)
+            p.Profile.self_minor_words)
+        hot
+    end;
     if hists <> [] then begin
       Printf.fprintf oc "histograms (count / p50 / p90 / p99 / max):\n";
       List.iter

@@ -29,7 +29,7 @@ let str_field k j =
 
 (* --- Chrome trace-event conversion --- *)
 
-let common ~name ~ph ~ts ~dur rest =
+let common ?(tid = 1) ~name ~ph ~ts ~dur rest =
   Json.Obj
     ([
        ("name", Json.Str name);
@@ -37,7 +37,7 @@ let common ~name ~ph ~ts ~dur rest =
        ("ts", Json.Float ts);
        ("dur", Json.Float dur);
        ("pid", Json.Int 1);
-       ("tid", Json.Int 1);
+       ("tid", Json.Int tid);
      ]
     @ rest)
 
@@ -54,17 +54,22 @@ let convert_event j =
   let ts = Option.value (ts_us j) ~default:0. in
   match event_name j with
   | "span" ->
-      (* the event is stamped at close; the slice starts dur earlier *)
+      (* the event is stamped at close; the exact start stamp t0_us is
+         preferred (ts - dur only approximates it by the emit lag), and
+         the recording domain becomes the Chrome thread lane *)
       let dur = Option.value (num_field "dur_us" j) ~default:0. in
       let name =
         match Json.member "name" j with Some (Json.Str s) -> s | _ -> "span"
       in
-      [
-        common ~name ~ph:"X"
-          ~ts:(Float.max 0. (ts -. dur))
-          ~dur
-          [ ("args", args_of j) ];
-      ]
+      let start =
+        match num_field "t0_us" j with
+        | Some t0 -> t0
+        | None -> Float.max 0. (ts -. dur)
+      in
+      let tid =
+        match Json.member "dom" j with Some (Json.Int d) -> d + 1 | _ -> 1
+      in
+      [ common ~tid ~name ~ph:"X" ~ts:start ~dur [ ("args", args_of j) ] ]
   | name ->
       let instant =
         common ~name ~ph:"i" ~ts ~dur:0.
@@ -247,6 +252,20 @@ let summarize events oc =
           task progress achieved
           (Option.value ~default:0. (ts_us j) /. 1e3))
       (List.rev !order)
+  end;
+  (* call-path attribution reconstructed from the recorded span events
+     — the same folded stacks `bbng_cli flame` emits, top-10 by
+     self-time so the hot path is visible without leaving the pager *)
+  let hot = Profile.top (Profile.of_events events) in
+  if hot <> [] then begin
+    Printf.fprintf oc "self-time top %d (count / self ms / self minor words):\n"
+      (List.length hot);
+    List.iter
+      (fun (path, (p : Profile.stat)) ->
+        Printf.fprintf oc "  %-40s %d / %.3f / %.0f\n" path p.Profile.count
+          (float_of_int p.Profile.self_ns /. 1e6)
+          p.Profile.self_minor_words)
+      hot
   end;
   (* the final run.summary, re-rendered *)
   (match List.find_opt (fun j -> event_name j = "run.summary") events with
