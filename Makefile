@@ -1,4 +1,4 @@
-.PHONY: build test bench smoke fault-smoke check fmt bench-baseline artifacts top-demo flame-demo
+.PHONY: build test bench smoke fault-smoke check fmt bench-baseline artifacts top-demo flame-demo runs-demo
 
 build:
 	dune build
@@ -77,6 +77,22 @@ flame-demo:
 	  "_build/FLAMEDEMO.alloc.folded (minor words)," \
 	  "_build/FLAMEDEMO.offline.folded (offline, from the recording)"
 	@echo "render: flamegraph.pl _build/FLAMEDEMO.folded > flame.svg"
+
+# index two recorded dynamics runs (same seed, so the diff is green)
+# into a throwaway ledger, then walk the `runs` query family: list the
+# index, diff the pair metric by metric, inspect the latest row — a
+# ten-second look at cross-run observability (README "Querying past
+# runs")
+runs-demo:
+	BBNG_LEDGER=_build/RUNSDEMO_ledger.jsonl dune exec bin/bbng_cli.exe -- \
+	  dynamics -b 2,2,2,2,2,2,2,2,2,2 --seed 7 \
+	  --report _build/RUNSDEMO_a.jsonl > /dev/null
+	BBNG_LEDGER=_build/RUNSDEMO_ledger.jsonl dune exec bin/bbng_cli.exe -- \
+	  dynamics -b 2,2,2,2,2,2,2,2,2,2 --seed 7 \
+	  --report _build/RUNSDEMO_b.jsonl > /dev/null
+	dune exec bin/bbng_cli.exe -- runs list --ledger _build/RUNSDEMO_ledger.jsonl
+	dune exec bin/bbng_cli.exe -- runs diff --ledger _build/RUNSDEMO_ledger.jsonl @-2 @-1
+	dune exec bin/bbng_cli.exe -- runs show --ledger _build/RUNSDEMO_ledger.jsonl @-1
 
 # no-op unless ocamlformat is configured; kept dune-native so CI can
 # opt in with a .ocamlformat file

@@ -149,7 +149,13 @@ let () =
       at_exit (fun () -> Bbng_obs.Profile.write_folded path));
   (match argv with
   | _ :: "--smoke" :: _ ->
+      (* smoke is a run worth indexing (check.sh diffs consecutive ones
+         via `bbng_cli runs diff`); the validators below are read-only
+         viewers and stay out of the ledger *)
+      Bbng_obs.Ledger.set_context ~tool:"bench" ~subcommand:"bench:smoke";
+      at_exit Bbng_obs.Ledger.append_current;
       Perf.smoke ();
+      Bbng_obs.Ledger.note_outcome "ok";
       exit 0
   | _ :: "--validate" :: file :: _ ->
       validate file;
@@ -184,6 +190,9 @@ let () =
     | _ :: (_ :: _ as names) -> names
     | _ -> List.map fst experiments
   in
+  Bbng_obs.Ledger.set_context ~tool:"bench"
+    ~subcommand:("bench:" ^ String.concat "+" requested);
+  at_exit Bbng_obs.Ledger.append_current;
   let t0 = Unix.gettimeofday () in
   Printf.printf
     "bbng experiment harness — reproduction of \"On a Bounded Budget Network Creation Game\" (SPAA 2011)\n";
@@ -194,6 +203,8 @@ let () =
       | None ->
           Printf.eprintf "unknown experiment %S; known: %s\n" name
             (String.concat " " (List.map fst experiments));
+          Bbng_obs.Ledger.note_exit 2;
           exit 2)
     requested;
+  Bbng_obs.Ledger.note_outcome "ok";
   Printf.printf "\nTotal harness time: %.1f s\n" (Unix.gettimeofday () -. t0)

@@ -170,6 +170,25 @@ let report ~name results =
            r2 = r.r2;
          })
        results);
+  (* the run's ledger row carries the headline figures too, so
+     `bbng_cli runs diff` can gate two bench runs without re-opening
+     their reports (speedup-style ratios are excluded: diff treats
+     "up" as bad, which only holds for costs) *)
+  List.iter
+    (fun r ->
+      (match r.ns with
+      | Some ns ->
+          Bbng_obs.Ledger.add_metric
+            ("bench." ^ r.test ^ ".ns_per_run")
+            (Json.Float ns)
+      | None -> ());
+      match r.minor with
+      | Some mw ->
+          Bbng_obs.Ledger.add_metric
+            ("bench." ^ r.test ^ ".minor_words_per_run")
+            (Json.Float mw)
+      | None -> ())
+    results;
   Exp_common.write_bench_report ~name
     [
       ("rows_vs_bfs_speedup", num (rows_vs_bfs_speedup results));

@@ -1,15 +1,31 @@
 (* `bench --trend`: gate the latest recorded run of BENCH_history.jsonl
    against the robust median/MAD of the runs before it.  Direction
-   arrows per bench, non-zero exit on a significant regression —
-   wired warn-only into bin/check.sh the same way --diff is.
+   arrows per bench, non-zero exit on a significant regression.
 
    Robustness over the whole history (Bbng_analysis.Robust): the
    median baseline shrugs off a one-off slow machine in the record,
    and the MAD-derived gate adapts to each bench's own noise; the
    --diff percentage threshold (BBNG_BENCH_DIFF_THRESHOLD) and the
-   same absolute floors bound it from below. *)
+   same absolute floors bound it from below.
+
+   Gating is depth-aware: a regression only fails the run (exit 1)
+   once the benchmark has at least [hard_gate_depth] recorded points
+   (history + the latest) — below that the MAD is too poorly
+   estimated to hard-fail CI on, so shallow-history regressions are
+   printed as warnings and the exit stays 0.  BBNG_BENCH_STRICT=1
+   escalates warnings to failures regardless of depth. *)
 
 module Robust = Bbng_analysis.Robust
+
+(* minimum recorded points (earlier runs + latest) before a regression
+   hard-fails; 5 points = 4-sample MAD, the smallest spread estimate
+   worth trusting *)
+let hard_gate_depth = 5
+
+let strict () =
+  match Sys.getenv_opt "BBNG_BENCH_STRICT" with
+  | Some "1" -> true
+  | Some _ | None -> false
 
 let arrow = function
   | Some Robust.Regressed -> "↑ REGRESSED"
@@ -78,7 +94,7 @@ let run ?file () =
                   "mw med"; "mw new"; "trend";
                 ]
           in
-          let regressions = ref 0 in
+          let hard = ref 0 and soft = ref 0 in
           List.iter
             (fun (b : History.bench) ->
               let series select =
@@ -110,7 +126,17 @@ let run ?file () =
               let worst =
                 match (ns_trend, mw_trend) with
                 | Some Robust.Regressed, _ | _, Some Robust.Regressed ->
-                    incr regressions;
+                    let depth = 1 + List.length ns_hist in
+                    if strict () || depth >= hard_gate_depth then incr hard
+                    else begin
+                      incr soft;
+                      Printf.printf
+                        "warning: %s regressed with only %d recorded \
+                         point%s (< %d) — not gating yet\n"
+                        b.History.name depth
+                        (if depth = 1 then "" else "s")
+                        hard_gate_depth
+                    end;
                     Some Robust.Regressed
                 | Some Robust.Improved, _ | _, Some Robust.Improved ->
                     Some Robust.Improved
@@ -130,13 +156,20 @@ let run ?file () =
                 ])
             latest.History.benches;
           Bbng_analysis.Table.print table;
-          if !regressions > 0 then begin
+          if !hard > 0 then begin
             Printf.printf
               "%d bench%s regressed past the robust gate (median + max(3*MAD \
                sigma, %.0f%%, floor))\n"
-              !regressions
-              (if !regressions = 1 then "" else "es")
+              !hard
+              (if !hard = 1 then "" else "es")
               threshold;
             exit 1
           end
+          else if !soft > 0 then
+            Printf.printf
+              "trend: %d shallow-history regression%s (warning only below %d \
+               recorded points; BBNG_BENCH_STRICT=1 escalates)\n"
+              !soft
+              (if !soft = 1 then "" else "s")
+              hard_gate_depth
           else Printf.printf "trend: no significant regressions\n")

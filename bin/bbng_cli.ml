@@ -26,6 +26,15 @@ let exiting_dirty = ref false
 
 let die code =
   exiting_dirty := true;
+  Obs.Ledger.note_exit code;
+  Stdlib.exit code
+
+(* Non-zero exit for a run that completed cleanly (the report still
+   commits) but whose answer is "no" — verification failure, replay
+   divergence, a regressed runs diff.  Unlike [die] it leaves
+   [exiting_dirty] unset. *)
+let exit_failed code =
+  Obs.Ledger.note_exit code;
   Stdlib.exit code
 
 (* Observability setup, shared by every subcommand: [--stats] prints a
@@ -172,6 +181,9 @@ let obs_term =
                   Error (Printf.sprintf "cannot open report file %S: %s" file e)
               | oc ->
                   Obs.Sink.add (Obs.Sink.Jsonl oc);
+                  (* the ledger row will digest whichever of FILE /
+                     FILE.partial the exit leaves behind *)
+                  Obs.Ledger.note_report file;
                   at_exit (fun () ->
                       Obs.Progress.finalize ();
                       Obs.Sink.emit "run.summary" (Obs.Stats.summary_fields ());
@@ -285,9 +297,30 @@ let budgets_opt_term =
     & info [ "budgets"; "b" ] ~docv:"B1,B2,..."
         ~doc:"Budget vector (not needed with --resume).")
 
-(* Shared flight-recording reader: '-' is stdin; open failures are IO
-   errors (4), never backtraces. *)
+(* A recording name and its commit sibling: RUN.jsonl.partial is
+   renamed to RUN.jsonl the instant the writer exits cleanly, so any
+   offline consumer handed one name must try the other before failing —
+   otherwise `flame RUN.jsonl.partial` races the commit it has no way
+   to see. *)
+let sibling_recording p =
+  if Filename.check_suffix p ".partial" then Filename.chop_suffix p ".partial"
+  else p ^ ".partial"
+
+let resolve_recording input =
+  if input = "-" || Sys.file_exists input then input
+  else
+    let s = sibling_recording input in
+    if Sys.file_exists s then begin
+      Printf.eprintf "bbng: %s not found, reading %s\n" input s;
+      s
+    end
+    else input
+
+(* Shared flight-recording reader: '-' is stdin; a just-renamed
+   .partial resolves to its final sibling (and vice versa); open
+   failures are IO errors (4), never backtraces. *)
 let read_events_or_exit input =
+  let input = resolve_recording input in
   let events, skipped =
     if input = "-" then Obs.Trace_export.read_events stdin
     else
@@ -470,7 +503,8 @@ let verify_cmd =
             `Ok ()
         | Error msg ->
             Format.eprintf "independent re-check FAILED: %s@." msg;
-            Stdlib.exit 1)
+            Obs.Ledger.note_outcome "recheck-failed";
+            exit_failed 1)
   in
   let certify_profile version profile cert_out swap par budget =
     let game = Game.make version (Strategy.budgets profile) in
@@ -922,6 +956,7 @@ let report_cmd =
              when --to-chrome-trace is absent.")
   in
   let run () input chrome summarize =
+    let input = resolve_recording input in
     let events = read_events_or_exit input in
     if events = [] then begin
       Printf.eprintf "bbng: no events in %s\n" input;
@@ -947,7 +982,16 @@ let report_cmd =
               die Obs.Exit_code.io_error);
           Printf.eprintf "wrote %s (%d events)\n" out (List.length events)
         end);
-    if summarize || chrome = None then Obs.Trace_export.summarize events stdout;
+    if summarize || chrome = None then begin
+      Obs.Trace_export.summarize events stdout;
+      (* the digest of the bytes just summarized — the same value the
+         producing run stamped into its ledger row, so this line joins
+         the summary to `bbng_cli runs show` output *)
+      if input <> "-" then
+        match Digest.file input with
+        | d -> Printf.printf "report digest: %s (%s)\n" (Digest.to_hex d) input
+        | exception Sys_error _ -> ()
+    end;
     `Ok ()
   in
   let info =
@@ -1071,7 +1115,11 @@ let replay_cmd =
                   true)
             runs
         in
-        if List.exists Fun.id failures then Stdlib.exit 1 else `Ok ()
+        if List.exists Fun.id failures then begin
+          Obs.Ledger.note_outcome "diverged";
+          exit_failed 1
+        end
+        else `Ok ()
   in
   let info =
     Cmd.info "replay"
@@ -1121,10 +1169,7 @@ let top_cmd =
             "Do not clear the terminal between frames — frames append, \
              which keeps the output a plain readable log under redirection.")
   in
-  let sibling p =
-    if Filename.check_suffix p ".partial" then Filename.chop_suffix p ".partial"
-    else p ^ ".partial"
-  in
+  let sibling = sibling_recording in
   let run () input interval frames once no_clear =
     let path =
       if Sys.file_exists input then input
@@ -1177,6 +1222,434 @@ let top_cmd =
     Term.(
       ret (const run $ obs_term $ input $ interval $ frames $ once $ no_clear))
 
+(* --- runs: query and maintain the append-only run ledger --- *)
+
+let runs_ledger_term =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "ledger" ] ~docv:"FILE"
+        ~doc:
+          "Ledger file to operate on.  Default: the $(b,BBNG_LEDGER) \
+           environment variable, else BBNG_ledger.jsonl in the working \
+           directory.")
+
+let the_ledger = function
+  | Some f -> f
+  | None -> (
+      match Obs.Ledger.resolve_file () with
+      | Some f -> f
+      | None -> Obs.Ledger.default_file)
+
+let load_rows_or_note ledger =
+  let rows, skipped = Obs.Ledger.load ~file:ledger () in
+  if skipped > 0 then
+    Printf.eprintf
+      "bbng: %s: skipped %d torn/alien line%s (bbng_cli runs rebuild recovers)\n"
+      ledger skipped
+      (if skipped = 1 then "" else "s");
+  rows
+
+(* RUN selectors: a run id, a unique id prefix, or @N / @-N indices
+   into ledger order (@-1 = most recent row). *)
+let find_row rows spec =
+  let n = List.length rows in
+  if String.length spec > 1 && spec.[0] = '@' then
+    match int_of_string_opt (String.sub spec 1 (String.length spec - 1)) with
+    | Some i ->
+        let i = if i < 0 then n + i else i in
+        if i >= 0 && i < n then Ok (List.nth rows i)
+        else
+          Error (Printf.sprintf "index %s out of range (%d rows)" spec n)
+    | None -> Error (Printf.sprintf "bad run selector %S" spec)
+  else
+    let prefixed r =
+      let id = r.Obs.Ledger.run_id in
+      String.length id >= String.length spec
+      && String.sub id 0 (String.length spec) = spec
+    in
+    match List.filter (fun r -> r.Obs.Ledger.run_id = spec) rows with
+    | r :: _ -> Ok r
+    | [] -> (
+        match List.filter prefixed rows with
+        | [ r ] -> Ok r
+        | [] -> Error (Printf.sprintf "no run matches %S" spec)
+        | _ :: _ -> Error (Printf.sprintf "ambiguous run prefix %S" spec))
+
+let find_row_or_exit rows spec =
+  match find_row rows spec with
+  | Ok r -> r
+  | Error msg ->
+      Printf.eprintf "bbng: %s\n" msg;
+      die Obs.Exit_code.input_error
+
+let runs_list_cmd =
+  let sub =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "sub" ] ~docv:"NAME" ~doc:"Only runs of this subcommand.")
+  in
+  let outcome =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "outcome" ] ~docv:"NAME"
+          ~doc:
+            "Only runs with this outcome (ok, error, converged, \
+             equilibrium, refuted, ...).")
+  in
+  let since =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "since" ] ~docv:"TS"
+          ~doc:
+            "Only runs at or after this UTC timestamp prefix \
+             (lexicographic, e.g. 2026-08-08 or 2026-08-08T12).")
+  in
+  let porcelain =
+    Arg.(
+      value & flag
+      & info [ "porcelain" ]
+          ~doc:
+            "Tab-separated run_id/ts/subcommand/outcome/exit_code, one \
+             row per line, no header or footer (for scripts).")
+  in
+  let run () ledger sub outcome since porcelain =
+    let ledger = the_ledger ledger in
+    let rows = load_rows_or_note ledger in
+    let keep r =
+      (match sub with None -> true | Some s -> r.Obs.Ledger.subcommand = s)
+      && (match outcome with
+         | None -> true
+         | Some s -> r.Obs.Ledger.outcome = s)
+      && match since with None -> true | Some s -> r.Obs.Ledger.ts >= s
+    in
+    let rows = List.filter keep rows in
+    if porcelain then
+      List.iter
+        (fun r ->
+          Printf.printf "%s\t%s\t%s\t%s\t%d\n" r.Obs.Ledger.run_id
+            r.Obs.Ledger.ts r.Obs.Ledger.subcommand r.Obs.Ledger.outcome
+            r.Obs.Ledger.exit_code)
+        rows
+    else begin
+      if rows <> [] then begin
+        Printf.printf "%-34s %-20s %-12s %-14s %4s %3s\n" "RUN" "TS"
+          "SUBCOMMAND" "OUTCOME" "EXIT" "ART";
+        List.iter
+          (fun r ->
+            Printf.printf "%-34s %-20s %-12s %-14s %4d %3d\n"
+              r.Obs.Ledger.run_id r.Obs.Ledger.ts r.Obs.Ledger.subcommand
+              r.Obs.Ledger.outcome r.Obs.Ledger.exit_code
+              (List.length r.Obs.Ledger.artifacts))
+          rows
+      end;
+      Printf.printf "%d run%s in %s\n" (List.length rows)
+        (if List.length rows = 1 then "" else "s")
+        ledger
+    end;
+    `Ok ()
+  in
+  let info =
+    Cmd.info "list"
+      ~doc:"List indexed runs, filterable by subcommand/outcome/time."
+  in
+  Cmd.v info
+    Term.(ret (const run $ obs_term $ runs_ledger_term $ sub $ outcome $ since $ porcelain))
+
+let runs_show_cmd =
+  let spec =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"RUN" ~doc:"Run id, unique id prefix, or @N / @-1.")
+  in
+  let run () ledger spec =
+    let ledger = the_ledger ledger in
+    let rows = load_rows_or_note ledger in
+    let r = find_row_or_exit rows spec in
+    let open Obs.Ledger in
+    Printf.printf "run:        %s\n" r.run_id;
+    Printf.printf "ts:         %s\n" r.ts;
+    Printf.printf "tool:       %s %s\n" r.tool r.subcommand;
+    if r.argv <> [] then
+      Printf.printf "argv:       %s\n" (String.concat " " r.argv);
+    Printf.printf "outcome:    %s (exit %s)\n" r.outcome
+      (if r.exit_code < 0 then "?" else string_of_int r.exit_code);
+    (match (r.report, r.report_digest) with
+    | Some p, Some d -> Printf.printf "report:     %s (digest %s)\n" p d
+    | Some p, None -> Printf.printf "report:     %s\n" p
+    | None, _ -> ());
+    if r.metrics <> [] then begin
+      Printf.printf "metrics:\n";
+      List.iter
+        (fun (k, v) -> Printf.printf "  %-32s %s\n" k (Obs.Json.to_string v))
+        r.metrics
+    end;
+    if r.counters <> [] then begin
+      Printf.printf "counters:\n";
+      List.iter
+        (fun (k, v) -> Printf.printf "  %-32s %d\n" k v)
+        (List.stable_sort (fun (_, a) (_, b) -> compare b a) r.counters)
+    end;
+    if r.artifacts <> [] then begin
+      Printf.printf "artifacts:\n";
+      List.iter
+        (fun p ->
+          match Unix.stat p with
+          | st -> Printf.printf "  %-40s %d bytes\n" p st.Unix.st_size
+          | exception Unix.Unix_error _ ->
+              Printf.printf "  %-40s MISSING\n" p)
+        r.artifacts
+    end;
+    if r.extra <> [] then
+      Printf.printf "extra:      %s\n"
+        (Obs.Json.to_string (Obs.Json.Obj r.extra));
+    `Ok ()
+  in
+  let info =
+    Cmd.info "show" ~doc:"Show one run's full ledger row and artifact inventory."
+  in
+  Cmd.v info Term.(ret (const run $ obs_term $ runs_ledger_term $ spec))
+
+let contains_substring hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  go 0
+
+let runs_diff_cmd =
+  let a_spec =
+    Arg.(
+      required & pos 0 (some string) None
+      & info [] ~docv:"A" ~doc:"Baseline run (id, prefix, or @N).")
+  in
+  let b_spec =
+    Arg.(
+      required & pos 1 (some string) None
+      & info [] ~docv:"B" ~doc:"Candidate run (id, prefix, or @N).")
+  in
+  let threshold =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "threshold" ] ~docv:"PCT"
+          ~doc:
+            "Regression threshold in percent (default: \
+             $(b,BBNG_BENCH_DIFF_THRESHOLD) or 25, the same knob bench \
+             --diff uses).")
+  in
+  let run () ledger threshold a_spec b_spec =
+    let ledger = the_ledger ledger in
+    let rows = load_rows_or_note ledger in
+    let a = find_row_or_exit rows a_spec in
+    let b = find_row_or_exit rows b_spec in
+    let pct =
+      match threshold with
+      | Some t -> t
+      | None -> (
+          match
+            Option.bind
+              (Sys.getenv_opt "BBNG_BENCH_DIFF_THRESHOLD")
+              float_of_string_opt
+          with
+          | Some t when t > 0. -> t
+          | Some _ | None -> 25.)
+    in
+    Printf.printf "diff %s (%s %s)\n  -> %s (%s %s)  [threshold %g%%]\n"
+      a.Obs.Ledger.run_id a.Obs.Ledger.subcommand a.Obs.Ledger.outcome
+      b.Obs.Ledger.run_id b.Obs.Ledger.subcommand b.Obs.Ledger.outcome pct;
+    (* the same gate shape as bench --diff/--trend (PR 7): a one-point
+       history makes Robust fall back to the percentage term, and the
+       ns/words floors silence sub-noise absolute wiggles *)
+    let floor_for k =
+      if contains_substring k "words" then 64.
+      else if contains_substring k "ns" then 100.
+      else 0.
+    in
+    let ma = Obs.Ledger.numeric_metrics a in
+    let mb = Obs.Ledger.numeric_metrics b in
+    let regressions = ref 0 in
+    List.iter
+      (fun (k, vb) ->
+        match List.assoc_opt k ma with
+        | None -> Printf.printf "  new      %-32s %g\n" k vb
+        | Some va ->
+            let delta_pct =
+              if va = 0. then if vb = 0. then 0. else infinity
+              else 100. *. (vb -. va) /. va
+            in
+            let tag =
+              match
+                Bbng_analysis.Robust.classify ~threshold_pct:pct
+                  ~floor:(floor_for k) ~history:[ va ] vb
+              with
+              | Some Bbng_analysis.Robust.Regressed ->
+                  incr regressions;
+                  "REGRESSED"
+              | Some Bbng_analysis.Robust.Improved -> "improved"
+              | Some Bbng_analysis.Robust.Steady | None -> "steady"
+            in
+            Printf.printf "  %-8s %-32s %g -> %g (%+.1f%%)\n" tag k va vb
+              delta_pct)
+      mb;
+    List.iter
+      (fun (k, va) ->
+        if not (List.mem_assoc k mb) then
+          Printf.printf "  gone     %-32s %g\n" k va)
+      ma;
+    (* counter deltas are attribution context (what did more work), not
+       gated: loud ones only, biggest relative change first *)
+    let counter_deltas =
+      List.filter_map
+        (fun (k, vb) ->
+          match List.assoc_opt k a.Obs.Ledger.counters with
+          | Some va when va <> vb && va > 0 ->
+              let d = 100. *. float_of_int (vb - va) /. float_of_int va in
+              if Float.abs d >= pct then Some (k, va, vb, d) else None
+          | _ -> None)
+        b.Obs.Ledger.counters
+    in
+    let counter_deltas =
+      List.stable_sort
+        (fun (_, _, _, x) (_, _, _, y) ->
+          compare (Float.abs y) (Float.abs x))
+        counter_deltas
+    in
+    if counter_deltas <> [] then begin
+      Printf.printf "counters (|delta| >= %g%%, context only):\n" pct;
+      List.iteri
+        (fun i (k, va, vb, d) ->
+          if i < 12 then
+            Printf.printf "  %-41s %d -> %d (%+.1f%%)\n" k va vb d)
+        counter_deltas
+    end;
+    if !regressions > 0 then begin
+      Printf.printf "%d metric%s regressed\n" !regressions
+        (if !regressions = 1 then "" else "s");
+      exit_failed 1
+    end
+    else begin
+      Printf.printf "no metric regressions\n";
+      `Ok ()
+    end
+  in
+  let info =
+    Cmd.info "diff"
+      ~doc:
+        "Compare two runs' metrics and counters; exits non-zero when a \
+         metric regressed past the Robust threshold."
+  in
+  Cmd.v info
+    Term.(
+      ret (const run $ obs_term $ runs_ledger_term $ threshold $ a_spec $ b_spec))
+
+let runs_gc_cmd =
+  let prune =
+    Arg.(
+      value & flag
+      & info [ "prune" ]
+          ~doc:
+            "Actually rewrite the ledger with dangling artifact \
+             references removed (atomic rewrite; torn lines are dropped \
+             too).  Default is a dry run.")
+  in
+  let run () ledger prune =
+    let ledger = the_ledger ledger in
+    let rows = load_rows_or_note ledger in
+    let dangling = ref 0 in
+    let cleaned =
+      List.map
+        (fun r ->
+          let live, dead =
+            List.partition Sys.file_exists r.Obs.Ledger.artifacts
+          in
+          List.iter
+            (fun p ->
+              incr dangling;
+              Printf.printf "dangling: %s (%s)\n" p r.Obs.Ledger.run_id)
+            dead;
+          { r with Obs.Ledger.artifacts = live })
+        rows
+    in
+    if !dangling = 0 then Printf.printf "no dangling artifacts\n"
+    else if prune then begin
+      Obs.Atomic_io.write_file ledger (fun oc ->
+          List.iter
+            (fun r ->
+              output_string oc (Obs.Json.to_string (Obs.Ledger.row_to_json r));
+              output_char oc '\n')
+            cleaned);
+      Printf.printf "pruned %d dangling reference%s from %s\n" !dangling
+        (if !dangling = 1 then "" else "s")
+        ledger
+    end
+    else
+      Printf.printf "%d dangling reference%s (re-run with --prune to drop)\n"
+        !dangling
+        (if !dangling = 1 then "" else "s");
+    `Ok ()
+  in
+  let info =
+    Cmd.info "gc" ~doc:"Find (and with --prune, drop) dangling artifact references."
+  in
+  Cmd.v info Term.(ret (const run $ obs_term $ runs_ledger_term $ prune))
+
+let runs_rebuild_cmd =
+  let dirs =
+    Arg.(
+      value & pos_all string []
+      & info [] ~docv:"DIR"
+          ~doc:
+            "Directories to scan for *.jsonl / *.jsonl.partial recordings \
+             (default: the working directory, plus artifacts/ if present).")
+  in
+  let run () ledger dirs =
+    let ledger = the_ledger ledger in
+    let dirs =
+      if dirs <> [] then dirs
+      else
+        "."
+        ::
+        (if Sys.file_exists "artifacts" && Sys.is_directory "artifacts" then
+           [ "artifacts" ]
+         else [])
+    in
+    let kept, recovered, dropped =
+      Obs.Ledger.rebuild ~file:ledger ~dirs ()
+    in
+    Printf.printf
+      "rebuilt %s: kept %d existing row%s, recovered %d run%s from \
+       artifacts, dropped %d torn line%s\n"
+      ledger kept
+      (if kept = 1 then "" else "s")
+      recovered
+      (if recovered = 1 then "" else "s")
+      dropped
+      (if dropped = 1 then "" else "s");
+    `Ok ()
+  in
+  let info =
+    Cmd.info "rebuild"
+      ~doc:
+        "Re-derive the ledger from recorded artifacts: merge parseable \
+         rows with runs recovered from *.jsonl recordings, then rewrite \
+         atomically.  A lost or torn index is never fatal."
+  in
+  Cmd.v info Term.(ret (const run $ obs_term $ runs_ledger_term $ dirs))
+
+let runs_cmd =
+  let info =
+    Cmd.info "runs"
+      ~doc:
+        "Query and maintain the append-only run ledger (BBNG_ledger.jsonl) \
+         every work subcommand and bench run appends to."
+  in
+  Cmd.group info
+    [ runs_list_cmd; runs_show_cmd; runs_diff_cmd; runs_gc_cmd;
+      runs_rebuild_cmd ]
+
 let main_cmd =
   let info =
     Cmd.info "bbng" ~version:"1.0.0"
@@ -1186,19 +1659,34 @@ let main_cmd =
     [ construct_cmd; verify_cmd; certify_cmd; dynamics_cmd; opt_cmd;
       kcenter_cmd; census_cmd; export_cmd; fip_cmd; report_cmd; flame_cmd;
       replay_cmd;
-      top_cmd ]
+      top_cmd; runs_cmd ]
 
 (* Structured failure: every exception class the engine can legitimately
    raise maps to a documented exit code (Exit_code) with a one-line
    message naming the problem; only genuinely unknown exceptions (bugs)
    get a backtrace, under the internal-error code.  [~catch:false] keeps
    cmdliner from swallowing exceptions before we classify them. *)
+(* Subcommands that do work get a ledger row; read-only viewers (runs,
+   report, flame, top) are not themselves runs and stay out of the
+   index. *)
+let indexed_subcommands =
+  [ "construct"; "verify"; "certify"; "dynamics"; "opt"; "kcenter";
+    "census"; "export"; "fip"; "replay" ]
+
 let () =
   (match Obs.Fault.init_from_env () with
   | Ok () -> ()
   | Error msg ->
       Printf.eprintf "bbng: bad %s spec: %s\n" Obs.Fault.env_var msg;
       exit Obs.Exit_code.cli_error);
+  (* registered BEFORE cmdliner evaluation: at_exit runs LIFO, so the
+     ledger append fires AFTER obs_term's report-commit hook and can
+     digest the committed report bytes *)
+  if Array.length Sys.argv > 1 && List.mem Sys.argv.(1) indexed_subcommands
+  then begin
+    Obs.Ledger.set_context ~tool:"bbng_cli" ~subcommand:Sys.argv.(1);
+    at_exit Obs.Ledger.append_current
+  end;
   match Cmd.eval ~catch:false main_cmd with
   | 0 -> exit 0
   | code -> die code

@@ -132,15 +132,41 @@ fi
 
 echo "== bench trend vs recorded history =="
 # the smoke run above appended to BENCH_history.jsonl; gate the latest
-# run against the robust median/MAD of the recorded trajectory.
-# Warn-only like --diff (BBNG_BENCH_STRICT=1 makes it fail the gate).
-if dune exec bench/main.exe -- --trend; then
-  :
-elif [ "${BBNG_BENCH_STRICT:-0}" = "1" ]; then
-  echo "check: bench trend regression (BBNG_BENCH_STRICT=1)"
+# run against the robust median/MAD of the recorded trajectory.  The
+# gate is depth-aware (bench/trend.ml): a regression hard-fails once a
+# benchmark has >=5 recorded points, and is a warning below that — so
+# this stage fails the check outright instead of the old warn-only
+# wrapper (BBNG_BENCH_STRICT=1 escalates shallow-history warnings too).
+dune exec bench/main.exe -- --trend
+
+echo "== run ledger: index, list, diff, injected regression =="
+# two consecutive bench smoke runs on the unchanged tree must index
+# into the same ledger and diff green; a synthetic 2.5x metric
+# regression must make `runs diff` exit non-zero.  The smokes run in a
+# scratch dir so their reports/history don't touch the repo's record.
+cli=_build/default/bin/bbng_cli.exe
+bench=_build/default/bench/main.exe
+ledir=_build/ledger_stage
+rm -rf "$ledir"
+mkdir -p "$ledir"
+root=$(pwd)
+( cd "$ledir" && BBNG_LEDGER=CHECK_ledger.jsonl "$root/$bench" --smoke > /dev/null )
+( cd "$ledir" && BBNG_LEDGER=CHECK_ledger.jsonl "$root/$bench" --smoke > /dev/null )
+[ "$("$cli" runs list --ledger "$ledir/CHECK_ledger.jsonl" --porcelain | wc -l)" = 2 ] || {
+  echo "check: expected 2 indexed bench runs in the ledger"
   exit 1
-else
-  echo "check: bench trend WARNING only (set BBNG_BENCH_STRICT=1 to fail on regressions)"
+}
+# back-to-back same-machine smoke runs: a loose 100% threshold rides
+# out the tiny-quota noise while still catching a real blowup
+"$cli" runs diff --ledger "$ledir/CHECK_ledger.jsonl" --threshold 100 @-2 @-1 || {
+  echo "check: runs diff flagged two identical-tree bench runs"
+  exit 1
+}
+printf '%s\n' '{"schema":1,"run_id":"synthetic-a","ts":"2026-01-01T00:00:00Z","tool":"bench","subcommand":"bench:smoke","argv":[],"outcome":"ok","exit_code":0,"metrics":{"bench.bbng/x.ns_per_run":1000},"counters":{},"artifacts":[]}' > "$ledir/SYNTH_ledger.jsonl"
+printf '%s\n' '{"schema":1,"run_id":"synthetic-b","ts":"2026-01-01T00:01:00Z","tool":"bench","subcommand":"bench:smoke","argv":[],"outcome":"ok","exit_code":0,"metrics":{"bench.bbng/x.ns_per_run":2500},"counters":{},"artifacts":[]}' >> "$ledir/SYNTH_ledger.jsonl"
+if "$cli" runs diff --ledger "$ledir/SYNTH_ledger.jsonl" synthetic-a synthetic-b > /dev/null; then
+  echo "check: runs diff missed an injected 2.5x metric regression"
+  exit 1
 fi
 
 echo "check: all green"

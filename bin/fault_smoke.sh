@@ -14,7 +14,10 @@
 #     snapshot and a .partial whose last heartbeat is at most one tick
 #     old, still replayable and renderable by `bbng_cli top`;
 #   - killing a run mid-profile-export leaves no torn .folded at all,
-#     and the report .partial still reconstructs folded stacks offline.
+#     and the report .partial still reconstructs folded stacks offline;
+#   - killing a run mid-ledger-append leaves at most one torn trailing
+#     line that every reader skips, and `runs rebuild` re-derives the
+#     lost row from the run's own recording.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -164,5 +167,36 @@ rc=0
 printf '{"event":"span","name":"torn","du' >> PR2.jsonl.partial
 "$CLI" flame PR2.jsonl.partial > /dev/null \
   || fail "torn .partial line wedged flame"
+
+echo "== 11. SIGKILL mid-ledger-append: torn line skipped, rebuild recovers every run =="
+# two recorded runs index into a dedicated ledger; the second is killed
+# exactly as its row is appended, leaving a torn trailing line.  The
+# readers must skip it (an old binary tailing a newer ledger must never
+# raise either), and `runs rebuild` must re-derive the lost row from
+# the run's committed recording.
+mkdir ledger11
+BBNG_LEDGER=ledger11/LED.jsonl "$CLI" dynamics -b "$DYNB" --seed 3 \
+  --report ledger11/LED1.jsonl > /dev/null
+rc=0
+BBNG_LEDGER=ledger11/LED.jsonl "$CLI" dynamics -b "$DYNB" --seed 4 \
+  --report ledger11/LED2.jsonl --fault artifact.mid_append@kill \
+  > /dev/null 2>&1 || rc=$?
+[ "$rc" = 137 ] || fail "expected SIGKILL exit 137, got $rc"
+[ "$(wc -l < ledger11/LED.jsonl)" = 1 ] \
+  || fail "torn append should leave exactly one complete row"
+[ -s ledger11/LED2.jsonl ] || fail "the killed run's report did not commit"
+"$CLI" runs list --ledger ledger11/LED.jsonl --porcelain > rows.txt 2> skip.txt \
+  || fail "runs list choked on the torn ledger"
+[ "$(wc -l < rows.txt)" = 1 ] || fail "torn ledger should yield exactly 1 parseable row"
+grep -q "skipped 1 torn" skip.txt || fail "the torn line was not reported as skipped"
+"$CLI" runs rebuild --ledger ledger11/LED.jsonl ledger11 > /dev/null \
+  || fail "runs rebuild failed on the torn ledger"
+"$CLI" runs list --ledger ledger11/LED.jsonl --porcelain > rows.txt 2> skip.txt
+[ "$(wc -l < rows.txt)" = 2 ] || fail "rebuild did not recover both runs"
+[ -s skip.txt ] && fail "rebuilt ledger still has unparseable lines"
+"$CLI" runs show --ledger ledger11/LED.jsonl @-2 > /dev/null \
+  || fail "runs show lost the surviving row after rebuild"
+"$CLI" runs show --ledger ledger11/LED.jsonl @-1 > /dev/null \
+  || fail "runs show cannot render the recovered row"
 
 echo "fault-smoke: all green"

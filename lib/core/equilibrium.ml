@@ -149,26 +149,55 @@ let certify_work_total game =
 let progress_audit progress (a : Best_response.audit) =
   Bbng_obs.Progress.step ~n:(max 1 a.Best_response.scanned) progress
 
+(* game-semantic telemetry on every produced certificate: the profile's
+   social cost and the max regret the evidence exhibits (the refuting
+   player's improvement; an exact 0 on a certified equilibrium) land in
+   gauges and in the run's ledger row, so `bbng_cli runs` can answer
+   how-far-from-equilibrium questions without reopening artifacts *)
+let g_social = Bbng_obs.Metrics.gauge "equilibrium.social_cost"
+let g_regret = Bbng_obs.Metrics.gauge "equilibrium.max_regret"
+
+let observe_certificate game cert =
+  let social = Game.social_cost game cert.cert_profile in
+  let max_regret =
+    List.fold_left
+      (fun acc (_, (a : Best_response.audit)) ->
+        match a.Best_response.improving with
+        | Some m -> max acc (a.Best_response.current - m.Best_response.cost)
+        | None -> acc)
+      0 cert.cert_evidence
+  in
+  Bbng_obs.Metrics.set_int g_social social;
+  Bbng_obs.Metrics.set_int g_regret max_regret;
+  let verdict = verdict_name (certificate_verdict cert) in
+  Bbng_obs.Ledger.add_metric "equilibrium.social_cost" (Json.Int social);
+  Bbng_obs.Ledger.add_metric "equilibrium.max_regret" (Json.Int max_regret);
+  Bbng_obs.Ledger.add_metric "equilibrium.verdict" (Json.Str verdict);
+  Bbng_obs.Ledger.note_outcome verdict;
+  cert
+
 let certify_cert_with ?budget auditor mode game profile =
   Bbng_obs.Span.time "equilibrium.certify" @@ fun () ->
   Bbng_obs.Counter.bump c_certificates;
   let n = Game.n game in
-  Bbng_obs.Progress.with_task ?budget ~total:(certify_work_total game)
-    "certify" (fun progress ->
-      let rec scan player acc =
-        if player >= n then List.rev acc
-        else
-          let a = audited_player auditor game profile player in
-          progress_audit progress a;
-          if a.Best_response.improving <> None then List.rev ((player, a) :: acc)
-          else scan (player + 1) ((player, a) :: acc)
-      in
-      {
-        cert_version = Game.version game;
-        cert_mode = mode;
-        cert_profile = profile;
-        cert_evidence = scan 0 [];
-      })
+  observe_certificate game
+  @@ Bbng_obs.Progress.with_task ?budget ~total:(certify_work_total game)
+       "certify" (fun progress ->
+         let rec scan player acc =
+           if player >= n then List.rev acc
+           else
+             let a = audited_player auditor game profile player in
+             progress_audit progress a;
+             if a.Best_response.improving <> None then
+               List.rev ((player, a) :: acc)
+             else scan (player + 1) ((player, a) :: acc)
+         in
+         {
+           cert_version = Game.version game;
+           cert_mode = mode;
+           cert_profile = profile;
+           cert_evidence = scan 0 [];
+         })
 
 let certify_cert ?budget ?engine game profile =
   certify_cert_with ?budget
@@ -211,12 +240,13 @@ let certify_parallel_cert ?domains ?budget ?engine game profile =
       if a.Best_response.improving <> None then List.rev ((player, a) :: acc)
       else collect (player + 1) ((player, a) :: acc)
   in
-  {
-    cert_version = Game.version game;
-    cert_mode = Exact_mode;
-    cert_profile = profile;
-    cert_evidence = collect 0 [];
-  }
+  observe_certificate game
+    {
+      cert_version = Game.version game;
+      cert_mode = Exact_mode;
+      cert_profile = profile;
+      cert_evidence = collect 0 [];
+    }
 
 (* --- certificate (de)serialization through the artifact envelope --- *)
 

@@ -76,6 +76,33 @@ let c_steps = Obs.Counter.make "dynamics.steps_applied"
 let c_runs = Obs.Counter.make "dynamics.runs"
 let h_improvement = Obs.Histogram.make "dynamics.step_improvement"
 
+(* per-window mean improvement as a percentage of the first window's
+   mean: 100 = no decay, small = the run is grinding to a halt — the
+   decay shape distinguishes geometric convergence from a hard stop *)
+let h_decay = Obs.Histogram.make "dynamics.improvement_decay_pct"
+
+let g_social = Obs.Metrics.gauge "dynamics.social_cost"
+
+(* max regret observed among the players probed in the latest step's
+   scheduling round: under any schedule the probed non-movers had
+   regret 0 and the mover's regret is its improvement, so this reads
+   exactly 0 the moment the run converges (every player probed, none
+   improving) *)
+let g_regret = Obs.Metrics.gauge "dynamics.max_regret"
+
+(* Plateau/oscillation detector: classify each window of applied steps
+   by the social-cost trajectory through it.  A strictly falling (net)
+   window is converging; a flat window nobody's move disturbed is a
+   plateau (players improve privately, the diameter does not move); a
+   window whose cost rose and came back — or ended higher — is the
+   oscillation signature best-response cycles leave. *)
+let diag_window = 16
+
+let classify ~net ~rises ~falls =
+  if rises = 0 && falls = 0 && net = 0 then "stalled"
+  else if net >= 0 then "cycling-suspected"
+  else "converging"
+
 let json_targets a =
   Obs.Json.List (Array.to_list (Array.map (fun t -> Obs.Json.Int t) a))
 
@@ -96,7 +123,7 @@ let emit_entry e =
    can re-apply it without any context beyond the file.  The sink treats
    "dynamics.outcome" as a flush milestone, so even a buffered report is
    a valid JSONL prefix the moment the run closes. *)
-let emit_outcome game ~schedule ~meta rule outcome =
+let emit_outcome ?(extra = []) game ~schedule ~meta rule outcome =
   Obs.Sink.emit "dynamics.outcome"
     (List.concat
        [
@@ -109,6 +136,7 @@ let emit_outcome game ~schedule ~meta rule outcome =
              Obs.Json.Int (Game.social_cost game (final_profile outcome)) );
            ("profile", Obs.Json.Str (Strategy.to_string (final_profile outcome)));
          ];
+         extra;
          (match outcome with
          | Cycle { period; _ } -> [ ("period", Obs.Json.Int period) ]
          | Converged _ | Step_limit _ | Interrupted _ -> []);
@@ -154,9 +182,95 @@ let run ?(max_steps = 10_000) ?(detect_cycles = true) ?(meta = []) ?on_step
     else None
   in
   ignore (remember 0 start);
+  (* --- convergence diagnostics (see [classify]) --- *)
+  let sc0 = Game.social_cost game start in
+  let prev_cost = ref sc0 in
+  let rises = ref 0 and falls = ref 0 in
+  let win_start_cost = ref sc0 in
+  let win_improv_sum = ref 0 and win_count = ref 0 in
+  let first_win_mean = ref None in
+  let diag_state = ref "converging" in
+  let last_regret = ref 0 in
+  let emit_diagnosis ?(fields = []) ~step state =
+    diag_state := state;
+    Obs.Progress.annotate progress
+      [ ("diagnosis", Obs.Json.Str state) ];
+    if Obs.Sink.active () then
+      Obs.Sink.emit "dynamics.diagnosis"
+        ([
+           ("step", Obs.Json.Int step);
+           ("state", Obs.Json.Str state);
+           ("social_cost", Obs.Json.Int !prev_cost);
+         ]
+        @ fields)
+  in
+  let flush_window ~step =
+    if !win_count > 0 then begin
+      let mean = float_of_int !win_improv_sum /. float_of_int !win_count in
+      if !first_win_mean = None then first_win_mean := Some mean;
+      let decay_pct =
+        match !first_win_mean with
+        | Some f when f > 0. -> 100. *. mean /. f
+        | _ -> 100.
+      in
+      Obs.Histogram.record h_decay
+        (int_of_float (Float.round decay_pct));
+      let net = !prev_cost - !win_start_cost in
+      emit_diagnosis ~step
+        (classify ~net ~rises:!rises ~falls:!falls)
+        ~fields:
+          [
+            ("window", Obs.Json.Int !win_count);
+            ("net_social_cost", Obs.Json.Int net);
+            ("rises", Obs.Json.Int !rises);
+            ("falls", Obs.Json.Int !falls);
+            ("mean_improvement", Obs.Json.Float mean);
+            ("decay_pct", Obs.Json.Float decay_pct);
+          ];
+      rises := 0;
+      falls := 0;
+      win_start_cost := !prev_cost;
+      win_improv_sum := 0;
+      win_count := 0
+    end
+  in
+  let record_step ~improvement ~step social =
+    if social > !prev_cost then incr rises
+    else if social < !prev_cost then incr falls;
+    prev_cost := social;
+    Obs.Metrics.set_int g_social social;
+    win_improv_sum := !win_improv_sum + improvement;
+    incr win_count;
+    if !win_count >= diag_window then flush_window ~step
+  in
   let finish outcome =
+    flush_window ~step:(steps outcome);
+    (* final verdict aligned with the typed outcome: a proven cycle is
+       the thing the detector only suspects, and convergence overrides
+       whatever the last window looked like *)
+    let final_state =
+      match outcome with
+      | Converged _ ->
+          last_regret := 0;
+          "converging"
+      | Cycle _ -> "cycling-suspected"
+      | Step_limit _ | Interrupted _ -> !diag_state
+    in
+    emit_diagnosis ~step:(steps outcome) final_state
+      ~fields:[ ("final", Obs.Json.Bool true) ];
+    let final_sc = Game.social_cost game (final_profile outcome) in
+    Obs.Ledger.add_metric "dynamics.final_social_cost" (Obs.Json.Int final_sc);
+    Obs.Ledger.add_metric "dynamics.steps" (Obs.Json.Int (steps outcome));
+    Obs.Ledger.add_metric "dynamics.max_regret" (Obs.Json.Int !last_regret);
+    Obs.Ledger.add_metric "dynamics.diagnosis" (Obs.Json.Str final_state);
+    Obs.Ledger.note_outcome (outcome_name outcome);
     Obs.Progress.finish progress;
-    emit_outcome game ~schedule ~meta rule outcome;
+    emit_outcome game ~schedule ~meta rule outcome
+      ~extra:
+        [
+          ("max_regret", Obs.Json.Int !last_regret);
+          ("diagnosis", Obs.Json.Str final_state);
+        ];
     outcome
   in
   let rec loop sched_state profile step =
@@ -178,10 +292,14 @@ let run ?(max_steps = 10_000) ?(detect_cycles = true) ?(meta = []) ?on_step
             Hashtbl.add cache p m;
             m
       in
+      let step_max_regret = ref 0 in
       let improving p =
         match move_of p with
         | None -> None
-        | Some m -> Some (Game.player_cost game profile p - m.Best_response.cost)
+        | Some m ->
+            let gain = Game.player_cost game profile p - m.Best_response.cost in
+            if gain > !step_max_regret then step_max_regret := gain;
+            Some gain
       in
       (* the probe is where the budgeted best-response search runs; an
          expiry mid-probe lands here, is converted to the typed outcome
@@ -194,7 +312,12 @@ let run ?(max_steps = 10_000) ?(detect_cycles = true) ?(meta = []) ?on_step
       in
       match probed with
       | `Expired -> finish (Interrupted { profile; steps = step })
-      | `Next None -> finish (Converged { profile; steps = step })
+      | `Next None ->
+          (* every player probed, nobody improves: the regret gauge
+             reads an exact 0, not the last applied improvement *)
+          Obs.Metrics.set_int g_regret 0;
+          last_regret := 0;
+          finish (Converged { profile; steps = step })
       | `Next (Some (player, sched_state)) -> (
           match move_of player with
           | None -> assert false (* the schedule only returns improvers *)
@@ -207,9 +330,13 @@ let run ?(max_steps = 10_000) ?(detect_cycles = true) ?(meta = []) ?on_step
               let step = step + 1 in
               Obs.Counter.bump c_steps;
               Obs.Progress.step progress;
+              let improvement = old_cost - m.Best_response.cost in
+              Obs.Metrics.set_int g_regret !step_max_regret;
+              last_regret := !step_max_regret;
+              let social = Game.social_cost game profile in
+              record_step ~improvement ~step social;
               if Obs.Span.enabled () then
-                Obs.Histogram.record h_improvement
-                  (old_cost - m.Best_response.cost);
+                Obs.Histogram.record h_improvement improvement;
               if Option.is_some on_step || Obs.Sink.active () then begin
                 let entry =
                   {
@@ -217,7 +344,7 @@ let run ?(max_steps = 10_000) ?(detect_cycles = true) ?(meta = []) ?on_step
                     player;
                     old_cost;
                     new_cost = m.Best_response.cost;
-                    social_cost = Game.social_cost game profile;
+                    social_cost = social;
                     old_targets;
                     new_targets = m.Best_response.targets;
                   }

@@ -86,7 +86,24 @@ val run :
     friends) and a final [dynamics.outcome] event carrying the final
     profile.  The resulting [--report] JSONL is a complete flight
     recording that {!Replay.check_run} (and [bbng_cli replay]) can
-    re-apply and verify move by move. *)
+    re-apply and verify move by move.
+
+    Convergence diagnostics: every applied step updates the
+    [dynamics.social_cost] gauge and the [dynamics.max_regret] gauge
+    (max regret among the players probed by the schedule this step —
+    an exact 0 the moment the run converges), and feeds a windowed
+    plateau/oscillation detector.  Each window of applied steps emits
+    a typed [dynamics.diagnosis] event — [converging] (net social
+    cost fell), [stalled] (perfectly flat window), or
+    [cycling-suspected] (cost rose, or rose-and-returned, the
+    signature a best-response cycle leaves) — records the window's
+    mean improvement relative to the first window in the
+    [dynamics.improvement_decay_pct] histogram, and annotates the
+    heartbeat task so [bbng_cli top] shows the verdict live.  A final
+    diagnosis event ([final: true]) is aligned with the typed outcome,
+    and the run's ledger row stores [dynamics.final_social_cost],
+    [dynamics.steps], [dynamics.max_regret] and [dynamics.diagnosis]
+    as queryable metrics (see {!Bbng_obs.Ledger}). *)
 
 val stable : Game.t -> rule -> Strategy.t -> bool
 (** No player has a move under the rule: post-condition of

@@ -1,4 +1,16 @@
 let c_writes = Counter.make "atomic_io.commits"
+let c_appends = Counter.make "atomic_io.appends"
+
+(* every committed artifact path is announced here, so a cross-cutting
+   consumer (the run ledger) can inventory a run's outputs without each
+   producer knowing about it.  At most one hook; never raises through. *)
+let commit_hook : (string -> unit) option ref = ref None
+let set_commit_hook f = commit_hook := Some f
+
+let announce path =
+  match !commit_hook with
+  | None -> ()
+  | Some f -> ( try f path with _ -> ())
 
 let tmp_path path = Printf.sprintf "%s.tmp.%d" path (Unix.getpid ())
 
@@ -22,6 +34,7 @@ let write_file path f =
       (try Sys.remove tmp with Sys_error _ -> ());
       raise e);
   Counter.bump c_writes;
+  announce path;
   Fault.hit "artifact.commit"
 
 let partial_path path = path ^ ".partial"
@@ -31,7 +44,38 @@ let open_stream path = open_out (partial_path path)
 let commit_stream path =
   Sys.rename (partial_path path) path;
   Counter.bump c_writes;
+  announce path;
   Fault.hit "artifact.commit"
 
 let discard_stream path =
   try Sys.remove (partial_path path) with Sys_error _ -> ()
+
+(* Append protocol for index files (one self-contained line per call).
+   No temp file: O_APPEND keeps concurrent appenders from interleaving
+   within a line on POSIX, and a crash can only tear the line being
+   written — which every reader of such files must already skip (the
+   same contract as a SIGKILLed .partial stream).  The tear point is
+   made injectable: the first byte is flushed before the
+   [artifact.mid_append] probe, so [kill] there deterministically
+   leaves a torn trailing line for the recovery path to chew on. *)
+let append_line path line =
+  let fd =
+    Unix.openfile path [ Unix.O_WRONLY; Unix.O_APPEND; Unix.O_CREAT ] 0o644
+  in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      let payload = line ^ "\n" in
+      let n = String.length payload in
+      let torn = if Fault.armed () then min 1 (n - 1) else 0 in
+      if torn > 0 then begin
+        let w = Unix.write_substring fd payload 0 torn in
+        ignore w;
+        Fault.hit "artifact.mid_append"
+      end;
+      let rec put off =
+        if off < n then
+          put (off + Unix.write_substring fd payload off (n - off))
+      in
+      put torn);
+  Counter.bump c_appends

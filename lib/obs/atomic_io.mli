@@ -17,9 +17,16 @@
       prefix — replayable with [bbng_cli replay], resumable with
       [bbng_cli dynamics --resume].
 
+    - {!append_line}: append-only index files (the run ledger).  One
+      self-contained line per call through an [O_APPEND] descriptor; a
+      crash can only tear the trailing line, which every reader of such
+      files skips by contract.
+
     Fault probes: [artifact.open] (temp file created),
     [artifact.mid_write] (payload written, nothing committed),
-    [artifact.commit] (rename done). *)
+    [artifact.commit] (rename done), [artifact.mid_append] (first byte
+    of an appended line written, rest pending — [kill] here leaves a
+    deterministically torn trailing line). *)
 
 val write_file : string -> (out_channel -> unit) -> unit
 (** [write_file path f] runs [f] on a temp channel in [path]'s
@@ -40,3 +47,17 @@ val commit_stream : string -> unit
 
 val discard_stream : string -> unit
 (** Remove a leftover partial, ignoring a missing file. *)
+
+val append_line : string -> string -> unit
+(** [append_line path line] appends [line ^ "\n"] to [path] (created
+    [0o644] if absent) through an [O_APPEND] descriptor, so concurrent
+    appenders never interleave within a line and a crash tears at most
+    the trailing line.  (When a {!Fault} is armed the line lands in two
+    writes around the [artifact.mid_append] probe, trading that
+    no-interleave guarantee for an injectable tear point.) *)
+
+val set_commit_hook : (string -> unit) -> unit
+(** Install the (single) observer called with the final path of every
+    committed artifact — {!write_file} renames, {!commit_stream}
+    promotions, but not {!append_line}s.  Exceptions from the hook are
+    swallowed; artifact IO must never fail because an observer did. *)

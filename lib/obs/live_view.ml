@@ -19,6 +19,7 @@ type state = {
   mutable heartbeats : int;
   mutable last_step : Json.t option;
   mutable dynamics_start : Json.t option;
+  mutable last_diagnosis : Json.t option;
   mutable last_outcome : Json.t option;
   mutable summary : Json.t option;
   (* live latency distributions rebuilt from the span events we tail —
@@ -38,6 +39,7 @@ let create_state () =
     heartbeats = 0;
     last_step = None;
     dynamics_start = None;
+    last_diagnosis = None;
     last_outcome = None;
     summary = None;
     spans = Hashtbl.create 16;
@@ -73,7 +75,9 @@ let feed_event st j =
   | "dynamics.start" ->
       st.dynamics_start <- Some j;
       (* a new run opens: the previous outcome is history *)
-      st.last_outcome <- None
+      st.last_outcome <- None;
+      st.last_diagnosis <- None
+  | "dynamics.diagnosis" -> st.last_diagnosis <- Some j
   | "dynamics.outcome" -> st.last_outcome <- Some j
   | "run.summary" -> st.summary <- Some j
   | "span" -> (
@@ -240,6 +244,26 @@ let render ?(width = 72) st ~source =
         (match num_field "player" j with Some p -> Printf.sprintf "%.0f" p | None -> "?")
         (match num_field "social_cost" j with Some c -> Printf.sprintf "%.0f" c | None -> "?")
   | None -> ());
+  (* the convergence detector's verdict: the latest dynamics.diagnosis
+     event, else the heartbeat annotation that carries it between
+     windows *)
+  (match st.last_diagnosis with
+  | Some j ->
+      line "diagnosis: %s%s%s%s"
+        (Option.value ~default:"?" (str_field "state" j))
+        (match num_field "step" j with
+        | Some s -> Printf.sprintf " at step %.0f" s
+        | None -> "")
+        (match num_field "net_social_cost" j with
+        | Some d -> Printf.sprintf " · net social cost %+.0f" d
+        | None -> "")
+        (match num_field "decay_pct" j with
+        | Some p -> Printf.sprintf " · improvement at %.0f%% of first window" p
+        | None -> "")
+  | None -> (
+      match Option.bind st.last_heartbeat (str_field "diagnosis") with
+      | Some s -> line "diagnosis: %s" s
+      | None -> ()));
   (match st.last_heartbeat with
   | Some j -> line "%s" (heartbeat_line j)
   | None -> line "heartbeat: (none yet)");

@@ -35,6 +35,9 @@ type t = {
   (* only the beat-lock holder touches this *)
   gc_prev : Gcstats.snapshot ref;
   finished : bool Atomic.t;
+  (* free-form task state riding along in every heartbeat (e.g. the
+     dynamics diagnosis verdict); replaced wholesale by [annotate] *)
+  annotations : (string * Json.t) list Atomic.t;
 }
 
 (* --- global ticker configuration --- *)
@@ -128,6 +131,7 @@ let emit_beat t ~now_us =
       @ (match Budgeted.work_remaining t.budget with
         | Some w -> [ ("work_left", Json.Int w) ]
         | None -> [])
+      @ Atomic.get t.annotations
       @ [
           ("gc_minor_words", Json.Float gc_delta.Gcstats.minor_words);
           ("gc_major_words", Json.Float gc_delta.Gcstats.major_words);
@@ -167,12 +171,14 @@ let start ?total ?(budget = Budgeted.unlimited) name =
       last_beat_done = Atomic.make 0;
       gc_prev = ref (Gcstats.capture ());
       finished = Atomic.make false;
+      annotations = Atomic.make [];
     }
   in
   Mutex.protect live_mutex (fun () -> live := t :: !live);
   t
 
 let set_total t total = Atomic.set t.total (known_total (Some total))
+let annotate t fields = Atomic.set t.annotations fields
 let done_count t = Atomic.get t.done_
 
 let total_count t =

@@ -46,6 +46,12 @@ val set_total : t -> int -> unit
 (** Revise the declared total (same saturation convention as
     {!start}). *)
 
+val annotate : t -> (string * Json.t) list -> unit
+(** Attach free-form fields to every subsequent heartbeat of this task
+    (replaces any previous annotation wholesale).  How the dynamics
+    diagnosis verdict reaches [bbng_cli top] between [dynamics.diagnosis]
+    events. *)
+
 val finish : t -> unit
 (** Emit a closing beat if any progress is unreported, then
     unregister.  Idempotent. *)

@@ -38,7 +38,10 @@ let provenance_fields () =
   ]
 
 let summary_fields () =
-  provenance_fields ()
+  (* run_id joins the summary (and so any --report stream) back to the
+     run's ledger row; deliberately NOT in provenance_fields, which is
+     folded into certificates whose bytes must be run-independent *)
+  (("run_id", Json.Str (Ledger.run_id ())) :: provenance_fields ())
   @ [
       ("counters", counters_json ());
       ("spans", spans_json ());

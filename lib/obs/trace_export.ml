@@ -216,6 +216,43 @@ let summarize events oc =
           hist;
         Printf.fprintf oc "\n")
   end;
+  (* convergence diagnostics: the windowed detector's verdict history
+     and its final word (see Dynamics.run) *)
+  let diags =
+    List.filter (fun j -> event_name j = "dynamics.diagnosis") events
+  in
+  if diags <> [] then begin
+    let tally = Hashtbl.create 4 in
+    List.iter
+      (fun j ->
+        let s = Option.value ~default:"?" (str_field "state" j) in
+        Hashtbl.replace tally s
+          (1 + Option.value ~default:0 (Hashtbl.find_opt tally s)))
+      diags;
+    let counts =
+      List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) tally [])
+    in
+    Printf.fprintf oc "diagnosis (%d window%s): %s\n" (List.length diags)
+      (if List.length diags = 1 then "" else "s")
+      (String.concat ", "
+         (List.map (fun (k, v) -> Printf.sprintf "%s x%d" k v) counts));
+    let last = List.nth diags (List.length diags - 1) in
+    Printf.fprintf oc "  last: %s at step %s"
+      (Option.value ~default:"?" (str_field "state" last))
+      (match Json.member "step" last with
+      | Some (Json.Int i) -> string_of_int i
+      | _ -> "?");
+    (match Json.member "decay_pct" last with
+    | Some (Json.Int i) ->
+        Printf.fprintf oc ", improvement at %d%% of first window" i
+    | Some (Json.Float f) ->
+        Printf.fprintf oc ", improvement at %.0f%% of first window" f
+    | _ -> ());
+    (match Json.member "net_social_cost" last with
+    | Some (Json.Int i) -> Printf.fprintf oc ", net social cost %+d" i
+    | _ -> ());
+    Printf.fprintf oc "\n"
+  end;
   (* telemetry: the last heartbeat per task, with the achieved overall
      rate — on a truncated .partial this line dates the death *)
   let beats =
@@ -271,6 +308,9 @@ let summarize events oc =
   (match List.find_opt (fun j -> event_name j = "run.summary") events with
   | None -> Printf.fprintf oc "(no run.summary event — truncated run?)\n"
   | Some s ->
+      (match str_field "run_id" s with
+      | Some id -> Printf.fprintf oc "ledger id: %s\n" id
+      | None -> ());
       (match (str_field "ocaml_version" s, Json.member "word_size" s) with
       | Some v, Some (Json.Int w) ->
           Printf.fprintf oc "recorded by: ocaml %s, %d-bit\n" v w

@@ -149,6 +149,55 @@ let prop_convergence_on_small_tree_instances =
       | Dynamics.Cycle _ -> true
       | Dynamics.Step_limit _ | Dynamics.Interrupted _ -> false)
 
+(* Convergence diagnostics: a recorded converging run must carry
+   dynamics.diagnosis events whose final verdict aligns with the typed
+   outcome, and the outcome event must expose max_regret = 0 (every
+   player was probed and none improved — an exact 0, not a sample). *)
+let test_diagnosis_events_recorded () =
+  let module Json = Bbng_obs.Json in
+  let file = Filename.temp_file "bbng_dyn_diag" ".jsonl" in
+  let oc = open_out file in
+  Fun.protect
+    ~finally:(fun () ->
+      close_out_noerr oc;
+      Sys.remove file)
+    (fun () ->
+      let st = rng 11 in
+      let budgets = Budget.uniform ~n:8 ~budget:2 in
+      let game = Game.make Cost.Sum budgets in
+      let start = Strategy.random st budgets in
+      (match
+         Bbng_obs.Sink.scoped (Bbng_obs.Sink.Jsonl oc) (fun () ->
+             run game Schedule.Round_robin Dynamics.Exact_best start)
+       with
+      | Dynamics.Converged _ -> ()
+      | o -> Alcotest.failf "expected convergence, got %s" (Dynamics.outcome_name o));
+      let ic = open_in file in
+      let events = ref [] in
+      (try
+         while true do
+           events := Json.of_string (input_line ic) :: !events
+         done
+       with End_of_file -> close_in ic);
+      let events = List.rev !events in
+      let named n =
+        List.filter (fun j -> Json.member "event" j = Some (Json.Str n)) events
+      in
+      let diags = named "dynamics.diagnosis" in
+      check_true "at least a final diagnosis" (List.length diags >= 1);
+      let final = List.nth diags (List.length diags - 1) in
+      check_true "final diagnosis marked final"
+        (Json.member "final" final = Some (Json.Bool true));
+      check_true "converged run diagnosed as converging"
+        (Json.member "state" final = Some (Json.Str "converging"));
+      match named "dynamics.outcome" with
+      | [ outcome ] ->
+          check_true "outcome carries diagnosis"
+            (Json.member "diagnosis" outcome = Some (Json.Str "converging"));
+          check_true "max regret is exactly 0 at convergence"
+            (Json.member "max_regret" outcome = Some (Json.Int 0))
+      | l -> Alcotest.failf "expected 1 outcome event, got %d" (List.length l))
+
 let suite =
   [
     case "already stable" test_already_stable;
@@ -161,5 +210,6 @@ let suite =
     case "cycle reports are honest" test_cycle_detection_no_false_positives;
     case "outcome accessors" test_outcome_accessors;
     case "rule names" test_rule_names_distinct;
+    case "diagnosis events recorded" test_diagnosis_events_recorded;
     prop_convergence_on_small_tree_instances;
   ]

@@ -1,0 +1,215 @@
+(* The run ledger (Bbng_obs.Ledger): row round-tripping with forward
+   compatibility (alien/extra fields survive an old binary's rewrite),
+   torn-line tolerance on load, the append/load cycle, and row
+   recovery from a recorded event stream — the invariants `bbng_cli
+   runs` and its rebuild path depend on. *)
+
+open Helpers
+module Json = Bbng_obs.Json
+module Ledger = Bbng_obs.Ledger
+
+let check_str = Alcotest.(check string)
+
+let sample_row =
+  {
+    Ledger.run_id = "20260101T000000Z-1234-abcdef";
+    ts = "2026-01-01T00:00:00Z";
+    tool = "bbng_cli";
+    subcommand = "dynamics";
+    argv = [ "bbng_cli"; "dynamics"; "--seed"; "7" ];
+    outcome = "converged";
+    exit_code = 0;
+    metrics =
+      [
+        ("dynamics.final_social_cost", Json.Int 2);
+        ("dynamics.steps", Json.Int 6);
+        ("dynamics.diagnosis", Json.Str "converging");
+        ("bench.x.ns_per_run", Json.Float 812.5);
+      ];
+    counters = [ ("bfs.runs", 168); ("dynamics.steps_applied", 6) ];
+    artifacts = [ "RUN.jsonl"; "CERT.json" ];
+    report = Some "RUN.jsonl";
+    report_digest = Some "aea6335a2194e35b9188339b661f5773";
+    extra = [];
+  }
+
+let test_row_roundtrip () =
+  match Ledger.row_of_json (Ledger.row_to_json sample_row) with
+  | None -> Alcotest.fail "round trip lost the row"
+  | Some r ->
+      check_str "run_id" sample_row.Ledger.run_id r.Ledger.run_id;
+      check_str "ts" sample_row.Ledger.ts r.Ledger.ts;
+      check_str "tool" sample_row.Ledger.tool r.Ledger.tool;
+      check_str "subcommand" sample_row.Ledger.subcommand r.Ledger.subcommand;
+      Alcotest.(check (list string)) "argv" sample_row.Ledger.argv r.Ledger.argv;
+      check_str "outcome" sample_row.Ledger.outcome r.Ledger.outcome;
+      check_int "exit_code" sample_row.Ledger.exit_code r.Ledger.exit_code;
+      check_int "metrics arity"
+        (List.length sample_row.Ledger.metrics)
+        (List.length r.Ledger.metrics);
+      Alcotest.(check (list (pair string int)))
+        "counters" sample_row.Ledger.counters r.Ledger.counters;
+      Alcotest.(check (list string))
+        "artifacts" sample_row.Ledger.artifacts r.Ledger.artifacts;
+      Alcotest.(check (option string))
+        "report_digest" sample_row.Ledger.report_digest r.Ledger.report_digest;
+      check_true "no extra conjured" (r.Ledger.extra = [])
+
+(* A "newer schema" row: unknown top-level keys, plus a known key with
+   an unexpected shape.  An old binary must parse it (never raise),
+   park both in [extra], and re-serialize them verbatim — that is what
+   lets ledgers travel forward and backward across versions. *)
+let test_alien_fields_preserved () =
+  let alien =
+    Json.Obj
+      [
+        ("schema", Json.Int 99);
+        ("run_id", Json.Str "r-future");
+        ("ts", Json.Str "2030-01-01T00:00:00Z");
+        (* known key, wrong shape: exit_code as a string *)
+        ("exit_code", Json.Str "not-an-int");
+        (* fields this binary has never heard of *)
+        ("gpu_ms", Json.Float 12.5);
+        ("annotations", Json.List [ Json.Str "a"; Json.Str "b" ]);
+      ]
+  in
+  match Ledger.row_of_json alien with
+  | None -> Alcotest.fail "newer-schema row rejected"
+  | Some r ->
+      check_str "run_id" "r-future" r.Ledger.run_id;
+      check_int "unknown exit_code reads as unknown (-1)" (-1)
+        r.Ledger.exit_code;
+      check_true "misfit exit_code preserved in extra"
+        (List.mem_assoc "exit_code" r.Ledger.extra);
+      check_true "gpu_ms preserved" (List.mem_assoc "gpu_ms" r.Ledger.extra);
+      check_true "annotations preserved"
+        (List.mem_assoc "annotations" r.Ledger.extra);
+      (* rewrite survives: the serialized row still carries the alien
+         fields for the newer binary to find *)
+      let rewritten = Json.to_string (Ledger.row_to_json r) in
+      check_true "rewrite keeps gpu_ms"
+        (Json.member "gpu_ms" (Json.of_string rewritten) = Some (Json.Float 12.5));
+      check_true "rewrite keeps annotations"
+        (Json.member "annotations" (Json.of_string rewritten) <> None)
+
+let test_row_of_json_garbage () =
+  check_true "non-object" (Ledger.row_of_json (Json.Int 3) = None);
+  check_true "array" (Ledger.row_of_json (Json.List []) = None);
+  check_true "object without run_id"
+    (Ledger.row_of_json (Json.Obj [ ("ts", Json.Str "t") ]) = None);
+  check_true "non-string run_id"
+    (Ledger.row_of_json (Json.Obj [ ("run_id", Json.Int 7) ]) = None)
+
+let test_load_skips_torn_and_alien_lines () =
+  let file = Filename.temp_file "bbng_ledger" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove file)
+    (fun () ->
+      let oc = open_out file in
+      output_string oc (Json.to_string (Ledger.row_to_json sample_row));
+      output_char oc '\n';
+      (* an alien-but-parseable line (no run_id): skipped, not fatal *)
+      output_string oc "{\"event\":\"not.a.row\"}\n";
+      output_string oc
+        (Json.to_string
+           (Ledger.row_to_json { sample_row with Ledger.run_id = "r2" }));
+      output_char oc '\n';
+      (* a SIGKILL-torn trailing line: no newline, half a JSON object *)
+      output_string oc "{\"schema\":1,\"run_id\":\"r3\",\"ts";
+      close_out oc;
+      let rows, skipped = Ledger.load ~file () in
+      check_int "two parseable rows" 2 (List.length rows);
+      check_int "torn + alien lines counted" 2 skipped;
+      check_str "order preserved" "r2"
+        (List.nth rows 1).Ledger.run_id)
+
+let test_append_then_load () =
+  let file = Filename.temp_file "bbng_ledger" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove file)
+    (fun () ->
+      Ledger.append_row ~file sample_row;
+      Ledger.append_row ~file { sample_row with Ledger.run_id = "r2" };
+      let rows, skipped = Ledger.load ~file () in
+      check_int "both rows back" 2 (List.length rows);
+      check_int "nothing skipped" 0 skipped;
+      check_str "first" sample_row.Ledger.run_id
+        (List.nth rows 0).Ledger.run_id;
+      check_str "second" "r2" (List.nth rows 1).Ledger.run_id)
+
+let test_load_missing_file_is_empty () =
+  let rows, skipped = Ledger.load ~file:"/nonexistent/ledger.jsonl" () in
+  check_int "no rows" 0 (List.length rows);
+  check_int "no skips" 0 skipped
+
+let test_numeric_metrics () =
+  let nums = Ledger.numeric_metrics sample_row in
+  check_int "ints and floats only" 3 (List.length nums)
+
+(* Recovery: a recorded event stream re-derives its row — run id from
+   run.summary, outcome and game metrics from dynamics.outcome. *)
+let test_of_report_events () =
+  let file = Filename.temp_file "bbng_ledger_rec" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove file)
+    (fun () ->
+      let oc = open_out file in
+      output_string oc "{\"event\":\"dynamics.start\"}\n";
+      close_out oc;
+      let events =
+        [
+          Json.Obj [ ("event", Json.Str "dynamics.start") ];
+          Json.Obj
+            [
+              ("event", Json.Str "dynamics.outcome");
+              ("outcome", Json.Str "converged");
+              ("steps", Json.Int 6);
+              ("social_cost", Json.Int 2);
+              ("max_regret", Json.Int 0);
+              ("diagnosis", Json.Str "converging");
+            ];
+          Json.Obj
+            [
+              ("event", Json.Str "run.summary");
+              ("run_id", Json.Str "r-original");
+              ( "argv",
+                Json.List [ Json.Str "bbng_cli"; Json.Str "dynamics" ] );
+              ("counters", Json.Obj [ ("bfs.runs", Json.Int 5) ]);
+            ];
+        ]
+      in
+      let r = Ledger.of_report_events ~path:file events in
+      check_str "run id joins back to the recording" "r-original"
+        r.Ledger.run_id;
+      check_str "outcome from dynamics.outcome" "converged" r.Ledger.outcome;
+      check_true "social cost recovered"
+        (List.assoc_opt "dynamics.final_social_cost" r.Ledger.metrics
+        = Some (Json.Int 2));
+      check_true "diagnosis recovered"
+        (List.assoc_opt "dynamics.diagnosis" r.Ledger.metrics
+        = Some (Json.Str "converging"));
+      Alcotest.(check (list string)) "argv recovered"
+        [ "bbng_cli"; "dynamics" ]
+        r.Ledger.argv;
+      check_true "report path recorded" (r.Ledger.report = Some file);
+      (* a pre-ledger recording (no run_id in its summary) still gets a
+         stable digest-derived id *)
+      let r2 =
+        Ledger.of_report_events ~path:file
+          [ Json.Obj [ ("event", Json.Str "run.summary") ] ]
+      in
+      check_true "derived id is stable and prefixed"
+        (String.length r2.Ledger.run_id > 10
+        && String.sub r2.Ledger.run_id 0 10 = "recovered-"))
+
+let suite =
+  [
+    case "row round-trips through JSON" test_row_roundtrip;
+    case "newer-schema fields survive an old binary" test_alien_fields_preserved;
+    case "garbage is None, never an exception" test_row_of_json_garbage;
+    case "load skips torn and alien lines" test_load_skips_torn_and_alien_lines;
+    case "append then load round-trips" test_append_then_load;
+    case "missing ledger is empty, not an error" test_load_missing_file_is_empty;
+    case "numeric metrics filter" test_numeric_metrics;
+    case "row recovery from a recorded stream" test_of_report_events;
+  ]
