@@ -30,6 +30,18 @@ let circ30 =
 
 let circ_game = Game.make Cost.Sum (Strategy.budgets circ30)
 
+(* Census pipeline: the end-to-end scan of a full unit-budget space,
+   and the merge step in isolation (pre-scanned shard results), so the
+   recorded trend separates "certifying got slower" from "the sharded
+   pipeline's aggregation overhead grew". *)
+module Census = Bbng_analysis.Census
+
+let census_game = Game.make Cost.Sum (Budget.unit_budgets 4)
+let census_plan = Census.make_plan ~shard_size:9 census_game
+
+let census_shard_results =
+  List.filter_map (Census.scan_shard census_game) (Census.shards census_plan)
+
 (* Named thunks shared by the Bechamel tests and the warm-up pass:
    the first executions of a workload pay for lazy caches, branch
    predictors and the allocator reaching steady state, which is what
@@ -69,6 +81,10 @@ let workloads =
           (Best_response.best_improvement
              ~engine:(Deviation_eval.Fixed Deviation_eval.Rows)
              circ_game circ30 0) );
+    ("census-scan-unit4", fun () -> ignore (Census.run census_game));
+    ( "census-merge-unit4",
+      fun () ->
+        ignore (Census.merge census_game census_plan census_shard_results) );
   ]
 
 let tests =

@@ -866,30 +866,174 @@ let fip_cmd =
 (* --- census --- *)
 
 let census_cmd =
-  let run () version budgets =
-    let game = Game.make version budgets in
-    let profiles = Equilibrium.count_profiles budgets in
-    if profiles > 200_000 then
-      Format.printf "instance has %d profiles; census is for small instances@." profiles
-    else begin
-      let c = Bbng_analysis.Census.run game in
-      Format.printf "%a@." Bbng_analysis.Census.pp_summary c;
-      (match Bbng_analysis.Census.price_of_anarchy c with
-      | Some r -> Format.printf "exact PoA: %a@." Poa.pp_ratio r
-      | None -> ());
-      List.iteri
-        (fun i p ->
-          Format.printf "class %d representative: %s (diameter %d)@." i
-            (Strategy.to_string p)
-            (Game.social_cost game p))
-        c.Bbng_analysis.Census.iso_classes
-    end
+  let module Census = Bbng_analysis.Census in
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out" ] ~docv:"FILE.jsonl"
+          ~doc:
+            "Run the sharded, checkpointed census: each completed shard \
+             appends a digest-stamped row to $(docv).partial, and the \
+             complete census commits $(docv) atomically.  A killed or \
+             deadline-expired run resumes with $(b,--resume).")
+  in
+  let resume_file =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "resume" ] ~docv:"FILE[.partial]"
+          ~doc:
+            "Reload a census checkpoint with the tolerant codec (torn or \
+             alien lines are skipped and counted), recompute only the \
+             missing shards, and commit the final artifact.  The instance \
+             and shard size come from the recorded plan row, so $(b,-b) is \
+             not needed.")
+  in
+  let worker =
+    Arg.(
+      value & flag
+      & info [ "worker" ]
+          ~doc:
+            "Claim shards cooperatively from $(b,--out)'s checkpoint via \
+             appended claim rows, so several OS processes can drain one \
+             census; claims left by dead workers go stale and are \
+             reclaimed.  Whichever worker finishes last commits the final \
+             artifact.")
+  in
+  let owner =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "owner" ] ~docv:"NAME"
+          ~doc:"Worker name recorded in claim rows (default pid-<pid>).")
+  in
+  let shard_size =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "shard-size" ] ~docv:"N"
+          ~doc:
+            "Profiles per shard (default: about a 64th of the space, capped \
+             at 4096).  Recorded in the plan row; a resumed run keeps the \
+             original partitioning.")
+  in
+  let domains =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "domains" ] ~docv:"K"
+          ~doc:"Domains to scan shards on (default: cores - 1).")
+  in
+  let limit =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "limit" ] ~docv:"N"
+          ~doc:"Stop after N equilibria (in-memory scan only).")
+  in
+  let report_outcome ?(skipped = 0) outcome =
+    if skipped > 0 then
+      Format.printf "checkpoint: skipped %d torn/alien line%s@." skipped
+        (if skipped = 1 then "" else "s");
+    let census =
+      match outcome with
+      | Census.Complete c -> c
+      | Census.Partial { census; _ } -> census
+    in
+    Format.printf "%a@." Census.pp_outcome outcome;
+    (match Census.price_of_anarchy census with
+    | Some r when census.Census.scanned_profiles = census.Census.total_profiles
+      ->
+        Format.printf "exact PoA: %a@." Poa.pp_ratio r
+    | Some _ | None -> ());
+    List.iteri
+      (fun i (p, count) ->
+        Format.printf "class %d representative: %s (diameter %d, x%d)@." i
+          (Strategy.to_string p)
+          (Game.social_cost census.Census.game p)
+          count)
+      census.Census.iso_class_counts;
+    Obs.Ledger.add_metric "census.profiles"
+      (Obs.Json.Int census.Census.total_profiles);
+    Obs.Ledger.add_metric "census.scanned"
+      (Obs.Json.Int census.Census.scanned_profiles);
+    Obs.Ledger.add_metric "census.equilibria"
+      (Obs.Json.Int census.Census.equilibria);
+    Obs.Ledger.add_metric "census.iso_classes"
+      (Obs.Json.Int (List.length census.Census.iso_classes));
+    match outcome with
+    | Census.Complete _ -> Obs.Ledger.note_outcome "complete"
+    | Census.Partial _ ->
+        Obs.Ledger.note_outcome "partial";
+        Format.printf "resume with: bbng_cli census --resume FILE[.partial]@.";
+        (* clean exit, but the answer is "incomplete": scripts must be
+           able to tell a resumable stop from a finished census *)
+        exit_failed Obs.Exit_code.exhausted
+  in
+  let run () version budgets out resume worker owner shard_size domains limit
+      budget =
+    match resume with
+    | Some path -> (
+        match Census.resume ?domains ~budget path with
+        | Ok (outcome, skipped) -> report_outcome ~skipped outcome
+        | Error msg ->
+            Format.eprintf "census: %s@." msg;
+            die Obs.Exit_code.input_error)
+    | None -> (
+        if worker then
+          match out with
+          | None ->
+              Format.eprintf "census: --worker needs --out FILE.jsonl@.";
+              die Obs.Exit_code.cli_error
+          | Some path -> (
+              let seed = Option.map (Game.make version) budgets in
+              match Census.work ~budget ?owner ?shard_size ?seed path with
+              | Ok outcome -> report_outcome outcome
+              | Error msg ->
+                  Format.eprintf "census: %s@." msg;
+                  die Obs.Exit_code.input_error)
+        else
+          let budgets =
+            match budgets with
+            | Some b -> b
+            | None ->
+                Format.eprintf
+                  "census: -b BUDGETS is required (unless --resume)@.";
+                die Obs.Exit_code.cli_error
+          in
+          let game = Game.make version budgets in
+          match out with
+          | Some path -> (
+              match
+                Census.run_sharded ?domains ?shard_size ~budget
+                  ~checkpoint:path game
+              with
+              | outcome -> report_outcome outcome
+              | exception Invalid_argument msg ->
+                  Format.eprintf "census: %s@." msg;
+                  die Obs.Exit_code.input_error)
+          | None ->
+              let profiles = Equilibrium.count_profiles budgets in
+              if profiles > 200_000 then
+                Format.printf
+                  "instance has %d profiles; run the sharded census with \
+                   --out FILE.jsonl (checkpointed, resumable, parallel)@."
+                  profiles
+              else report_outcome (Census.run ?limit ~budget game))
   in
   let info =
     Cmd.info "census"
-      ~doc:"Enumerate and classify every Nash equilibrium of a small instance."
+      ~doc:
+        "Enumerate and classify every Nash equilibrium of an instance: \
+         in-memory for small spaces, sharded + checkpointed + resumable \
+         with --out/--resume, cooperatively multi-process with --worker."
   in
-  Cmd.v info Term.(const run $ obs_term $ version_term $ budgets_term)
+  Cmd.v info
+    Term.(
+      const run $ obs_term $ version_term $ budgets_opt_term $ out
+      $ resume_file $ worker $ owner $ shard_size $ domains $ limit
+      $ budget_term)
 
 (* --- export --- *)
 
@@ -1563,7 +1707,9 @@ let runs_gc_cmd =
       List.map
         (fun r ->
           let live, dead =
-            List.partition Sys.file_exists r.Obs.Ledger.artifacts
+            (* .partial-aware: resumable checkpoint state is never
+               pruned as dangling *)
+            List.partition Obs.Ledger.artifact_live r.Obs.Ledger.artifacts
           in
           List.iter
             (fun p ->

@@ -169,4 +169,34 @@ if "$cli" runs diff --ledger "$ledir/SYNTH_ledger.jsonl" synthetic-a synthetic-b
   exit 1
 fi
 
+echo "== census: kill+resume commits byte-identical artifacts =="
+# the checkpointed census's core invariant, end to end: a SIGKILLed
+# sharded run, resumed, must commit the exact bytes of an uninterrupted
+# one; and the committed golden census must still validate read-only
+cendir=_build/census_stage
+rm -rf "$cendir"
+mkdir -p "$cendir/fresh" "$cendir/killed"
+root=$(pwd)
+( cd "$cendir/fresh" && "$root/$cli" census -b 1,1,1,1,1 --shard-size 64 \
+    --out CEN.jsonl > /dev/null )
+rc=0
+( cd "$cendir/killed" && "$root/$cli" census -b 1,1,1,1,1 --shard-size 64 \
+    --out CEN.jsonl --fault census.checkpoint@kill@3 ) > /dev/null 2>&1 || rc=$?
+[ "$rc" = 137 ] || {
+  echo "check: census kill expected exit 137, got $rc"
+  exit 1
+}
+( cd "$cendir/killed" && "$root/$cli" census --resume CEN.jsonl > /dev/null )
+cmp -s "$cendir/fresh/CEN.jsonl" "$cendir/killed/CEN.jsonl" || {
+  echo "check: kill+resume census artifact differs from the fresh run"
+  exit 1
+}
+for f in test/golden/CENSUS_*.jsonl; do
+  [ -e "$f" ] || continue
+  "$cli" census --resume "$f" > /dev/null || {
+    echo "check: golden census $f no longer validates"
+    exit 1
+  }
+done
+
 echo "check: all green"

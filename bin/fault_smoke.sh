@@ -199,4 +199,49 @@ grep -q "skipped 1 torn" skip.txt || fail "the torn line was not reported as ski
 "$CLI" runs show --ledger ledger11/LED.jsonl @-1 > /dev/null \
   || fail "runs show cannot render the recovered row"
 
+echo "== 12. SIGKILL mid-census-checkpoint: resume commits the identical artifact =="
+# reference: an uninterrupted sharded census
+mkdir census12
+(cd census12 && "$CLI" census -b 1,1,1,1,1 --shard-size 50 --out CEN.jsonl > /dev/null)
+# victim A: killed just before the 4th shard row is appended — at most
+# the in-flight shards are lost, the checkpoint keeps whole rows only
+mkdir census12a
+rc=0
+(cd census12a && "$CLI" census -b 1,1,1,1,1 --shard-size 50 --out CEN.jsonl \
+  --fault census.checkpoint@kill@4) > /dev/null 2>&1 || rc=$?
+[ "$rc" = 137 ] || fail "expected SIGKILL exit 137, got $rc"
+[ -e census12a/CEN.jsonl ] && fail "killed census committed a final artifact"
+[ -s census12a/CEN.jsonl.partial ] || fail "killed census left no checkpoint"
+(cd census12a && "$CLI" census --resume CEN.jsonl.partial > /dev/null) \
+  || fail "census checkpoint does not resume"
+cmp -s census12/CEN.jsonl census12a/CEN.jsonl \
+  || fail "kill+resume census is not byte-identical to the uninterrupted run"
+# victim B: killed inside the O_APPEND write itself — the torn trailing
+# line must be skipped (and counted) on resume, with the same bytes out
+mkdir census12b
+rc=0
+(cd census12b && "$CLI" census -b 1,1,1,1,1 --shard-size 50 --out CEN.jsonl \
+  --fault artifact.mid_append@kill@3) > /dev/null 2>&1 || rc=$?
+[ "$rc" = 137 ] || fail "expected SIGKILL exit 137, got $rc"
+[ -s census12b/CEN.jsonl.partial ] || fail "mid-append kill left no checkpoint"
+(cd census12b && "$CLI" census --resume CEN.jsonl > out.txt) \
+  || fail "torn census checkpoint does not resume"
+grep -q "skipped 1 torn" census12b/out.txt \
+  || fail "the torn checkpoint line was not reported as skipped"
+cmp -s census12/CEN.jsonl census12b/CEN.jsonl \
+  || fail "torn-line resume is not byte-identical to the uninterrupted run"
+# a killed worker's claim goes stale, and a second worker drains the
+# rest of the checkpoint to the same bytes
+mkdir census12c
+rc=0
+(cd census12c && "$CLI" census -b 1,1,1,1,1 --shard-size 50 --worker --out CEN.jsonl \
+  --fault census.checkpoint@kill@2) > /dev/null 2>&1 || rc=$?
+[ "$rc" = 137 ] || fail "expected SIGKILL exit 137, got $rc"
+grep -q '"row":"claim"' census12c/CEN.jsonl.partial \
+  || fail "killed worker left no claim rows"
+(cd census12c && "$CLI" census --worker --out CEN.jsonl > /dev/null) \
+  || fail "second worker could not drain the checkpoint"
+cmp -s census12/CEN.jsonl census12c/CEN.jsonl \
+  || fail "worker recovery is not byte-identical to the uninterrupted run"
+
 echo "fault-smoke: all green"

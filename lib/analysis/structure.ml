@@ -4,6 +4,7 @@ module Undirected = Bbng_graph.Undirected
 module Components = Bbng_graph.Components
 module Cycles = Bbng_graph.Cycles
 module Bfs = Bbng_graph.Bfs
+module Isomorphism = Bbng_graph.Isomorphism
 
 type anatomy = {
   connected : bool;
@@ -64,6 +65,120 @@ let check_max_structure profile =
   else if a.cycle_len > 7 then fail "cycle length <= 7"
   else if a.max_dist_to_cycle > 2 then fail "every vertex within distance 2 of the cycle"
   else None
+
+(* --- mergeable isomorphism-class accumulator --- *)
+
+module Iso_acc = struct
+  module Smap = Map.Make (String)
+
+  type cls = { rep : Strategy.t; rep_key : string; count : int }
+
+  type t = { buckets : cls list Smap.t; classes : int; total : int }
+
+  let c_iso_tests = Bbng_obs.Counter.make "census.iso_tests"
+  let c_iso_pruned = Bbng_obs.Counter.make "census.iso_pruned"
+
+  let empty = { buckets = Smap.empty; classes = 0; total = 0 }
+
+  (* Cheap label-invariant fingerprint: profiles in different buckets
+     cannot be isomorphic, so the exact (exponential worst-case)
+     digraph test only ever runs within a bucket — orbit pruning for
+     the accumulator.  In/out-degree sequences, brace count and the
+     underlying diameter are all preserved by relabeling. *)
+  let fingerprint profile =
+    let g = Strategy.realize profile in
+    let n = Strategy.n profile in
+    let indeg = Array.make n 0 in
+    let outdeg = Array.make n 0 in
+    for i = 0 to n - 1 do
+      let s = Strategy.strategy profile i in
+      outdeg.(i) <- Array.length s;
+      Array.iter (fun j -> indeg.(j) <- indeg.(j) + 1) s
+    done;
+    Array.sort compare indeg;
+    Array.sort compare outdeg;
+    let b = Buffer.create 64 in
+    Buffer.add_string b (string_of_int n);
+    Buffer.add_char b '|';
+    Array.iter
+      (fun d ->
+        Buffer.add_string b (string_of_int d);
+        Buffer.add_char b ',')
+      indeg;
+    Buffer.add_char b '|';
+    Array.iter
+      (fun d ->
+        Buffer.add_string b (string_of_int d);
+        Buffer.add_char b ',')
+      outdeg;
+    Buffer.add_char b '|';
+    Buffer.add_string b (string_of_int (List.length (Digraph.braces g)));
+    Buffer.add_char b '|';
+    Buffer.add_string b (string_of_int (Cost.social_cost (Strategy.underlying profile)));
+    Buffer.contents b
+
+  (* Deterministic representative: the class keeps its lexicographically
+     smallest member seen (by serialization), so the final class list is
+     independent of scan partitioning and merge order — the property the
+     census's byte-identical-resume contract rests on. *)
+  let min_rep a b = if a.rep_key <= b.rep_key then a else b
+
+  let add_weighted acc profile weight =
+    let fp = fingerprint profile in
+    let bucket = Option.value ~default:[] (Smap.find_opt fp acc.buckets) in
+    if bucket = [] then Bbng_obs.Counter.bump c_iso_pruned;
+    let g = Strategy.realize profile in
+    let rec place seen = function
+      | [] ->
+          let cls =
+            { rep = profile; rep_key = Strategy.to_string profile; count = weight }
+          in
+          (List.rev (cls :: seen), true)
+      | c :: rest ->
+          Bbng_obs.Counter.bump c_iso_tests;
+          if Isomorphism.digraph_isomorphic (Strategy.realize c.rep) g then
+            let merged =
+              {
+                (min_rep c
+                   {
+                     rep = profile;
+                     rep_key = Strategy.to_string profile;
+                     count = 0;
+                   })
+                with
+                count = c.count + weight;
+              }
+            in
+            (List.rev_append seen (merged :: rest), false)
+          else place (c :: seen) rest
+    in
+    let bucket, fresh = place [] bucket in
+    {
+      buckets = Smap.add fp bucket acc.buckets;
+      classes = (acc.classes + if fresh then 1 else 0);
+      total = acc.total + weight;
+    }
+
+  let add acc profile = add_weighted acc profile 1
+
+  let add_class acc ~rep ~count = add_weighted acc rep count
+
+  let merge a b =
+    Smap.fold
+      (fun _ bucket acc ->
+        List.fold_left
+          (fun acc c -> add_weighted acc c.rep c.count)
+          acc bucket)
+      b.buckets a
+
+  let classes acc =
+    Smap.fold (fun _ bucket l -> List.rev_append bucket l) acc.buckets []
+    |> List.sort (fun a b -> compare a.rep_key b.rep_key)
+    |> List.map (fun c -> (c.rep, c.count))
+
+  let class_count acc = acc.classes
+  let total acc = acc.total
+end
 
 let pp_anatomy ppf a =
   Format.fprintf ppf

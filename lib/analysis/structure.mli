@@ -36,3 +36,43 @@ val check_max_structure : Strategy.t -> violation option
 (** [None] iff the profile satisfies Theorem 4.2's conclusion. *)
 
 val pp_anatomy : Format.formatter -> anatomy -> unit
+
+(** Mergeable isomorphism-class accumulator (census substrate).
+
+    Classifies profiles by realization isomorphism incrementally: each
+    [add] buckets the profile under a cheap label-invariant fingerprint
+    (degree sequences, brace count, underlying diameter), so the exact
+    — exponential worst-case — digraph-isomorphism test only runs
+    against representatives sharing the invariant (orbit pruning).
+    Accumulators built over disjoint slices of the profile space
+    [merge] into the same classes the sequential scan finds, and each
+    class keeps its lexicographically smallest member as
+    representative, so the final class list is independent of shard
+    partitioning and merge order — the property the census's
+    byte-identical crash/resume contract rests on. *)
+module Iso_acc : sig
+  type t
+
+  val empty : t
+
+  val add : t -> Strategy.t -> t
+  (** Classify one profile (weight 1). *)
+
+  val add_class : t -> rep:Strategy.t -> count:int -> t
+  (** Re-inject a class deserialized from a checkpoint row: classified
+      like [add] but carrying [count] members. *)
+
+  val merge : t -> t -> t
+  (** Union of two accumulators; counts add, representatives minimize. *)
+
+  val classes : t -> (Strategy.t * int) list
+  (** [(representative, member count)] per class, sorted by the
+      representative's serialization — a canonical order. *)
+
+  val class_count : t -> int
+  val total : t -> int
+
+  val fingerprint : Strategy.t -> string
+  (** The bucketing invariant (exposed for tests: isomorphic profiles
+      must agree on it). *)
+end

@@ -838,6 +838,73 @@ let iter_profiles budgets f =
   in
   assign 0
 
+(* Resumable slice of the profile space: profile index [lo, hi) in the
+   mixed-radix order of [iter_profiles] (player 0 is the most
+   significant digit, each digit a combination rank).  A census shard
+   is exactly such a pair, so restarting one needs no state beyond it. *)
+let iter_profiles_range budgets ~lo ~hi f =
+  let n = Budget.n budgets in
+  let radices =
+    Array.init n (fun i ->
+        match Combinatorics.binomial (n - 1) (Budget.get budgets i) with
+        | Combinatorics.Exact c -> c
+        | Combinatorics.Saturated ->
+            invalid_arg "Equilibrium.iter_profiles_range: saturated space")
+  in
+  let total =
+    Array.fold_left
+      (fun acc r ->
+        if r = 0 || acc = 0 then 0
+        else if acc > max_int / r then
+          invalid_arg "Equilibrium.iter_profiles_range: saturated space"
+        else acc * r)
+      1 radices
+  in
+  if lo < 0 || hi > total || lo > hi then
+    invalid_arg "Equilibrium.iter_profiles_range: bad range";
+  if lo < hi then begin
+    let digits = Array.make n 0 in
+    let rem = ref lo in
+    for i = n - 1 downto 0 do
+      digits.(i) <- !rem mod radices.(i);
+      rem := !rem / radices.(i)
+    done;
+    let combos =
+      Array.init n (fun i ->
+          Combinatorics.unrank_combination ~n:(n - 1)
+            ~k:(Budget.get budgets i) digits.(i))
+    in
+    let unshift player c =
+      Array.map (fun i -> if i < player then i else i + 1) c
+    in
+    let strategies = Array.init n (fun i -> unshift i combos.(i)) in
+    let emit () =
+      f (Strategy.make budgets (Array.map Array.copy strategies))
+    in
+    (* odometer step: advance the least significant digit that has a
+       successor, reset the suffix to first combinations *)
+    let rec advance i =
+      if i < 0 then false
+      else if Combinatorics.next_combination ~n:(n - 1) combos.(i) then begin
+        strategies.(i) <- unshift i combos.(i);
+        true
+      end
+      else begin
+        let c = combos.(i) in
+        Array.iteri (fun j _ -> c.(j) <- j) c;
+        strategies.(i) <- unshift i c;
+        advance (i - 1)
+      end
+    in
+    emit ();
+    for _ = lo + 1 to hi - 1 do
+      if not (advance (n - 1)) then
+        (* hi <= total: the odometer cannot run out inside the range *)
+        assert false;
+      emit ()
+    done
+  end
+
 let count_profiles budgets =
   let n = Budget.n budgets in
   let acc = ref 1 in

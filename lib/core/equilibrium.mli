@@ -173,6 +173,15 @@ val iter_profiles : Budget.t -> (Strategy.t -> unit) -> unit
 (** Every strategy profile of the instance, lexicographically.  The
     count is [prod_i C(n-1, b_i)]: practical for [n <= 6]-ish. *)
 
+val iter_profiles_range :
+  Budget.t -> lo:int -> hi:int -> (Strategy.t -> unit) -> unit
+(** Profiles at lexicographic indices [[lo, hi)] of {!iter_profiles}'s
+    order — the restartable slice a census shard scans.  Seeks to [lo]
+    by combination unranking (no replay of predecessors), then steps
+    the per-player odometer.
+    @raise Invalid_argument on a saturated profile space or a range
+    outside [[0, count_profiles budgets]]. *)
+
 val count_profiles : Budget.t -> int
 (** [prod_i C(n-1, b_i)], saturating at [max_int]. *)
 

@@ -87,6 +87,45 @@ let map ?domains ~n f =
       results
   end
 
+(* Dynamic (work-stealing-ish) scheduling: indices are claimed one at
+   a time from a shared atomic counter, so wildly heterogeneous task
+   costs — census shards whose equilibrium density varies across the
+   profile space — balance without any cost model.  Block-cyclic [map]
+   stays the right tool for near-uniform per-index work (per-player
+   certification): it touches the counter cache line not at all. *)
+let map_dynamic ?domains ~n f =
+  let k = min n (match domains with Some d -> max 1 d | None -> recommended_domains ()) in
+  if k <= 1 || n <= 1 then
+    Array.init n (fun i ->
+        Bbng_obs.Metrics.incr m_tasks;
+        f i)
+  else begin
+    let next = Atomic.make 0 in
+    let results = Array.make n None in
+    let rec worker () =
+      let i = Atomic.fetch_and_add next 1 in
+      if i < n then begin
+        Bbng_obs.Metrics.incr m_tasks;
+        results.(i) <- Some (f i);
+        worker ()
+      end
+    in
+    (* spawned workers root their span paths under the caller's current
+       call path, so a parallel fan-out's spans fold into the same
+       flamegraph branch as the single-domain run's *)
+    let base = Bbng_obs.Profile.current_path () in
+    let spawned =
+      List.init (k - 1) (fun _ ->
+          Domain.spawn (fun () -> Bbng_obs.Profile.with_root base worker))
+    in
+    Bbng_obs.Counter.add c_spawned (k - 1);
+    worker ();
+    List.iter Domain.join spawned;
+    Array.map
+      (function Some r -> r | None -> assert false (* every index claimed *))
+      results
+  end
+
 let find_map ?domains ~n f =
   let k = min n (match domains with Some d -> max 1 d | None -> recommended_domains ()) in
   if k <= 1 || n <= 1 then begin

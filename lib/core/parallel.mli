@@ -35,6 +35,14 @@ val map : ?domains:int -> n:int -> (int -> 'a) -> 'a array
     whole point is keeping every player's evidence (deterministic
     output, unlike {!find_map}). *)
 
+val map_dynamic : ?domains:int -> n:int -> (int -> 'a) -> 'a array
+(** {!map} with dynamic scheduling: indices are claimed one at a time
+    from a shared atomic counter, so heterogeneous per-index costs
+    (census shards of very different equilibrium density) balance
+    across domains instead of serializing behind the unluckiest block.
+    Same determinism as {!map} — every index is evaluated and lands in
+    its slot; only the execution interleaving differs. *)
+
 val find_map : ?domains:int -> n:int -> (int -> 'a option) -> 'a option
 (** First-ish [Some] produced by any index, or [None].  "First-ish":
     with several domains the winner is the first to {e finish}, not

@@ -36,6 +36,70 @@ let binomial_sat n k = match binomial n k with Exact c -> c | Saturated -> max_i
 
 exception Stop
 
+(* Lexicographic rank/unrank over k-subsets of {0..n-1}: the census
+   shards a profile space into pure (lo, hi) index ranges, so a shard
+   restart needs "the rank-r subset" without replaying r predecessors.
+   Both directions are only meaningful on non-saturated spaces; the
+   intermediate binomials are then sub-counts of an exact total, hence
+   exact themselves. *)
+
+let unrank_combination ~n ~k rank =
+  (match binomial n k with
+  | Exact total when 0 <= rank && rank < total -> ()
+  | Exact _ -> invalid_arg "Combinatorics.unrank_combination: rank out of range"
+  | Saturated ->
+      invalid_arg "Combinatorics.unrank_combination: saturated subset space");
+  let c = Array.make k 0 in
+  let rank = ref rank in
+  let v = ref 0 in
+  for i = 0 to k - 1 do
+    (* the subsets starting with value v at slot i form a block of
+       C(n - 1 - v, k - 1 - i); walk blocks until the rank falls inside *)
+    let rec pick v' =
+      let block = binomial_sat (n - 1 - v') (k - 1 - i) in
+      if !rank < block then v'
+      else begin
+        rank := !rank - block;
+        pick (v' + 1)
+      end
+    in
+    let chosen = pick !v in
+    c.(i) <- chosen;
+    v := chosen + 1
+  done;
+  c
+
+let rank_combination ~n c =
+  let k = Array.length c in
+  (match binomial n k with
+  | Exact _ -> ()
+  | Saturated ->
+      invalid_arg "Combinatorics.rank_combination: saturated subset space");
+  let rank = ref 0 in
+  let prev = ref 0 in
+  for i = 0 to k - 1 do
+    for v = !prev to c.(i) - 1 do
+      rank := !rank + binomial_sat (n - 1 - v) (k - 1 - i)
+    done;
+    prev := c.(i) + 1
+  done;
+  !rank
+
+let next_combination ~n c =
+  let k = Array.length c in
+  let i = ref (k - 1) in
+  while !i >= 0 && c.(!i) = n - k + !i do
+    decr i
+  done;
+  if !i < 0 then false
+  else begin
+    c.(!i) <- c.(!i) + 1;
+    for j = !i + 1 to k - 1 do
+      c.(j) <- c.(j - 1) + 1
+    done;
+    true
+  end
+
 (* Lexicographic successor on index arrays: find the rightmost index
    that can still be advanced, advance it, reset the suffix. *)
 let iter_combinations ~n ~k f =

@@ -27,6 +27,23 @@ val binomial_sat : int -> int -> int
     bars): [max_int] on overflow.  Anything user-visible or verified must
     use [binomial] and handle [Saturated] explicitly. *)
 
+val unrank_combination : n:int -> k:int -> int -> int array
+(** [unrank_combination ~n ~k r] is the rank-[r] (0-based) subset in the
+    lexicographic order {!iter_combinations} uses, as a fresh sorted
+    array.  This is what lets a census shard start mid-space without
+    replaying its predecessors.
+    @raise Invalid_argument if the space is saturated or [r] is outside
+    [[0, C(n,k))]. *)
+
+val rank_combination : n:int -> int array -> int
+(** Inverse of {!unrank_combination} on sorted subsets of [{0..n-1}].
+    @raise Invalid_argument if the space is saturated. *)
+
+val next_combination : n:int -> int array -> bool
+(** In-place lexicographic successor; [false] (array untouched) on the
+    last subset.  Together with {!unrank_combination} this gives
+    resumable iteration from an arbitrary rank. *)
+
 val iter_combinations : n:int -> k:int -> (int array -> unit) -> unit
 (** [iter_combinations ~n ~k f] calls [f] once per size-[k] subset of
     [{0, ..., n-1}], in lexicographic order, passing the subset as a

@@ -170,6 +170,13 @@ let numeric_metrics r =
 
 (* --- reading --- *)
 
+(* A referenced artifact is alive if its committed file exists OR its
+   .partial sibling does: a checkpoint mid-campaign (census shards, an
+   interrupted recording) is resumable state, not garbage — `runs gc`
+   must never prune the row that points at it. *)
+let artifact_live path =
+  Sys.file_exists path || Sys.file_exists (Atomic_io.partial_path path)
+
 let load ?file () =
   let file =
     match file with Some f -> f | None -> Option.value (resolve_file ()) ~default:default_file

@@ -60,6 +60,12 @@ val row_of_json : Json.t -> row option
 val numeric_metrics : row -> (string * float) list
 (** The [Int]/[Float] metrics, for threshold comparison. *)
 
+val artifact_live : string -> bool
+(** Whether an artifact reference still points at something on disk:
+    the committed [path] {e or} its resumable [path.partial] sibling
+    (a census checkpoint, an interrupted recording).  [runs gc] prunes
+    a reference only when both are gone. *)
+
 val load : ?file:string -> unit -> row list * int
 (** Rows in file order plus the count of skipped (torn/alien) lines.
     A missing file is an empty ledger, not an error. *)

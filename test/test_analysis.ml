@@ -238,6 +238,78 @@ let test_table_alignment () =
       check_int "rule width matches" (String.length header) (String.length rule)
   | _ -> Alcotest.fail "expected header and rule"
 
+(* --- Iso_acc: mergeable isomorphism-class accumulator --- *)
+
+let unit4_equilibria version =
+  let b = Budget.unit_budgets 4 in
+  let game = Game.make version b in
+  let acc = ref [] in
+  Equilibrium.iter_profiles b (fun p ->
+      if Equilibrium.is_nash game p then acc := p :: !acc);
+  List.rev !acc
+
+let class_strings acc =
+  List.map
+    (fun (rep, count) -> (Strategy.to_string rep, count))
+    (Structure.Iso_acc.classes acc)
+
+let test_iso_acc_counts () =
+  let eqs = unit4_equilibria Cost.Sum in
+  let acc =
+    List.fold_left Structure.Iso_acc.add Structure.Iso_acc.empty eqs
+  in
+  check_int "total" (List.length eqs) (Structure.Iso_acc.total acc);
+  check_int "classes consistent"
+    (Structure.Iso_acc.class_count acc)
+    (List.length (Structure.Iso_acc.classes acc));
+  check_int "counts add up" (List.length eqs)
+    (List.fold_left (fun a (_, c) -> a + c) 0 (Structure.Iso_acc.classes acc))
+
+let test_iso_acc_merge_order_independent () =
+  let eqs = unit4_equilibria Cost.Sum in
+  let add_all l =
+    List.fold_left Structure.Iso_acc.add Structure.Iso_acc.empty l
+  in
+  let whole = class_strings (add_all eqs) in
+  let rec split = function
+    | [] -> ([], [])
+    | [ x ] -> ([ x ], [])
+    | x :: y :: rest ->
+        let a, b = split rest in
+        (x :: a, y :: b)
+  in
+  let a, b = split eqs in
+  check_true "a+b = whole"
+    (class_strings (Structure.Iso_acc.merge (add_all a) (add_all b)) = whole);
+  check_true "b+a = whole"
+    (class_strings (Structure.Iso_acc.merge (add_all b) (add_all a)) = whole);
+  (* re-injecting serialized classes (the checkpoint path) agrees too *)
+  let reinjected =
+    List.fold_left
+      (fun acc (rep, count) ->
+        Structure.Iso_acc.add_class acc ~rep:(Strategy.of_string rep) ~count)
+      Structure.Iso_acc.empty whole
+  in
+  check_true "add_class round-trip" (class_strings reinjected = whole)
+
+let test_iso_acc_groups_relabellings () =
+  (* the directed triangle under two labelings: one class, count 2 *)
+  let b = Budget.unit_budgets 3 in
+  let p1 = Strategy.make b [| [| 1 |]; [| 2 |]; [| 0 |] |] in
+  let p2 = Strategy.make b [| [| 2 |]; [| 0 |]; [| 1 |] |] in
+  check_true "fingerprints agree"
+    (Structure.Iso_acc.fingerprint p1 = Structure.Iso_acc.fingerprint p2);
+  let acc =
+    Structure.Iso_acc.add (Structure.Iso_acc.add Structure.Iso_acc.empty p1) p2
+  in
+  match Structure.Iso_acc.classes acc with
+  | [ (rep, 2) ] ->
+      (* canonical representative: the lexicographically least serialization *)
+      check_true "minimal rep"
+        (Strategy.to_string rep
+        = min (Strategy.to_string p1) (Strategy.to_string p2))
+  | l -> Alcotest.failf "expected one class of 2, got %d" (List.length l)
+
 let suite =
   [
     case "anatomy of sun" test_anatomy_of_sun;
@@ -266,4 +338,7 @@ let suite =
     case "table width mismatch" test_table_width_mismatch;
     case "table cells" test_table_cells;
     case "table alignment" test_table_alignment;
+    slow_case "iso accumulator counts" test_iso_acc_counts;
+    slow_case "iso accumulator merge order" test_iso_acc_merge_order_independent;
+    case "iso accumulator groups relabellings" test_iso_acc_groups_relabellings;
   ]

@@ -105,6 +105,60 @@ let prop_subsets_sorted_distinct =
           ok c && List.for_all (fun x -> x >= 0 && x < n) c)
         (collect ~n ~k))
 
+(* --- rank / unrank / successor: the census-shard substrate --- *)
+
+let test_unrank_endpoints_and_guards () =
+  check_int_array "rank 0" [| 0; 1; 2 |] (C.unrank_combination ~n:5 ~k:3 0);
+  check_int_array "last rank" [| 2; 3; 4 |] (C.unrank_combination ~n:5 ~k:3 9);
+  check_int_array "k = 0" [||] (C.unrank_combination ~n:5 ~k:0 0);
+  check_true "rank past the space rejected"
+    (match C.unrank_combination ~n:5 ~k:3 10 with
+    | exception Invalid_argument _ -> true
+    | _ -> false);
+  check_true "negative rank rejected"
+    (match C.unrank_combination ~n:5 ~k:3 (-1) with
+    | exception Invalid_argument _ -> true
+    | _ -> false);
+  check_true "saturated space rejected"
+    (match C.unrank_combination ~n:200 ~k:100 0 with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_unrank_matches_iteration_order () =
+  let all = Array.of_list (collect ~n:6 ~k:3) in
+  Array.iteri
+    (fun r expect ->
+      let c = C.unrank_combination ~n:6 ~k:3 r in
+      check_int_list (Printf.sprintf "unrank %d" r) expect (Array.to_list c);
+      check_int (Printf.sprintf "rank back %d" r) r (C.rank_combination ~n:6 c))
+    all
+
+let test_next_combination_chain () =
+  (* start anywhere, step to the end: exactly the enumeration's tail *)
+  let all = collect ~n:6 ~k:3 in
+  let c = C.unrank_combination ~n:6 ~k:3 0 in
+  let seen = ref [ Array.to_list c ] in
+  while C.next_combination ~n:6 c do
+    seen := Array.to_list c :: !seen
+  done;
+  check_true "successor chain = lexicographic order" (List.rev !seen = all);
+  check_int_list "last subset untouched by the failing step" [ 3; 4; 5 ]
+    (Array.to_list c)
+
+let prop_rank_unrank_roundtrip =
+  qcheck "rank . unrank = id on every rank"
+    (QCheck.make
+       ~print:(fun (n, k, r) -> Printf.sprintf "n=%d k=%d r=%d" n k r)
+       QCheck.Gen.(
+         int_range 1 10 >>= fun n ->
+         int_range 0 n >>= fun k ->
+         let total =
+           match C.binomial n k with C.Exact e -> e | C.Saturated -> 1
+         in
+         int_range 0 (total - 1) >>= fun r -> return (n, k, r)))
+    (fun (n, k, r) ->
+      C.rank_combination ~n (C.unrank_combination ~n ~k r) = r)
+
 let suite =
   [
     case "binomial" test_binomial;
@@ -120,4 +174,8 @@ let suite =
     case "fold_best empty" test_fold_best_none;
     prop_count_matches_binomial;
     prop_subsets_sorted_distinct;
+    case "unrank endpoints and guards" test_unrank_endpoints_and_guards;
+    case "unrank matches iteration order" test_unrank_matches_iteration_order;
+    case "successor chain" test_next_combination_chain;
+    prop_rank_unrank_roundtrip;
   ]

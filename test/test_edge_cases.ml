@@ -141,7 +141,11 @@ let test_serialize_empty_graph () =
 let test_census_poa_subcritical () =
   (* subcritical: OPT = n^2, every NE diameter = n^2: PoA = 1 *)
   let game = Game.make Cost.Sum (Budget.of_list [ 0; 0; 1; 0 ]) in
-  let c = Bbng_analysis.Census.run game in
+  let c =
+    match Bbng_analysis.Census.run game with
+    | Bbng_analysis.Census.Complete c -> c
+    | Bbng_analysis.Census.Partial _ -> Alcotest.fail "unexpected partial census"
+  in
   match Bbng_analysis.Census.price_of_anarchy c with
   | Some r -> check_true "PoA 1" (Poa.ratio_to_float r = 1.0)
   | None -> Alcotest.fail "expected a PoA"

@@ -139,6 +139,60 @@ let prop_existence_construction_certifies =
         (fun version -> Equilibrium.is_nash (Game.make version b) p)
         Cost.all_versions)
 
+(* --- ranged enumeration (census shards) --- *)
+
+let profiles_in_range b ~lo ~hi =
+  let acc = ref [] in
+  Equilibrium.iter_profiles_range b ~lo ~hi (fun p ->
+      acc := Strategy.to_string p :: !acc);
+  List.rev !acc
+
+let test_iter_profiles_range_replays () =
+  let b = Budget.of_list [ 2; 1; 1; 0 ] in
+  let total = Equilibrium.count_profiles b in
+  let all = ref [] in
+  Equilibrium.iter_profiles b (fun p -> all := Strategy.to_string p :: !all);
+  let all = List.rev !all in
+  check_int "space size" total (List.length all);
+  check_true "full range = iter_profiles"
+    (profiles_in_range b ~lo:0 ~hi:total = all);
+  (* every split point partitions the enumeration *)
+  List.iter
+    (fun mid ->
+      check_true
+        (Printf.sprintf "split at %d" mid)
+        (profiles_in_range b ~lo:0 ~hi:mid @ profiles_in_range b ~lo:mid ~hi:total
+        = all))
+    [ 0; 1; total / 2; total - 1; total ]
+
+let test_iter_profiles_range_guards () =
+  let b = Budget.unit_budgets 3 in
+  check_true "lo < 0 rejected"
+    (match Equilibrium.iter_profiles_range b ~lo:(-1) ~hi:1 (fun _ -> ()) with
+    | exception Invalid_argument _ -> true
+    | () -> false);
+  check_true "hi past the space rejected"
+    (match Equilibrium.iter_profiles_range b ~lo:0 ~hi:9 (fun _ -> ()) with
+    | exception Invalid_argument _ -> true
+    | () -> false);
+  (* empty slice: no calls, no error *)
+  Equilibrium.iter_profiles_range b ~lo:4 ~hi:4 (fun _ ->
+      Alcotest.fail "empty range produced a profile")
+
+let prop_range_partition_agrees =
+  qcheck ~count:50 "ranged enumeration partitions iter_profiles"
+    (random_budget_gen ~n_min:2 ~n_max:5) (fun (n, total, seed) ->
+      let b = Budget.random_partition (rng seed) ~n ~total in
+      let space = Equilibrium.count_profiles b in
+      space > 100_000
+      ||
+      let all = ref [] in
+      Equilibrium.iter_profiles b (fun p ->
+          all := Strategy.to_string p :: !all);
+      let mid = space * (seed mod 100) / 100 in
+      profiles_in_range b ~lo:0 ~hi:mid @ profiles_in_range b ~lo:mid ~hi:space
+      = List.rev !all)
+
 let suite =
   [
     case "certify equilibrium" test_certify_equilibrium;
@@ -156,4 +210,7 @@ let suite =
     prop_lemma_3_1_connected_equilibria;
     slow_case "tree instances have tree equilibria (Sec 3)"
       test_tree_instances_have_tree_equilibria;
+    case "iter_profiles_range replays" test_iter_profiles_range_replays;
+    case "iter_profiles_range guards" test_iter_profiles_range_guards;
+    prop_range_partition_agrees;
   ]

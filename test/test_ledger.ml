@@ -202,6 +202,21 @@ let test_of_report_events () =
         (String.length r2.Ledger.run_id > 10
         && String.sub r2.Ledger.run_id 0 10 = "recovered-"))
 
+let test_artifact_live_sees_partials () =
+  let file = Filename.temp_file "bbng_ledger_art" ".jsonl" in
+  let partial = Bbng_obs.Atomic_io.partial_path file in
+  check_true "committed artifact is live" (Ledger.artifact_live file);
+  Sys.remove file;
+  check_false "gone artifact is dead" (Ledger.artifact_live file);
+  (* only the resumable checkpoint exists: still live — `runs gc` must
+     not prune a reference whose census can still be resumed *)
+  let oc = open_out partial in
+  output_string oc "{}\n";
+  close_out oc;
+  check_true "a .partial keeps the reference live" (Ledger.artifact_live file);
+  Sys.remove partial;
+  check_false "dead once both are gone" (Ledger.artifact_live file)
+
 let suite =
   [
     case "row round-trips through JSON" test_row_roundtrip;
@@ -212,4 +227,5 @@ let suite =
     case "missing ledger is empty, not an error" test_load_missing_file_is_empty;
     case "numeric metrics filter" test_numeric_metrics;
     case "row recovery from a recorded stream" test_of_report_events;
+    case "artifact_live sees resumable partials" test_artifact_live_sees_partials;
   ]

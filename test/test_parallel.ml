@@ -99,6 +99,34 @@ let prop_parallel_matches_sequential =
           Equilibrium.is_nash game p = Equilibrium.is_nash_parallel ~domains:3 game p)
         Cost.all_versions)
 
+(* --- dynamic-scheduling map (census shards) --- *)
+
+let test_map_dynamic_matches_sequential () =
+  let f i = (i * 17) mod 5 in
+  let seq = Array.init 40 f in
+  List.iter
+    (fun domains ->
+      check_int_array
+        (Printf.sprintf "domains=%d" domains)
+        seq
+        (Parallel.map_dynamic ~domains ~n:40 f))
+    [ 1; 2; 4 ]
+
+let test_map_dynamic_each_index_once () =
+  (* dynamic claiming still evaluates every index exactly once, and each
+     lands in its own slot (per-cell writes are single-owner) *)
+  let hits = Array.make 60 0 in
+  let got =
+    Parallel.map_dynamic ~domains:3 ~n:60 (fun i ->
+        hits.(i) <- hits.(i) + 1;
+        i)
+  in
+  check_true "every index exactly once" (Array.for_all (fun c -> c = 1) hits);
+  check_int_array "identity in order" (Array.init 60 Fun.id) got
+
+let test_map_dynamic_empty () =
+  check_int "n=0" 0 (Array.length (Parallel.map_dynamic ~n:0 (fun i -> i)))
+
 let suite =
   [
     case "for_all true" test_for_all_true;
@@ -112,4 +140,7 @@ let suite =
     case "no abandonment without early exit" test_no_abandonment_without_early_exit;
     slow_case "parallel certification agrees" test_parallel_certification_agrees;
     prop_parallel_matches_sequential;
+    case "map_dynamic matches sequential" test_map_dynamic_matches_sequential;
+    case "map_dynamic covers every index once" test_map_dynamic_each_index_once;
+    case "map_dynamic empty" test_map_dynamic_empty;
   ]
