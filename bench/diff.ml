@@ -69,6 +69,18 @@ let threshold_pct () =
 let ns_floor = 100.
 let words_floor = 64.
 
+(* bechamel's minor-words OLS fit can collapse to a degenerate 0 on a
+   loaded machine even when the workload's true allocation is a steady
+   1-2k words/run, so a comparison where either side reads exactly 0
+   is indistinguishable from fit noise below this amplitude — use it
+   as the floor for zero-sided words deltas instead of words_floor *)
+let words_fit_collapse = 2048.
+
+let words_floor_for old_v new_v =
+  match (old_v, new_v) with
+  | Some o, Some n when o = 0. || n = 0. -> words_fit_collapse
+  | _ -> words_floor
+
 type verdict = Ok_ | Faster | Regressed
 
 let compare_metric ~floor ~threshold old_v new_v =
@@ -112,8 +124,9 @@ let run old_file new_file =
             compare_metric ~floor:ns_floor ~threshold old_row.ns new_row.ns
           in
           let w_v, w_pct =
-            compare_metric ~floor:words_floor ~threshold old_row.words
-              new_row.words
+            compare_metric
+              ~floor:(words_floor_for old_row.words new_row.words)
+              ~threshold old_row.words new_row.words
           in
           let verdict =
             match (ns_v, w_v) with

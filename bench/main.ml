@@ -8,6 +8,7 @@
      dune exec bench/main.exe -- --smoke          # seconds-long bench sanity pass
      dune exec bench/main.exe -- --validate BENCH_smoke.json
      dune exec bench/main.exe -- --validate-metrics METRICS.prom
+     dune exec bench/main.exe -- --csr-oracle CENSUS.jsonl  # CSR vs legacy answers
      dune exec bench/main.exe -- --diff OLD.json NEW.json   # regression gate
      dune exec bench/main.exe -- --trend [HISTORY.jsonl]    # gate vs recorded history
      dune exec bench/main.exe -- --profile OUT.folded perf  # folded stacks of a run
@@ -168,6 +169,12 @@ let () =
       exit 0
   | _ :: "--validate-metrics" :: [] ->
       Printf.eprintf "--validate-metrics needs a file argument\n";
+      exit 2
+  | _ :: "--csr-oracle" :: file :: _ ->
+      Csr_oracle.run file;
+      exit 0
+  | _ :: "--csr-oracle" :: [] ->
+      Printf.eprintf "--csr-oracle needs a CENSUS_*.jsonl argument\n";
       exit 2
   | _ :: "--diff" :: old_file :: new_file :: _ ->
       Diff.run old_file new_file;

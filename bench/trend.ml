@@ -118,11 +118,17 @@ let run ?file () =
                       ~history l
               in
               (* same absolute floors as --diff: sub-100ns and sub-64-word
-                 figures are measurement noise *)
+                 figures are measurement noise; a words series touching
+                 an exact 0 carries a collapsed OLS fit, so it gets the
+                 wider fit-collapse floor *)
               let ns_trend = classify ~floor:Diff.ns_floor ns_hist b.History.ns in
-              let mw_trend =
-                classify ~floor:Diff.words_floor mw_hist b.History.minor
+              let mw_floor =
+                let zero = function Some 0. -> true | _ -> false in
+                if zero b.History.minor || List.mem 0. mw_hist then
+                  Diff.words_fit_collapse
+                else Diff.words_floor
               in
+              let mw_trend = classify ~floor:mw_floor mw_hist b.History.minor in
               let worst =
                 match (ns_trend, mw_trend) with
                 | Some Robust.Regressed, _ | _, Some Robust.Regressed ->

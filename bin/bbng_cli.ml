@@ -1606,9 +1606,14 @@ let runs_diff_cmd =
       b.Obs.Ledger.run_id b.Obs.Ledger.subcommand b.Obs.Ledger.outcome pct;
     (* the same gate shape as bench --diff/--trend (PR 7): a one-point
        history makes Robust fall back to the percentage term, and the
-       ns/words floors silence sub-noise absolute wiggles *)
-    let floor_for k =
-      if contains_substring k "words" then 64.
+       ns/words floors silence sub-noise absolute wiggles.  A words
+       metric reading exactly 0 on one side is a collapsed minor-words
+       OLS fit (the true allocation of a sub-2k-word workload on a
+       loaded machine), so zero-sided words deltas get the wider
+       fit-collapse floor — the delta is unverifiable below it *)
+    let floor_for k va vb =
+      if contains_substring k "words" then
+        if va = 0. || vb = 0. then 2048. else 64.
       else if contains_substring k "ns" then 100.
       else 0.
     in
@@ -1627,7 +1632,7 @@ let runs_diff_cmd =
             let tag =
               match
                 Bbng_analysis.Robust.classify ~threshold_pct:pct
-                  ~floor:(floor_for k) ~history:[ va ] vb
+                  ~floor:(floor_for k va vb) ~history:[ va ] vb
               with
               | Some Bbng_analysis.Robust.Regressed ->
                   incr regressions;

@@ -38,6 +38,22 @@ if [ "$found_golden" = 0 ]; then
   exit 1
 fi
 
+echo "== CSR engine vs legacy oracle on golden census graphs =="
+# the flat CSR BFS/iFUB-diameter engine must agree with the retained
+# adjacency-walking walker on every equilibrium graph named by the
+# committed census artifacts — a kernel regression fails here even if
+# it slips past the unit suite's random graphs
+found_census=0
+for f in test/golden/CENSUS_*.jsonl; do
+  [ -e "$f" ] || continue
+  found_census=1
+  dune exec bench/main.exe -- --csr-oracle "$f"
+done
+if [ "$found_census" = 0 ]; then
+  echo "check: no golden census artifacts for the CSR oracle"
+  exit 1
+fi
+
 echo "== fault-matrix smoke =="
 # out-of-process crash-safety: SIGKILL/raise/deadline injections must
 # leave only artifacts that verify or replay cleanly, and malformed

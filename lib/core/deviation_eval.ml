@@ -47,7 +47,12 @@ type t = {
   player : int;
   n : int;
   engine : engine;
-  static_adj : int array array;  (* all arcs except the player's owned ones *)
+  (* all arcs except the player's owned ones, in flat CSR shape: row u
+     is static_targets.[static_offs.(u) .. static_offs.(u+1)).  The
+     BFS and min-combine hot loops below are straight int-array scans
+     over these two vectors — no per-vertex array chase, no closure. *)
+  static_offs : int array;       (* n + 1 *)
+  static_targets : int array;
   own : int array;               (* the player's strategy in the profile *)
   rows_state : rows_state option;  (* Some iff engine = Rows *)
   (* reusable scratch: [seen.(v) = stamp] marks validity of [dist.(v)] *)
@@ -85,10 +90,14 @@ let make ?(budget = Bbng_obs.Budgeted.unlimited) ?engine ?row_cache_cap version
   for i = 0 to n - 1 do
     if i <> player then Array.iter (fun j -> bump i j) (Strategy.strategy profile i)
   done;
-  let static_adj = Array.map (fun d -> Array.make d 0) deg in
-  let fill = Array.make n 0 in
+  let static_offs = Array.make (n + 1) 0 in
+  for i = 0 to n - 1 do
+    static_offs.(i + 1) <- static_offs.(i) + deg.(i)
+  done;
+  let static_targets = Array.make (max static_offs.(n) 1) 0 in
+  let fill = Array.sub static_offs 0 n in
   let add u v =
-    static_adj.(u).(fill.(u)) <- v;
+    static_targets.(fill.(u)) <- v;
     fill.(u) <- fill.(u) + 1
   in
   for i = 0 to n - 1 do
@@ -129,7 +138,8 @@ let make ?(budget = Bbng_obs.Budgeted.unlimited) ?engine ?row_cache_cap version
     player;
     n;
     engine;
-    static_adj;
+    static_offs;
+    static_targets;
     own;
     rows_state;
     stamp = 0;
@@ -164,14 +174,14 @@ let unreached_components t =
       while !top > 0 do
         decr top;
         let u = t.queue.(!top) in
-        Array.iter
-          (fun v ->
-            if t.seen.(v) <> stamp && t.comp_seen.(v) <> stamp then begin
-              t.comp_seen.(v) <- stamp;
-              t.queue.(!top) <- v;
-              incr top
-            end)
-          t.static_adj.(u)
+        for k = t.static_offs.(u) to t.static_offs.(u + 1) - 1 do
+          let v = t.static_targets.(k) in
+          if t.seen.(v) <> stamp && t.comp_seen.(v) <> stamp then begin
+            t.comp_seen.(v) <- stamp;
+            t.queue.(!top) <- v;
+            incr top
+          end
+        done
       done
     end
   done;
@@ -195,6 +205,7 @@ let validate_targets t targets =
 let overlay_cost t targets =
   t.stamp <- t.stamp + 1;
   let stamp = t.stamp in
+  let offs = t.static_offs and adj = t.static_targets in
   let head = ref 0 and tail = ref 0 in
   let visit v d =
     if t.seen.(v) <> stamp then begin
@@ -207,15 +218,25 @@ let overlay_cost t targets =
   visit t.player 0;
   (* the player's tentative arcs only matter as first steps *)
   Array.iter (fun v -> visit v 1) targets;
-  Array.iter (fun v -> visit v 1) t.static_adj.(t.player);
+  for k = offs.(t.player) to offs.(t.player + 1) - 1 do
+    visit adj.(k) 1
+  done;
   (* skip the player itself in the queue: position 0 *)
   head := 0;
   while !head < !tail do
     let u = t.queue.(!head) in
     incr head;
     if u <> t.player then begin
-      let du = t.dist.(u) in
-      Array.iter (fun v -> visit v (du + 1)) t.static_adj.(u)
+      let du1 = t.dist.(u) + 1 in
+      for k = offs.(u) to offs.(u + 1) - 1 do
+        let v = adj.(k) in
+        if t.seen.(v) <> stamp then begin
+          t.seen.(v) <- stamp;
+          t.dist.(v) <- du1;
+          t.queue.(!tail) <- v;
+          incr tail
+        end
+      done
     end
   done;
   let reached = !tail in
@@ -244,51 +265,68 @@ let overlay_cost t targets =
 
 (* --- rows engine: per-target distance rows, O(b·n) combine --- *)
 
-(* One BFS of the player-deleted static graph from [sources]; the row
-   maps every vertex to its distance from the nearest source (the
-   sentinel n² elsewhere, including at the player).  The cache is only
-   updated after the BFS completes, so an exception (budget expiry, an
-   injected fault) or a SIGKILL mid-build never leaves a torn row. *)
-let build_row t sources =
+(* One BFS of the player-deleted static graph from the seeds already
+   placed in [t.queue]; the row maps every vertex to its distance from
+   the nearest seed (the sentinel n² elsewhere, including at the
+   player).  The cache is only updated after the BFS completes, so an
+   exception (budget expiry, an injected fault) or a SIGKILL mid-build
+   never leaves a torn row. *)
+let finish_row t row tail0 =
+  let inf = t.n * t.n in
+  let offs = t.static_offs and adj = t.static_targets in
+  let head = ref 0 and tail = ref tail0 in
+  while !head < !tail do
+    let u = t.queue.(!head) in
+    incr head;
+    let du1 = row.(u) + 1 in
+    for k = offs.(u) to offs.(u + 1) - 1 do
+      let v = adj.(k) in
+      if v <> t.player && row.(v) = inf then begin
+        row.(v) <- du1;
+        t.queue.(!tail) <- v;
+        incr tail
+      end
+    done
+  done;
+  Bbng_obs.Budgeted.spend t.budget !tail;
+  row
+
+let build_row_single t target =
+  Bbng_obs.Fault.hit "deveval.row_build";
+  Bbng_obs.Counter.bump c_rows_built;
+  let row = Array.make t.n (t.n * t.n) in
+  row.(target) <- 0;
+  t.queue.(0) <- target;
+  finish_row t row 1
+
+(* seeded by the player's static neighbourhood (duplicates merged —
+   a brace contributes the same endpoint twice) *)
+let build_base_row t =
   Bbng_obs.Fault.hit "deveval.row_build";
   Bbng_obs.Counter.bump c_rows_built;
   let inf = t.n * t.n in
   let row = Array.make t.n inf in
-  let head = ref 0 and tail = ref 0 in
-  Array.iter
-    (fun s ->
-      if s <> t.player && row.(s) = inf then begin
-        row.(s) <- 0;
-        t.queue.(!tail) <- s;
-        incr tail
-      end)
-    sources;
-  while !head < !tail do
-    let u = t.queue.(!head) in
-    incr head;
-    let du = row.(u) in
-    Array.iter
-      (fun v ->
-        if v <> t.player && row.(v) = inf then begin
-          row.(v) <- du + 1;
-          t.queue.(!tail) <- v;
-          incr tail
-        end)
-      t.static_adj.(u)
+  let tail = ref 0 in
+  for k = t.static_offs.(t.player) to t.static_offs.(t.player + 1) - 1 do
+    let s = t.static_targets.(k) in
+    if row.(s) = inf then begin
+      row.(s) <- 0;
+      t.queue.(!tail) <- s;
+      incr tail
+    end
   done;
-  Bbng_obs.Budgeted.spend t.budget !tail;
-  row
+  finish_row t row !tail
 
 let base_row t rs =
   match rs.base with
   | Some row -> row
   | None ->
-      let row = build_row t t.static_adj.(t.player) in
+      let row = build_base_row t in
       rs.base <- Some row;
       row
 
 let miss_row t rs target =
-  let row = build_row t [| target |] in
+  let row = build_row_single t target in
   if rs.live >= rs.cap then begin
     match Queue.take_opt rs.order with
     | Some victim ->

@@ -3,7 +3,14 @@
     All distances in the game are hop counts in [U(G)], so BFS is the
     single metric primitive of the whole system.  Unreachable vertices
     get distance {!unreachable} = [-1]; translation to the paper's
-    [Cinf = n^2] convention happens in the game's cost layer. *)
+    [Cinf = n^2] convention happens in the game's cost layer.
+
+    The one-shot walkers ({!distances}, {!distances_from_set},
+    {!distance}, {!level_sets}) run over a flat {!Csr.t} snapshot of
+    the graph (memoized per domain) with per-domain frontier scratch,
+    so each call allocates only its result row; {!legacy_distances} is
+    the retained adjacency-walking implementation, kept as the qcheck
+    oracle the CSR engine is pinned against. *)
 
 val unreachable : int
 (** [-1], the sentinel for "no path". *)
@@ -29,7 +36,16 @@ val distance :
   ?budget:Bbng_obs.Budgeted.t -> Undirected.t -> int -> int -> int option
 (** [distance g u v] is [Some d] or [None] if disconnected.
     [u = v] answers [Some 0] without a traversal (and without touching
-    the token); [?budget] as in {!distances} otherwise. *)
+    the token); [?budget] as in {!distances} otherwise.
+    @raise Invalid_argument if [u] or [v] is out of range — including
+    on the [u = v] fast path. *)
+
+val legacy_distances :
+  ?budget:Bbng_obs.Budgeted.t -> Undirected.t -> int -> int array
+(** {!distances} computed by the retained per-vertex-adjacency walker
+    instead of the CSR snapshot.  Same contract, slower: this is the
+    oracle the CSR engine is property-tested against, not an API to
+    build on. *)
 
 val parents : ?budget:Bbng_obs.Budgeted.t -> Undirected.t -> int -> int array
 (** BFS tree parents; [parents.(src) = src]; [-1] for unreachable.  Ties

@@ -1,0 +1,77 @@
+(** Flat CSR (compressed sparse row) snapshot of an undirected graph.
+
+    The arc-owned {!Digraph} / {!Undirected} adjacency is an array of
+    per-vertex arrays — fine for construction and queries, but the BFS
+    hot loops (every distance, diameter, usage cost and Table-1 check
+    in the reproduction runs on repeated BFS sweeps) pay a pointer
+    chase, a bounds check and an [Array.iter] closure per vertex.  A
+    snapshot packs the whole adjacency into two [Bigarray] [int32]
+    vectors — [offs] of length [n+1] and [targets] of length [2m], row
+    [u] being [targets.[offs.[u] .. offs.[u+1])] — so a sweep is two
+    sequential int32 streams with no per-vertex allocation at all.
+
+    {b Invariant}: {!Undirected.t} is immutable, so a snapshot never
+    goes stale — {!Undirected.id} is the version stamp.  {!snapshot}
+    memoizes the last snapshot per domain keyed on physical identity;
+    "mutation" in this codebase always builds a new graph, which simply
+    misses the cache and rebuilds.  [int32] halves the memory traffic
+    of the target stream vs boxed-free [int] arrays and is ample: the
+    substrate tops out far below [2^31] vertices/arcs.
+
+    The BFS kernels write into caller-provided scratch ([dist]/[queue]
+    int arrays), so a steady-state caller allocates {e zero} words per
+    traversal — the bench's [bfs-csr-gnp200] pins that.  Budget
+    accounting matches {!Bfs}: one checkpoint before the sweep, popped
+    count spent after. *)
+
+type t
+
+val of_undirected : Undirected.t -> t
+(** Build a fresh snapshot; O(n + m). *)
+
+val snapshot : Undirected.t -> t
+(** Memoized {!of_undirected}: each domain caches the snapshot of the
+    graph it saw last (keyed on physical identity, so immutability
+    makes staleness impossible).  Loops that alternate between many
+    graphs fall back to rebuild-per-call, which is the same O(n + m)
+    as the sweep itself. *)
+
+val graph_id : t -> int
+(** {!Undirected.id} of the graph this snapshot was built from. *)
+
+val n : t -> int
+val arc_count : t -> int
+(** Directed arc slots, i.e. [2 * edge_count]. *)
+
+val degree : t -> int -> int
+
+val bfs_into :
+  ?budget:Bbng_obs.Budgeted.t ->
+  t ->
+  src:int ->
+  dist:int array ->
+  queue:int array ->
+  int
+(** Single-source BFS over the flat arrays.  Fills [dist] with hop
+    distances ([-1] = {!Bfs.unreachable} where no path) and uses
+    [queue] as the frontier ring; both must have length [>= n].
+    Returns the number of vertices popped (= reached).  Allocates
+    nothing.  [?budget] as in {!Bfs.distances}: checkpoint before,
+    popped count spent after.
+    @raise Invalid_argument on a bad [src] or short scratch arrays. *)
+
+val bfs_set_into :
+  ?budget:Bbng_obs.Budgeted.t ->
+  t ->
+  sources:int list ->
+  dist:int array ->
+  queue:int array ->
+  int
+(** Multi-source variant: every source gets distance 0 (duplicates
+    merged).  @raise Invalid_argument on an empty or out-of-range
+    source list or short scratch arrays. *)
+
+val max_dist : t -> int array -> int
+(** Largest finite entry of a [dist] row filled by a kernel above
+    (0 for an all-unreachable row); a popped count of [n] makes it the
+    eccentricity of the source. *)

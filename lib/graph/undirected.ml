@@ -1,19 +1,28 @@
 type t = {
+  id : int;
   n : int;
   adj : int array array;
   edge_count : int;
 }
 
+(* Every built graph gets a process-unique stamp.  Graphs are immutable,
+   so the stamp doubles as a version: snapshot caches (Csr) key on it
+   and never go stale. *)
+let next_id = Atomic.make 0
+
 let check_vertex n u =
   if u < 0 || u >= n then
     invalid_arg (Printf.sprintf "Undirected: vertex %d out of range [0,%d)" u n)
 
-(* Sorts and deduplicates a neighbor list given as an int list. *)
+(* Sorts and deduplicates a neighbor list given as an int list.  The
+   sort is monomorphic: this runs on every graph build, including the
+   census inner loop, and polymorphic [compare] costs a C call per
+   comparison where [Int.compare] inlines to a branch. *)
 let finalize_adj lists =
   Array.map
     (fun l ->
       let a = Array.of_list l in
-      Array.sort compare a;
+      Array.sort Int.compare a;
       let m = Array.length a in
       if m = 0 then a
       else begin
@@ -40,7 +49,7 @@ let build n add_all =
       lists.(v) <- u :: lists.(v));
   let adj = finalize_adj lists in
   let deg_sum = Array.fold_left (fun acc a -> acc + Array.length a) 0 adj in
-  { n; adj; edge_count = deg_sum / 2 }
+  { id = Atomic.fetch_and_add next_id 1; n; adj; edge_count = deg_sum / 2 }
 
 let of_digraph g =
   build (Digraph.n g) (fun add -> Digraph.iter_arcs (fun u v -> if u < v || not (Digraph.mem_arc g v u) then add u v) g)
@@ -49,6 +58,7 @@ let of_edges ~n edges =
   if n < 0 then invalid_arg "Undirected.of_edges: negative n";
   build n (fun add -> List.iter (fun (u, v) -> add u v) edges)
 
+let id g = g.id
 let n g = g.n
 let edge_count g = g.edge_count
 let neighbors g u = check_vertex g.n u; g.adj.(u)

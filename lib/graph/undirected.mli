@@ -22,6 +22,12 @@ val of_edges : n:int -> (int * int) list -> t
 
 val n : t -> int
 
+val id : t -> int
+(** Process-unique build stamp.  Graphs are immutable, so the stamp is
+    also a version: derived snapshots ({!Csr.t}) cache against it and
+    can never go stale.  Not a structural hash — two [equal] graphs
+    built separately have different ids. *)
+
 val edge_count : t -> int
 (** Number of distinct undirected edges. *)
 

@@ -16,6 +16,19 @@ let test_distance_pairs () =
   check_int_option "self" (Some 0) (Bfs.distance path5 3 3);
   check_int_option "disconnected" None (Bfs.distance two_triangles 0 5)
 
+(* regression: the u = v early answer used to skip range validation,
+   so distance g 99 99 on a small graph returned Some 0 *)
+let test_distance_validates_before_fast_path () =
+  Alcotest.check_raises "self out of range"
+    (Invalid_argument "Bfs.distance: vertex 99 out of range [0,5)") (fun () ->
+      ignore (Bfs.distance path5 99 99));
+  Alcotest.check_raises "target out of range"
+    (Invalid_argument "Bfs.distance: vertex 5 out of range [0,5)") (fun () ->
+      ignore (Bfs.distance path5 0 5));
+  Alcotest.check_raises "negative source"
+    (Invalid_argument "Bfs.distance: vertex -1 out of range [0,5)") (fun () ->
+      ignore (Bfs.distance path5 (-1) 3))
+
 let test_cycle_distances () =
   check_int_array "cycle from 0" [| 0; 1; 2; 3; 2; 1 |] (Bfs.distances cycle6 0)
 
@@ -141,6 +154,7 @@ let suite =
     case "path distances" test_path_distances;
     case "unreachable sentinel" test_unreachable;
     case "pairwise distance" test_distance_pairs;
+    case "pairwise distance validates range" test_distance_validates_before_fast_path;
     case "cycle distances" test_cycle_distances;
     case "multi-source" test_multi_source;
     case "multi-source empty raises" test_multi_source_empty;

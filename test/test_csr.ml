@@ -1,0 +1,128 @@
+(* The flat CSR engine against the retained legacy walker: structure
+   of the snapshot itself, the per-domain memo, and qcheck oracles
+   pinning CSR BFS and the iFUB diameter to the adjacency-walking
+   implementations over random gnp / tree / disconnected inputs. *)
+
+open Helpers
+module Bfs = Bbng_graph.Bfs
+module Csr = Bbng_graph.Csr
+module Distances = Bbng_graph.Distances
+module Generators = Bbng_graph.Generators
+
+let test_structure () =
+  let c = Csr.of_undirected path5 in
+  check_int "n" 5 (Csr.n c);
+  check_int "arcs = 2m" 8 (Csr.arc_count c);
+  check_int "end degree" 1 (Csr.degree c 0);
+  check_int "middle degree" 2 (Csr.degree c 2);
+  let empty = Csr.of_undirected (Undirected.of_edges ~n:3 []) in
+  check_int "edgeless arcs" 0 (Csr.arc_count empty);
+  check_int "edgeless degree" 0 (Csr.degree empty 1)
+
+let test_snapshot_memo () =
+  let c1 = Csr.snapshot path5 in
+  let c2 = Csr.snapshot path5 in
+  check_true "same graph hits the memo" (c1 == c2);
+  check_int "version stamp" (Undirected.id path5) (Csr.graph_id c1);
+  let c3 = Csr.snapshot cycle6 in
+  check_false "other graph rebuilds" (Obj.repr c1 == Obj.repr c3);
+  check_true "and re-snapshotting it hits again" (Csr.snapshot cycle6 == c3)
+
+let test_bfs_into () =
+  let c = Csr.snapshot path5 in
+  let dist = Array.make 5 9 and queue = Array.make 5 0 in
+  check_int "popped" 5 (Csr.bfs_into c ~src:2 ~dist ~queue);
+  check_int_array "distances" [| 2; 1; 0; 1; 2 |] dist;
+  let c2 = Csr.snapshot two_triangles in
+  let dist = Array.make 6 9 and queue = Array.make 6 0 in
+  check_int "popped stops at the component" 3 (Csr.bfs_into c2 ~src:0 ~dist ~queue);
+  check_int "unreachable sentinel" (-1) dist.(4)
+
+let test_bfs_into_validation () =
+  let c = Csr.snapshot path5 in
+  let dist = Array.make 5 0 and queue = Array.make 5 0 in
+  Alcotest.check_raises "source out of range"
+    (Invalid_argument "Csr.bfs_into: source 5 out of range [0,5)") (fun () ->
+      ignore (Csr.bfs_into c ~src:5 ~dist ~queue));
+  Alcotest.check_raises "short scratch"
+    (Invalid_argument "Csr.bfs_into: scratch arrays shorter than n") (fun () ->
+      ignore (Csr.bfs_into c ~src:0 ~dist:(Array.make 3 0) ~queue));
+  Alcotest.check_raises "empty sources"
+    (Invalid_argument "Csr.bfs_set_into: empty source set") (fun () ->
+      ignore (Csr.bfs_set_into c ~sources:[] ~dist ~queue))
+
+let test_budget_expiry () =
+  let module Budgeted = Bbng_obs.Budgeted in
+  let c = Csr.snapshot path5 in
+  let dist = Array.make 5 0 and queue = Array.make 5 0 in
+  let budget = Budgeted.create ~work_limit:0 () in
+  check_int "first sweep finishes" 5 (Csr.bfs_into ~budget c ~src:0 ~dist ~queue);
+  Alcotest.check_raises "second trips at the checkpoint" Budgeted.Expired
+    (fun () -> ignore (Csr.bfs_into ~budget c ~src:0 ~dist ~queue))
+
+(* The oracles: same graphs through both engines.  random_gnp_of gives
+   disconnected inputs often at these sizes, random_connected_of the
+   dense small-world shape (where the sweep goes bottom-up), and
+   random_tree the deep-levels shape (where it stays top-down). *)
+
+let graphs_agree g =
+  let n = Undirected.n g in
+  let rows_ok = ref true in
+  for u = 0 to n - 1 do
+    if Bfs.distances g u <> Bfs.legacy_distances g u then rows_ok := false
+  done;
+  let legacy_diam =
+    Distances.fold_eccentricities g (fun a _ e -> max a e) 0
+  in
+  !rows_ok && Distances.diameter g = legacy_diam
+
+let prop_csr_matches_legacy_gnp =
+  qcheck "CSR == legacy on gnp (disconnected allowed)"
+    (gnp_gen ~n_min:1 ~n_max:30) (fun input ->
+      graphs_agree (random_gnp_of input))
+
+let prop_csr_matches_legacy_connected =
+  qcheck "CSR == legacy on connected gnp" (gnp_gen ~n_min:2 ~n_max:30)
+    (fun input -> graphs_agree (random_connected_of input))
+
+let prop_csr_matches_legacy_trees =
+  qcheck "CSR == legacy on random trees" (gnp_gen ~n_min:1 ~n_max:40)
+    (fun (n, seed) -> graphs_agree (Generators.random_tree (rng seed) n))
+
+let prop_multi_source_matches_legacy =
+  qcheck "CSR multi-source == per-source minimum"
+    (gnp_gen ~n_min:2 ~n_max:20) (fun input ->
+      let g = random_gnp_of input in
+      let n = Undirected.n g in
+      let sources = [ 0; n / 2; n - 1 ] in
+      let multi = Bfs.distances_from_set g sources in
+      let singles = List.map (Bfs.legacy_distances g) sources in
+      let ok = ref true in
+      for v = 0 to n - 1 do
+        let best =
+          List.fold_left
+            (fun acc d ->
+              if d.(v) = Bfs.unreachable then acc
+              else
+                match acc with
+                | None -> Some d.(v)
+                | Some b -> Some (min b d.(v)))
+            None singles
+        in
+        let expected = match best with None -> Bfs.unreachable | Some b -> b in
+        if multi.(v) <> expected then ok := false
+      done;
+      !ok)
+
+let suite =
+  [
+    case "snapshot structure" test_structure;
+    case "snapshot memo" test_snapshot_memo;
+    case "bfs_into" test_bfs_into;
+    case "bfs_into validation" test_bfs_into_validation;
+    case "budget expiry" test_budget_expiry;
+    prop_csr_matches_legacy_gnp;
+    prop_csr_matches_legacy_connected;
+    prop_csr_matches_legacy_trees;
+    prop_multi_source_matches_legacy;
+  ]

@@ -86,9 +86,47 @@ let prop_wiener_symmetry =
       done;
       Distances.wiener_index g = Some (!total / 2))
 
+(* regression: the aggregates used to take no ?budget at all, cutting
+   census-scale diameter/wiener sweeps out of cooperative cancellation.
+   Same idiom as the Bfs walkers: a work_limit:0 token lets the first
+   sweep finish (tripping it) and stops the next at its checkpoint. *)
+let test_budget_threads_through_aggregates () =
+  let module Budgeted = Bbng_obs.Budgeted in
+  let first_runs_second_trips name f =
+    let budget = Budgeted.create ~work_limit:0 () in
+    f budget;
+    Alcotest.check_raises (name ^ ": second call trips") Budgeted.Expired
+      (fun () -> f budget)
+  in
+  (* single-sweep entry points: token survives exactly one call *)
+  first_runs_second_trips "eccentricity" (fun budget ->
+      ignore (Distances.eccentricity ~budget path5 0));
+  first_runs_second_trips "distance_sum" (fun budget ->
+      ignore (Distances.distance_sum ~budget path5 0));
+  first_runs_second_trips "farthest" (fun budget ->
+      ignore (Distances.farthest ~budget path5 0));
+  (* multi-sweep aggregates: the first sweep's spend trips the token,
+     so the second sweep inside the same call stops at its checkpoint *)
+  let trips_mid_call name f =
+    let budget = Budgeted.create ~work_limit:0 () in
+    Alcotest.check_raises (name ^ ": trips between sweeps") Budgeted.Expired
+      (fun () -> f budget)
+  in
+  trips_mid_call "diameter" (fun budget ->
+      ignore (Distances.diameter ~budget path5));
+  trips_mid_call "radius" (fun budget -> ignore (Distances.radius ~budget path5));
+  trips_mid_call "center" (fun budget -> ignore (Distances.center ~budget path5));
+  trips_mid_call "wiener_index" (fun budget ->
+      ignore (Distances.wiener_index ~budget path5));
+  trips_mid_call "all_pairs" (fun budget ->
+      ignore (Distances.all_pairs ~budget path5));
+  trips_mid_call "fold_eccentricities" (fun budget ->
+      ignore (Distances.fold_eccentricities ~budget path5 (fun a _ e -> max a e) 0))
+
 let suite =
   [
     case "eccentricity" test_eccentricity;
+    case "budget threads through aggregates" test_budget_threads_through_aggregates;
     case "diameter" test_diameter;
     case "radius and center" test_radius_center;
     case "distance_sum" test_distance_sum;
